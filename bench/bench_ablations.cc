@@ -1,0 +1,151 @@
+// Experiment E10 (part 2) — ablations for the §6 extensions that need an
+// experiment-harness shape rather than a micro-benchmark:
+//  - iceberg S-cuboids: cells surviving vs minimum-support threshold;
+//  - incremental update: maintaining indices from a delta vs rebuilding;
+//  - online aggregation: how early a usable estimate of the hottest cell
+//    becomes available.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "solap/gen/synthetic.h"
+
+namespace solap {
+namespace {
+
+CuboidSpec XYSpec() {
+  CuboidSpec spec;
+  spec.symbols = {"X", "Y"};
+  spec.dims = {PatternDim{"X", {SyntheticData::kAttr, "symbol"}, {}, ""},
+               PatternDim{"Y", {SyntheticData::kAttr, "symbol"}, {}, ""}};
+  return spec;
+}
+
+void IcebergSweep(const SyntheticData& data) {
+  std::printf("-- Iceberg sweep (SUBSTRING(X,Y), COUNT) --\n");
+  std::printf("%12s %12s %14s\n", "min support", "cells", "runtime(ms)");
+  for (int64_t threshold : {0, 10, 100, 1000, 10000}) {
+    SOlapEngine engine(data.groups, data.hierarchies.get());
+    CuboidSpec spec = XYSpec();
+    if (threshold > 0) spec.iceberg_min_count = threshold;
+    Timer t;
+    auto r = engine.Execute(spec);
+    if (!r.ok()) std::exit(1);
+    std::printf("%12lld %12zu %14.2f\n",
+                static_cast<long long>(threshold), (*r)->num_cells(),
+                t.ElapsedMs());
+  }
+  std::printf("\n");
+}
+
+void IncrementalVsRebuild(const SyntheticParams& params,
+                          const SyntheticData& data) {
+  std::printf("-- Incremental index maintenance vs full rebuild --\n");
+  std::printf("%10s %22s %22s\n", "batch", "incremental(ms)",
+              "full rebuild(ms)");
+  for (size_t batch : {1000u, 5000u, 20000u}) {
+    // Incremental: extend the group + cached L2 with only the delta.
+    SyntheticData inc = GenerateSynthetic(params);
+    SOlapEngine engine(inc.groups, inc.hierarchies.get());
+    if (!engine.PrecomputeIndex(XYSpec(), 2,
+                                {SyntheticData::kAttr, "symbol"})
+             .ok()) {
+      std::exit(1);
+    }
+    auto delta = GenerateSyntheticBatch(params, batch, 4242);
+    Timer t_inc;
+    if (!engine.AppendRawSequences(0, delta).ok()) std::exit(1);
+    auto r = engine.Execute(XYSpec(), ExecStrategy::kInvertedIndex);
+    if (!r.ok()) std::exit(1);
+    double inc_ms = t_inc.ElapsedMs();
+
+    // Rebuild: fresh engine over the already-extended data.
+    SOlapEngine fresh(inc.groups, inc.hierarchies.get());
+    Timer t_full;
+    if (!fresh.PrecomputeIndex(XYSpec(), 2,
+                               {SyntheticData::kAttr, "symbol"})
+             .ok()) {
+      std::exit(1);
+    }
+    auto r2 = fresh.Execute(XYSpec(), ExecStrategy::kInvertedIndex);
+    if (!r2.ok()) std::exit(1);
+    double full_ms = t_full.ElapsedMs();
+    std::printf("%10zu %22.2f %22.2f\n", batch, inc_ms, full_ms);
+  }
+  std::printf("\n");
+  (void)data;
+}
+
+void OnlineEstimates(const SyntheticData& data) {
+  std::printf("-- Online aggregation: hottest-cell estimate vs fraction "
+              "processed --\n");
+  SOlapEngine offline(data.groups, data.hierarchies.get());
+  auto exact = offline.Execute(XYSpec());
+  if (!exact.ok()) std::exit(1);
+  CellKey hot = (*exact)->ArgMaxCell();
+  double exact_count = (*exact)->CellAt(hot).count;
+  std::printf("exact hottest-cell count: %.0f\n", exact_count);
+  std::printf("%12s %16s %12s\n", "fraction", "scaled estimate",
+              "error(%)");
+  SOlapEngine engine(data.groups, data.hierarchies.get());
+  double next_report = 0.1;
+  auto r = engine.ExecuteOnline(
+      XYSpec(), 1000, [&](const SCuboid& partial, double fraction) {
+        if (fraction + 1e-9 >= next_report) {
+          double estimate = partial.CellAt(hot).count / fraction;
+          std::printf("%12.2f %16.0f %12.2f\n", fraction, estimate,
+                      100.0 * (estimate - exact_count) / exact_count);
+          next_report += 0.2;
+        }
+        return true;
+      });
+  if (!r.ok()) std::exit(1);
+  std::printf("\n");
+}
+
+void BitmapJoinAblation(const SyntheticParams& params) {
+  std::printf("-- Bitmap-encoded joins vs sorted-list intersection "
+              "(SUBSTRING(X,Y,Y,X)) --\n");
+  SyntheticData data = GenerateSynthetic(params);
+  CuboidSpec spec;
+  spec.symbols = {"X", "Y", "Y", "X"};
+  spec.dims = {PatternDim{"X", {SyntheticData::kAttr, "symbol"}, {}, ""},
+               PatternDim{"Y", {SyntheticData::kAttr, "symbol"}, {}, ""}};
+  std::printf("%24s %14s\n", "join mode", "runtime(ms)");
+  for (size_t threshold : {size_t{0}, size_t{64}}) {
+    EngineOptions opts;
+    opts.bitmap_join_threshold = threshold;
+    SOlapEngine engine(data.groups, data.hierarchies.get(), opts);
+    Timer t;
+    auto r = engine.Execute(spec, ExecStrategy::kInvertedIndex);
+    if (!r.ok()) std::exit(1);
+    std::printf("%24s %14.2f\n",
+                threshold == 0 ? "sorted lists" : "bitmaps (len>64)",
+                t.ElapsedMs());
+  }
+  std::printf("\n");
+}
+
+int Run(int argc, char** argv) {
+  SyntheticParams params;
+  params.num_sequences = static_cast<size_t>(std::strtoull(
+      bench::FlagValue(argc, argv, "d", "100000").c_str(), nullptr, 10));
+  std::printf("== E10 / §6 extension ablations (%s) ==\n\n",
+              params.Tag().c_str());
+  SyntheticData data = GenerateSynthetic(params);
+  IcebergSweep(data);
+  BitmapJoinAblation(params);
+  IncrementalVsRebuild(params, data);
+  OnlineEstimates(data);
+  std::printf(
+      "Expected shape: iceberg cost flat while surviving cells collapse; "
+      "bitmap joins at parity or better when long lists dominate "
+      "intersections (verification scans dominate otherwise); "
+      "incremental maintenance cost tracks the delta, not the dataset; "
+      "online estimates within a few percent well before 100%%.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace solap
+
+int main(int argc, char** argv) { return solap::Run(argc, argv); }

@@ -1,0 +1,95 @@
+// Ablation for the cost-based strategy optimizer (engine/optimizer.h):
+// an iterative exploration session executed three times — counter-based
+// only, inverted-index only, and AUTO (the optimizer picks per query).
+//
+// Expected shape: AUTO tracks the better of the two fixed strategies at
+// every step — CB-like on the cold first query, II-like once indices
+// exist (the paper's §4.2.2 observation that neither strategy dominates,
+// motivating "the design of an S-OLAP query optimizer").
+#include <cstdio>
+
+#include "bench_util.h"
+#include "solap/gen/synthetic.h"
+
+namespace solap {
+namespace {
+
+CuboidSpec XY(const std::string& y_level = "symbol") {
+  CuboidSpec spec;
+  spec.symbols = {"X", "Y"};
+  spec.dims = {PatternDim{"X", {SyntheticData::kAttr, "symbol"}, {}, ""},
+               PatternDim{"Y", {SyntheticData::kAttr, y_level}, {}, ""}};
+  return spec;
+}
+
+int Run(int argc, char** argv) {
+  size_t d = static_cast<size_t>(std::strtoull(
+      bench::FlagValue(argc, argv, "d", "200000").c_str(), nullptr, 10));
+  SyntheticParams params;
+  params.num_sequences = d;
+  std::printf("== Optimizer ablation (%s) ==\n\n", params.Tag().c_str());
+  SyntheticData data = GenerateSynthetic(params);
+
+  // The session: cold (X, Y@group); P-ROLL-UP Y to super-groups;
+  // P-DRILL-DOWN Y to symbols (a level never queried before); slice the
+  // hottest cell of Q1 and APPEND; re-pose Q1 (a repository hit).
+  const char* names[] = {"Q1 cold (X,Y@group)", "Q2 P-ROLL-UP Y",
+                         "Q3 P-DRILL-DOWN Y", "Q4 slice+APPEND",
+                         "Q5 Q1 again (cached)"};
+
+  std::printf("%-22s", "Query");
+  const char* strategies[] = {"CB(ms)", "II(ms)", "AUTO(ms)"};
+  for (const char* s : strategies) std::printf("%12s", s);
+  std::printf("\n%.*s\n", 60,
+              "------------------------------------------------------------");
+
+  double totals[3] = {0, 0, 0};
+  std::vector<std::vector<double>> rows(5, std::vector<double>(3, 0));
+  for (int si = 0; si < 3; ++si) {
+    ExecStrategy strategy = si == 0   ? ExecStrategy::kCounterBased
+                            : si == 1 ? ExecStrategy::kInvertedIndex
+                                      : ExecStrategy::kAuto;
+    SOlapEngine engine(data.groups, data.hierarchies.get());
+    CuboidSpec specs[5];
+    specs[0] = XY("group");
+    specs[1] = XY("supergroup");
+    specs[2] = XY("symbol");
+    // specs[3] depends on Q1's result; built after Q1 runs.
+    specs[4] = XY("group");  // == Q1: served by the cuboid repository
+
+    std::shared_ptr<const SCuboid> q1_result;
+    for (int q = 0; q < 5; ++q) {
+      CuboidSpec spec = specs[q];
+      if (q == 3) {
+        CellKey top = q1_result->ArgMaxCell();
+        spec = *ops::SliceToCell(XY("group"), *q1_result, top);
+        spec = *ops::Append(spec, "Z", {SyntheticData::kAttr, "symbol"});
+      }
+      Timer t;
+      auto r = engine.Execute(spec, strategy);
+      double ms = t.ElapsedMs();
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      if (q == 0) q1_result = *r;
+      rows[q][si] = ms;
+      totals[si] += ms;
+    }
+  }
+  for (int q = 0; q < 5; ++q) {
+    std::printf("%-22s", names[q]);
+    for (int si = 0; si < 3; ++si) std::printf("%12.2f", rows[q][si]);
+    std::printf("\n");
+  }
+  std::printf("%-22s", "TOTAL");
+  for (int si = 0; si < 3; ++si) std::printf("%12.2f", totals[si]);
+  std::printf("\n\nExpected shape: AUTO ~= min(CB, II) per step; total "
+              "below both fixed strategies.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace solap
+
+int main(int argc, char** argv) { return solap::Run(argc, argv); }

@@ -1,0 +1,92 @@
+// Clickstream analysis: the paper's §5.1 real-data use case — answering a
+// KDD-Cup 2000 style question "in an OLAP data exploratory way".
+//
+// Session: Qa finds the hot (Assortment -> Legwear) category pair; a slice
+// plus P-DRILL-DOWN (Qb) reveals which Legwear product pages were opened;
+// an APPEND (Qc) checks for comparison shopping. Both construction
+// strategies run side by side, with per-query timing and scan counts.
+//
+//   ./build/examples/clickstream_analysis [sessions]
+#include <cstdio>
+#include <cstdlib>
+
+#include "solap/common/timer.h"
+#include "solap/engine/engine.h"
+#include "solap/engine/operations.h"
+#include "solap/gen/clickstream.h"
+#include "solap/parser/parser.h"
+
+using namespace solap;
+
+int main(int argc, char** argv) {
+  ClickstreamParams params;
+  if (argc > 1) params.num_sessions = std::strtoul(argv[1], nullptr, 10);
+  std::printf("Generating clickstream: %zu sessions...\n",
+              params.num_sessions);
+  ClickstreamData data = GenerateClickstream(params);
+  std::printf("event database: %zu click events\n\n",
+              data.table->num_rows());
+
+  auto qa = ParseQuery(R"(
+    SELECT COUNT(*) FROM Event
+    CLUSTER BY session-id AT session-id
+    SEQUENCE BY request-time ASCENDING
+    CUBOID BY SUBSTRING (X, Y)
+      WITH X AS page AT page-category, Y AS page AT page-category
+      LEFT-MAXIMALITY (x1, y1)
+  )");
+  if (!qa.ok()) {
+    std::fprintf(stderr, "%s\n", qa.status().ToString().c_str());
+    return 1;
+  }
+  CuboidSpec qb = *ops::SlicePattern(*qa, "X", {"Assortment"});
+  qb = *ops::SlicePattern(qb, "Y", {"Legwear"});
+  qb = *ops::PDrillDown(qb, "Y", *data.hierarchies);
+  CuboidSpec qc = *ops::Append(qb, "Z", {"page", "raw-page"}, "z1");
+
+  struct Step {
+    const char* name;
+    const char* story;
+    const CuboidSpec* spec;
+  };
+  Step steps[] = {
+      {"Qa", "two-step page accesses at the category level", &*qa},
+      {"Qb", "slice (Assortment->Legwear) + P-DRILL-DOWN to product pages",
+       &qb},
+      {"Qc", "APPEND Z: do visitors compare a second product page?", &qc},
+  };
+
+  for (ExecStrategy strategy :
+       {ExecStrategy::kCounterBased, ExecStrategy::kInvertedIndex}) {
+    const char* label =
+        strategy == ExecStrategy::kCounterBased ? "CB" : "II";
+    std::printf("=== strategy: %s ===\n", label);
+    SOlapEngine engine(data.table.get(), data.hierarchies.get());
+    (void)engine.WarmSequenceCache(qa->seq);
+    for (const Step& step : steps) {
+      uint64_t scans_before = engine.stats().sequences_scanned;
+      Timer t;
+      auto r = engine.Execute(*step.spec, strategy);
+      double ms = t.ElapsedMs();
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", step.name,
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%s (%s): %.2f ms, %llu sequences scanned, %zu cells\n",
+                  step.name, step.story, ms,
+                  static_cast<unsigned long long>(
+                      engine.stats().sequences_scanned - scans_before),
+                  (*r)->num_cells());
+      if (strategy == ExecStrategy::kInvertedIndex) {
+        std::printf("%s\n", (*r)->ToTable(5).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "As in the paper's Table 1: CB is competitive on the cold Qa, while "
+      "II answers the selective follow-ups from its inverted lists, "
+      "scanning a small fraction of the sessions.\n");
+  return 0;
+}

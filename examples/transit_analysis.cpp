@@ -1,0 +1,101 @@
+// Transit analysis: the paper's motivating WMATA scenario (§1, §3).
+//
+// A transport-planning manager asks for the round-trip distribution over
+// all origin-destination pairs, spots the hot pair, drills into follow-up
+// trips (Q1 -> Q2 via slice + APPEND + APPEND), and de-fragments the view
+// with a P-ROLL-UP to districts — the complete interactive session from
+// the paper's introduction.
+//
+//   ./build/examples/transit_analysis [passengers] [days]
+#include <cstdio>
+#include <cstdlib>
+
+#include "solap/engine/engine.h"
+#include "solap/engine/operations.h"
+#include "solap/gen/transit.h"
+#include "solap/parser/parser.h"
+
+using namespace solap;
+
+namespace {
+
+std::shared_ptr<const SCuboid> MustExecute(SOlapEngine& engine,
+                                           const CuboidSpec& spec) {
+  auto r = engine.Execute(spec);
+  if (!r.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TransitParams params;
+  if (argc > 1) params.num_passengers = std::strtoul(argv[1], nullptr, 10);
+  if (argc > 2) params.num_days = std::strtoul(argv[2], nullptr, 10);
+  std::printf("Generating smart-card events: %zu passengers, %zu days...\n",
+              params.num_passengers, params.num_days);
+  TransitData data = GenerateTransit(params);
+  std::printf("event database: %zu events\n\n", data.table->num_rows());
+  SOlapEngine engine(data.table.get(), data.hierarchies.get());
+
+  // Q1: "the number of round-trip passengers and their distributions over
+  // all origin-destination station pairs", per day and fare group.
+  auto q1 = ParseQuery(R"(
+    SELECT COUNT(*) FROM Event
+    CLUSTER BY card-id AT individual, time AT day
+    SEQUENCE BY time ASCENDING
+    SEQUENCE GROUP BY time AT day
+    CUBOID BY SUBSTRING (X, Y, Y, X)
+      WITH X AS location AT station, Y AS location AT station
+      LEFT-MAXIMALITY (x1, y1, y2, x2)
+      WITH x1.action = "in" AND y1.action = "out" AND
+           y2.action = "in" AND x2.action = "out"
+  )");
+  if (!q1.ok()) {
+    std::fprintf(stderr, "%s\n", q1.status().ToString().c_str());
+    return 1;
+  }
+  auto r1 = MustExecute(engine, *q1);
+  std::printf("Q1 — round trips per (day, origin X, destination Y), "
+              "top 10 of %zu cells:\n%s\n",
+              r1->num_cells(), r1->ToTable(10).c_str());
+
+  // The manager spots the hot round trip and asks: do those passengers take
+  // one more trip, and where to? (Q2 = slice + APPEND X + APPEND Z.)
+  CellKey hot = r1->ArgMaxCell();
+  std::printf("Hot cell: day %s, %s -> %s. Investigating follow-up "
+              "trips...\n\n",
+              r1->LabelOf(0, hot[0]).c_str(), r1->LabelOf(1, hot[1]).c_str(),
+              r1->LabelOf(2, hot[2]).c_str());
+  CuboidSpec sliced = *ops::SliceToCell(*q1, *r1, hot);
+  CuboidSpec q2 = *ops::Append(sliced, "X", {}, "x3");
+  q2 = *ops::Append(q2, "Z", {"location", "station"}, "z1");
+  q2.predicate = *ParseExpression(
+      "x1.action = \"in\" AND y1.action = \"out\" AND y2.action = \"in\" "
+      "AND x2.action = \"out\" AND x3.action = \"in\" AND "
+      "z1.action = \"out\"");
+  auto r2 = MustExecute(engine, q2);
+  std::printf("Q2 — third-trip destinations Z after the hot round trip:\n%s\n",
+              r2->ToTable(10).c_str());
+
+  // Too fragmented? P-ROLL-UP Z from stations to districts (§3.3).
+  CuboidSpec q2_district = *ops::PRollUp(q2, "Z", *data.hierarchies);
+  auto r3 = MustExecute(engine, q2_district);
+  std::printf("Q2 after P-ROLL-UP of Z to districts:\n%s\n",
+              r3->ToTable(10).c_str());
+
+  // And the fare impact: SUM of amounts over whole matched sequences.
+  CuboidSpec revenue = *q1;
+  revenue.agg = AggKind::kSum;
+  revenue.measure = "amount";
+  revenue.restriction = CellRestriction::kLeftMaxDataGo;
+  auto r4 = MustExecute(engine, revenue);
+  std::printf("Fare revenue (SUM amount, whole sequences) by round trip, "
+              "top 5:\n%s\n",
+              r4->ToTable(5).c_str());
+  std::printf("engine stats: %s\n", engine.stats().ToString().c_str());
+  return 0;
+}

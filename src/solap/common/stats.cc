@@ -1,0 +1,16 @@
+#include "solap/common/stats.h"
+
+#include <sstream>
+
+namespace solap {
+
+std::string ScanStats::ToString() const {
+  std::ostringstream os;
+  os << "scanned=" << sequences_scanned << " lists=" << lists_built
+     << " intersections=" << list_intersections
+     << " index_bytes=" << index_bytes_built << " repo_hits=" << repository_hits
+     << " index_hits=" << index_cache_hits;
+  return os.str();
+}
+
+}  // namespace solap

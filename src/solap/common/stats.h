@@ -1,0 +1,49 @@
+// Execution statistics collected while answering S-OLAP queries.
+//
+// The paper's evaluation (Table 1, Figure 16) reports not only runtimes but
+// also the number of data sequences scanned and the size of the inverted
+// indices built; ScanStats is the counter block every execution path
+// increments so benchmarks can report the same columns.
+#ifndef SOLAP_COMMON_STATS_H_
+#define SOLAP_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace solap {
+
+/// \brief Counters describing the work done by one or more query executions.
+struct ScanStats {
+  /// Number of data sequences whose content was examined (CB scan,
+  /// II verification / counting / refinement scans).
+  uint64_t sequences_scanned = 0;
+  /// Number of inverted lists materialized.
+  uint64_t lists_built = 0;
+  /// Number of list-intersection operations performed by index joins.
+  uint64_t list_intersections = 0;
+  /// Bytes of inverted-index storage created (sid entries + keys).
+  uint64_t index_bytes_built = 0;
+  /// Number of cuboid-repository hits (queries answered from cache).
+  uint64_t repository_hits = 0;
+  /// Number of index-cache hits (joins avoided entirely).
+  uint64_t index_cache_hits = 0;
+
+  void Clear() { *this = ScanStats{}; }
+
+  ScanStats& operator+=(const ScanStats& o) {
+    sequences_scanned += o.sequences_scanned;
+    lists_built += o.lists_built;
+    list_intersections += o.list_intersections;
+    index_bytes_built += o.index_bytes_built;
+    repository_hits += o.repository_hits;
+    index_cache_hits += o.index_cache_hits;
+    return *this;
+  }
+
+  /// One-line human-readable rendering for logs and benches.
+  std::string ToString() const;
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_COMMON_STATS_H_

@@ -1,0 +1,25 @@
+// Small string helpers shared across modules.
+#ifndef SOLAP_COMMON_STRINGS_H_
+#define SOLAP_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace solap {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// ASCII lower-casing (query keywords are case-insensitive).
+std::string ToLower(std::string_view s);
+
+/// True if `s` equals `expected` ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view s, std::string_view expected);
+
+}  // namespace solap
+
+#endif  // SOLAP_COMMON_STRINGS_H_

@@ -1,0 +1,35 @@
+// Wall-clock timer used by benchmarks and the engine's statistics.
+#ifndef SOLAP_COMMON_TIMER_H_
+#define SOLAP_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace solap {
+
+/// \brief Simple wall-clock stopwatch.
+///
+/// Starts on construction; ElapsedMs() can be read repeatedly.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Milliseconds elapsed since construction or last Reset().
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Seconds elapsed since construction or last Reset().
+  double ElapsedSec() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_COMMON_TIMER_H_

@@ -1,0 +1,42 @@
+// Fundamental identifier and code types shared by all S-OLAP modules.
+#ifndef SOLAP_COMMON_TYPES_H_
+#define SOLAP_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace solap {
+
+/// Row position inside an EventTable.
+using RowId = uint32_t;
+/// Identifier of a data sequence inside a sequence group.
+using Sid = uint32_t;
+/// Dense dictionary code of a dimension value at some abstraction level.
+using Code = uint32_t;
+
+/// Sentinel for "no code" (e.g. NULL dimension value).
+inline constexpr Code kNullCode = static_cast<Code>(-1);
+
+/// A concrete pattern: one code per pattern-template position.
+using PatternKey = std::vector<Code>;
+/// Coordinates of a cuboid cell: global-dimension codes ++ pattern-dimension
+/// codes.
+using CellKey = std::vector<Code>;
+
+/// FNV-1a style hash for code vectors; used to key hash maps on
+/// PatternKey / CellKey.
+struct CodeVecHash {
+  size_t operator()(const std::vector<Code>& v) const {
+    size_t h = 1469598103934665603ull;
+    for (Code c : v) {
+      h ^= static_cast<size_t>(c) + 0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_COMMON_TYPES_H_

@@ -1,0 +1,37 @@
+#include "solap/cube/cell.h"
+
+namespace solap {
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kAvg:
+      return "AVG";
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+double CellValue::Value(AggKind kind) const {
+  switch (kind) {
+    case AggKind::kCount:
+      return static_cast<double>(count);
+    case AggKind::kSum:
+      return sum;
+    case AggKind::kAvg:
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    case AggKind::kMin:
+      return count == 0 ? 0.0 : min;
+    case AggKind::kMax:
+      return count == 0 ? 0.0 : max;
+  }
+  return 0.0;
+}
+
+}  // namespace solap

@@ -1,0 +1,133 @@
+#include "solap/cube/cuboid.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace solap {
+
+CellValue SCuboid::CellAt(const CellKey& key) const {
+  auto it = cells_.find(key);
+  return it == cells_.end() ? CellValue{} : it->second;
+}
+
+void SCuboid::SetLabel(size_t dim, Code code, std::string label) {
+  if (labels_.size() <= dim) labels_.resize(dims_.size());
+  labels_[dim].emplace(code, std::move(label));
+}
+
+std::string SCuboid::LabelOf(size_t dim, Code code) const {
+  if (dim < labels_.size()) {
+    auto it = labels_[dim].find(code);
+    if (it != labels_[dim].end()) return it->second;
+  }
+  return std::to_string(code);
+}
+
+CellKey SCuboid::ArgMaxCell() const {
+  CellKey best;
+  double best_value = -std::numeric_limits<double>::infinity();
+  for (const auto& [key, cell] : cells_) {
+    double v = cell.Value(agg_);
+    // Deterministic tie-break on the key itself.
+    if (v > best_value || (v == best_value && (best.empty() || key < best))) {
+      best_value = v;
+      best = key;
+    }
+  }
+  return best;
+}
+
+std::vector<std::pair<CellKey, double>> SCuboid::TopCells(
+    size_t limit) const {
+  std::vector<std::pair<CellKey, double>> out;
+  out.reserve(cells_.size());
+  for (const auto& [key, cell] : cells_) {
+    out.emplace_back(key, cell.Value(agg_));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (limit != 0 && out.size() > limit) out.resize(limit);
+  return out;
+}
+
+size_t SCuboid::ApplyIceberg(int64_t min_count) {
+  size_t dropped = 0;
+  for (auto it = cells_.begin(); it != cells_.end();) {
+    if (it->second.count < min_count) {
+      it = cells_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+std::string SCuboid::ToTable(size_t limit) const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    if (d) os << ", ";
+    os << dims_[d].name << ":" << dims_[d].ref.level;
+  }
+  os << ")  " << AggKindName(agg_) << "\n";
+  for (const auto& [key, value] : TopCells(limit)) {
+    os << "(";
+    for (size_t d = 0; d < key.size(); ++d) {
+      if (d) os << ", ";
+      os << LabelOf(d, key[d]);
+    }
+    os << ")  " << std::fixed << std::setprecision(value == static_cast<int64_t>(value) ? 0 : 2)
+       << value << "\n";
+  }
+  if (limit != 0 && cells_.size() > limit) {
+    os << "... (" << cells_.size() - limit << " more cells)\n";
+  }
+  return os.str();
+}
+
+std::string SCuboid::ToCsv() const {
+  std::ostringstream os;
+  auto quote = [](const std::string& s) {
+    if (s.find(',') == std::string::npos &&
+        s.find('"') == std::string::npos) {
+      return s;
+    }
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    os << quote(dims_[d].name + ":" + dims_[d].ref.level) << ",";
+  }
+  os << AggKindName(agg_) << "\n";
+  for (const auto& [key, value] : TopCells(0)) {
+    for (size_t d = 0; d < key.size(); ++d) {
+      os << quote(LabelOf(d, key[d])) << ",";
+    }
+    os << value << "\n";
+  }
+  return os.str();
+}
+
+size_t SCuboid::ByteSize() const {
+  size_t bytes = 0;
+  for (const auto& [key, cell] : cells_) {
+    bytes += key.size() * sizeof(Code) + sizeof(CellValue);
+  }
+  for (const auto& label_map : labels_) {
+    for (const auto& [code, label] : label_map) {
+      bytes += sizeof(Code) + label.size();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace solap

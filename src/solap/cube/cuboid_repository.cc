@@ -1,0 +1,44 @@
+#include "solap/cube/cuboid_repository.h"
+
+namespace solap {
+
+std::shared_ptr<const SCuboid> CuboidRepository::Lookup(
+    const std::string& spec_key) {
+  auto it = map_.find(spec_key);
+  if (it == map_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->cuboid;
+}
+
+void CuboidRepository::Insert(const std::string& spec_key,
+                              std::shared_ptr<const SCuboid> cuboid) {
+  if (capacity_bytes_ == 0) return;
+  auto it = map_.find(spec_key);
+  if (it != map_.end()) {
+    bytes_used_ -= it->second->bytes;
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  size_t bytes = cuboid->ByteSize();
+  lru_.push_front(Entry{spec_key, std::move(cuboid), bytes});
+  map_[spec_key] = lru_.begin();
+  bytes_used_ += bytes;
+  EvictIfNeeded();
+}
+
+void CuboidRepository::EvictIfNeeded() {
+  while (bytes_used_ > capacity_bytes_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    bytes_used_ -= victim.bytes;
+    map_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+void CuboidRepository::Clear() {
+  lru_.clear();
+  map_.clear();
+  bytes_used_ = 0;
+}
+
+}  // namespace solap

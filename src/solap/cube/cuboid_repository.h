@@ -1,0 +1,54 @@
+// Cuboid repository (paper Fig. 6): an LRU cache of computed S-cuboids
+// keyed by canonical specification text. Because S-cuboids are
+// non-summarizable (paper §3.4), only exact hits can be served — there is
+// deliberately no cross-cuboid aggregation shortcut here.
+#ifndef SOLAP_CUBE_CUBOID_REPOSITORY_H_
+#define SOLAP_CUBE_CUBOID_REPOSITORY_H_
+
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "solap/cube/cuboid.h"
+
+namespace solap {
+
+/// \brief Byte-budgeted LRU store of materialized S-cuboids.
+class CuboidRepository {
+ public:
+  /// `capacity_bytes` caps the summed SCuboid::ByteSize(); 0 disables
+  /// caching entirely.
+  explicit CuboidRepository(size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Cached cuboid for `spec_key`, or nullptr. A hit refreshes recency.
+  std::shared_ptr<const SCuboid> Lookup(const std::string& spec_key);
+
+  /// Inserts (or replaces) the cuboid for `spec_key`, evicting
+  /// least-recently-used entries to honor the byte budget.
+  void Insert(const std::string& spec_key,
+              std::shared_ptr<const SCuboid> cuboid);
+
+  size_t size() const { return map_.size(); }
+  size_t bytes_used() const { return bytes_used_; }
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const SCuboid> cuboid;
+    size_t bytes;
+  };
+
+  void EvictIfNeeded();
+
+  size_t capacity_bytes_;
+  size_t bytes_used_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_CUBE_CUBOID_REPOSITORY_H_

@@ -1,0 +1,54 @@
+#include "solap/cube/cuboid_spec.h"
+
+namespace solap {
+
+Result<PatternTemplate> CuboidSpec::MakeTemplate() const {
+  return PatternTemplate::Make(kind, symbols, dims);
+}
+
+int CuboidSpec::DimIndex(const std::string& symbol) const {
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (dims[i].symbol == symbol) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string CuboidSpec::CanonicalString() const {
+  std::string out = AggKindName(agg);
+  if (!measure.empty()) out += "(" + measure + ")";
+  out += "|" + seq.CanonicalString();
+  out += "|slices:";
+  for (const GlobalSlice& s : global_slices) {
+    out += s.ref.ToString() + "=[";
+    for (const std::string& l : s.labels) out += l + ";";
+    out += "],";
+  }
+  out += "|";
+  if (is_regex()) {
+    out += "REGEX{" + regex + "}";
+  } else {
+    out += PatternKindName(kind);
+  }
+  out += "(";
+  for (const std::string& s : symbols) out += s + ",";
+  out += ")dims:";
+  for (const PatternDim& d : dims) {
+    out += d.symbol + ":" + d.ref.ToString();
+    if (!d.fixed_labels.empty()) {
+      out += "=" + d.fixed_level + "[";
+      for (const std::string& l : d.fixed_labels) out += l + ";";
+      out += "]";
+    }
+    out += ",";
+  }
+  out += "|";
+  out += CellRestrictionName(restriction);
+  out += "|pred:";
+  out += predicate ? predicate->ToString() : "-";
+  if (iceberg_min_count.has_value()) {
+    out += "|iceberg:" + std::to_string(*iceberg_min_count);
+  }
+  return out;
+}
+
+}  // namespace solap

@@ -1,0 +1,75 @@
+// The full S-cuboid specification — the six-part query of paper §3.2
+// (Fig. 3): aggregate, WHERE, CLUSTER BY, SEQUENCE BY, SEQUENCE GROUP BY and
+// CUBOID BY (pattern template, cell restriction, matching predicate).
+#ifndef SOLAP_CUBE_CUBOID_SPEC_H_
+#define SOLAP_CUBE_CUBOID_SPEC_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "solap/common/status.h"
+#include "solap/cube/cell.h"
+#include "solap/expr/expr.h"
+#include "solap/pattern/pattern_template.h"
+#include "solap/seq/sequence_query_engine.h"
+
+namespace solap {
+
+/// A slice/dice on a global dimension: keep only sequence groups whose
+/// value at `ref` is among `labels`.
+struct GlobalSlice {
+  LevelRef ref;
+  std::vector<std::string> labels;
+};
+
+/// \brief A complete, declarative S-cuboid specification.
+///
+/// Specifications are value types: the S-OLAP operations (engine/operations)
+/// transform one specification into another, and the engine executes them.
+struct CuboidSpec {
+  // -- SELECT -------------------------------------------------------------
+  AggKind agg = AggKind::kCount;
+  /// Measure attribute for SUM/AVG/MIN/MAX; empty for COUNT.
+  std::string measure;
+
+  // -- WHERE / CLUSTER BY / SEQUENCE BY / SEQUENCE GROUP BY ----------------
+  SequenceSpec seq;
+  /// Global-dimension slice/dice filters applied to formed groups.
+  std::vector<GlobalSlice> global_slices;
+
+  // -- CUBOID BY ------------------------------------------------------------
+  PatternKind kind = PatternKind::kSubstring;
+  /// Symbol of each template position, e.g. {"X","Y","Y","X"}.
+  std::vector<std::string> symbols;
+  /// Declaration of each distinct symbol (domain + optional slice).
+  std::vector<PatternDim> dims;
+  /// Regular-expression template (the §3.2 extension, e.g. "X ( . )* X");
+  /// when non-empty, `symbols` is unused and `dims` declares the regex's
+  /// symbols. Executed by the regex matcher (pattern/regex.h); matching
+  /// predicates are not supported with regex templates.
+  std::string regex;
+  bool is_regex() const { return !regex.empty(); }
+  CellRestriction restriction = CellRestriction::kLeftMaxMatchedGo;
+  /// Event placeholder per template position (x1, y1, ...); may be empty
+  /// when there is no matching predicate.
+  std::vector<std::string> placeholders;
+  ExprPtr predicate;
+
+  /// Iceberg extension (paper §6): drop cells with COUNT below this.
+  std::optional<int64_t> iceberg_min_count;
+
+  /// Materializes the pattern template (validates symbols vs dims).
+  Result<PatternTemplate> MakeTemplate() const;
+
+  /// Index of the pattern dimension named `symbol`, or -1.
+  int DimIndex(const std::string& symbol) const;
+
+  /// Canonical text identifying the cuboid this spec produces — the
+  /// cuboid-repository cache key.
+  std::string CanonicalString() const;
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_CUBE_CUBOID_SPEC_H_

@@ -1,0 +1,217 @@
+#include "solap/cube/lattice.h"
+
+#include <algorithm>
+
+#include "solap/engine/operations.h"
+
+namespace solap {
+
+namespace {
+
+int LevelIndexOf(const HierarchyRegistry* reg, const LevelRef& ref) {
+  ConceptHierarchy* h = reg != nullptr ? reg->Find(ref.attr) : nullptr;
+  if (h == nullptr) {
+    // Calendar chain: time < day < week < month.
+    const char* chain[] = {"time", "day", "week", "month"};
+    for (int i = 0; i < 4; ++i) {
+      if (ref.level == chain[i] || (i == 0 && ref.level == ref.attr)) {
+        return i;
+      }
+    }
+    return -1;
+  }
+  int idx = h->LevelIndex(ref.level);
+  if (idx < 0 && (ref.level == ref.attr || ref.level == "base")) idx = 0;
+  return idx;
+}
+
+// Non-dimension parts that must coincide for two specs to be related.
+bool SameFamily(const CuboidSpec& a, const CuboidSpec& b) {
+  if (a.agg != b.agg || a.measure != b.measure || a.kind != b.kind ||
+      a.restriction != b.restriction) {
+    return false;
+  }
+  auto where_str = [](const ExprPtr& e) {
+    return e == nullptr ? std::string("-") : e->ToString();
+  };
+  if (where_str(a.seq.where) != where_str(b.seq.where)) return false;
+  if (a.seq.cluster_by != b.seq.cluster_by ||
+      a.seq.sequence_by != b.seq.sequence_by ||
+      a.seq.ascending != b.seq.ascending) {
+    return false;
+  }
+  // Slices and predicates pin sub-populations: only identity compares.
+  auto restricted = [](const CuboidSpec& s) {
+    if (s.predicate != nullptr || !s.global_slices.empty()) return true;
+    return std::any_of(s.dims.begin(), s.dims.end(),
+                       [](const PatternDim& d) { return d.restricted(); });
+  };
+  return !restricted(a) && !restricted(b);
+}
+
+// True if a's template equals the window of b starting at `offset`, with
+// identical symbol-equality structure, same attributes, and each a-dim at
+// a coarser-or-equal level. Requires |a| <= |b| - offset.
+bool WindowCoarserEq(const CuboidSpec& a, const PatternTemplate& ta,
+                     const CuboidSpec& b, const PatternTemplate& tb,
+                     size_t offset, const HierarchyRegistry* reg) {
+  const size_t ma = ta.num_positions();
+  for (size_t j = 0; j < ma; ++j) {
+    // Equality structure: the first in-window occurrence ordinal of each
+    // position's dimension must match between a and b's window.
+    size_t fa = static_cast<size_t>(ta.first_position_of(ta.dim_of(j)));
+    size_t fb = j;
+    int bd = tb.dim_of(offset + j);
+    for (size_t p = 0; p < j; ++p) {
+      if (tb.dim_of(offset + p) == bd) {
+        fb = p;
+        break;
+      }
+    }
+    if (fa != fb) return false;
+    const PatternDim& da = a.dims[ta.dim_of(j)];
+    const PatternDim& db = b.dims[bd];
+    if (da.ref.attr != db.ref.attr) return false;
+    int la = LevelIndexOf(reg, da.ref);
+    int lb = LevelIndexOf(reg, db.ref);
+    if (la < 0 || lb < 0) {
+      if (da.ref.level != db.ref.level) return false;
+    } else if (la < lb) {
+      return false;  // a is finer here
+    }
+  }
+  return true;
+}
+
+// True if a's global dimensions are a subset of b's at coarser-or-equal
+// levels.
+bool GlobalsCoarserEq(const CuboidSpec& a, const CuboidSpec& b,
+                      const HierarchyRegistry* reg) {
+  for (const LevelRef& ra : a.seq.group_by) {
+    bool found = false;
+    for (const LevelRef& rb : b.seq.group_by) {
+      if (ra.attr != rb.attr) continue;
+      int la = LevelIndexOf(reg, ra);
+      int lb = LevelIndexOf(reg, rb);
+      if (la < 0 || lb < 0) {
+        found = ra.level == rb.level;
+      } else {
+        found = la >= lb;
+      }
+      break;
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+// a ⊑ b?
+bool CoarserEq(const CuboidSpec& a, const CuboidSpec& b,
+               const HierarchyRegistry* reg) {
+  auto ta = a.MakeTemplate();
+  auto tb = b.MakeTemplate();
+  if (!ta.ok() || !tb.ok()) return false;
+  if (ta->num_positions() > tb->num_positions()) return false;
+  if (!GlobalsCoarserEq(a, b, reg)) return false;
+  const size_t span = tb->num_positions() - ta->num_positions();
+  for (size_t offset = 0; offset <= span; ++offset) {
+    if (WindowCoarserEq(a, *ta, b, *tb, offset, reg)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* SpecOrderName(SpecOrder order) {
+  switch (order) {
+    case SpecOrder::kEqual:
+      return "equal";
+    case SpecOrder::kCoarser:
+      return "coarser";
+    case SpecOrder::kFiner:
+      return "finer";
+    case SpecOrder::kIncomparable:
+      return "incomparable";
+  }
+  return "?";
+}
+
+SpecOrder CompareSpecs(const CuboidSpec& a, const CuboidSpec& b,
+                       const HierarchyRegistry* hierarchies) {
+  if (a.CanonicalString() == b.CanonicalString()) return SpecOrder::kEqual;
+  if (!SameFamily(a, b)) return SpecOrder::kIncomparable;
+  bool ab = CoarserEq(a, b, hierarchies);
+  bool ba = CoarserEq(b, a, hierarchies);
+  if (ab && ba) return SpecOrder::kEqual;  // same summarization level
+  if (ab) return SpecOrder::kCoarser;
+  if (ba) return SpecOrder::kFiner;
+  return SpecOrder::kIncomparable;
+}
+
+Result<std::vector<CuboidSpec>> CoarserNeighbors(
+    const CuboidSpec& spec, const HierarchyRegistry& hierarchies) {
+  std::vector<CuboidSpec> out;
+  if (spec.symbols.size() > 1) {
+    SOLAP_ASSIGN_OR_RETURN(CuboidSpec dehead, ops::DeHead(spec));
+    out.push_back(std::move(dehead));
+    SOLAP_ASSIGN_OR_RETURN(CuboidSpec detail, ops::DeTail(spec));
+    out.push_back(std::move(detail));
+  }
+  for (const PatternDim& d : spec.dims) {
+    auto up = ops::PRollUp(spec, d.symbol, hierarchies);
+    if (up.ok()) out.push_back(*std::move(up));
+  }
+  const char* calendar_chain[] = {"time", "day", "week", "month"};
+  for (size_t i = 0; i < spec.seq.group_by.size(); ++i) {
+    const LevelRef& r = spec.seq.group_by[i];
+    ConceptHierarchy* h = hierarchies.Find(r.attr);
+    int idx = h != nullptr ? h->LevelIndex(r.level) : LevelIndexOf(&hierarchies, r);
+    if (h != nullptr && idx >= 0 &&
+        idx + 1 < static_cast<int>(h->num_levels())) {
+      SOLAP_ASSIGN_OR_RETURN(
+          CuboidSpec up,
+          ops::RollUpGlobal(spec, r.attr, h->level_name(idx + 1)));
+      out.push_back(std::move(up));
+    } else if (h == nullptr && idx >= 0 && idx < 3) {
+      // Calendar level: day -> week -> month.
+      SOLAP_ASSIGN_OR_RETURN(
+          CuboidSpec up,
+          ops::RollUpGlobal(spec, r.attr, calendar_chain[idx + 1]));
+      out.push_back(std::move(up));
+    } else {
+      // Top level (or no hierarchy): the coarser step drops the dimension.
+      CuboidSpec dropped = spec;
+      dropped.seq.group_by.erase(dropped.seq.group_by.begin() + i);
+      out.push_back(std::move(dropped));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<CuboidSpec>> FinerNeighbors(
+    const CuboidSpec& spec, const HierarchyRegistry& hierarchies) {
+  std::vector<CuboidSpec> out;
+  for (const PatternDim& d : spec.dims) {
+    auto down = ops::PDrillDown(spec, d.symbol, hierarchies);
+    if (down.ok()) out.push_back(*std::move(down));
+  }
+  const char* calendar_chain[] = {"time", "day", "week", "month"};
+  for (const LevelRef& r : spec.seq.group_by) {
+    ConceptHierarchy* h = hierarchies.Find(r.attr);
+    int idx = h != nullptr ? h->LevelIndex(r.level) : LevelIndexOf(&hierarchies, r);
+    if (h != nullptr && idx > 0) {
+      SOLAP_ASSIGN_OR_RETURN(
+          CuboidSpec down,
+          ops::DrillDownGlobal(spec, r.attr, h->level_name(idx - 1)));
+      out.push_back(std::move(down));
+    } else if (h == nullptr && idx > 0) {
+      SOLAP_ASSIGN_OR_RETURN(
+          CuboidSpec down,
+          ops::DrillDownGlobal(spec, r.attr, calendar_chain[idx - 1]));
+      out.push_back(std::move(down));
+    }
+  }
+  return out;
+}
+
+}  // namespace solap

@@ -1,0 +1,62 @@
+// The S-cube lattice (paper §3.4): the set of S-cuboids over a set of
+// global + pattern dimensions forms a lattice under a coarser/finer partial
+// order. The paper states "we have defined a partial order for the
+// S-cuboids in the lattice but the details are omitted here due to space
+// limitation" — this module supplies that definition and the navigation
+// helpers an interactive UI needs.
+//
+// Specification A is COARSER-OR-EQUAL than B (A ⊑ B) iff both share the
+// same formation clauses (WHERE / CLUSTER BY / SEQUENCE BY / SEQUENCE
+// GROUP BY attributes), aggregate, pattern kind and cell restriction, and
+//  (1) A's pattern template equals a contiguous window of B's template
+//      (reachable by DE-HEAD / DE-TAIL steps) with the identical
+//      symbol-equality structure, where each of A's pattern dimensions sits
+//      at the same or a higher abstraction level than B's corresponding
+//      dimension (reachable by P-ROLL-UPs); and
+//  (2) A's global dimensions are a subset of B's, each at the same or a
+//      higher abstraction level (classical roll-up).
+//
+// Slices and matching predicates select sub-populations rather than
+// summarization levels; specs carrying them only compare equal to
+// themselves. Note that A ⊑ B does NOT mean A is computable from B —
+// S-cuboids are non-summarizable (§3.4); the order is navigational.
+#ifndef SOLAP_CUBE_LATTICE_H_
+#define SOLAP_CUBE_LATTICE_H_
+
+#include <vector>
+
+#include "solap/common/status.h"
+#include "solap/cube/cuboid_spec.h"
+#include "solap/hierarchy/concept_hierarchy.h"
+
+namespace solap {
+
+enum class SpecOrder {
+  kEqual,
+  kCoarser,       ///< a ⊑ b, a != b
+  kFiner,         ///< b ⊑ a, a != b
+  kIncomparable,
+};
+
+const char* SpecOrderName(SpecOrder order);
+
+/// Position of `a` relative to `b` in the S-cube lattice.
+SpecOrder CompareSpecs(const CuboidSpec& a, const CuboidSpec& b,
+                       const HierarchyRegistry* hierarchies);
+
+/// All one-step coarsenings of `spec`: DE-HEAD, DE-TAIL, a P-ROLL-UP of
+/// each pattern dimension, and a roll-up (or removal at the top level) of
+/// each global dimension. These are `spec`'s parents in the lattice.
+Result<std::vector<CuboidSpec>> CoarserNeighbors(
+    const CuboidSpec& spec, const HierarchyRegistry& hierarchies);
+
+/// One-step refinements that stay finite: a P-DRILL-DOWN of each pattern
+/// dimension and a drill-down of each global dimension. APPEND/PREPEND
+/// children are omitted — the paper notes the S-cube is infinite in that
+/// direction (§3.4).
+Result<std::vector<CuboidSpec>> FinerNeighbors(
+    const CuboidSpec& spec, const HierarchyRegistry& hierarchies);
+
+}  // namespace solap
+
+#endif  // SOLAP_CUBE_LATTICE_H_

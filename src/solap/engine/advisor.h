@@ -1,0 +1,69 @@
+// Offline index materialization advisor — the paper's closing §4.2.2
+// question: "Another interesting question concerns 'which' inverted
+// indices should be materialized offline. A related problem is thus about
+// how to determine the lists to be built given a set of frequently asked
+// queries."
+//
+// Given an expected workload (weighted S-cuboid specifications) and a
+// storage budget, the advisor enumerates the complete indices those
+// queries would touch (every size-2 window plus the full-length shape of
+// short templates), estimates each candidate's benefit (sequence scans
+// avoided per workload execution) and footprint (by building it over a
+// sample of each group and extrapolating), and picks greedily by
+// benefit-per-byte until the budget is exhausted.
+#ifndef SOLAP_ENGINE_ADVISOR_H_
+#define SOLAP_ENGINE_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "solap/engine/engine.h"
+
+namespace solap {
+
+/// One entry of the expected workload.
+struct WorkloadQuery {
+  CuboidSpec spec;
+  /// Relative frequency of the query (arbitrary positive scale).
+  double weight = 1.0;
+};
+
+/// A recommended complete index (built for every sequence group of the
+/// formation clauses).
+struct IndexRecommendation {
+  SequenceSpec formation;
+  IndexShape shape;
+  /// Estimated sequence scans avoided per execution of the workload.
+  double benefit = 0;
+  /// Extrapolated storage footprint across all groups.
+  size_t estimated_bytes = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Greedy benefit-per-byte advisor over the engine's data.
+class MaterializationAdvisor {
+ public:
+  explicit MaterializationAdvisor(SOlapEngine* engine) : engine_(engine) {}
+
+  /// Ranks candidate indices for `workload` and returns the prefix fitting
+  /// in `budget_bytes`. Regex queries contribute no candidates (they are
+  /// scan-based). Candidates already cached by the engine are skipped.
+  Result<std::vector<IndexRecommendation>> Recommend(
+      const std::vector<WorkloadQuery>& workload, size_t budget_bytes);
+
+  /// Builds every recommendation into the engine's index caches, making
+  /// them available to subsequent queries (and to the optimizer).
+  Status Materialize(const std::vector<IndexRecommendation>& recs);
+
+  /// Sample size per group used for footprint extrapolation.
+  void set_sample_sequences(size_t n) { sample_sequences_ = n; }
+
+ private:
+  SOlapEngine* engine_;
+  size_t sample_sequences_ = 512;
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_ENGINE_ADVISOR_H_

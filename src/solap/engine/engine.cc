@@ -1,0 +1,316 @@
+#include "solap/engine/engine.h"
+
+#include <algorithm>
+
+#include "solap/engine/optimizer.h"
+#include "solap/index/build_index.h"
+#include "solap/index/index_ops.h"
+#include "solap/seq/sequence_query_engine.h"
+
+namespace solap {
+
+SOlapEngine::SOlapEngine(const EventTable* table,
+                         const HierarchyRegistry* hierarchies,
+                         EngineOptions options)
+    : table_(table),
+      hierarchies_(hierarchies),
+      options_(options),
+      repository_(options.repository_capacity_bytes) {}
+
+SOlapEngine::SOlapEngine(std::shared_ptr<SequenceGroupSet> raw_groups,
+                         const HierarchyRegistry* hierarchies,
+                         EngineOptions options)
+    : raw_groups_(std::move(raw_groups)),
+      hierarchies_(hierarchies),
+      options_(options),
+      repository_(options.repository_capacity_bytes) {}
+
+Result<std::shared_ptr<const SCuboid>> SOlapEngine::Execute(
+    const CuboidSpec& spec) {
+  return Execute(spec, options_.default_strategy);
+}
+
+namespace {
+
+// Applies labels to every cell of `cuboid` using the group set's global
+// bindings plus per-pattern-dimension bindings.
+Status LabelCells(SCuboid* cuboid, const SequenceGroupSet& set,
+                  const HierarchyRegistry* reg,
+                  const std::vector<PatternDim>& dims) {
+  std::vector<DimensionBinding> pattern_bindings;
+  for (const PatternDim& d : dims) {
+    SOLAP_ASSIGN_OR_RETURN(DimensionBinding b,
+                           set.BindDimension(reg, d.ref));
+    pattern_bindings.push_back(std::move(b));
+  }
+  const std::vector<DimensionBinding>& gb = set.global_bindings();
+  const size_t q = gb.size();
+  for (const auto& [key, cell] : cuboid->cells()) {
+    for (size_t i = 0; i < q; ++i) {
+      cuboid->SetLabel(i, key[i], gb[i].Label(key[i]));
+    }
+    for (size_t d = 0; d < pattern_bindings.size(); ++d) {
+      cuboid->SetLabel(q + d, key[q + d], pattern_bindings[d].Label(key[q + d]));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const SCuboid>> SOlapEngine::Execute(
+    const CuboidSpec& spec, ExecStrategy strategy) {
+  if (strategy == ExecStrategy::kAuto && !spec.is_regex()) {
+    StrategyOptimizer optimizer(this);
+    SOLAP_ASSIGN_OR_RETURN(StrategyChoice choice, optimizer.Choose(spec));
+    strategy = choice.strategy;
+  }
+  const std::string key = spec.CanonicalString();
+  if (auto hit = repository_.Lookup(key)) {
+    ++stats_.repository_hits;
+    return hit;
+  }
+  auto cuboid = std::make_shared<SCuboid>(MakeDimDescriptors(spec), spec.agg);
+  SOLAP_ASSIGN_OR_RETURN(QueryContext ctx, Prepare(spec, cuboid.get()));
+  if (spec.is_regex()) {
+    SOLAP_RETURN_NOT_OK(RunRegex(ctx));
+  } else if (strategy == ExecStrategy::kCounterBased) {
+    SOLAP_RETURN_NOT_OK(RunCounterBased(ctx));
+  } else {
+    SOLAP_RETURN_NOT_OK(RunInvertedIndex(ctx));
+  }
+  if (spec.iceberg_min_count.has_value()) {
+    cuboid->ApplyIceberg(*spec.iceberg_min_count);
+  }
+  SOLAP_RETURN_NOT_OK(
+      LabelCells(cuboid.get(), *ctx.groups, hierarchies_, spec.dims));
+  repository_.Insert(key, cuboid);
+  return std::shared_ptr<const SCuboid>(cuboid);
+}
+
+Result<SOlapEngine::QueryContext> SOlapEngine::Prepare(const CuboidSpec& spec,
+                                                       SCuboid* cuboid) {
+  QueryContext ctx;
+  ctx.spec = &spec;
+  ctx.cuboid = cuboid;
+  if (spec.is_regex()) {
+    if (spec.predicate != nullptr) {
+      return Status::NotImplemented(
+          "matching predicates are not supported with regex pattern "
+          "templates (event placeholders are positional)");
+    }
+    SOLAP_ASSIGN_OR_RETURN(ctx.rtmpl,
+                           RegexTemplate::Parse(spec.regex, spec.dims));
+  } else {
+    SOLAP_ASSIGN_OR_RETURN(ctx.tmpl, spec.MakeTemplate());
+  }
+  SOLAP_ASSIGN_OR_RETURN(ctx.groups, GetGroups(spec.seq));
+  SOLAP_ASSIGN_OR_RETURN(ctx.selected_groups,
+                         SelectGroups(*ctx.groups, spec));
+  if (spec.agg != AggKind::kCount) {
+    if (ctx.groups->is_raw()) {
+      return Status::InvalidArgument(
+          "raw sequence groups carry no measure attributes; only COUNT is "
+          "available");
+    }
+    if (spec.measure.empty()) {
+      return Status::InvalidArgument(std::string(AggKindName(spec.agg)) +
+                                     " requires a measure attribute");
+    }
+    SOLAP_ASSIGN_OR_RETURN(ctx.measure_col,
+                           table_->schema().RequireField(spec.measure));
+    const Field& f = table_->schema().field(ctx.measure_col);
+    if (f.type != ValueType::kDouble && f.type != ValueType::kInt64) {
+      return Status::InvalidArgument("measure attribute '" + spec.measure +
+                                     "' must be numeric");
+    }
+  }
+  return ctx;
+}
+
+Result<std::shared_ptr<SequenceGroupSet>> SOlapEngine::GetGroups(
+    const SequenceSpec& s) {
+  if (raw_groups_ != nullptr) return raw_groups_;
+  if (auto cached = sequence_cache_.Lookup(s)) return cached;
+  SequenceQueryEngine sqe(hierarchies_);
+  SOLAP_ASSIGN_OR_RETURN(std::shared_ptr<SequenceGroupSet> set,
+                         sqe.Build(*table_, s));
+  sequence_cache_.Insert(s, set);
+  return set;
+}
+
+Result<std::vector<size_t>> SOlapEngine::SelectGroups(
+    const SequenceGroupSet& set, const CuboidSpec& spec) const {
+  std::vector<size_t> selected(set.groups().size());
+  for (size_t i = 0; i < selected.size(); ++i) selected[i] = i;
+  for (const GlobalSlice& slice : spec.global_slices) {
+    // Locate the global dimension the slice applies to.
+    int dim = -1;
+    for (size_t i = 0; i < set.global_dims().size(); ++i) {
+      if (set.global_dims()[i].attr == slice.ref.attr) {
+        dim = static_cast<int>(i);
+        break;
+      }
+    }
+    if (dim < 0) {
+      return Status::InvalidArgument(
+          "global slice on '" + slice.ref.attr +
+          "' has no matching SEQUENCE GROUP BY dimension");
+    }
+    SOLAP_ASSIGN_OR_RETURN(
+        std::vector<Code> allowed,
+        set.global_bindings()[dim].AllowedCodes(slice.ref.level,
+                                                slice.labels));
+    std::vector<size_t> kept;
+    for (size_t gi : selected) {
+      Code c = set.groups()[gi].key()[dim];
+      if (std::find(allowed.begin(), allowed.end(), c) != allowed.end()) {
+        kept.push_back(gi);
+      }
+    }
+    selected = std::move(kept);
+  }
+  return selected;
+}
+
+std::vector<DimDescriptor> SOlapEngine::MakeDimDescriptors(
+    const CuboidSpec& spec) const {
+  std::vector<DimDescriptor> dims;
+  for (const LevelRef& r : spec.seq.group_by) {
+    dims.push_back(DimDescriptor{r.attr, r, /*is_pattern=*/false});
+  }
+  for (const PatternDim& d : spec.dims) {
+    dims.push_back(DimDescriptor{d.symbol, d.ref, /*is_pattern=*/true});
+  }
+  return dims;
+}
+
+double SOlapEngine::ContentSum(const QueryContext& ctx, SequenceGroup& group,
+                               Sid s, const uint32_t* idx, size_t m,
+                               bool whole_sequence) const {
+  double sum = 0.0;
+  std::span<const RowId> rows = group.Rows(s);
+  auto value_of = [&](RowId row) {
+    const Field& f = table_->schema().field(ctx.measure_col);
+    return f.type == ValueType::kDouble
+               ? table_->DoubleAt(row, ctx.measure_col)
+               : static_cast<double>(table_->Int64At(row, ctx.measure_col));
+  };
+  if (whole_sequence) {
+    for (RowId row : rows) sum += value_of(row);
+  } else {
+    for (size_t i = 0; i < m; ++i) sum += value_of(rows[idx[i]]);
+  }
+  return sum;
+}
+
+void SOlapEngine::AddAssignment(const QueryContext& ctx,
+                                SequenceGroup& group, const BoundPattern& bp,
+                                const PatternKey& dim_codes, Sid s,
+                                const uint32_t* idx, SCuboid* cuboid) const {
+  (void)bp;
+  double v = 0.0;
+  if (ctx.measure_col >= 0) {
+    bool whole = ctx.spec->restriction == CellRestriction::kLeftMaxDataGo;
+    v = ContentSum(ctx, group, s, idx, ctx.tmpl.num_positions(), whole);
+  }
+  CellKey cell = group.key();
+  cell.insert(cell.end(), dim_codes.begin(), dim_codes.end());
+  cuboid->Add(cell, v);
+}
+
+Status SOlapEngine::PrecomputeIndex(const CuboidSpec& spec, size_t m,
+                                    const LevelRef& position_ref) {
+  SOLAP_ASSIGN_OR_RETURN(std::shared_ptr<SequenceGroupSet> groups,
+                         GetGroups(spec.seq));
+  IndexShape shape;
+  shape.kind = spec.kind;
+  shape.positions.assign(m, position_ref);
+  for (size_t gi = 0; gi < groups->groups().size(); ++gi) {
+    GroupIndexCache& cache = CacheFor(*groups, gi);
+    if (cache.Find(shape, "") != nullptr) continue;
+    SOLAP_ASSIGN_OR_RETURN(
+        std::shared_ptr<InvertedIndex> index,
+        BuildIndex(&groups->groups()[gi], *groups, hierarchies_, shape,
+                   &stats_));
+    cache.Insert(std::move(index));
+  }
+  return Status::OK();
+}
+
+Status SOlapEngine::MaterializeIndex(const SequenceSpec& formation,
+                                     const IndexShape& shape) {
+  SOLAP_ASSIGN_OR_RETURN(std::shared_ptr<SequenceGroupSet> groups,
+                         GetGroups(formation));
+  for (size_t gi = 0; gi < groups->groups().size(); ++gi) {
+    GroupIndexCache& cache = CacheFor(*groups, gi);
+    if (cache.Find(shape, "") != nullptr) continue;
+    SOLAP_ASSIGN_OR_RETURN(
+        std::shared_ptr<InvertedIndex> index,
+        BuildIndex(&groups->groups()[gi], *groups, hierarchies_, shape,
+                   &stats_));
+    cache.Insert(std::move(index));
+  }
+  return Status::OK();
+}
+
+Status SOlapEngine::WarmSequenceCache(const SequenceSpec& spec) {
+  SOLAP_ASSIGN_OR_RETURN(std::shared_ptr<SequenceGroupSet> groups,
+                         GetGroups(spec));
+  (void)groups;
+  return Status::OK();
+}
+
+void SOlapEngine::NotifyTableAppend() {
+  sequence_cache_.Clear();
+  index_caches_.clear();
+  repository_.Clear();
+}
+
+size_t SOlapEngine::IndexCacheBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, cache] : index_caches_) bytes += cache.TotalBytes();
+  return bytes;
+}
+
+Result<std::vector<Code>> SOlapEngine::LevelMapFor(
+    const SequenceGroupSet& set, const std::string& attr, int from_level,
+    int to_level) const {
+  ConceptHierarchy* h =
+      hierarchies_ != nullptr ? hierarchies_->Find(attr) : nullptr;
+  if (h == nullptr) {
+    return Status::InvalidArgument("attribute '" + attr +
+                                   "' has no concept hierarchy");
+  }
+  const Dictionary* base_dict;
+  if (set.is_raw()) {
+    base_dict = &set.raw_dictionary();
+  } else {
+    SOLAP_ASSIGN_OR_RETURN(int col, set.table()->schema().RequireField(attr));
+    base_dict = set.table()->dictionary(col);
+    if (base_dict == nullptr) {
+      return Status::InvalidArgument("attribute '" + attr +
+                                     "' is not a string dimension");
+    }
+  }
+  return h->LevelToLevel(*base_dict, from_level, to_level);
+}
+
+GroupIndexCache& SOlapEngine::CacheFor(const SequenceGroupSet& set,
+                                       size_t group_idx) {
+  std::string key =
+      std::to_string(reinterpret_cast<uintptr_t>(&set)) + ":" +
+      std::to_string(group_idx);
+  return index_caches_[key];
+}
+
+const GroupIndexCache* SOlapEngine::FindIndexCache(
+    const SequenceGroupSet& set, size_t group_idx) const {
+  std::string key =
+      std::to_string(reinterpret_cast<uintptr_t>(&set)) + ":" +
+      std::to_string(group_idx);
+  auto it = index_caches_.find(key);
+  return it == index_caches_.end() ? nullptr : &it->second;
+}
+
+}  // namespace solap

@@ -1,0 +1,215 @@
+// The S-OLAP engine (paper §4, Fig. 6): executes S-cuboid specifications
+// through the counter-based (CB) or inverted-index (II) strategy, caches
+// sequence groups, inverted indices and computed cuboids, and hosts the
+// §6 extensions (iceberg filtering, online aggregation, incremental update).
+#ifndef SOLAP_ENGINE_ENGINE_H_
+#define SOLAP_ENGINE_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "solap/common/stats.h"
+#include "solap/common/status.h"
+#include "solap/cube/cuboid.h"
+#include "solap/cube/cuboid_repository.h"
+#include "solap/cube/cuboid_spec.h"
+#include "solap/index/index_cache.h"
+#include "solap/pattern/matcher.h"
+#include "solap/pattern/regex.h"
+#include "solap/seq/sequence_cache.h"
+
+namespace solap {
+
+/// S-cuboid construction strategy (paper §4.2).
+enum class ExecStrategy {
+  /// Counter-based: scan every sequence of every group per query (Fig. 7).
+  kCounterBased,
+  /// Inverted-index: join/merge/refine cached inverted lists (Fig. 15).
+  kInvertedIndex,
+  /// Let the StrategyOptimizer pick per query (paper §4.2.2's "S-OLAP
+  /// query optimizer" future work; see engine/optimizer.h).
+  kAuto,
+};
+
+/// Tuning knobs of the engine.
+struct EngineOptions {
+  ExecStrategy default_strategy = ExecStrategy::kInvertedIndex;
+  /// Byte budget of the cuboid repository (0 disables cuboid caching).
+  size_t repository_capacity_bytes = size_t{64} << 20;
+  /// Disables inverted-index reuse across queries — every II query then
+  /// rebuilds from scratch (used by benchmarks to isolate reuse benefits).
+  bool enable_index_cache = true;
+  /// §6 bitmap extension: L2 lists longer than this are bitmap-encoded
+  /// during index joins so intersections become membership probes.
+  /// 0 = pure sorted-list merging.
+  size_t bitmap_join_threshold = 0;
+  /// Counter-based scans partition each group across this many threads
+  /// (per-thread cuboids merged at the end). 1 = sequential.
+  size_t cb_threads = 1;
+};
+
+/// \brief The S-OLAP system facade.
+///
+/// Construct either over an event table (+ hierarchy registry), in which
+/// case S-cuboid formation steps 1-4 run through the sequence query engine,
+/// or over a pre-formed raw SequenceGroupSet (synthetic workloads that have
+/// no event attributes beyond the symbol stream).
+class SOlapEngine {
+ public:
+  SOlapEngine(const EventTable* table, const HierarchyRegistry* hierarchies,
+              EngineOptions options = {});
+  SOlapEngine(std::shared_ptr<SequenceGroupSet> raw_groups,
+              const HierarchyRegistry* hierarchies,
+              EngineOptions options = {});
+
+  // -- Query execution -----------------------------------------------------
+
+  /// Executes `spec` with the default strategy. Results are served from the
+  /// cuboid repository when the identical specification was answered before.
+  Result<std::shared_ptr<const SCuboid>> Execute(const CuboidSpec& spec);
+  Result<std::shared_ptr<const SCuboid>> Execute(const CuboidSpec& spec,
+                                                 ExecStrategy strategy);
+
+  /// Online aggregation (paper §6): runs `spec` with the CB strategy,
+  /// invoking `progress` after every `report_every` sequences with the
+  /// partial cuboid and the fraction of sequences processed so far. The
+  /// callback may return false to stop early, in which case the partial
+  /// (approximate) cuboid is returned and *not* cached.
+  using ProgressFn = std::function<bool(const SCuboid& partial,
+                                        double fraction_processed)>;
+  Result<std::shared_ptr<const SCuboid>> ExecuteOnline(
+      const CuboidSpec& spec, size_t report_every, const ProgressFn& progress);
+
+  // -- Offline index precomputation (paper §4.2.2) ---------------------------
+
+  /// Builds the complete size-m inverted index whose positions all use
+  /// `position_ref` for every sequence group formed by `spec`'s formation
+  /// clauses (the paper precomputes size-2 indices at the finest level).
+  Status PrecomputeIndex(const CuboidSpec& spec, size_t m,
+                         const LevelRef& position_ref);
+
+  /// Runs S-cuboid formation steps 1-4 for `spec` and stores the result in
+  /// the sequence cache. Benchmarks call this so that query timings measure
+  /// S-cuboid construction (steps 5-6), matching the paper's architecture
+  /// where formation is offloaded and cached (Fig. 6).
+  Status WarmSequenceCache(const SequenceSpec& spec);
+
+  /// Builds the complete index of `shape` for every sequence group formed
+  /// by `formation` and caches them (the MaterializationAdvisor's build
+  /// hook; also usable directly for hand-picked shapes).
+  Status MaterializeIndex(const SequenceSpec& formation,
+                          const IndexShape& shape);
+
+  // -- Incremental update (paper §6) ----------------------------------------
+
+  /// Raw-group engines: appends new sequences (base-code streams) to group
+  /// `group_idx`, extending every cached complete index of that group with
+  /// the new sequences instead of rebuilding (join-derived filtered indices
+  /// are dropped). Cached cuboids over the data are invalidated.
+  Status AppendRawSequences(size_t group_idx,
+                            const std::vector<std::vector<Code>>& sequences);
+
+  /// Table-backed engines: must be called after rows are appended to the
+  /// event table. Invalidates formed sequence groups, indices and cuboids
+  /// (conservative correctness; see DESIGN.md).
+  void NotifyTableAppend();
+
+  // -- Introspection ---------------------------------------------------------
+
+  ScanStats& stats() { return stats_; }
+  const CuboidRepository& repository() const { return repository_; }
+  /// Bytes of inverted indices currently cached across all groups.
+  size_t IndexCacheBytes() const;
+
+  const HierarchyRegistry* hierarchies() const { return hierarchies_; }
+
+  // -- Introspection for the optimizer and tools ----------------------------
+
+  /// The sequence groups `seq` resolves to (cached formation).
+  Result<std::shared_ptr<SequenceGroupSet>> GroupsFor(const SequenceSpec& s) {
+    return GetGroups(s);
+  }
+  /// Ordinals of the groups surviving `spec`'s global slices.
+  Result<std::vector<size_t>> SelectedGroupsFor(const SequenceGroupSet& set,
+                                                const CuboidSpec& spec) const {
+    return SelectGroups(set, spec);
+  }
+  /// The index cache of one group, or nullptr if none exists yet.
+  const GroupIndexCache* FindIndexCache(const SequenceGroupSet& set,
+                                        size_t group_idx) const;
+
+ private:
+  /// Everything resolved once per query execution.
+  struct QueryContext {
+    const CuboidSpec* spec = nullptr;
+    PatternTemplate tmpl;    // plain templates
+    RegexTemplate rtmpl;     // regex templates (spec->is_regex())
+    std::shared_ptr<SequenceGroupSet> groups;
+    std::vector<size_t> selected_groups;
+    int measure_col = -1;
+    SCuboid* cuboid = nullptr;
+  };
+
+  Result<QueryContext> Prepare(const CuboidSpec& spec, SCuboid* cuboid);
+  Result<std::shared_ptr<SequenceGroupSet>> GetGroups(const SequenceSpec& s);
+  Result<std::vector<size_t>> SelectGroups(const SequenceGroupSet& set,
+                                           const CuboidSpec& spec) const;
+  std::vector<DimDescriptor> MakeDimDescriptors(const CuboidSpec& spec) const;
+
+  /// Per-assignment measure total over the matched events (`idx`) or, for
+  /// the data-go restriction, over the whole sequence.
+  double ContentSum(const QueryContext& ctx, SequenceGroup& group, Sid s,
+                    const uint32_t* idx, size_t m, bool whole_sequence) const;
+
+  /// Folds one assignment into `cuboid`.
+  void AddAssignment(const QueryContext& ctx, SequenceGroup& group,
+                     const BoundPattern& bp, const PatternKey& dim_codes,
+                     Sid s, const uint32_t* idx, SCuboid* cuboid) const;
+
+  // Regex templates (engine/regex_exec.cc): always a counter-based scan.
+  Status RunRegex(QueryContext& ctx);
+
+  // CB strategy (engine/counter_based.cc).
+  Status RunCounterBased(QueryContext& ctx);
+  /// Scans sequences [begin, end) of one group, folding assignments into
+  /// `cuboid` and counting into `stats` — the unit shared by sequential
+  /// CB, multi-threaded CB (per-thread cuboids) and online aggregation.
+  Status CounterScanRange(const QueryContext& ctx, SequenceGroup& group,
+                          const BoundPattern& bp, Sid begin, Sid end,
+                          SCuboid* cuboid, ScanStats* stats) const;
+
+  // II strategy (engine/query_indices.cc).
+  Status RunInvertedIndex(QueryContext& ctx);
+  Result<std::shared_ptr<InvertedIndex>> ObtainIndex(
+      GroupIndexCache& cache, SequenceGroup& group,
+      const SequenceGroupSet& set, const PatternTemplate& tmpl,
+      const BoundPattern& bp);
+  /// Counting step shared by both strategies' index path (Fig. 15 l. 10-11).
+  Status CountFromIndex(QueryContext& ctx, SequenceGroup& group,
+                        const BoundPattern& bp, const InvertedIndex& index);
+
+  /// Fine-to-coarse code map between two levels of a string dimension.
+  Result<std::vector<Code>> LevelMapFor(const SequenceGroupSet& set,
+                                        const std::string& attr,
+                                        int from_level, int to_level) const;
+
+  GroupIndexCache& CacheFor(const SequenceGroupSet& set, size_t group_idx);
+
+  const EventTable* table_ = nullptr;
+  std::shared_ptr<SequenceGroupSet> raw_groups_;
+  const HierarchyRegistry* hierarchies_;
+  EngineOptions options_;
+
+  SequenceCache sequence_cache_;
+  CuboidRepository repository_;
+  // Index caches keyed by (group set, group ordinal).
+  std::unordered_map<std::string, GroupIndexCache> index_caches_;
+  ScanStats stats_;
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_ENGINE_ENGINE_H_

@@ -1,0 +1,46 @@
+// Incremental update (paper §6): extend a sequence group — and every cached
+// complete inverted index over it — with newly arrived sequences, scanning
+// only the delta instead of rebuilding from the full data.
+#include "solap/engine/engine.h"
+#include "solap/index/build_index.h"
+
+namespace solap {
+
+Status SOlapEngine::AppendRawSequences(
+    size_t group_idx, const std::vector<std::vector<Code>>& sequences) {
+  if (raw_groups_ == nullptr) {
+    return Status::InvalidArgument(
+        "AppendRawSequences applies to raw-group engines; table-backed "
+        "engines append rows to the EventTable and call NotifyTableAppend()");
+  }
+  if (group_idx >= raw_groups_->groups().size()) {
+    return Status::OutOfRange("no sequence group " +
+                              std::to_string(group_idx));
+  }
+  SequenceGroup& group = raw_groups_->groups()[group_idx];
+  const Sid old_count = static_cast<Sid>(group.num_sequences());
+  for (const std::vector<Code>& seq : sequences) {
+    group.AddSequence(seq);
+  }
+  // Symbol views cover the old extent only; recompute lazily on next use.
+  group.InvalidateViews();
+
+  // Extend cached complete indices with the delta; join-derived filtered
+  // indices cannot be extended safely and are dropped.
+  GroupIndexCache& cache = CacheFor(*raw_groups_, group_idx);
+  std::vector<std::shared_ptr<InvertedIndex>> keep;
+  for (const auto& entry : cache.entries()) {
+    if (entry->complete()) keep.push_back(entry);
+  }
+  cache.Clear();
+  for (auto& entry : keep) {
+    SOLAP_RETURN_NOT_OK(AppendToIndex(entry.get(), &group, *raw_groups_,
+                                      hierarchies_, old_count, &stats_));
+    cache.Insert(std::move(entry));
+  }
+  // Every materialized cuboid over this data is stale.
+  repository_.Clear();
+  return Status::OK();
+}
+
+}  // namespace solap

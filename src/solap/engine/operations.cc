@@ -1,0 +1,286 @@
+#include "solap/engine/operations.h"
+
+#include <algorithm>
+
+namespace solap {
+namespace ops {
+
+namespace {
+
+bool UsesPlaceholder(const ExprPtr& e, const std::string& name) {
+  if (e == nullptr) return false;
+  if (e->op() == ExprOp::kPlaceholder && e->placeholder() == name) {
+    return true;
+  }
+  for (const ExprPtr& c : e->children()) {
+    if (UsesPlaceholder(c, name)) return true;
+  }
+  return false;
+}
+
+std::string FreshPlaceholder(const std::vector<std::string>& existing) {
+  for (size_t i = existing.size() + 1;; ++i) {
+    std::string cand = "p" + std::to_string(i);
+    if (std::find(existing.begin(), existing.end(), cand) == existing.end()) {
+      return cand;
+    }
+  }
+}
+
+// Ensures `symbol` has a dimension declaration, adding one from `ref`.
+Status EnsureDim(CuboidSpec* spec, const std::string& symbol,
+                 const LevelRef& ref) {
+  if (spec->DimIndex(symbol) >= 0) return Status::OK();
+  if (ref.attr.empty()) {
+    return Status::InvalidArgument(
+        "new pattern symbol '" + symbol +
+        "' needs a domain: pass its attribute and abstraction level");
+  }
+  spec->dims.push_back(PatternDim{symbol, ref, {}, ""});
+  return Status::OK();
+}
+
+Result<CuboidSpec> AddSymbol(const CuboidSpec& spec, const std::string& symbol,
+                             const LevelRef& ref,
+                             const std::string& placeholder, bool front) {
+  CuboidSpec out = spec;
+  SOLAP_RETURN_NOT_OK(EnsureDim(&out, symbol, ref));
+  if (front) {
+    out.symbols.insert(out.symbols.begin(), symbol);
+  } else {
+    out.symbols.push_back(symbol);
+  }
+  if (!out.placeholders.empty() || !placeholder.empty()) {
+    std::string ph =
+        placeholder.empty() ? FreshPlaceholder(out.placeholders) : placeholder;
+    if (front) {
+      out.placeholders.insert(out.placeholders.begin(), ph);
+    } else {
+      out.placeholders.push_back(ph);
+    }
+  }
+  return out;
+}
+
+Result<CuboidSpec> RemoveSymbol(const CuboidSpec& spec, bool front) {
+  if (spec.symbols.size() <= 1) {
+    return Status::InvalidArgument(
+        "cannot remove the last symbol of a pattern template");
+  }
+  CuboidSpec out = spec;
+  std::string sym;
+  if (front) {
+    sym = out.symbols.front();
+    out.symbols.erase(out.symbols.begin());
+  } else {
+    sym = out.symbols.back();
+    out.symbols.pop_back();
+  }
+  if (!out.placeholders.empty()) {
+    std::string ph = front ? out.placeholders.front() : out.placeholders.back();
+    if (UsesPlaceholder(out.predicate, ph)) {
+      return Status::InvalidArgument(
+          "the matching predicate references placeholder '" + ph +
+          "' of the removed position; supply an updated predicate first");
+    }
+    if (front) {
+      out.placeholders.erase(out.placeholders.begin());
+    } else {
+      out.placeholders.pop_back();
+    }
+  }
+  // Drop the dimension declaration if the symbol no longer occurs.
+  if (std::find(out.symbols.begin(), out.symbols.end(), sym) ==
+      out.symbols.end()) {
+    out.dims.erase(out.dims.begin() + out.DimIndex(sym));
+  }
+  return out;
+}
+
+// Calendar abstraction chain used when a timestamp attribute is moved
+// up/down without a registered hierarchy.
+const char* const kCalendarChain[] = {"time", "day", "week", "month"};
+
+Result<std::string> AdjacentLevel(const HierarchyRegistry& hierarchies,
+                                  const LevelRef& ref, int delta) {
+  if (ConceptHierarchy* h = hierarchies.Find(ref.attr)) {
+    int idx = h->LevelIndex(ref.level);
+    if (idx < 0 && (ref.level == ref.attr || ref.level == "base")) idx = 0;
+    if (idx < 0) {
+      return Status::InvalidArgument("attribute '" + ref.attr +
+                                     "' has no level '" + ref.level + "'");
+    }
+    int next = idx + delta;
+    if (next < 0 || next >= static_cast<int>(h->num_levels())) {
+      return Status::OutOfRange("no abstraction level " +
+                                std::string(delta > 0 ? "above" : "below") +
+                                " '" + ref.level + "' for attribute '" +
+                                ref.attr + "'");
+    }
+    return h->level_name(next);
+  }
+  // Calendar fallback.
+  int idx = -1;
+  for (int i = 0; i < 4; ++i) {
+    if (ref.level == kCalendarChain[i] ||
+        (i == 0 && ref.level == ref.attr)) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx < 0) {
+    return Status::InvalidArgument("attribute '" + ref.attr +
+                                   "' has no concept hierarchy");
+  }
+  int next = idx + delta;
+  if (next < 0 || next > 3) {
+    return Status::OutOfRange("no calendar level " +
+                              std::string(delta > 0 ? "above" : "below") +
+                              " '" + ref.level + "'");
+  }
+  return std::string(kCalendarChain[next]);
+}
+
+Result<CuboidSpec> SetPatternLevel(const CuboidSpec& spec,
+                                   const std::string& symbol,
+                                   const std::string& level) {
+  int d = spec.DimIndex(symbol);
+  if (d < 0) {
+    return Status::InvalidArgument("unknown pattern symbol '" + symbol + "'");
+  }
+  CuboidSpec out = spec;
+  PatternDim& dim = out.dims[d];
+  // A slice taken at the old level keeps restricting the new domain.
+  if (!dim.fixed_labels.empty() && dim.fixed_level.empty()) {
+    dim.fixed_level = dim.ref.level;
+  }
+  dim.ref.level = level;
+  if (dim.fixed_level == level) dim.fixed_level.clear();
+  return out;
+}
+
+}  // namespace
+
+Result<CuboidSpec> Append(const CuboidSpec& spec, const std::string& symbol,
+                          const LevelRef& ref,
+                          const std::string& placeholder) {
+  return AddSymbol(spec, symbol, ref, placeholder, /*front=*/false);
+}
+
+Result<CuboidSpec> Prepend(const CuboidSpec& spec, const std::string& symbol,
+                           const LevelRef& ref,
+                           const std::string& placeholder) {
+  return AddSymbol(spec, symbol, ref, placeholder, /*front=*/true);
+}
+
+Result<CuboidSpec> DeTail(const CuboidSpec& spec) {
+  return RemoveSymbol(spec, /*front=*/false);
+}
+
+Result<CuboidSpec> DeHead(const CuboidSpec& spec) {
+  return RemoveSymbol(spec, /*front=*/true);
+}
+
+Result<CuboidSpec> PRollUp(const CuboidSpec& spec, const std::string& symbol,
+                           const HierarchyRegistry& hierarchies) {
+  int d = spec.DimIndex(symbol);
+  if (d < 0) {
+    return Status::InvalidArgument("unknown pattern symbol '" + symbol + "'");
+  }
+  SOLAP_ASSIGN_OR_RETURN(std::string level,
+                         AdjacentLevel(hierarchies, spec.dims[d].ref, +1));
+  return SetPatternLevel(spec, symbol, level);
+}
+
+Result<CuboidSpec> PRollUpTo(const CuboidSpec& spec, const std::string& symbol,
+                             const std::string& level) {
+  return SetPatternLevel(spec, symbol, level);
+}
+
+Result<CuboidSpec> PDrillDown(const CuboidSpec& spec,
+                              const std::string& symbol,
+                              const HierarchyRegistry& hierarchies) {
+  int d = spec.DimIndex(symbol);
+  if (d < 0) {
+    return Status::InvalidArgument("unknown pattern symbol '" + symbol + "'");
+  }
+  SOLAP_ASSIGN_OR_RETURN(std::string level,
+                         AdjacentLevel(hierarchies, spec.dims[d].ref, -1));
+  return SetPatternLevel(spec, symbol, level);
+}
+
+Result<CuboidSpec> PDrillDownTo(const CuboidSpec& spec,
+                                const std::string& symbol,
+                                const std::string& level) {
+  return SetPatternLevel(spec, symbol, level);
+}
+
+namespace {
+
+Result<CuboidSpec> SetGlobalLevel(const CuboidSpec& spec,
+                                  const std::string& attr,
+                                  const std::string& level) {
+  CuboidSpec out = spec;
+  for (LevelRef& r : out.seq.group_by) {
+    if (r.attr == attr) {
+      r.level = level;
+      return out;
+    }
+  }
+  return Status::InvalidArgument("attribute '" + attr +
+                                 "' is not a SEQUENCE GROUP BY dimension");
+}
+
+}  // namespace
+
+Result<CuboidSpec> RollUpGlobal(const CuboidSpec& spec,
+                                const std::string& attr,
+                                const std::string& level) {
+  return SetGlobalLevel(spec, attr, level);
+}
+
+Result<CuboidSpec> DrillDownGlobal(const CuboidSpec& spec,
+                                   const std::string& attr,
+                                   const std::string& level) {
+  return SetGlobalLevel(spec, attr, level);
+}
+
+Result<CuboidSpec> SliceGlobal(const CuboidSpec& spec, const LevelRef& ref,
+                               std::vector<std::string> labels) {
+  CuboidSpec out = spec;
+  out.global_slices.push_back(GlobalSlice{ref, std::move(labels)});
+  return out;
+}
+
+Result<CuboidSpec> SlicePattern(const CuboidSpec& spec,
+                                const std::string& symbol,
+                                std::vector<std::string> labels,
+                                const std::string& level) {
+  int d = spec.DimIndex(symbol);
+  if (d < 0) {
+    return Status::InvalidArgument("unknown pattern symbol '" + symbol + "'");
+  }
+  CuboidSpec out = spec;
+  out.dims[d].fixed_labels = std::move(labels);
+  out.dims[d].fixed_level =
+      (level == out.dims[d].ref.level) ? "" : level;
+  return out;
+}
+
+Result<CuboidSpec> SliceToCell(const CuboidSpec& spec, const SCuboid& cuboid,
+                               const CellKey& cell) {
+  const size_t q = spec.seq.group_by.size();
+  if (cell.size() != q + spec.dims.size()) {
+    return Status::InvalidArgument(
+        "cell arity does not match the specification's dimensions");
+  }
+  CuboidSpec out = spec;
+  for (size_t d = 0; d < out.dims.size(); ++d) {
+    out.dims[d].fixed_labels = {cuboid.LabelOf(q + d, cell[q + d])};
+    out.dims[d].fixed_level.clear();
+  }
+  return out;
+}
+
+}  // namespace ops
+}  // namespace solap

@@ -1,0 +1,86 @@
+// The S-OLAP operations (paper §3.3): APPEND, PREPEND, DE-TAIL, DE-HEAD,
+// P-ROLL-UP, P-DRILL-DOWN on pattern dimensions, plus the classical
+// roll-up / drill-down / slice / dice on global dimensions. Each operation
+// transforms one CuboidSpec into another; the engine executes the result
+// (reusing cached cuboids and indices as §4.2.2 describes).
+#ifndef SOLAP_ENGINE_OPERATIONS_H_
+#define SOLAP_ENGINE_OPERATIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "solap/cube/cuboid.h"
+#include "solap/cube/cuboid_spec.h"
+#include "solap/hierarchy/concept_hierarchy.h"
+
+namespace solap {
+namespace ops {
+
+/// APPEND: adds `symbol` to the end of the pattern template. A new symbol
+/// needs its domain (`ref`); re-appending an existing symbol may pass an
+/// empty ref. When the spec carries a matching predicate, `placeholder`
+/// names the new position's event placeholder (auto-generated if empty).
+Result<CuboidSpec> Append(const CuboidSpec& spec, const std::string& symbol,
+                          const LevelRef& ref = {},
+                          const std::string& placeholder = "");
+
+/// PREPEND: adds `symbol` to the front of the pattern template.
+Result<CuboidSpec> Prepend(const CuboidSpec& spec, const std::string& symbol,
+                           const LevelRef& ref = {},
+                           const std::string& placeholder = "");
+
+/// DE-TAIL: removes the last symbol of the pattern template. Fails if the
+/// matching predicate references the removed position's placeholder.
+Result<CuboidSpec> DeTail(const CuboidSpec& spec);
+
+/// DE-HEAD: removes the first symbol of the pattern template.
+Result<CuboidSpec> DeHead(const CuboidSpec& spec);
+
+/// P-ROLL-UP: moves pattern dimension `symbol` one level up its concept
+/// hierarchy (station -> district).
+Result<CuboidSpec> PRollUp(const CuboidSpec& spec, const std::string& symbol,
+                           const HierarchyRegistry& hierarchies);
+/// P-ROLL-UP to an explicit level.
+Result<CuboidSpec> PRollUpTo(const CuboidSpec& spec, const std::string& symbol,
+                             const std::string& level);
+
+/// P-DRILL-DOWN: moves pattern dimension `symbol` one level down. A slice
+/// previously taken on the dimension is kept at its original level and
+/// restricts the drilled-down domain.
+Result<CuboidSpec> PDrillDown(const CuboidSpec& spec,
+                              const std::string& symbol,
+                              const HierarchyRegistry& hierarchies);
+Result<CuboidSpec> PDrillDownTo(const CuboidSpec& spec,
+                                const std::string& symbol,
+                                const std::string& level);
+
+/// Classical roll-up / drill-down on a global dimension (changes the
+/// SEQUENCE GROUP BY level of `attr`).
+Result<CuboidSpec> RollUpGlobal(const CuboidSpec& spec,
+                                const std::string& attr,
+                                const std::string& level);
+Result<CuboidSpec> DrillDownGlobal(const CuboidSpec& spec,
+                                   const std::string& attr,
+                                   const std::string& level);
+
+/// Slice (one label) / dice (several) a global dimension.
+Result<CuboidSpec> SliceGlobal(const CuboidSpec& spec, const LevelRef& ref,
+                               std::vector<std::string> labels);
+
+/// Slice / dice pattern dimension `symbol` to `labels` (optionally given at
+/// a coarser `level`; empty = the dimension's current level).
+Result<CuboidSpec> SlicePattern(const CuboidSpec& spec,
+                                const std::string& symbol,
+                                std::vector<std::string> labels,
+                                const std::string& level = "");
+
+/// Slices every pattern dimension of `spec` to the labels of `cell` in
+/// `cuboid` — the "slice on the cell with the highest count" step of the
+/// paper's iterative query sets (§5.2). Global dimensions are not sliced.
+Result<CuboidSpec> SliceToCell(const CuboidSpec& spec, const SCuboid& cuboid,
+                               const CellKey& cell);
+
+}  // namespace ops
+}  // namespace solap
+
+#endif  // SOLAP_ENGINE_OPERATIONS_H_

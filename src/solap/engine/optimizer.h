@@ -1,0 +1,58 @@
+// Cost-based strategy selection — the beginnings of the "S-OLAP query
+// optimizer" the paper names as its most important future work (§4.2.2):
+// "In fact, this is a sophisticated S-OLAP query optimization problem where
+//  many factors such as storage space, memory availability, and execution
+//  speed are parts of the formula."
+//
+// The optimizer chooses between the counter-based and the inverted-index
+// strategy per query by estimating the number of sequences each would
+// touch, given which indices are already cached.
+#ifndef SOLAP_ENGINE_OPTIMIZER_H_
+#define SOLAP_ENGINE_OPTIMIZER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "solap/engine/engine.h"
+
+namespace solap {
+
+/// The optimizer's verdict for one query, with its reasoning — exposed so
+/// that tests and the ablation benchmark can audit decisions.
+struct StrategyChoice {
+  ExecStrategy strategy = ExecStrategy::kCounterBased;
+  /// Estimated sequences touched by each strategy.
+  double cb_cost = 0;
+  double ii_cost = 0;
+  /// Human-readable explanation ("exact index cached", "selective slice
+  /// reuses prefix", "cold unselective query favors one scan", ...).
+  std::string reason;
+};
+
+/// \brief Chooses CB vs II for `spec` against the engine's current cache
+/// state.
+///
+/// Cost model (unit = one sequence scan):
+///  - CB always scans every sequence of every selected group once.
+///  - II pays, per group: nothing for an exact cached index; a merge
+///    (~0, list arithmetic) when a complete finer index exists; a refine
+///    bounded by the (slice-filtered) coarse lists when a coarser one
+///    exists; the cached-prefix extension cost estimated from the prefix
+///    index's selectivity; or a full BuildIndex scan when cold.
+///  - Counting rescans list entries only when a matching predicate, an
+///    ALL-MATCHED restriction or a non-COUNT aggregate forces it.
+class StrategyOptimizer {
+ public:
+  explicit StrategyOptimizer(SOlapEngine* engine) : engine_(engine) {}
+
+  /// Evaluates `spec`; never executes it. Errors (unresolvable spec)
+  /// surface here exactly as Execute would report them.
+  Result<StrategyChoice> Choose(const CuboidSpec& spec);
+
+ private:
+  SOlapEngine* engine_;
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_ENGINE_OPTIMIZER_H_

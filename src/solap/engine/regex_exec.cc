@@ -1,0 +1,91 @@
+// Execution of regex pattern templates (the §3.2 extension): a
+// counter-based scan driven by the Thompson-NFA matcher of
+// pattern/regex.h. Inverted-index support for regexes would require
+// per-subexpression indexing and is future work, mirroring the paper's
+// remark that its two strategies are "first-attempt" solutions.
+#include <algorithm>
+#include <unordered_set>
+
+#include "solap/engine/engine.h"
+
+namespace solap {
+
+Status SOlapEngine::RunRegex(QueryContext& ctx) {
+  const RegexTemplate& tmpl = ctx.rtmpl;
+  const size_t n_dims = tmpl.num_dims();
+  const CellRestriction restriction = ctx.spec->restriction;
+
+  for (size_t gi : ctx.selected_groups) {
+    SequenceGroup& group = ctx.groups->groups()[gi];
+    SOLAP_ASSIGN_OR_RETURN(
+        DimensionBinding domain,
+        ctx.groups->BindDimension(hierarchies_, tmpl.domain()));
+    const std::vector<Code>& view = group.ViewFor(domain);
+
+    // Resolve literal labels and slice restrictions in this group's domain.
+    std::vector<Code> literal_codes;
+    for (const std::string& label : tmpl.literal_labels()) {
+      SOLAP_ASSIGN_OR_RETURN(Code c, domain.CodeOfLabel(label));
+      literal_codes.push_back(c);
+    }
+    std::vector<std::vector<Code>> allowed(n_dims);
+    for (size_t d = 0; d < n_dims; ++d) {
+      const PatternDim& dim = tmpl.dims()[d];
+      if (dim.fixed_labels.empty()) continue;
+      SOLAP_ASSIGN_OR_RETURN(
+          allowed[d], domain.AllowedCodes(dim.fixed_level, dim.fixed_labels));
+      if (allowed[d].empty()) allowed[d].push_back(kNullCode);
+    }
+    auto binding_allowed = [&](const Code* bindings) {
+      for (size_t d = 0; d < n_dims; ++d) {
+        if (allowed[d].empty()) continue;
+        if (std::find(allowed[d].begin(), allowed[d].end(), bindings[d]) ==
+            allowed[d].end()) {
+          return false;
+        }
+      }
+      return true;
+    };
+
+    BoundRegex bound(&tmpl, std::move(literal_codes));
+    std::unordered_set<PatternKey, CodeVecHash> seen;
+    PatternKey dim_codes(n_dims);
+    const Sid n = static_cast<Sid>(group.num_sequences());
+    for (Sid s = 0; s < n; ++s) {
+      ++stats_.sequences_scanned;
+      seen.clear();
+      bound.ForEachMatch(group.Symbols(view, s), [&](uint32_t start,
+                                                     uint32_t end,
+                                                     const Code* bindings) {
+        if (!binding_allowed(bindings)) return true;
+        dim_codes.assign(bindings, bindings + n_dims);
+        if (restriction != CellRestriction::kAllMatchedGo &&
+            !seen.insert(dim_codes).second) {
+          return true;  // left-maximality: first match per instantiation
+        }
+        double v = 0.0;
+        if (ctx.measure_col >= 0) {
+          std::span<const RowId> rows = group.Rows(s);
+          const bool whole =
+              restriction == CellRestriction::kLeftMaxDataGo;
+          uint32_t lo = whole ? 0 : start;
+          uint32_t hi = whole ? static_cast<uint32_t>(rows.size()) : end;
+          const Field& f = table_->schema().field(ctx.measure_col);
+          for (uint32_t i = lo; i < hi; ++i) {
+            v += f.type == ValueType::kDouble
+                     ? table_->DoubleAt(rows[i], ctx.measure_col)
+                     : static_cast<double>(
+                           table_->Int64At(rows[i], ctx.measure_col));
+          }
+        }
+        CellKey cell = group.key();
+        cell.insert(cell.end(), dim_codes.begin(), dim_codes.end());
+        ctx.cuboid->Add(cell, v);
+        return true;
+      });
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace solap

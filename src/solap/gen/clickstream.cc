@@ -1,0 +1,123 @@
+#include "solap/gen/clickstream.h"
+
+#include <random>
+#include <vector>
+
+#include "solap/gen/zipf.h"
+
+namespace solap {
+
+namespace {
+
+// Named categories echoing the paper's §5.1 narrative; the remainder are
+// synthetic filler categories up to num_categories (44 in the KDD-Cup data).
+const char* const kNamedCategories[] = {
+    "Assortment", "Legwear", "Legcare", "Main-Pages", "Boutiques",
+    "Departments", "Search", "Checkout", "Account", "Logout",
+};
+constexpr size_t kNumNamed = sizeof(kNamedCategories) / sizeof(char*);
+
+}  // namespace
+
+ClickstreamData GenerateClickstream(const ClickstreamParams& params) {
+  ClickstreamData data;
+  Schema schema({
+      {"session-id", ValueType::kString, FieldRole::kDimension},
+      {"request-time", ValueType::kTimestamp, FieldRole::kDimension},
+      {"page", ValueType::kString, FieldRole::kDimension},
+  });
+  data.table = std::make_shared<EventTable>(std::move(schema));
+  data.hierarchies = std::make_shared<HierarchyRegistry>();
+
+  const size_t ncat = std::max<size_t>(params.num_categories, kNumNamed);
+  std::vector<std::string> categories(ncat);
+  for (size_t c = 0; c < ncat; ++c) {
+    categories[c] = c < kNumNamed ? kNamedCategories[c]
+                                  : "Category-" + std::to_string(c + 1);
+  }
+
+  // Raw pages per category. Legwear (index 1) gets DKNY-style product
+  // pages, including the paper's product-id-null artifact.
+  auto page_h = std::make_shared<ConceptHierarchy>(
+      std::vector<std::string>{"raw-page", "page-category"});
+  std::vector<std::vector<std::string>> pages(ncat);
+  for (size_t c = 0; c < ncat; ++c) {
+    if (c == 1) {
+      pages[c] = {"product-id-null",  "product-id-34893", "product-id-34885",
+                  "product-id-34897", "product-id-35121", "product-id-35340",
+                  "product-id-36002", "product-id-36447"};
+    } else {
+      for (size_t i = 0; i < params.pages_per_category; ++i) {
+        pages[c].push_back(categories[c] + "-page-" + std::to_string(i + 1));
+      }
+    }
+    for (const std::string& p : pages[c]) {
+      (void)page_h->SetParent(0, p, categories[c]);
+    }
+  }
+  data.hierarchies->Register("page", page_h);
+
+  // Category-level Markov model: Zipf base with boosted story transitions.
+  std::mt19937_64 rng(params.seed);
+  ZipfDistribution cat_zipf(ncat, 1.1);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  std::poisson_distribution<int> length(params.mean_session_length);
+  ZipfDistribution page_zipf(16, 1.0);  // within-category page choice
+
+  auto pick_page = [&](size_t cat) -> const std::string& {
+    size_t i = page_zipf.Sample(rng) % pages[cat].size();
+    return pages[cat][i];
+  };
+  auto next_category = [&](size_t cur) -> size_t {
+    double u = unif(rng);
+    if (cur == 0) {                // Assortment ->
+      if (u < 0.42) return 1;      //   Legwear (the paper's hot pair)
+      if (u < 0.47) return 2;      //   Legcare (the colder comparison)
+      if (u < 0.55) return 0;      //   stay browsing the assortment
+    } else if (cur == 1) {         // Legwear ->
+      if (u < 0.35) return 1;      //   comparison shopping within Legwear
+      if (u < 0.45) return 7;      //   Checkout
+    } else if (cur == 3) {         // Main-Pages ->
+      if (u < 0.40) return 0;      //   Assortment
+    }
+    return cat_zipf.Sample(rng);
+  };
+
+  int64_t t = MakeTimestamp(2000, 3, 1);
+  // Crawler traffic: very long sessions sweeping pages breadth-first.
+  for (size_t b = 0; b < params.num_crawler_sessions; ++b) {
+    int len = std::max(1000, static_cast<int>(
+                                 params.mean_session_length * 250));
+    int64_t click_t = t + static_cast<int64_t>(b);
+    for (int i = 0; i < len; ++i) {
+      size_t cat = static_cast<size_t>(i) % ncat;
+      (void)data.table->AppendRow({
+          Value::String("bot" + std::to_string(b)),
+          Value::Timestamp(click_t),
+          Value::String(pages[cat][static_cast<size_t>(i / ncat) %
+                                   pages[cat].size()]),
+      });
+      click_t += 1;
+    }
+  }
+  for (size_t s = 0; s < params.num_sessions; ++s) {
+    int len = std::max(1, length(rng));
+    // Sessions start from Main-Pages or Assortment more often than not.
+    size_t cat = unif(rng) < 0.5 ? (unif(rng) < 0.6 ? 3 : 0)
+                                 : cat_zipf.Sample(rng);
+    t += 1 + static_cast<int64_t>(unif(rng) * 30);
+    int64_t click_t = t;
+    for (int i = 0; i < len; ++i) {
+      (void)data.table->AppendRow({
+          Value::String("s" + std::to_string(s)),
+          Value::Timestamp(click_t),
+          Value::String(pick_page(cat)),
+      });
+      click_t += 5 + static_cast<int64_t>(unif(rng) * 120);
+      cat = next_category(cat);
+    }
+  }
+  return data;
+}
+
+}  // namespace solap

@@ -1,0 +1,161 @@
+#include "solap/gen/synthetic.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <numeric>
+#include <random>
+
+#include "solap/gen/zipf.h"
+
+namespace solap {
+
+std::string SyntheticParams::Tag() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "I%zu.L%.0f.t%.1f.D%zu", num_symbols,
+                mean_length, theta, num_sequences);
+  return buf;
+}
+
+namespace {
+
+// Partitions `n` items into `k` buckets whose sizes follow Zipf(k, theta),
+// every bucket getting at least one item while n >= k. Returns the bucket
+// of each item (items are assigned contiguously: hottest bucket first).
+std::vector<size_t> ZipfPartition(size_t n, size_t k, double theta) {
+  ZipfDistribution zipf(k, theta);
+  std::vector<size_t> sizes(k, n >= k ? 1 : 0);
+  size_t assigned = std::accumulate(sizes.begin(), sizes.end(), size_t{0});
+  // Largest-remainder apportionment of the leftover items.
+  std::vector<double> want(k);
+  for (size_t g = 0; g < k; ++g) {
+    want[g] = zipf.ProbabilityOf(g) * static_cast<double>(n - assigned);
+  }
+  std::vector<size_t> order(k);
+  std::iota(order.begin(), order.end(), size_t{0});
+  while (assigned < n) {
+    for (size_t g : order) {
+      if (assigned >= n) break;
+      size_t grant = static_cast<size_t>(want[g]);
+      grant = std::min(grant, n - assigned);
+      if (grant == 0 && g == order.back()) grant = n - assigned;
+      sizes[g] += grant;
+      assigned += grant;
+      want[g] -= static_cast<double>(grant);
+    }
+    // Any residue: round-robin one at a time by descending remainder.
+    if (assigned < n) {
+      size_t best = 0;
+      for (size_t g = 1; g < k; ++g) {
+        if (want[g] > want[best]) best = g;
+      }
+      ++sizes[best];
+      ++assigned;
+      want[best] = 0;
+    }
+  }
+  std::vector<size_t> bucket_of(n);
+  size_t item = 0;
+  for (size_t g = 0; g < k; ++g) {
+    for (size_t i = 0; i < sizes[g] && item < n; ++i) bucket_of[item++] = g;
+  }
+  return bucket_of;
+}
+
+// The paper's Markov chain of degree 1 with "pre-determined, Zipf-skewed"
+// conditional probabilities: from symbol `s`, the ranks of the Zipf draw
+// are mapped through a permutation seeded by `s`, so every row of the
+// transition matrix is a differently-ordered Zipf distribution.
+class MarkovChain {
+ public:
+  MarkovChain(size_t n, double theta, uint64_t seed)
+      : zipf_(n, theta), perms_(n) {
+    for (size_t s = 0; s < n; ++s) {
+      perms_[s].resize(n);
+      std::iota(perms_[s].begin(), perms_[s].end(), Code{0});
+      std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ull + s);
+      std::shuffle(perms_[s].begin(), perms_[s].end(), rng);
+    }
+  }
+
+  Code Next(Code current, std::mt19937_64& rng) const {
+    return perms_[current][zipf_.Sample(rng)];
+  }
+
+ private:
+  ZipfDistribution zipf_;
+  std::vector<std::vector<Code>> perms_;
+};
+
+void GenerateInto(const SyntheticParams& params, size_t count,
+                  std::mt19937_64& rng,
+                  const std::function<void(const std::vector<Code>&)>& emit) {
+  ZipfDistribution first(params.num_symbols, params.theta);
+  MarkovChain markov(params.num_symbols, params.theta, params.seed);
+  std::poisson_distribution<int> length(params.mean_length);
+  std::vector<Code> seq;
+  for (size_t i = 0; i < count; ++i) {
+    int len = std::max(1, length(rng));
+    seq.clear();
+    seq.reserve(len);
+    Code current = static_cast<Code>(first.Sample(rng));
+    seq.push_back(current);
+    for (int j = 1; j < len; ++j) {
+      current = markov.Next(current, rng);
+      seq.push_back(current);
+    }
+    emit(seq);
+  }
+}
+
+}  // namespace
+
+SyntheticData GenerateSynthetic(const SyntheticParams& params) {
+  SyntheticData data;
+  data.groups = std::make_shared<SequenceGroupSet>(SyntheticData::kAttr);
+  data.hierarchies = std::make_shared<HierarchyRegistry>();
+
+  // Symbol dictionary: "e0".."e{I-1}" so that code == rank.
+  Dictionary& dict = data.groups->raw_dictionary();
+  for (size_t i = 0; i < params.num_symbols; ++i) {
+    dict.GetOrAdd("e" + std::to_string(i));
+  }
+
+  if (params.build_hierarchy) {
+    auto h = std::make_shared<ConceptHierarchy>(std::vector<std::string>{
+        SyntheticData::kLevelBase, SyntheticData::kLevelGroup,
+        SyntheticData::kLevelSuper});
+    std::vector<size_t> group_of = ZipfPartition(
+        params.num_symbols, params.num_groups, params.hierarchy_theta);
+    std::vector<size_t> super_of = ZipfPartition(
+        params.num_groups, params.num_supergroups, params.hierarchy_theta);
+    for (size_t i = 0; i < params.num_symbols; ++i) {
+      (void)h->SetParent(0, "e" + std::to_string(i),
+                         "g" + std::to_string(group_of[i]));
+    }
+    for (size_t g = 0; g < params.num_groups; ++g) {
+      (void)h->SetParent(1, "g" + std::to_string(g),
+                         "s" + std::to_string(super_of[g]));
+    }
+    data.hierarchies->Register(SyntheticData::kAttr, std::move(h));
+  }
+
+  // All generated sequences form a single sequence group (paper §5.2).
+  SequenceGroup& group = data.groups->GroupFor({});
+  std::mt19937_64 rng(params.seed);
+  GenerateInto(params, params.num_sequences, rng,
+               [&](const std::vector<Code>& seq) { group.AddSequence(seq); });
+  return data;
+}
+
+std::vector<std::vector<Code>> GenerateSyntheticBatch(
+    const SyntheticParams& params, size_t count, uint64_t batch_seed) {
+  std::vector<std::vector<Code>> out;
+  out.reserve(count);
+  std::mt19937_64 rng(batch_seed);
+  GenerateInto(params, count, rng,
+               [&](const std::vector<Code>& seq) { out.push_back(seq); });
+  return out;
+}
+
+}  // namespace solap

@@ -1,0 +1,65 @@
+// Synthetic sequence generator reproducing the paper's §5.2 setup:
+// D independent sequences, Poisson(L) lengths, first symbol Zipf(I, theta),
+// subsequent symbols from a degree-1 Markov chain with Zipf-skewed
+// conditionals, and an optional 3-level concept hierarchy whose group /
+// super-group sizes follow Zipf's law (I=20, theta=0.9 / I=5, theta=0.9).
+#ifndef SOLAP_GEN_SYNTHETIC_H_
+#define SOLAP_GEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "solap/hierarchy/concept_hierarchy.h"
+#include "solap/seq/sequence_group.h"
+
+namespace solap {
+
+/// Dataset identifier convention Ix.Ly.θz.Dw from the paper.
+struct SyntheticParams {
+  size_t num_sequences = 100'000;  ///< D
+  size_t num_symbols = 100;        ///< I
+  double mean_length = 20.0;       ///< L
+  double theta = 0.9;              ///< skew of symbol/conditional draws
+  uint64_t seed = 42;
+
+  /// 3-level hierarchy symbol -> group -> super-group (paper QuerySet B).
+  bool build_hierarchy = true;
+  size_t num_groups = 20;
+  size_t num_supergroups = 5;
+  double hierarchy_theta = 0.9;
+
+  /// "I100.L20.t0.9.D100000"-style tag for bench output.
+  std::string Tag() const;
+};
+
+/// A generated dataset: one raw sequence group (all sequences form a single
+/// sequence group, as in the paper) plus the hierarchy registry.
+struct SyntheticData {
+  /// Attribute name of the single raw symbol dimension.
+  static constexpr const char* kAttr = "symbol";
+  /// Level names of the generated hierarchy.
+  static constexpr const char* kLevelBase = "symbol";
+  static constexpr const char* kLevelGroup = "group";
+  static constexpr const char* kLevelSuper = "supergroup";
+
+  std::shared_ptr<SequenceGroupSet> groups;
+  std::shared_ptr<HierarchyRegistry> hierarchies;
+
+  /// LevelRef helpers for the three levels.
+  LevelRef Base() const { return {kAttr, kLevelBase}; }
+  LevelRef Group() const { return {kAttr, kLevelGroup}; }
+  LevelRef Super() const { return {kAttr, kLevelSuper}; }
+};
+
+SyntheticData GenerateSynthetic(const SyntheticParams& params);
+
+/// Generates `count` additional sequences with the same distribution
+/// (continuing the random stream from `batch_seed`) — the incremental-update
+/// workload. Returned as raw base-code sequences.
+std::vector<std::vector<Code>> GenerateSyntheticBatch(
+    const SyntheticParams& params, size_t count, uint64_t batch_seed);
+
+}  // namespace solap
+
+#endif  // SOLAP_GEN_SYNTHETIC_H_

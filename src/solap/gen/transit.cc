@@ -1,0 +1,127 @@
+#include "solap/gen/transit.h"
+
+#include <random>
+
+#include "solap/gen/zipf.h"
+
+namespace solap {
+
+namespace {
+
+struct Station {
+  const char* name;
+  const char* district;
+};
+
+// A WMATA-flavoured station map (the paper's running example names plus
+// fillers), grouped into districts.
+constexpr Station kStations[] = {
+    {"Pentagon", "D10"},    {"Clarendon", "D10"}, {"Rosslyn", "D10"},
+    {"Wheaton", "D20"},     {"Glenmont", "D20"},  {"Silver-Spring", "D20"},
+    {"Deanwood", "D30"},    {"Anacostia", "D30"}, {"Navy-Yard", "D30"},
+    {"Metro-Center", "D40"}, {"Gallery-Place", "D40"}, {"Judiciary-Sq", "D40"},
+};
+constexpr size_t kNumStations = sizeof(kStations) / sizeof(kStations[0]);
+
+constexpr const char* kFareGroups[] = {"regular", "student", "senior"};
+
+}  // namespace
+
+TransitData GenerateTransit(const TransitParams& params) {
+  TransitData data;
+  Schema schema({
+      {"time", ValueType::kTimestamp, FieldRole::kDimension},
+      {"card-id", ValueType::kString, FieldRole::kDimension},
+      {"location", ValueType::kString, FieldRole::kDimension},
+      {"action", ValueType::kString, FieldRole::kDimension},
+      {"amount", ValueType::kDouble, FieldRole::kMeasure},
+  });
+  data.table = std::make_shared<EventTable>(std::move(schema));
+  data.hierarchies = std::make_shared<HierarchyRegistry>();
+
+  auto loc_h = std::make_shared<ConceptHierarchy>(
+      std::vector<std::string>{"station", "district"});
+  for (const Station& s : kStations) {
+    (void)loc_h->SetParent(0, s.name, s.district);
+  }
+  data.hierarchies->Register("location", loc_h);
+
+  auto card_h = std::make_shared<ConceptHierarchy>(
+      std::vector<std::string>{"individual", "fare-group"});
+
+  std::mt19937_64 rng(params.seed);
+  ZipfDistribution station_zipf(kNumStations, 0.8);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  std::uniform_int_distribution<int> minute_jitter(0, 59);
+  std::uniform_int_distribution<int> trip_minutes(12, 55);
+
+  // Assign passengers a fare group and a Zipf-hot home station.
+  std::vector<size_t> home(params.num_passengers);
+  std::vector<int> fare(params.num_passengers);
+  std::uniform_int_distribution<int> fare_pick(0, 2);
+  for (size_t p = 0; p < params.num_passengers; ++p) {
+    home[p] = station_zipf.Sample(rng);
+    fare[p] = fare_pick(rng);
+    (void)card_h->SetParent(0, std::to_string(1000 + p),
+                            kFareGroups[fare[p]]);
+  }
+  data.hierarchies->Register("card-id", card_h);
+
+  auto add_event = [&](int64_t t, size_t p, size_t station,
+                       const char* action, double amount) {
+    (void)data.table->AppendRow({
+        Value::Timestamp(t),
+        Value::String(std::to_string(1000 + p)),
+        Value::String(kStations[station].name),
+        Value::String(action),
+        Value::Double(amount),
+    });
+  };
+
+  for (size_t day = 0; day < params.num_days; ++day) {
+    int64_t day_start = MakeTimestamp(params.start_year, params.start_month,
+                                      params.start_day) +
+                        static_cast<int64_t>(day) * 86400;
+    for (size_t p = 0; p < params.num_passengers; ++p) {
+      // Morning trip: home -> Zipf-hot destination.
+      size_t origin = home[p];
+      size_t dest = station_zipf.Sample(rng);
+      while (dest == origin) dest = station_zipf.Sample(rng);
+      int64_t t = day_start + 7 * 3600 + minute_jitter(rng) * 60;
+      double fare_amount = fare[p] == 0 ? -2.0 : -1.0;
+      add_event(t, p, origin, "in", 0.0);
+      t += trip_minutes(rng) * 60;
+      add_event(t, p, dest, "out", fare_amount);
+
+      // Round trip back with configured probability.
+      if (unif(rng) < params.round_trip_prob) {
+        t += 6 * 3600 + minute_jitter(rng) * 60;  // evening
+        add_event(t, p, dest, "in", 0.0);
+        t += trip_minutes(rng) * 60;
+        add_event(t, p, origin, "out", fare_amount);
+
+        // Optional third trip: origin -> somewhere (the Q2 exploration).
+        if (unif(rng) < params.third_trip_prob) {
+          size_t z = station_zipf.Sample(rng);
+          while (z == origin) z = station_zipf.Sample(rng);
+          t += 3600 + minute_jitter(rng) * 60;
+          add_event(t, p, origin, "in", 0.0);
+          t += trip_minutes(rng) * 60;
+          add_event(t, p, z, "out", fare_amount);
+        }
+      } else if (unif(rng) < 0.3) {
+        // A second, unrelated single trip.
+        size_t o2 = dest;
+        size_t d2 = station_zipf.Sample(rng);
+        while (d2 == o2) d2 = station_zipf.Sample(rng);
+        t += 5 * 3600 + minute_jitter(rng) * 60;
+        add_event(t, p, o2, "in", 0.0);
+        t += trip_minutes(rng) * 60;
+        add_event(t, p, d2, "out", fare_amount);
+      }
+    }
+  }
+  return data;
+}
+
+}  // namespace solap

@@ -1,0 +1,40 @@
+// Transit workload generator: a WMATA-style smart-card event stream
+// (paper §1 and Fig. 1) — passengers enter ("in") and leave ("out")
+// stations; stations roll up to districts and card-ids to fare groups.
+// This simulates the subway company data of §6, which was never published.
+#ifndef SOLAP_GEN_TRANSIT_H_
+#define SOLAP_GEN_TRANSIT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "solap/hierarchy/concept_hierarchy.h"
+#include "solap/storage/event_table.h"
+
+namespace solap {
+
+struct TransitParams {
+  size_t num_passengers = 2'000;
+  size_t num_days = 7;
+  /// First day of the simulated window.
+  int start_year = 2007, start_month = 10, start_day = 1;
+  /// Probability that a passenger's second trip of the day returns to the
+  /// origin of the first (the round-trip pattern (X, Y, Y, X)).
+  double round_trip_prob = 0.6;
+  /// Probability of a third, follow-up trip after a round trip.
+  double third_trip_prob = 0.3;
+  uint64_t seed = 7;
+};
+
+/// A generated transit dataset: the event database plus hierarchies
+/// location: station -> district and card-id: individual -> fare-group.
+struct TransitData {
+  std::shared_ptr<EventTable> table;
+  std::shared_ptr<HierarchyRegistry> hierarchies;
+};
+
+TransitData GenerateTransit(const TransitParams& params);
+
+}  // namespace solap
+
+#endif  // SOLAP_GEN_TRANSIT_H_

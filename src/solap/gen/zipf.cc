@@ -1,0 +1,29 @@
+#include "solap/gen/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace solap {
+
+ZipfDistribution::ZipfDistribution(size_t n, double theta) {
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+size_t ZipfDistribution::Sample(std::mt19937_64& rng) const {
+  double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::ProbabilityOf(size_t i) const {
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace solap

@@ -1,0 +1,32 @@
+// Zipf-distributed sampling used by the synthetic data generator
+// (paper §5.2: symbol frequencies and Markov conditionals follow Zipf's law
+// with skew parameter theta).
+#ifndef SOLAP_GEN_ZIPF_H_
+#define SOLAP_GEN_ZIPF_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace solap {
+
+/// \brief Samples ranks 0..n-1 with P(rank i) proportional to 1/(i+1)^theta.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double theta);
+
+  /// Draws one rank using `rng`.
+  size_t Sample(std::mt19937_64& rng) const;
+
+  /// Probability of rank `i`.
+  double ProbabilityOf(size_t i) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_GEN_ZIPF_H_

@@ -1,0 +1,41 @@
+#include "solap/index/bitmap.h"
+
+#include <bit>
+
+namespace solap {
+
+Bitmap Bitmap::FromSids(const std::vector<Sid>& sids, size_t num_bits) {
+  Bitmap b(num_bits);
+  for (Sid s : sids) b.Set(s);
+  return b;
+}
+
+void Bitmap::AndWith(const Bitmap& other) {
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void Bitmap::OrWith(const Bitmap& other) {
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+size_t Bitmap::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+std::vector<Sid> Bitmap::ToSids() const {
+  std::vector<Sid> out;
+  out.reserve(Count());
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t w = words_[wi];
+    while (w != 0) {
+      unsigned bit = static_cast<unsigned>(std::countr_zero(w));
+      out.push_back(static_cast<Sid>(wi * 64 + bit));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace solap

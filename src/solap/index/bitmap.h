@@ -1,0 +1,51 @@
+// Fixed-width bitmaps: the paper's §6 "Performance" extension — when the
+// pattern-dimension domain is small, inverted lists can be encoded as
+// bitmaps so that list intersection becomes word-parallel bitwise AND.
+#ifndef SOLAP_INDEX_BITMAP_H_
+#define SOLAP_INDEX_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "solap/common/types.h"
+
+namespace solap {
+
+/// \brief A bitset over sid space [0, num_bits).
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  static Bitmap FromSids(const std::vector<Sid>& sids, size_t num_bits);
+
+  size_t num_bits() const { return num_bits_; }
+
+  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  bool Get(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// this &= other (sizes must match).
+  void AndWith(const Bitmap& other);
+  /// this |= other (sizes must match).
+  void OrWith(const Bitmap& other);
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// Set bits as a sorted sid list.
+  std::vector<Sid> ToSids() const;
+
+  size_t ByteSize() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_INDEX_BITMAP_H_

@@ -1,0 +1,30 @@
+#include "solap/index/bitmap_index.h"
+
+namespace solap {
+
+BitmapIndex BitmapIndex::FromInverted(const InvertedIndex& index,
+                                      size_t num_sequences) {
+  BitmapIndex out(index.shape(), num_sequences);
+  for (const auto& [key, list] : index.lists()) {
+    out.lists_.emplace(key, Bitmap::FromSids(list, num_sequences));
+  }
+  return out;
+}
+
+std::shared_ptr<InvertedIndex> BitmapIndex::ToInverted(bool complete) const {
+  auto out = std::make_shared<InvertedIndex>(shape_, complete);
+  for (const auto& [key, bitmap] : lists_) {
+    out->lists().emplace(key, bitmap.ToSids());
+  }
+  return out;
+}
+
+size_t BitmapIndex::ByteSize() const {
+  size_t bytes = 0;
+  for (const auto& [key, bitmap] : lists_) {
+    bytes += key.size() * sizeof(Code) + bitmap.ByteSize();
+  }
+  return bytes;
+}
+
+}  // namespace solap

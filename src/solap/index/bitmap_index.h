@@ -1,0 +1,52 @@
+// Bitmap-encoded inverted index (paper §6 extension): same key space as
+// InvertedIndex with Bitmap payloads, enabling bitwise-AND joins.
+#ifndef SOLAP_INDEX_BITMAP_INDEX_H_
+#define SOLAP_INDEX_BITMAP_INDEX_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "solap/index/bitmap.h"
+#include "solap/index/inverted_index.h"
+
+namespace solap {
+
+/// \brief Bitmap variant of an inverted index over one sequence group.
+class BitmapIndex {
+ public:
+  BitmapIndex(IndexShape shape, size_t num_sequences)
+      : shape_(std::move(shape)), num_sequences_(num_sequences) {}
+
+  /// Re-encodes an inverted index's sid lists as bitmaps.
+  static BitmapIndex FromInverted(const InvertedIndex& index,
+                                  size_t num_sequences);
+
+  /// Decodes back to sorted-sid-list form.
+  std::shared_ptr<InvertedIndex> ToInverted(bool complete) const;
+
+  const IndexShape& shape() const { return shape_; }
+  size_t num_sequences() const { return num_sequences_; }
+
+  std::unordered_map<PatternKey, Bitmap, CodeVecHash>& lists() {
+    return lists_;
+  }
+  const std::unordered_map<PatternKey, Bitmap, CodeVecHash>& lists() const {
+    return lists_;
+  }
+
+  const Bitmap* Find(const PatternKey& key) const {
+    auto it = lists_.find(key);
+    return it == lists_.end() ? nullptr : &it->second;
+  }
+
+  size_t ByteSize() const;
+
+ private:
+  IndexShape shape_;
+  size_t num_sequences_;
+  std::unordered_map<PatternKey, Bitmap, CodeVecHash> lists_;
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_INDEX_BITMAP_INDEX_H_

@@ -1,0 +1,83 @@
+#include "solap/index/build_index.h"
+
+#include <unordered_set>
+
+namespace solap {
+
+Status AppendToIndex(InvertedIndex* index, SequenceGroup* group,
+                     const SequenceGroupSet& set,
+                     const HierarchyRegistry* hierarchies, Sid from_sid,
+                     ScanStats* stats) {
+  const IndexShape& shape = index->shape();
+  const size_t m = shape.size();
+  if (m == 0) {
+    return Status::InvalidArgument("index shape must have at least one "
+                                   "position");
+  }
+  // Bind one view per distinct attribute/level; positions share views.
+  std::vector<const Code*> pos_view(m);
+  {
+    std::unordered_map<std::string, const std::vector<Code>*> by_ref;
+    for (size_t i = 0; i < m; ++i) {
+      const LevelRef& ref = shape.positions[i];
+      auto it = by_ref.find(ref.ToString());
+      if (it == by_ref.end()) {
+        SOLAP_ASSIGN_OR_RETURN(DimensionBinding b,
+                               set.BindDimension(hierarchies, ref));
+        it = by_ref.emplace(ref.ToString(), &group->ViewFor(b)).first;
+      }
+      pos_view[i] = it->second->data();
+    }
+  }
+
+  const std::vector<uint32_t>& offsets = group->offsets();
+  const size_t num_seq = group->num_sequences();
+  std::unordered_set<PatternKey, CodeVecHash> seen;  // per-sequence dedup
+  PatternKey key(m);
+
+  for (Sid s = from_sid; s < num_seq; ++s) {
+    const uint32_t base = offsets[s];
+    const uint32_t len = offsets[s + 1] - base;
+    if (len < m) continue;
+    seen.clear();
+    if (shape.kind == PatternKind::kSubstring) {
+      for (uint32_t p = 0; p + m <= len; ++p) {
+        for (size_t i = 0; i < m; ++i) key[i] = pos_view[i][base + p + i];
+        if (seen.insert(key).second) index->AddSid(key, s);
+      }
+    } else {
+      // Depth-first enumeration of unique length-m subsequences.
+      auto rec = [&](auto&& self, size_t pos, uint32_t start) -> void {
+        if (pos == m) {
+          if (seen.insert(key).second) index->AddSid(key, s);
+          return;
+        }
+        for (uint32_t i = start; i + (m - pos) <= len; ++i) {
+          key[pos] = pos_view[pos][base + i];
+          self(self, pos + 1, i + 1);
+        }
+      };
+      rec(rec, 0, 0);
+    }
+  }
+  if (stats != nullptr) {
+    stats->sequences_scanned += num_seq - from_sid;
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<InvertedIndex>> BuildIndex(
+    SequenceGroup* group, const SequenceGroupSet& set,
+    const HierarchyRegistry* hierarchies, const IndexShape& shape,
+    ScanStats* stats) {
+  auto index = std::make_shared<InvertedIndex>(shape, /*complete=*/true);
+  SOLAP_RETURN_NOT_OK(
+      AppendToIndex(index.get(), group, set, hierarchies, 0, stats));
+  if (stats != nullptr) {
+    stats->lists_built += index->num_lists();
+    stats->index_bytes_built += index->ByteSize();
+  }
+  return index;
+}
+
+}  // namespace solap

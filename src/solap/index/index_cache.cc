@@ -1,0 +1,50 @@
+#include "solap/index/index_cache.h"
+
+namespace solap {
+
+namespace {
+
+std::string KeyOf(const IndexShape& shape, const std::string& sig) {
+  return shape.CanonicalString() + "|" + sig;
+}
+
+}  // namespace
+
+std::shared_ptr<InvertedIndex> GroupIndexCache::Find(
+    const IndexShape& shape, const std::string& constraint_sig) const {
+  auto it = by_key_.find(KeyOf(shape, constraint_sig));
+  return it == by_key_.end() ? nullptr : entries_[it->second];
+}
+
+std::shared_ptr<InvertedIndex> GroupIndexCache::FindUsable(
+    const IndexShape& shape, const std::string& constraint_sig) const {
+  if (auto exact = Find(shape, constraint_sig)) return exact;
+  if (!constraint_sig.empty()) {
+    if (auto complete = Find(shape, "")) return complete;
+  }
+  return nullptr;
+}
+
+void GroupIndexCache::Insert(std::shared_ptr<InvertedIndex> index) {
+  std::string key = KeyOf(index->shape(), index->constraint_sig());
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    entries_[it->second] = std::move(index);
+    return;
+  }
+  by_key_.emplace(std::move(key), entries_.size());
+  entries_.push_back(std::move(index));
+}
+
+size_t GroupIndexCache::TotalBytes() const {
+  size_t bytes = 0;
+  for (const auto& e : entries_) bytes += e->ByteSize();
+  return bytes;
+}
+
+void GroupIndexCache::Clear() {
+  entries_.clear();
+  by_key_.clear();
+}
+
+}  // namespace solap

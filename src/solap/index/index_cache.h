@@ -1,0 +1,54 @@
+// Per-group cache of inverted indices — the "auxiliary data structures"
+// store of the paper's architecture (Fig. 6). Indices created as
+// by-products of answering one query are reused by follow-up queries in the
+// same iterative session (paper §4.2.2).
+#ifndef SOLAP_INDEX_INDEX_CACHE_H_
+#define SOLAP_INDEX_INDEX_CACHE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "solap/index/inverted_index.h"
+
+namespace solap {
+
+/// \brief Cache of inverted indices for one sequence group.
+///
+/// Indices are keyed by shape (per-position attribute@level + kind). Each
+/// shape may hold several variants: the complete index plus
+/// template-filtered ones distinguished by constraint signature.
+class GroupIndexCache {
+ public:
+  /// Index matching `shape` with exactly `constraint_sig` ("" = complete),
+  /// or nullptr.
+  std::shared_ptr<InvertedIndex> Find(const IndexShape& shape,
+                                      const std::string& constraint_sig) const;
+
+  /// Best usable index for a query window needing `constraint_sig`: an
+  /// exact-signature match, else the complete index (always a superset —
+  /// inconsistent keys are skipped at use sites). Returns nullptr if
+  /// neither exists.
+  std::shared_ptr<InvertedIndex> FindUsable(
+      const IndexShape& shape, const std::string& constraint_sig) const;
+
+  void Insert(std::shared_ptr<InvertedIndex> index);
+
+  /// All cached indices (inspection, derivation searches, eviction).
+  const std::vector<std::shared_ptr<InvertedIndex>>& entries() const {
+    return entries_;
+  }
+
+  size_t TotalBytes() const;
+  void Clear();
+
+ private:
+  std::vector<std::shared_ptr<InvertedIndex>> entries_;
+  // shape canonical + "|" + constraint sig -> entry position.
+  std::unordered_map<std::string, size_t> by_key_;
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_INDEX_INDEX_CACHE_H_

@@ -1,0 +1,382 @@
+#include "solap/index/index_ops.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "solap/index/bitmap.h"
+
+namespace solap {
+
+namespace {
+
+// First position of the dim of `pos` restricted to window [offset, ...).
+// Returns pos itself if no earlier in-window occurrence exists.
+size_t FirstInWindow(const PatternTemplate& tmpl, size_t offset, size_t pos) {
+  int d = tmpl.dim_of(pos);
+  for (size_t p = offset; p < pos; ++p) {
+    if (tmpl.dim_of(p) == d) return p;
+  }
+  return pos;
+}
+
+}  // namespace
+
+bool WindowHasConstraints(const PatternTemplate& tmpl, size_t offset,
+                          size_t len,
+                          const std::vector<std::vector<Code>>& fixed_codes) {
+  for (size_t j = 0; j < len; ++j) {
+    size_t pos = offset + j;
+    if (FirstInWindow(tmpl, offset, pos) != pos) return true;
+    if (!fixed_codes[tmpl.dim_of(pos)].empty()) return true;
+  }
+  return false;
+}
+
+std::string WindowConstraintSig(
+    const PatternTemplate& tmpl, size_t offset, size_t len,
+    const std::vector<std::vector<Code>>& fixed_codes) {
+  if (!WindowHasConstraints(tmpl, offset, len, fixed_codes)) return "";
+  std::string sig;
+  for (size_t j = 0; j < len; ++j) {
+    size_t pos = offset + j;
+    size_t first = FirstInWindow(tmpl, offset, pos);
+    sig += "p" + std::to_string(first - offset);
+    const std::vector<Code>& allowed = fixed_codes[tmpl.dim_of(pos)];
+    if (!allowed.empty() && first == pos) {
+      sig += "=[";
+      for (Code c : allowed) sig += std::to_string(c) + ";";
+      sig += "]";
+    }
+    sig += ",";
+  }
+  return sig;
+}
+
+bool WindowConsistent(const PatternTemplate& tmpl, size_t offset,
+                      const PatternKey& key,
+                      const std::vector<std::vector<Code>>& fixed_codes) {
+  for (size_t j = 0; j < key.size(); ++j) {
+    size_t pos = offset + j;
+    size_t first = FirstInWindow(tmpl, offset, pos);
+    if (first != pos) {
+      if (key[j] != key[first - offset]) return false;
+      continue;
+    }
+    const std::vector<Code>& allowed = fixed_codes[tmpl.dim_of(pos)];
+    if (!allowed.empty() &&
+        std::find(allowed.begin(), allowed.end(), key[j]) == allowed.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ContainsWindow(const BoundPattern& bp, Sid s, const PatternKey& key,
+                    size_t offset) {
+  const size_t k = key.size();
+  const uint32_t len = bp.group().length(s);
+  if (len < k) return false;
+  if (bp.tmpl().kind() == PatternKind::kSubstring) {
+    for (uint32_t p = 0; p + k <= len; ++p) {
+      bool ok = true;
+      for (size_t j = 0; j < k; ++j) {
+        if (bp.CodeAt(offset + j, s, p + j) != key[j]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return true;
+    }
+    return false;
+  }
+  size_t j = 0;
+  for (uint32_t i = 0; i < len && j < k; ++i) {
+    if (bp.CodeAt(offset + j, s, i) == key[j]) ++j;
+  }
+  return j == k;
+}
+
+namespace {
+
+// Shared implementation of both join directions. `grow_right` selects which
+// operand contributes the new position.
+Result<std::shared_ptr<InvertedIndex>> JoinExtendImpl(
+    const InvertedIndex& base, const InvertedIndex& l2,
+    const PatternTemplate& tmpl, size_t offset, const BoundPattern& bp,
+    bool grow_right, ScanStats* stats, size_t bitmap_threshold) {
+  if (l2.shape().size() != 2) {
+    return Status::InvalidArgument("join extension requires a size-2 index, "
+                                   "got size " +
+                                   std::to_string(l2.shape().size()));
+  }
+  const size_t k = base.shape().size();
+  const size_t out_len = k + 1;
+  IndexShape out_shape = grow_right
+                             ? base.shape().ExtendedRight(l2.shape().positions[1])
+                             : base.shape().ExtendedLeft(l2.shape().positions[0]);
+  out_shape.kind = base.shape().kind;
+
+  // Bucket the L2 lists by the code on the shared position.
+  std::unordered_map<Code, std::vector<std::pair<Code, const std::vector<Sid>*>>>
+      by_shared;
+  for (const auto& [key2, list2] : l2.lists()) {
+    Code shared = grow_right ? key2[0] : key2[1];
+    Code grown = grow_right ? key2[1] : key2[0];
+    by_shared[shared].emplace_back(grown, &list2);
+  }
+
+  auto out = std::make_shared<InvertedIndex>(out_shape, /*complete=*/false);
+  const size_t base_win_offset = grow_right ? offset : offset + 1;
+  // Lazily-built bitmap encodings of long L2 lists (see bitmap_threshold).
+  std::unordered_map<const std::vector<Sid>*, Bitmap> bitmaps;
+  PatternKey out_key(out_len);
+  for (const auto& [key, list] : base.lists()) {
+    // Skip base lists inconsistent with their window (cheap pre-filter).
+    if (!WindowConsistent(tmpl, base_win_offset, key, bp.fixed_codes())) {
+      continue;
+    }
+    Code shared = grow_right ? key.back() : key.front();
+    auto it = by_shared.find(shared);
+    if (it == by_shared.end()) continue;
+    for (const auto& [grown, list2] : it->second) {
+      if (grow_right) {
+        std::copy(key.begin(), key.end(), out_key.begin());
+        out_key.back() = grown;
+      } else {
+        out_key.front() = grown;
+        std::copy(key.begin(), key.end(), out_key.begin() + 1);
+      }
+      if (!WindowConsistent(tmpl, offset, out_key, bp.fixed_codes())) continue;
+      std::vector<Sid> candidates;
+      if (bitmap_threshold != 0 && list2->size() > bitmap_threshold) {
+        // §6 bitmap extension: encode the long L2 list once; intersection
+        // becomes membership probes over the base list.
+        auto [it2, inserted] = bitmaps.try_emplace(list2);
+        if (inserted) {
+          it2->second =
+              Bitmap::FromSids(*list2, bp.group().num_sequences());
+        }
+        const Bitmap& bm = it2->second;
+        for (Sid s : list) {
+          if (bm.Get(s)) candidates.push_back(s);
+        }
+      } else {
+        candidates = IntersectSorted(list, *list2);
+      }
+      if (stats != nullptr) ++stats->list_intersections;
+      if (candidates.empty()) continue;
+      // "Scan the database to eliminate invalid entries" (Fig. 15 line 9).
+      std::vector<Sid> verified;
+      verified.reserve(candidates.size());
+      for (Sid s : candidates) {
+        if (ContainsWindow(bp, s, out_key, offset)) verified.push_back(s);
+      }
+      if (stats != nullptr) stats->sequences_scanned += candidates.size();
+      if (!verified.empty()) {
+        out->lists().emplace(out_key, std::move(verified));
+      }
+    }
+  }
+  out->set_constraint_sig(
+      WindowConstraintSig(tmpl, offset, out_len, bp.fixed_codes()));
+  // The join result is complete only if no template constraint filtered the
+  // instantiation space and both inputs were themselves complete.
+  out->set_complete(out->constraint_sig().empty() && base.complete() &&
+                    l2.complete());
+  if (stats != nullptr) {
+    stats->lists_built += out->num_lists();
+    stats->index_bytes_built += out->ByteSize();
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<InvertedIndex>> JoinExtendRight(
+    const InvertedIndex& left, const InvertedIndex& l2,
+    const PatternTemplate& tmpl, size_t offset, const BoundPattern& bp,
+    ScanStats* stats, size_t bitmap_threshold) {
+  return JoinExtendImpl(left, l2, tmpl, offset, bp, /*grow_right=*/true,
+                        stats, bitmap_threshold);
+}
+
+Result<std::shared_ptr<InvertedIndex>> JoinExtendLeft(
+    const InvertedIndex& right, const InvertedIndex& l2,
+    const PatternTemplate& tmpl, size_t offset, const BoundPattern& bp,
+    ScanStats* stats, size_t bitmap_threshold) {
+  return JoinExtendImpl(right, l2, tmpl, offset, bp, /*grow_right=*/false,
+                        stats, bitmap_threshold);
+}
+
+Result<std::shared_ptr<InvertedIndex>> RollUpMerge(
+    const InvertedIndex& fine, const std::vector<std::vector<Code>>& maps,
+    IndexShape coarse_shape, const PatternTemplate* tmpl,
+    const std::vector<std::vector<Code>>* fixed_codes, ScanStats* stats) {
+  if (!fine.complete()) {
+    return Status::InvalidArgument(
+        "P-ROLL-UP list merging requires a complete index; template-filtered "
+        "indices would lose sequences (paper §4.2.2)");
+  }
+  if (maps.size() != fine.shape().size() ||
+      coarse_shape.size() != fine.shape().size()) {
+    return Status::InvalidArgument("roll-up maps must cover every position");
+  }
+  auto out = std::make_shared<InvertedIndex>(std::move(coarse_shape),
+                                             /*complete=*/true);
+  // Append every fine list to its coarse target, then sort + dedup each
+  // target once — much cheaper than pairwise sorted unions.
+  out->lists().reserve(fine.num_lists() / 4 + 1);
+  PatternKey coarse_key;
+  for (const auto& [key, list] : fine.lists()) {
+    coarse_key = key;
+    for (size_t i = 0; i < key.size(); ++i) {
+      const std::vector<Code>& map = maps[i];
+      if (!map.empty() && key[i] < map.size()) coarse_key[i] = map[key[i]];
+    }
+    if (tmpl != nullptr && fixed_codes != nullptr &&
+        !WindowConsistent(*tmpl, 0, coarse_key, *fixed_codes)) {
+      continue;  // outside the sliced subcube
+    }
+    std::vector<Sid>& target = out->lists()[coarse_key];
+    target.insert(target.end(), list.begin(), list.end());
+  }
+  for (auto& [key, list] : out->lists()) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  if (stats != nullptr) {
+    stats->lists_built += out->num_lists();
+    stats->index_bytes_built += out->ByteSize();
+  }
+  return out;
+}
+
+Result<std::shared_ptr<InvertedIndex>> DrillDownRefine(
+    const InvertedIndex& coarse, const std::vector<std::vector<Code>>& maps,
+    const BoundPattern& bp_fine, IndexShape fine_shape,
+    const std::vector<std::vector<Code>>* coarse_fixed_codes,
+    ScanStats* stats) {
+  const size_t m = fine_shape.size();
+  if (bp_fine.tmpl().num_positions() != m ||
+      coarse.shape().size() != m || maps.size() != m) {
+    return Status::InvalidArgument(
+        "drill-down refinement requires matching index / template lengths");
+  }
+  auto out = std::make_shared<InvertedIndex>(std::move(fine_shape),
+                                             coarse.complete());
+  auto map_up = [&](size_t i, Code c) -> Code {
+    const std::vector<Code>& map = maps[i];
+    return (!map.empty() && c < map.size()) ? map[c] : c;
+  };
+  // Collect the participating coarse keys (those surviving the slice
+  // filter) and the union of their member sids, then scan each sequence
+  // exactly once — a sequence typically sits in several coarse lists.
+  std::unordered_set<PatternKey, CodeVecHash> keep;
+  std::vector<bool> marked(bp_fine.group().num_sequences(), false);
+  for (const auto& [coarse_key, list] : coarse.lists()) {
+    if (coarse_fixed_codes != nullptr &&
+        !WindowConsistent(bp_fine.tmpl(), 0, coarse_key,
+                          *coarse_fixed_codes)) {
+      continue;  // the slice excludes this coarse cell entirely
+    }
+    keep.insert(coarse_key);
+    for (Sid s : list) marked[s] = true;
+  }
+  std::unordered_set<PatternKey, CodeVecHash> seen;  // per-sid dedup
+  PatternKey fine_key(m), coarse_key(m);
+  for (Sid s = 0; s < marked.size(); ++s) {
+    if (!marked[s]) continue;
+    if (stats != nullptr) ++stats->sequences_scanned;
+    seen.clear();
+    bp_fine.ForEachOccurrence(s, [&](const uint32_t* idx) {
+      for (size_t i = 0; i < m; ++i) {
+        fine_key[i] = bp_fine.CodeAt(i, s, idx[i]);
+        coarse_key[i] = map_up(i, fine_key[i]);
+      }
+      if (keep.contains(coarse_key) && seen.insert(fine_key).second) {
+        out->AddSid(fine_key, s);
+      }
+      return true;
+    });
+  }
+  if (stats != nullptr) {
+    stats->lists_built += out->num_lists();
+    stats->index_bytes_built += out->ByteSize();
+  }
+  return out;
+}
+
+Result<std::shared_ptr<InvertedIndex>> ExtendByScan(
+    const InvertedIndex& base, const PatternTemplate& tmpl, size_t offset,
+    bool grow_right, const BoundPattern& bp, ScanStats* stats) {
+  const size_t k = base.shape().size();
+  const size_t out_len = k + 1;
+  // Template positions covered by base / by the result.
+  const size_t base_off = grow_right ? offset : offset + 1;
+  IndexShape out_shape =
+      grow_right
+          ? base.shape().ExtendedRight(
+                tmpl.dim(tmpl.dim_of(offset + k)).ref)
+          : base.shape().ExtendedLeft(tmpl.dim(tmpl.dim_of(offset)).ref);
+  out_shape.kind = base.shape().kind;
+  auto out = std::make_shared<InvertedIndex>(out_shape, /*complete=*/false);
+  out->set_constraint_sig(
+      WindowConstraintSig(tmpl, offset, out_len, bp.fixed_codes()));
+
+  const bool substring = tmpl.kind() == PatternKind::kSubstring;
+  PatternKey out_key(out_len);
+  std::unordered_set<PatternKey, CodeVecHash> seen;  // per-sid dedup
+  for (const auto& [key, list] : base.lists()) {
+    if (!WindowConsistent(tmpl, base_off, key, bp.fixed_codes())) continue;
+    for (Sid s : list) {
+      if (stats != nullptr) ++stats->sequences_scanned;
+      seen.clear();
+      const uint32_t len = bp.group().length(s);
+      if (len < out_len) continue;
+      auto try_window = [&](const uint32_t* idx) {
+        // idx[j] is the in-sequence index of template position offset + j.
+        for (size_t j = 0; j < out_len; ++j) {
+          size_t bj = grow_right ? j : j - 1;  // index into the base key
+          Code c = bp.CodeAt(offset + j, s, idx[j]);
+          if ((grow_right && j < k) || (!grow_right && j > 0)) {
+            if (c != key[bj]) return;
+          }
+          out_key[j] = c;
+        }
+        if (!WindowConsistent(tmpl, offset, out_key, bp.fixed_codes())) {
+          return;
+        }
+        if (seen.insert(out_key).second) out->AddSid(out_key, s);
+      };
+      if (substring) {
+        uint32_t idx[kMaxTemplatePositions];
+        for (uint32_t p = 0; p + out_len <= len; ++p) {
+          for (size_t j = 0; j < out_len; ++j) {
+            idx[j] = p + static_cast<uint32_t>(j);
+          }
+          try_window(idx);
+        }
+      } else {
+        uint32_t idx[kMaxTemplatePositions];
+        auto rec = [&](auto&& self, size_t j, uint32_t start) -> void {
+          if (j == out_len) {
+            try_window(idx);
+            return;
+          }
+          for (uint32_t i = start; i + (out_len - j) <= len; ++i) {
+            idx[j] = i;
+            self(self, j + 1, i + 1);
+          }
+        };
+        rec(rec, 0, 0);
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->lists_built += out->num_lists();
+    stats->index_bytes_built += out->ByteSize();
+  }
+  return out;
+}
+
+}  // namespace solap

@@ -1,0 +1,125 @@
+#include "solap/parser/lexer.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "solap/hierarchy/concept_hierarchy.h"
+
+namespace solap {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+// Parses "YYYY-MM-DD[THH:MM[:SS]]" into a timestamp Value.
+bool ParseDateTime(const std::string& text, Value* out) {
+  int y, mo, d, h = 0, mi = 0, s = 0;
+  int n = std::sscanf(text.c_str(), "%d-%d-%dT%d:%d:%d", &y, &mo, &d, &h,
+                      &mi, &s);
+  if (n != 3 && n != 5 && n != 6) return false;
+  if (mo < 1 || mo > 12 || d < 1 || d > 31) return false;
+  *out = Value::Timestamp(MakeTimestamp(y, mo, d, h, mi, s));
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token t;
+    t.offset = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(input[j])) ++j;
+      t.type = TokenType::kIdent;
+      t.text = input.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Number or datetime: consume the maximal run of characters that can
+      // appear in either, then classify.
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '.' || input[j] == ':' ||
+                       input[j] == '-')) {
+        // A '-' only continues a datetime if followed by a digit.
+        if (input[j] == '-' &&
+            (j + 1 >= n ||
+             !std::isdigit(static_cast<unsigned char>(input[j + 1])))) {
+          break;
+        }
+        ++j;
+      }
+      t.text = input.substr(i, j - i);
+      if (t.text.find('-') != std::string::npos ||
+          t.text.find(':') != std::string::npos ||
+          t.text.find('T') != std::string::npos) {
+        if (!ParseDateTime(t.text, &t.literal)) {
+          return Status::ParseError("malformed date/time literal '" + t.text +
+                                    "' at offset " + std::to_string(i));
+        }
+        t.type = TokenType::kDateTime;
+      } else if (t.text.find('.') != std::string::npos) {
+        t.type = TokenType::kNumber;
+        t.literal = Value::Double(std::stod(t.text));
+      } else {
+        t.type = TokenType::kNumber;
+        t.literal = Value::Int64(std::stoll(t.text));
+      }
+      i = j;
+    } else if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t j = i + 1;
+      while (j < n && input[j] != quote) ++j;
+      if (j >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(i));
+      }
+      t.type = TokenType::kString;
+      t.text = input.substr(i + 1, j - i - 1);
+      t.literal = Value::String(t.text);
+      i = j + 1;
+    } else if (c == '(' || c == ')' || c == ',' || c == '*' || c == '.' ||
+               c == '=') {
+      t.type = TokenType::kPunct;
+      t.text = std::string(1, c);
+      ++i;
+    } else if (c == '!' || c == '<' || c == '>') {
+      t.type = TokenType::kPunct;
+      if (i + 1 < n && input[i + 1] == '=') {
+        t.text = input.substr(i, 2);
+        i += 2;
+      } else if (c == '!') {
+        return Status::ParseError("expected '=' after '!' at offset " +
+                                  std::to_string(i));
+      } else {
+        t.text = std::string(1, c);
+        ++i;
+      }
+    } else {
+      return Status::ParseError("unexpected character '" + std::string(1, c) +
+                                "' at offset " + std::to_string(i));
+    }
+    tokens.push_back(std::move(t));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace solap

@@ -1,0 +1,36 @@
+// Lexer for the S-cuboid specification language (paper Fig. 3/5/11).
+#ifndef SOLAP_PARSER_LEXER_H_
+#define SOLAP_PARSER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "solap/common/status.h"
+#include "solap/storage/value.h"
+
+namespace solap {
+
+enum class TokenType {
+  kIdent,     ///< identifiers and keywords (incl. hyphenated: card-id,
+              ///< LEFT-MAXIMALITY)
+  kNumber,    ///< integer or decimal literal
+  kString,    ///< double-quoted string literal
+  kDateTime,  ///< 2007-10-01T00:00-style literal (becomes a timestamp)
+  kPunct,     ///< ( ) , * . = != < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   ///< raw text (identifier name, punct, digits)
+  Value literal;      ///< value of number/string/datetime tokens
+  size_t offset = 0;  ///< byte offset in the input, for error messages
+};
+
+/// Tokenizes `input`. Keywords are not distinguished here — the parser
+/// matches identifier text case-insensitively.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace solap
+
+#endif  // SOLAP_PARSER_LEXER_H_

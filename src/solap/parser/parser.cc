@@ -1,0 +1,339 @@
+#include "solap/parser/parser.h"
+
+#include "solap/common/strings.h"
+#include "solap/parser/lexer.h"
+#include "solap/pattern/regex.h"
+
+namespace solap {
+
+namespace {
+
+/// Token-stream cursor with keyword helpers.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  bool PeekKeyword(const std::string& kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kIdent && EqualsIgnoreCase(t.text, kw);
+  }
+  bool AcceptKeyword(const std::string& kw) {
+    if (!PeekKeyword(kw)) return false;
+    ++pos_;
+    return true;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (AcceptKeyword(kw)) return Status::OK();
+    return Status::ParseError("expected keyword '" + kw + "' but found '" +
+                              Peek().text + "' at offset " +
+                              std::to_string(Peek().offset));
+  }
+  bool AcceptPunct(const std::string& p) {
+    if (Peek().type == TokenType::kPunct && Peek().text == p) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectPunct(const std::string& p) {
+    if (AcceptPunct(p)) return Status::OK();
+    return Status::ParseError("expected '" + p + "' but found '" +
+                              Peek().text + "' at offset " +
+                              std::to_string(Peek().offset));
+  }
+  Result<std::string> ExpectIdent(const std::string& what) {
+    if (Peek().type != TokenType::kIdent) {
+      return Status::ParseError("expected " + what + " but found '" +
+                                Peek().text + "' at offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Next().text;
+  }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  // --- expressions --------------------------------------------------------
+
+  Result<ExprPtr> ParseOr() {
+    SOLAP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      SOLAP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Or(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    SOLAP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (AcceptKeyword("AND")) {
+      SOLAP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::And(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      SOLAP_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+      return Expr::Not(e);
+    }
+    if (AcceptPunct("(")) {
+      SOLAP_ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+      SOLAP_RETURN_NOT_OK(ExpectPunct(")"));
+      return e;
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    SOLAP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseOperand());
+    const Token& op = Peek();
+    ExprOp kind;
+    if (op.type != TokenType::kPunct) {
+      return Status::ParseError("expected a comparison operator at offset " +
+                                std::to_string(op.offset));
+    }
+    if (op.text == "=") {
+      kind = ExprOp::kEq;
+    } else if (op.text == "!=") {
+      kind = ExprOp::kNe;
+    } else if (op.text == "<") {
+      kind = ExprOp::kLt;
+    } else if (op.text == "<=") {
+      kind = ExprOp::kLe;
+    } else if (op.text == ">") {
+      kind = ExprOp::kGt;
+    } else if (op.text == ">=") {
+      kind = ExprOp::kGe;
+    } else {
+      return Status::ParseError("unknown comparison operator '" + op.text +
+                                "' at offset " + std::to_string(op.offset));
+    }
+    Next();
+    SOLAP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseOperand());
+    return Expr::Cmp(kind, lhs, rhs);
+  }
+
+  Result<ExprPtr> ParseOperand() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kNumber:
+      case TokenType::kString:
+      case TokenType::kDateTime:
+        return Expr::Lit(Next().literal);
+      case TokenType::kIdent: {
+        std::string first = Next().text;
+        if (AcceptPunct(".")) {
+          SOLAP_ASSIGN_OR_RETURN(std::string attr,
+                                 ExpectIdent("attribute name"));
+          return Expr::PCol(first, attr);
+        }
+        return Expr::Col(first);
+      }
+      default:
+        return Status::ParseError("expected an operand at offset " +
+                                  std::to_string(t.offset));
+    }
+  }
+
+  // --- clause pieces --------------------------------------------------------
+
+  Result<LevelRef> ParseLevelRef() {
+    LevelRef ref;
+    SOLAP_ASSIGN_OR_RETURN(ref.attr, ExpectIdent("attribute name"));
+    SOLAP_RETURN_NOT_OK(ExpectKeyword("AT"));
+    SOLAP_ASSIGN_OR_RETURN(ref.level, ExpectIdent("abstraction level"));
+    return ref;
+  }
+
+  Result<std::vector<LevelRef>> ParseLevelRefList() {
+    std::vector<LevelRef> out;
+    do {
+      SOLAP_ASSIGN_OR_RETURN(LevelRef r, ParseLevelRef());
+      out.push_back(std::move(r));
+    } while (AcceptPunct(","));
+    return out;
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<AggKind> ParseAggName(const std::string& name) {
+  if (EqualsIgnoreCase(name, "COUNT")) return AggKind::kCount;
+  if (EqualsIgnoreCase(name, "SUM")) return AggKind::kSum;
+  if (EqualsIgnoreCase(name, "AVG")) return AggKind::kAvg;
+  if (EqualsIgnoreCase(name, "MIN")) return AggKind::kMin;
+  if (EqualsIgnoreCase(name, "MAX")) return AggKind::kMax;
+  return Status::ParseError("unknown aggregate function '" + name + "'");
+}
+
+}  // namespace
+
+Result<CuboidSpec> ParseQuery(const std::string& query) {
+  SOLAP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(query));
+  Parser p(std::move(tokens));
+  CuboidSpec spec;
+
+  // SELECT agg FROM ident
+  SOLAP_RETURN_NOT_OK(p.ExpectKeyword("SELECT"));
+  SOLAP_ASSIGN_OR_RETURN(std::string agg_name,
+                         p.ExpectIdent("aggregate function"));
+  SOLAP_ASSIGN_OR_RETURN(spec.agg, ParseAggName(agg_name));
+  SOLAP_RETURN_NOT_OK(p.ExpectPunct("("));
+  if (spec.agg == AggKind::kCount) {
+    SOLAP_RETURN_NOT_OK(p.ExpectPunct("*"));
+  } else {
+    SOLAP_ASSIGN_OR_RETURN(spec.measure, p.ExpectIdent("measure attribute"));
+  }
+  SOLAP_RETURN_NOT_OK(p.ExpectPunct(")"));
+  SOLAP_RETURN_NOT_OK(p.ExpectKeyword("FROM"));
+  SOLAP_ASSIGN_OR_RETURN(std::string table, p.ExpectIdent("table name"));
+  (void)table;  // single event database; the name is documentation
+
+  // [WHERE expr]
+  if (p.AcceptKeyword("WHERE")) {
+    SOLAP_ASSIGN_OR_RETURN(spec.seq.where, p.ParseOr());
+  }
+
+  // CLUSTER BY a AT l {, ...}
+  SOLAP_RETURN_NOT_OK(p.ExpectKeyword("CLUSTER"));
+  SOLAP_RETURN_NOT_OK(p.ExpectKeyword("BY"));
+  SOLAP_ASSIGN_OR_RETURN(spec.seq.cluster_by, p.ParseLevelRefList());
+
+  // SEQUENCE BY ident [ASCENDING|DESCENDING]
+  SOLAP_RETURN_NOT_OK(p.ExpectKeyword("SEQUENCE"));
+  SOLAP_RETURN_NOT_OK(p.ExpectKeyword("BY"));
+  SOLAP_ASSIGN_OR_RETURN(spec.seq.sequence_by,
+                         p.ExpectIdent("ordering attribute"));
+  if (p.AcceptKeyword("ASCENDING")) {
+    spec.seq.ascending = true;
+  } else if (p.AcceptKeyword("DESCENDING")) {
+    spec.seq.ascending = false;
+  }
+
+  // [SEQUENCE GROUP BY a AT l {, ...}]
+  if (p.PeekKeyword("SEQUENCE") && p.PeekKeyword("GROUP", 1)) {
+    p.Next();
+    p.Next();
+    SOLAP_RETURN_NOT_OK(p.ExpectKeyword("BY"));
+    SOLAP_ASSIGN_OR_RETURN(spec.seq.group_by, p.ParseLevelRefList());
+  }
+
+  // CUBOID BY (SUBSTRING|SUBSEQUENCE)(sym, ...) WITH symdefs restriction
+  // [(placeholders)] [WITH predicate]
+  SOLAP_RETURN_NOT_OK(p.ExpectKeyword("CUBOID"));
+  SOLAP_RETURN_NOT_OK(p.ExpectKeyword("BY"));
+  if (p.AcceptKeyword("PATTERN")) {
+    // Regex template extension: CUBOID BY PATTERN "X ( . )* X" WITH ...
+    if (p.Peek().type != TokenType::kString) {
+      return Status::ParseError(
+          "PATTERN expects a quoted regular expression");
+    }
+    spec.regex = p.Next().text;
+  } else if (p.AcceptKeyword("SUBSTRING")) {
+    spec.kind = PatternKind::kSubstring;
+  } else if (p.AcceptKeyword("SUBSEQUENCE")) {
+    spec.kind = PatternKind::kSubsequence;
+  } else {
+    return Status::ParseError(
+        "expected SUBSTRING, SUBSEQUENCE or PATTERN after CUBOID BY");
+  }
+  if (!spec.is_regex()) {
+    SOLAP_RETURN_NOT_OK(p.ExpectPunct("("));
+    do {
+      SOLAP_ASSIGN_OR_RETURN(std::string sym,
+                             p.ExpectIdent("pattern symbol"));
+      spec.symbols.push_back(std::move(sym));
+    } while (p.AcceptPunct(","));
+    SOLAP_RETURN_NOT_OK(p.ExpectPunct(")"));
+  }
+
+  SOLAP_RETURN_NOT_OK(p.ExpectKeyword("WITH"));
+  do {
+    PatternDim dim;
+    SOLAP_ASSIGN_OR_RETURN(dim.symbol, p.ExpectIdent("pattern symbol"));
+    SOLAP_RETURN_NOT_OK(p.ExpectKeyword("AS"));
+    SOLAP_ASSIGN_OR_RETURN(dim.ref, p.ParseLevelRef());
+    spec.dims.push_back(std::move(dim));
+  } while (p.AcceptPunct(","));
+
+  if (p.AcceptKeyword("LEFT-MAXIMALITY")) {
+    spec.restriction = CellRestriction::kLeftMaxMatchedGo;
+  } else if (p.AcceptKeyword("LEFT-MAXIMALITY-DATA")) {
+    spec.restriction = CellRestriction::kLeftMaxDataGo;
+  } else if (p.AcceptKeyword("ALL-MATCHED")) {
+    spec.restriction = CellRestriction::kAllMatchedGo;
+  } else {
+    return Status::ParseError(
+        "expected a cell restriction (LEFT-MAXIMALITY, "
+        "LEFT-MAXIMALITY-DATA or ALL-MATCHED) but found '" +
+        p.Peek().text + "'");
+  }
+  if (p.AcceptPunct("(")) {
+    do {
+      SOLAP_ASSIGN_OR_RETURN(std::string ph,
+                             p.ExpectIdent("event placeholder"));
+      spec.placeholders.push_back(std::move(ph));
+    } while (p.AcceptPunct(","));
+    SOLAP_RETURN_NOT_OK(p.ExpectPunct(")"));
+  }
+  if (p.AcceptKeyword("WITH")) {
+    SOLAP_ASSIGN_OR_RETURN(spec.predicate, p.ParseOr());
+  }
+
+  // [ICEBERG n] — iceberg S-cuboid extension (paper §6).
+  if (p.AcceptKeyword("ICEBERG")) {
+    const Token& t = p.Peek();
+    if (t.type != TokenType::kNumber) {
+      return Status::ParseError("ICEBERG expects a minimum support count");
+    }
+    spec.iceberg_min_count = p.Next().literal.int64();
+  }
+
+  if (!p.AtEnd()) {
+    return Status::ParseError("unexpected trailing input starting at '" +
+                              p.Peek().text + "' (offset " +
+                              std::to_string(p.Peek().offset) + ")");
+  }
+  // Basic semantic validation, so errors surface at parse time.
+  if (spec.is_regex()) {
+    if (!spec.placeholders.empty() || spec.predicate != nullptr) {
+      return Status::ParseError(
+          "event placeholders / matching predicates are not supported with "
+          "PATTERN templates");
+    }
+    SOLAP_ASSIGN_OR_RETURN(RegexTemplate rt,
+                           RegexTemplate::Parse(spec.regex, spec.dims));
+    (void)rt;
+    return spec;
+  }
+  SOLAP_ASSIGN_OR_RETURN(PatternTemplate tmpl, spec.MakeTemplate());
+  if (!spec.placeholders.empty() &&
+      spec.placeholders.size() != tmpl.num_positions()) {
+    return Status::ParseError(
+        "the cell restriction declares " +
+        std::to_string(spec.placeholders.size()) +
+        " event placeholders but the pattern template has " +
+        std::to_string(tmpl.num_positions()) + " positions");
+  }
+  return spec;
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  SOLAP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser p(std::move(tokens));
+  SOLAP_ASSIGN_OR_RETURN(ExprPtr e, p.ParseOr());
+  if (!p.AtEnd()) {
+    return Status::ParseError("unexpected trailing input in expression");
+  }
+  return e;
+}
+
+}  // namespace solap

@@ -1,0 +1,40 @@
+// Recursive-descent parser for the S-cuboid specification language.
+//
+// Grammar (paper Fig. 3; [] optional, {} repetition):
+//
+//   query      := SELECT agg FROM ident
+//                 [WHERE expr]
+//                 CLUSTER BY levelRef {, levelRef}
+//                 SEQUENCE BY ident [ASCENDING | DESCENDING]
+//                 [SEQUENCE GROUP BY levelRef {, levelRef}]
+//                 CUBOID BY (SUBSTRING | SUBSEQUENCE) ( sym {, sym} )
+//                   WITH symDef {, symDef}
+//                   restriction [( placeholder {, placeholder} )]
+//                   [WITH expr]
+//                 [ICEBERG number]                      -- §6 extension
+//   agg        := COUNT ( * ) | (SUM|AVG|MIN|MAX) ( ident )
+//   levelRef   := ident AT ident
+//   symDef     := sym AS ident AT ident
+//   restriction:= LEFT-MAXIMALITY | LEFT-MAXIMALITY-DATA | ALL-MATCHED
+//   expr       := and-or tree of comparisons over attributes,
+//                 placeholder.attribute references and literals
+#ifndef SOLAP_PARSER_PARSER_H_
+#define SOLAP_PARSER_PARSER_H_
+
+#include <string>
+
+#include "solap/common/status.h"
+#include "solap/cube/cuboid_spec.h"
+
+namespace solap {
+
+/// Parses a full S-cuboid specification query.
+Result<CuboidSpec> ParseQuery(const std::string& query);
+
+/// Parses a standalone boolean expression (useful for building WHERE
+/// clauses and matching predicates programmatically from text).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace solap
+
+#endif  // SOLAP_PARSER_PARSER_H_

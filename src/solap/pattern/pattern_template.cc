@@ -1,0 +1,118 @@
+#include "solap/pattern/pattern_template.h"
+
+#include <algorithm>
+
+namespace solap {
+
+const char* PatternKindName(PatternKind kind) {
+  return kind == PatternKind::kSubstring ? "SUBSTRING" : "SUBSEQUENCE";
+}
+
+const char* CellRestrictionName(CellRestriction r) {
+  switch (r) {
+    case CellRestriction::kLeftMaxMatchedGo:
+      return "LEFT-MAXIMALITY";
+    case CellRestriction::kLeftMaxDataGo:
+      return "LEFT-MAXIMALITY-DATA";
+    case CellRestriction::kAllMatchedGo:
+      return "ALL-MATCHED";
+  }
+  return "?";
+}
+
+Result<PatternTemplate> PatternTemplate::Make(PatternKind kind,
+                                              std::vector<std::string> symbols,
+                                              std::vector<PatternDim> dims) {
+  if (symbols.empty()) {
+    return Status::InvalidArgument("pattern template must have at least one "
+                                   "symbol");
+  }
+  PatternTemplate t;
+  t.kind_ = kind;
+  t.symbols_ = std::move(symbols);
+  t.dims_ = std::move(dims);
+  t.dim_of_.resize(t.symbols_.size());
+  t.first_pos_.assign(t.dims_.size(), -1);
+  for (size_t pos = 0; pos < t.symbols_.size(); ++pos) {
+    int d = -1;
+    for (size_t i = 0; i < t.dims_.size(); ++i) {
+      if (t.dims_[i].symbol == t.symbols_[pos]) {
+        d = static_cast<int>(i);
+        break;
+      }
+    }
+    if (d < 0) {
+      return Status::InvalidArgument("pattern symbol '" + t.symbols_[pos] +
+                                     "' has no WITH ... AS declaration");
+    }
+    t.dim_of_[pos] = d;
+    if (t.first_pos_[d] < 0) t.first_pos_[d] = static_cast<int>(pos);
+  }
+  for (size_t i = 0; i < t.dims_.size(); ++i) {
+    if (t.first_pos_[i] < 0) {
+      return Status::InvalidArgument("pattern dimension '" +
+                                     t.dims_[i].symbol +
+                                     "' never occurs in the template");
+    }
+  }
+  return t;
+}
+
+bool PatternTemplate::HasRepeatedSymbols() const {
+  return dim_of_.size() > dims_.size();
+}
+
+bool PatternTemplate::HasRestrictedDims() const {
+  return std::any_of(dims_.begin(), dims_.end(),
+                     [](const PatternDim& d) { return d.restricted(); });
+}
+
+PatternKey PatternTemplate::DimCodesOf(const PatternKey& position_key) const {
+  PatternKey out(dims_.size());
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    out[d] = position_key[first_pos_[d]];
+  }
+  return out;
+}
+
+bool PatternTemplate::ConsistentPrefix(
+    const PatternKey& position_key, size_t prefix_len,
+    const std::vector<std::vector<Code>>& fixed_codes) const {
+  for (size_t pos = 0; pos < prefix_len; ++pos) {
+    int d = dim_of_[pos];
+    // Repeated-symbol equality against the dimension's first position (when
+    // that position is inside the prefix).
+    size_t fp = static_cast<size_t>(first_pos_[d]);
+    if (fp < pos && position_key[pos] != position_key[fp]) return false;
+    if (!fixed_codes[d].empty()) {
+      const std::vector<Code>& allowed = fixed_codes[d];
+      if (std::find(allowed.begin(), allowed.end(), position_key[pos]) ==
+          allowed.end()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string PatternTemplate::CanonicalString() const {
+  std::string out = PatternKindName(kind_);
+  out += "(";
+  for (size_t i = 0; i < symbols_.size(); ++i) {
+    if (i) out += ",";
+    out += symbols_[i];
+  }
+  out += ")WITH";
+  for (const PatternDim& d : dims_) {
+    out += d.symbol + ":" + d.ref.ToString();
+    if (!d.fixed_labels.empty()) {
+      out += "=" + d.fixed_level + "[";
+      for (const std::string& l : d.fixed_labels) out += l + ";";
+      out += "]";
+    }
+    out += ",";
+  }
+  return out;
+}
+
+}  // namespace solap

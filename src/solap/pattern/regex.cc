@@ -1,0 +1,265 @@
+#include "solap/pattern/regex.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace solap {
+
+namespace {
+
+// --- regex tokenization ------------------------------------------------------
+
+enum class RTok { kIdent, kLiteral, kDot, kLParen, kRParen, kAlt, kStar,
+                  kPlus, kOpt, kEnd };
+
+struct RToken {
+  RTok kind;
+  std::string text;
+};
+
+Result<std::vector<RToken>> RexTokenize(const std::string& s) {
+  std::vector<RToken> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    char c = s[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < s.size() &&
+             (std::isalnum(static_cast<unsigned char>(s[j])) ||
+              s[j] == '_' || s[j] == '-')) {
+        ++j;
+      }
+      out.push_back({RTok::kIdent, s.substr(i, j - i)});
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = s.find('\'', i + 1);
+      if (j == std::string::npos) {
+        return Status::ParseError("unterminated literal in pattern '" + s +
+                                  "'");
+      }
+      out.push_back({RTok::kLiteral, s.substr(i + 1, j - i - 1)});
+      i = j + 1;
+      continue;
+    }
+    RTok kind;
+    switch (c) {
+      case '.':
+        kind = RTok::kDot;
+        break;
+      case '(':
+        kind = RTok::kLParen;
+        break;
+      case ')':
+        kind = RTok::kRParen;
+        break;
+      case '|':
+        kind = RTok::kAlt;
+        break;
+      case '*':
+        kind = RTok::kStar;
+        break;
+      case '+':
+        kind = RTok::kPlus;
+        break;
+      case '?':
+        kind = RTok::kOpt;
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' in pattern '" + s + "'");
+    }
+    out.push_back({kind, std::string(1, c)});
+    ++i;
+  }
+  out.push_back({RTok::kEnd, ""});
+  return out;
+}
+
+// --- Thompson construction ---------------------------------------------------
+
+struct Fragment {
+  int start;
+  int end;
+};
+
+class Builder {
+ public:
+  Builder(std::vector<std::vector<RegexTemplate::Edge>>* states,
+          const std::vector<PatternDim>* dims,
+          std::vector<std::string>* literals,
+          std::vector<RToken> tokens)
+      : states_(states),
+        dims_(dims),
+        literals_(literals),
+        tokens_(std::move(tokens)) {}
+
+  Result<Fragment> ParseAlt() {
+    SOLAP_ASSIGN_OR_RETURN(Fragment lhs, ParseCat());
+    while (Peek().kind == RTok::kAlt) {
+      ++pos_;
+      SOLAP_ASSIGN_OR_RETURN(Fragment rhs, ParseCat());
+      int s = NewState(), e = NewState();
+      Eps(s, lhs.start);
+      Eps(s, rhs.start);
+      Eps(lhs.end, e);
+      Eps(rhs.end, e);
+      lhs = {s, e};
+    }
+    return lhs;
+  }
+
+  const RToken& Peek() const { return tokens_[pos_]; }
+
+ private:
+  Result<Fragment> ParseCat() {
+    SOLAP_ASSIGN_OR_RETURN(Fragment frag, ParseRep());
+    while (true) {
+      RTok k = Peek().kind;
+      if (k != RTok::kIdent && k != RTok::kLiteral && k != RTok::kDot &&
+          k != RTok::kLParen) {
+        break;
+      }
+      SOLAP_ASSIGN_OR_RETURN(Fragment next, ParseRep());
+      Eps(frag.end, next.start);
+      frag.end = next.end;
+    }
+    return frag;
+  }
+
+  Result<Fragment> ParseRep() {
+    SOLAP_ASSIGN_OR_RETURN(Fragment frag, ParseAtom());
+    RTok k = Peek().kind;
+    if (k != RTok::kStar && k != RTok::kPlus && k != RTok::kOpt) {
+      return frag;
+    }
+    ++pos_;
+    int s = NewState(), e = NewState();
+    Eps(s, frag.start);
+    Eps(frag.end, e);
+    if (k == RTok::kStar || k == RTok::kPlus) Eps(frag.end, frag.start);
+    if (k == RTok::kStar || k == RTok::kOpt) Eps(s, e);
+    return Fragment{s, e};
+  }
+
+  Result<Fragment> ParseAtom() {
+    const RToken tok = Peek();
+    switch (tok.kind) {
+      case RTok::kIdent: {
+        ++pos_;
+        int d = -1;
+        for (size_t i = 0; i < dims_->size(); ++i) {
+          if ((*dims_)[i].symbol == tok.text) {
+            d = static_cast<int>(i);
+            break;
+          }
+        }
+        if (d < 0) {
+          return Status::ParseError("pattern symbol '" + tok.text +
+                                    "' has no WITH ... AS declaration");
+        }
+        return Leaf(RegexTemplate::EdgeKind::kSymbol, d);
+      }
+      case RTok::kLiteral: {
+        ++pos_;
+        auto it = std::find(literals_->begin(), literals_->end(), tok.text);
+        int ordinal;
+        if (it == literals_->end()) {
+          ordinal = static_cast<int>(literals_->size());
+          literals_->push_back(tok.text);
+        } else {
+          ordinal = static_cast<int>(it - literals_->begin());
+        }
+        return Leaf(RegexTemplate::EdgeKind::kLiteral, ordinal);
+      }
+      case RTok::kDot:
+        ++pos_;
+        return Leaf(RegexTemplate::EdgeKind::kAny, 0);
+      case RTok::kLParen: {
+        ++pos_;
+        SOLAP_ASSIGN_OR_RETURN(Fragment inner, ParseAlt());
+        if (Peek().kind != RTok::kRParen) {
+          return Status::ParseError("missing ')' in pattern");
+        }
+        ++pos_;
+        return inner;
+      }
+      default:
+        return Status::ParseError("unexpected '" + tok.text +
+                                  "' in pattern");
+    }
+  }
+
+  int NewState() {
+    states_->emplace_back();
+    return static_cast<int>(states_->size() - 1);
+  }
+  void Eps(int from, int to) {
+    (*states_)[from].push_back(
+        {RegexTemplate::EdgeKind::kEpsilon, to, 0});
+  }
+  Fragment Leaf(RegexTemplate::EdgeKind kind, int index) {
+    int s = NewState(), e = NewState();
+    (*states_)[s].push_back({kind, e, index});
+    return {s, e};
+  }
+
+  std::vector<std::vector<RegexTemplate::Edge>>* states_;
+  const std::vector<PatternDim>* dims_;
+  std::vector<std::string>* literals_;
+  std::vector<RToken> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RegexTemplate> RegexTemplate::Parse(const std::string& pattern,
+                                           std::vector<PatternDim> dims) {
+  if (dims.empty()) {
+    return Status::InvalidArgument(
+        "a regex template needs at least one declared pattern dimension "
+        "(the template's domain)");
+  }
+  for (const PatternDim& d : dims) {
+    if (!(d.ref == dims.front().ref)) {
+      return Status::InvalidArgument(
+          "all dimensions of a regex template must share one domain; '" +
+          d.symbol + "' is at " + d.ref.ToString() + " but '" +
+          dims.front().symbol + "' is at " + dims.front().ref.ToString());
+    }
+  }
+  RegexTemplate t;
+  t.pattern_ = pattern;
+  t.dims_ = std::move(dims);
+  SOLAP_ASSIGN_OR_RETURN(std::vector<RToken> tokens, RexTokenize(pattern));
+  Builder b(&t.states_, &t.dims_, &t.literal_labels_, std::move(tokens));
+  SOLAP_ASSIGN_OR_RETURN(Fragment frag, b.ParseAlt());
+  if (b.Peek().kind != RTok::kEnd) {
+    return Status::ParseError("unexpected trailing '" + b.Peek().text +
+                              "' in pattern '" + pattern + "'");
+  }
+  t.start_ = frag.start;
+  t.accept_ = frag.end;
+  // Every declared dimension must be reachable in the pattern.
+  std::vector<bool> used(t.dims_.size(), false);
+  for (const auto& edges : t.states_) {
+    for (const Edge& e : edges) {
+      if (e.kind == EdgeKind::kSymbol) used[e.index] = true;
+    }
+  }
+  for (size_t d = 0; d < used.size(); ++d) {
+    if (!used[d]) {
+      return Status::InvalidArgument("pattern dimension '" +
+                                     t.dims_[d].symbol +
+                                     "' never occurs in the pattern");
+    }
+  }
+  return t;
+}
+
+}  // namespace solap

@@ -1,0 +1,16 @@
+#include "solap/seq/sequence_cache.h"
+
+namespace solap {
+
+std::shared_ptr<SequenceGroupSet> SequenceCache::Lookup(
+    const SequenceSpec& spec) const {
+  auto it = map_.find(spec.CanonicalString());
+  return it == map_.end() ? nullptr : it->second;
+}
+
+void SequenceCache::Insert(const SequenceSpec& spec,
+                           std::shared_ptr<SequenceGroupSet> set) {
+  map_[spec.CanonicalString()] = std::move(set);
+}
+
+}  // namespace solap

@@ -1,0 +1,38 @@
+// Sequence cache (paper Fig. 6): memoizes the output of the sequence query
+// engine so iterative queries sharing the same formation clauses skip
+// steps 1-4 entirely.
+#ifndef SOLAP_SEQ_SEQUENCE_CACHE_H_
+#define SOLAP_SEQ_SEQUENCE_CACHE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "solap/seq/sequence_group.h"
+#include "solap/seq/sequence_query_engine.h"
+
+namespace solap {
+
+/// \brief Keyed store of SequenceGroupSets by canonical SequenceSpec text.
+class SequenceCache {
+ public:
+  /// Cached set for `spec`, or nullptr.
+  std::shared_ptr<SequenceGroupSet> Lookup(const SequenceSpec& spec) const;
+
+  /// Stores `set` under `spec` (replacing any previous entry).
+  void Insert(const SequenceSpec& spec,
+              std::shared_ptr<SequenceGroupSet> set);
+
+  /// Drops every entry (used when the event table is mutated in a way that
+  /// invalidates previously formed sequences).
+  void Clear() { map_.clear(); }
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<SequenceGroupSet>> map_;
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_SEQ_SEQUENCE_CACHE_H_

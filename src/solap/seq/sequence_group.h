@@ -1,0 +1,132 @@
+// Sequence groups: the output of S-cuboid formation steps 1-4 (paper §3.2).
+//
+// A SequenceGroup holds the data sequences sharing one combination of global
+// dimension values (e.g. fare-group="regular", day="2007-12-25" — Fig. 8).
+// Sequences are stored in CSR form: a flat array of event row-ids (or raw
+// symbol codes) plus per-sequence offsets. Sids are positions within the
+// group, matching the paper's per-group inverted lists.
+#ifndef SOLAP_SEQ_SEQUENCE_GROUP_H_
+#define SOLAP_SEQ_SEQUENCE_GROUP_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "solap/common/status.h"
+#include "solap/common/types.h"
+#include "solap/seq/dimension.h"
+#include "solap/storage/event_table.h"
+
+namespace solap {
+
+/// \brief One group of data sequences plus lazily computed symbol views.
+///
+/// A *symbol view* is the per-position code of every sequence element for
+/// one (attribute, level) pair — the alphabet pattern matching runs on.
+/// Views are cached because every query over the same group at the same
+/// abstraction level reuses them.
+class SequenceGroup {
+ public:
+  /// Creates a table-backed group.
+  explicit SequenceGroup(const EventTable* table) : table_(table) {}
+  /// Creates a raw group whose sequences are base-code streams of a single
+  /// attribute dictionary-encoded by the owning SequenceGroupSet.
+  SequenceGroup() = default;
+
+  const CellKey& key() const { return key_; }
+  void set_key(CellKey key) { key_ = std::move(key); }
+
+  size_t num_sequences() const { return offsets_.size() - 1; }
+  uint32_t length(Sid s) const { return offsets_[s + 1] - offsets_[s]; }
+  size_t total_events() const { return data_.size(); }
+  const EventTable* table() const { return table_; }
+
+  /// Event rows of sequence `s` (table-backed groups only).
+  std::span<const RowId> Rows(Sid s) const {
+    return {data_.data() + offsets_[s], length(s)};
+  }
+
+  /// Appends one sequence; `items` are event row-ids (table-backed) or
+  /// base codes (raw). Returns the new sequence's sid.
+  Sid AddSequence(std::span<const uint32_t> items);
+
+  /// Symbol view for `dim`: flat per-position codes aligned with the
+  /// group's offsets. Computed once per (attr, level) and cached.
+  const std::vector<Code>& ViewFor(const DimensionBinding& dim);
+
+  /// Symbols of sequence `s` within a view returned by ViewFor.
+  std::span<const Code> Symbols(const std::vector<Code>& view, Sid s) const {
+    return {view.data() + offsets_[s], length(s)};
+  }
+
+  /// Drops cached views (called when new sequences are appended).
+  void InvalidateViews() { views_.clear(); }
+
+  const std::vector<uint32_t>& offsets() const { return offsets_; }
+
+ private:
+  const EventTable* table_ = nullptr;
+  CellKey key_;
+  std::vector<uint32_t> offsets_{0};
+  std::vector<uint32_t> data_;  // row-ids or base codes
+  std::unordered_map<std::string, std::vector<Code>> views_;
+};
+
+/// \brief The full result of sequence formation: all groups plus the
+/// metadata needed to bind pattern dimensions and decode group keys.
+class SequenceGroupSet {
+ public:
+  /// Table-backed set.
+  SequenceGroupSet(const EventTable* table, std::vector<LevelRef> global_dims,
+                   std::vector<DimensionBinding> global_bindings)
+      : table_(table),
+        global_dims_(std::move(global_dims)),
+        global_bindings_(std::move(global_bindings)) {}
+
+  /// Raw set over a single symbol attribute (synthetic workloads): the set
+  /// owns the base dictionary for `raw_attr`.
+  explicit SequenceGroupSet(std::string raw_attr)
+      : raw_attr_(std::move(raw_attr)) {}
+
+  bool is_raw() const { return table_ == nullptr; }
+  const EventTable* table() const { return table_; }
+  const std::string& raw_attr() const { return raw_attr_; }
+  Dictionary& raw_dictionary() { return raw_dict_; }
+  const Dictionary& raw_dictionary() const { return raw_dict_; }
+
+  const std::vector<LevelRef>& global_dims() const { return global_dims_; }
+  const std::vector<DimensionBinding>& global_bindings() const {
+    return global_bindings_;
+  }
+
+  std::vector<SequenceGroup>& groups() { return groups_; }
+  const std::vector<SequenceGroup>& groups() const { return groups_; }
+
+  /// Group with key `key`, creating it if absent.
+  SequenceGroup& GroupFor(const CellKey& key);
+
+  size_t total_sequences() const;
+
+  /// Human-readable labels of a group key, one per global dimension.
+  std::vector<std::string> KeyLabels(const CellKey& key) const;
+
+  /// Binds `ref` as a pattern/matching dimension against this set
+  /// (table-backed or raw as appropriate).
+  Result<DimensionBinding> BindDimension(const HierarchyRegistry* reg,
+                                         const LevelRef& ref) const;
+
+ private:
+  const EventTable* table_ = nullptr;
+  std::string raw_attr_;
+  Dictionary raw_dict_;
+  std::vector<LevelRef> global_dims_;
+  std::vector<DimensionBinding> global_bindings_;
+  std::vector<SequenceGroup> groups_;
+  std::unordered_map<CellKey, size_t, CodeVecHash> group_index_;
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_SEQ_SEQUENCE_GROUP_H_

@@ -1,0 +1,52 @@
+// The sequence query engine: S-cuboid formation steps 1-4 (paper §3.2 and
+// Fig. 4) — Selection, Clustering, Sequence Formation, Sequence Grouping.
+#ifndef SOLAP_SEQ_SEQUENCE_QUERY_ENGINE_H_
+#define SOLAP_SEQ_SEQUENCE_QUERY_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "solap/common/status.h"
+#include "solap/expr/expr.h"
+#include "solap/seq/sequence_group.h"
+
+namespace solap {
+
+/// \brief The sequence-formation half of an S-cuboid specification:
+/// WHERE + CLUSTER BY + SEQUENCE BY + SEQUENCE GROUP BY.
+struct SequenceSpec {
+  /// Step 1 — event selection; nullptr selects everything.
+  ExprPtr where;
+  /// Step 2 — events sharing these dimension values form a cluster.
+  std::vector<LevelRef> cluster_by;
+  /// Step 3 — attribute whose order turns a cluster into a sequence.
+  std::string sequence_by;
+  bool ascending = true;
+  /// Step 4 — global dimensions; empty means one single sequence group.
+  std::vector<LevelRef> group_by;
+
+  /// Canonical text used as the sequence-cache key.
+  std::string CanonicalString() const;
+};
+
+/// \brief Executes SequenceSpecs against an event table.
+///
+/// The paper offloads these four steps to "an existing sequence database
+/// query engine" and caches the result (Fig. 6); this class is that engine.
+class SequenceQueryEngine {
+ public:
+  explicit SequenceQueryEngine(const HierarchyRegistry* hierarchies)
+      : hierarchies_(hierarchies) {}
+
+  /// Runs steps 1-4 and returns the grouped sequences.
+  Result<std::shared_ptr<SequenceGroupSet>> Build(const EventTable& table,
+                                                  const SequenceSpec& spec);
+
+ private:
+  const HierarchyRegistry* hierarchies_;
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_SEQ_SEQUENCE_QUERY_ENGINE_H_

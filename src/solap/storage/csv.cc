@@ -1,0 +1,205 @@
+#include "solap/storage/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "solap/hierarchy/concept_hierarchy.h"
+
+namespace solap {
+
+namespace {
+
+// Splits one CSV record honoring double-quoted fields ("" escapes a quote).
+std::vector<std::string> SplitRecord(const std::string& line,
+                                     char delimiter) {
+  std::vector<std::string> out;
+  std::string field;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && field.empty()) {
+      quoted = true;
+    } else if (c == delimiter) {
+      out.push_back(std::move(field));
+      field.clear();
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  out.push_back(std::move(field));
+  return out;
+}
+
+Result<Value> ParseField(const Field& field, const std::string& text,
+                         size_t line_no) {
+  auto fail = [&](const std::string& what) {
+    return Status::ParseError("line " + std::to_string(line_no) + ", column '" +
+                              field.name + "': " + what + " ('" + text +
+                              "')");
+  };
+  switch (field.type) {
+    case ValueType::kString:
+      return Value::String(text);
+    case ValueType::kInt64:
+      try {
+        size_t used = 0;
+        int64_t v = std::stoll(text, &used);
+        if (used != text.size()) return fail("trailing characters");
+        return Value::Int64(v);
+      } catch (...) {
+        return fail("not an integer");
+      }
+    case ValueType::kDouble:
+      try {
+        size_t used = 0;
+        double v = std::stod(text, &used);
+        if (used != text.size()) return fail("trailing characters");
+        return Value::Double(v);
+      } catch (...) {
+        return fail("not a number");
+      }
+    case ValueType::kTimestamp: {
+      int y, mo, d, h = 0, mi = 0, s = 0;
+      int n = std::sscanf(text.c_str(), "%d-%d-%d%*1[T ]%d:%d:%d", &y, &mo,
+                          &d, &h, &mi, &s);
+      if (n >= 3) {
+        if (mo < 1 || mo > 12 || d < 1 || d > 31) {
+          return fail("invalid calendar date");
+        }
+        return Value::Timestamp(MakeTimestamp(y, mo, d, h, mi, s));
+      }
+      try {
+        return Value::Timestamp(std::stoll(text));
+      } catch (...) {
+        return fail("not a date/time");
+      }
+    }
+    case ValueType::kNull:
+      break;
+  }
+  return fail("unsupported column type");
+}
+
+}  // namespace
+
+Status AppendCsv(EventTable* table, std::istream& in,
+                 const CsvOptions& options) {
+  const Schema& schema = table->schema();
+  std::string line;
+  size_t line_no = 0;
+  // Column mapping: csv position -> schema field (-1 = ignored).
+  std::vector<int> mapping;
+  if (options.has_header) {
+    if (!std::getline(in, line)) {
+      return Status::ParseError("empty input: missing CSV header");
+    }
+    ++line_no;
+    std::vector<std::string> names = SplitRecord(line, options.delimiter);
+    size_t matched = 0;
+    for (const std::string& name : names) {
+      int idx = schema.FieldIndex(name);
+      mapping.push_back(idx);
+      if (idx >= 0) ++matched;
+    }
+    if (matched != schema.num_fields()) {
+      return Status::ParseError(
+          "CSV header does not cover the schema: matched " +
+          std::to_string(matched) + " of " +
+          std::to_string(schema.num_fields()) + " attributes");
+    }
+  } else {
+    for (size_t i = 0; i < schema.num_fields(); ++i) {
+      mapping.push_back(static_cast<int>(i));
+    }
+  }
+
+  std::vector<Value> row(schema.num_fields());
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    std::vector<std::string> fields = SplitRecord(line, options.delimiter);
+    if (fields.size() < mapping.size()) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                std::to_string(fields.size()) +
+                                " fields, expected at least " +
+                                std::to_string(mapping.size()));
+    }
+    for (size_t i = 0; i < mapping.size(); ++i) {
+      if (mapping[i] < 0) continue;
+      SOLAP_ASSIGN_OR_RETURN(
+          row[mapping[i]],
+          ParseField(schema.field(mapping[i]), fields[i], line_no));
+    }
+    SOLAP_RETURN_NOT_OK(table->AppendRow(row));
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<EventTable>> LoadCsv(const Schema& schema,
+                                            std::istream& in,
+                                            const CsvOptions& options) {
+  auto table = std::make_shared<EventTable>(schema);
+  SOLAP_RETURN_NOT_OK(AppendCsv(table.get(), in, options));
+  return table;
+}
+
+Status WriteCsv(const EventTable& table, std::ostream& out,
+                const CsvOptions& options) {
+  const Schema& schema = table.schema();
+  if (options.has_header) {
+    for (size_t i = 0; i < schema.num_fields(); ++i) {
+      if (i) out << options.delimiter;
+      out << schema.field(i).name;
+    }
+    out << "\n";
+  }
+  for (RowId row = 0; row < table.num_rows(); ++row) {
+    for (size_t i = 0; i < schema.num_fields(); ++i) {
+      if (i) out << options.delimiter;
+      Value v = table.GetValue(row, static_cast<int>(i));
+      if (v.type() == ValueType::kString &&
+          (v.str().find(options.delimiter) != std::string::npos ||
+           v.str().find('"') != std::string::npos)) {
+        out << '"';
+        for (char c : v.str()) {
+          if (c == '"') out << '"';
+          out << c;
+        }
+        out << '"';
+      } else {
+        out << v.ToString();
+      }
+    }
+    out << "\n";
+  }
+  return out.good() ? Status::OK() : Status::Internal("CSV write failed");
+}
+
+Result<std::shared_ptr<EventTable>> LoadCsvFile(const Schema& schema,
+                                                const std::string& path,
+                                                const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  return LoadCsv(schema, in, options);
+}
+
+Status WriteCsvFile(const EventTable& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot create '" + path + "'");
+  return WriteCsv(table, out, options);
+}
+
+}  // namespace solap

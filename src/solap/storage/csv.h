@@ -1,0 +1,48 @@
+// CSV ingestion and export for event databases — the practical loading
+// path for real event logs (web access logs, smart-card dumps) into the
+// warehouse.
+#ifndef SOLAP_STORAGE_CSV_H_
+#define SOLAP_STORAGE_CSV_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "solap/common/status.h"
+#include "solap/storage/event_table.h"
+
+namespace solap {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// First line names the columns; they are matched to the schema by name
+  /// (any order, extra columns ignored). Without a header the columns must
+  /// match the schema positionally.
+  bool has_header = true;
+};
+
+/// Parses CSV text from `in` into a new table with `schema`. Timestamp
+/// columns accept "YYYY-MM-DD[THH:MM[:SS]]" (a space also separates date
+/// and time) or raw epoch seconds. Returns the row count via the table.
+Result<std::shared_ptr<EventTable>> LoadCsv(const Schema& schema,
+                                            std::istream& in,
+                                            const CsvOptions& options = {});
+
+/// Appends CSV rows to an existing table (incremental loads).
+Status AppendCsv(EventTable* table, std::istream& in,
+                 const CsvOptions& options = {});
+
+/// Writes `table` as CSV (header + rows; timestamps as epoch seconds).
+Status WriteCsv(const EventTable& table, std::ostream& out,
+                const CsvOptions& options = {});
+
+/// File convenience wrappers.
+Result<std::shared_ptr<EventTable>> LoadCsvFile(const Schema& schema,
+                                                const std::string& path,
+                                                const CsvOptions& options = {});
+Status WriteCsvFile(const EventTable& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace solap
+
+#endif  // SOLAP_STORAGE_CSV_H_

@@ -1,0 +1,19 @@
+#include "solap/storage/dictionary.h"
+
+namespace solap {
+
+Code Dictionary::GetOrAdd(const std::string& value) {
+  auto it = codes_.find(value);
+  if (it != codes_.end()) return it->second;
+  Code code = static_cast<Code>(values_.size());
+  values_.push_back(value);
+  codes_.emplace(value, code);
+  return code;
+}
+
+Code Dictionary::Lookup(const std::string& value) const {
+  auto it = codes_.find(value);
+  return it == codes_.end() ? kNullCode : it->second;
+}
+
+}  // namespace solap

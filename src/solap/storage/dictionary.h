@@ -1,0 +1,37 @@
+// Dictionary encoding of dimension values to dense codes.
+#ifndef SOLAP_STORAGE_DICTIONARY_H_
+#define SOLAP_STORAGE_DICTIONARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "solap/common/types.h"
+
+namespace solap {
+
+/// \brief Bidirectional mapping between strings and dense codes [0, size).
+///
+/// Codes are assigned in first-seen order and never recycled, so appending
+/// new events (incremental update, §6 of the paper) only grows the domain.
+class Dictionary {
+ public:
+  /// Code for `value`, inserting it if unseen.
+  Code GetOrAdd(const std::string& value);
+
+  /// Code for `value`, or kNullCode if it was never inserted.
+  Code Lookup(const std::string& value) const;
+
+  /// String for `code`; code must be < size().
+  const std::string& ValueOf(Code code) const { return values_[code]; }
+
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::unordered_map<std::string, Code> codes_;
+  std::vector<std::string> values_;
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_STORAGE_DICTIONARY_H_

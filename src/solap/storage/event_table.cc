@@ -1,0 +1,86 @@
+#include "solap/storage/event_table.h"
+
+#include <sstream>
+
+namespace solap {
+
+EventTable::EventTable(Schema schema) : schema_(std::move(schema)) {
+  size_t n = schema_.num_fields();
+  code_cols_.resize(n);
+  int_cols_.resize(n);
+  dbl_cols_.resize(n);
+  dicts_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (schema_.field(i).type == ValueType::kString) {
+      dicts_[i] = std::make_unique<Dictionary>();
+    }
+  }
+}
+
+Status EventTable::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != schema_.num_fields()) {
+    std::ostringstream os;
+    os << "row arity " << values.size() << " != schema arity "
+       << schema_.num_fields();
+    return Status::InvalidArgument(os.str());
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    const Field& f = schema_.field(i);
+    const Value& v = values[i];
+    switch (f.type) {
+      case ValueType::kString:
+        if (v.type() != ValueType::kString) {
+          return Status::InvalidArgument("column '" + f.name +
+                                         "' expects string, got " +
+                                         ValueTypeName(v.type()));
+        }
+        code_cols_[i].push_back(dicts_[i]->GetOrAdd(v.str()));
+        break;
+      case ValueType::kInt64:
+      case ValueType::kTimestamp:
+        if (v.type() != ValueType::kInt64 &&
+            v.type() != ValueType::kTimestamp) {
+          return Status::InvalidArgument("column '" + f.name +
+                                         "' expects integer, got " +
+                                         ValueTypeName(v.type()));
+        }
+        int_cols_[i].push_back(v.int64());
+        break;
+      case ValueType::kDouble:
+        if (v.type() == ValueType::kDouble) {
+          dbl_cols_[i].push_back(v.dbl());
+        } else if (v.type() == ValueType::kInt64) {
+          dbl_cols_[i].push_back(static_cast<double>(v.int64()));
+        } else {
+          return Status::InvalidArgument("column '" + f.name +
+                                         "' expects double, got " +
+                                         ValueTypeName(v.type()));
+        }
+        break;
+      case ValueType::kNull:
+        return Status::InvalidArgument("column '" + f.name +
+                                       "' has null type");
+    }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Value EventTable::GetValue(RowId row, int col) const {
+  const Field& f = schema_.field(col);
+  switch (f.type) {
+    case ValueType::kString:
+      return Value::String(dicts_[col]->ValueOf(code_cols_[col][row]));
+    case ValueType::kInt64:
+      return Value::Int64(int_cols_[col][row]);
+    case ValueType::kTimestamp:
+      return Value::Timestamp(int_cols_[col][row]);
+    case ValueType::kDouble:
+      return Value::Double(dbl_cols_[col][row]);
+    case ValueType::kNull:
+      break;
+  }
+  return Value::Null();
+}
+
+}  // namespace solap

@@ -1,0 +1,68 @@
+// Columnar event database (the paper's Figure 1): typed columns with
+// dictionary encoding for string dimensions.
+#ifndef SOLAP_STORAGE_EVENT_TABLE_H_
+#define SOLAP_STORAGE_EVENT_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "solap/common/status.h"
+#include "solap/common/types.h"
+#include "solap/storage/dictionary.h"
+#include "solap/storage/schema.h"
+#include "solap/storage/value.h"
+
+namespace solap {
+
+/// \brief The event database: a columnar fact table of events.
+///
+/// String columns are dictionary-encoded so that grouping, sequence symbols
+/// and inverted-index keys all operate on dense Code values; numeric and
+/// timestamp columns are stored raw. Rows are append-only, which is what the
+/// paper's incremental-update scenario (§6) assumes: a new day of events is
+/// appended, never mutated.
+class EventTable {
+ public:
+  explicit EventTable(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+
+  /// Appends one event. `values` must match the schema arity and each value
+  /// must match (or be losslessly convertible to) the column type.
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// Value of column `col` at `row` (strings are decoded).
+  Value GetValue(RowId row, int col) const;
+
+  /// Dictionary code of string column `col` at `row`.
+  Code CodeAt(RowId row, int col) const { return code_cols_[col][row]; }
+
+  /// Raw int64 of an int64/timestamp column.
+  int64_t Int64At(RowId row, int col) const { return int_cols_[col][row]; }
+
+  /// Raw double of a double column.
+  double DoubleAt(RowId row, int col) const { return dbl_cols_[col][row]; }
+
+  /// Dictionary of string column `col` (nullptr for non-string columns).
+  const Dictionary* dictionary(int col) const {
+    return dicts_[col] ? dicts_[col].get() : nullptr;
+  }
+  Dictionary* mutable_dictionary(int col) { return dicts_[col].get(); }
+
+ private:
+  friend class TableIo;  // binary persistence (storage/io.cc)
+
+  Schema schema_;
+  size_t num_rows_ = 0;
+  // Per-column storage; only the vector matching the column type is used.
+  std::vector<std::vector<Code>> code_cols_;
+  std::vector<std::vector<int64_t>> int_cols_;
+  std::vector<std::vector<double>> dbl_cols_;
+  std::vector<std::unique_ptr<Dictionary>> dicts_;
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_STORAGE_EVENT_TABLE_H_

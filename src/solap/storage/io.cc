@@ -1,0 +1,329 @@
+#include "solap/storage/io.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace solap {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'O', 'L', 'P'};
+constexpr uint32_t kVersion = 1;
+constexpr uint8_t kKindTable = 'T';
+constexpr uint8_t kKindIndex = 'I';
+
+// --- buffered writer / reader with running CRC ------------------------------
+
+class Writer {
+ public:
+  void Raw(const void* data, size_t size) {
+    const char* p = static_cast<const char*>(data);
+    buf_.insert(buf_.end(), p, p + size);
+  }
+  void U8(uint8_t v) { Raw(&v, 1); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void U64(uint64_t v) { Raw(&v, 8); }
+  void I64(int64_t v) { Raw(&v, 8); }
+  void F64(double v) { Raw(&v, 8); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  template <typename T>
+  void Vec(const std::vector<T>& v) {
+    U64(v.size());
+    Raw(v.data(), v.size() * sizeof(T));
+  }
+
+  Status Flush(const std::string& path) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::NotFound("cannot create '" + path + "'");
+    uint32_t crc = Crc32(buf_.data(), buf_.size());
+    out.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    out.write(reinterpret_cast<const char*>(&crc), 4);
+    if (!out.good()) return Status::Internal("write failed for '" + path + "'");
+    return Status::OK();
+  }
+
+ private:
+  std::vector<char> buf_;
+};
+
+class Reader {
+ public:
+  static Result<Reader> Open(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::NotFound("cannot open '" + path + "'");
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    if (bytes.size() < 4 + sizeof(kMagic)) {
+      return Status::ParseError("'" + path + "' is truncated");
+    }
+    uint32_t stored;
+    std::memcpy(&stored, bytes.data() + bytes.size() - 4, 4);
+    if (Crc32(bytes.data(), bytes.size() - 4) != stored) {
+      return Status::ParseError("'" + path + "' failed its checksum");
+    }
+    bytes.resize(bytes.size() - 4);
+    Reader r;
+    r.buf_ = std::move(bytes);
+    return r;
+  }
+
+  Status Raw(void* out, size_t size) {
+    if (pos_ + size > buf_.size()) {
+      return Status::ParseError("snapshot ends unexpectedly");
+    }
+    std::memcpy(out, buf_.data() + pos_, size);
+    pos_ += size;
+    return Status::OK();
+  }
+  Result<uint8_t> U8() {
+    uint8_t v;
+    SOLAP_RETURN_NOT_OK(Raw(&v, 1));
+    return v;
+  }
+  Result<uint32_t> U32() {
+    uint32_t v;
+    SOLAP_RETURN_NOT_OK(Raw(&v, 4));
+    return v;
+  }
+  Result<uint64_t> U64() {
+    uint64_t v;
+    SOLAP_RETURN_NOT_OK(Raw(&v, 8));
+    return v;
+  }
+  Result<int64_t> I64() {
+    int64_t v;
+    SOLAP_RETURN_NOT_OK(Raw(&v, 8));
+    return v;
+  }
+  Result<double> F64() {
+    double v;
+    SOLAP_RETURN_NOT_OK(Raw(&v, 8));
+    return v;
+  }
+  Result<std::string> Str() {
+    SOLAP_ASSIGN_OR_RETURN(uint32_t n, U32());
+    std::string s(n, '\0');
+    SOLAP_RETURN_NOT_OK(Raw(s.data(), n));
+    return s;
+  }
+  template <typename T>
+  Result<std::vector<T>> Vec() {
+    SOLAP_ASSIGN_OR_RETURN(uint64_t n, U64());
+    if (n * sizeof(T) > buf_.size() - pos_) {
+      return Status::ParseError("snapshot vector exceeds file size");
+    }
+    std::vector<T> v(n);
+    SOLAP_RETURN_NOT_OK(Raw(v.data(), n * sizeof(T)));
+    return v;
+  }
+
+ private:
+  std::vector<char> buf_;
+  size_t pos_ = 0;
+};
+
+Status CheckHeader(Reader& r, uint8_t expected_kind) {
+  char magic[4];
+  SOLAP_RETURN_NOT_OK(r.Raw(magic, 4));
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::ParseError("not a S-OLAP snapshot (bad magic)");
+  }
+  SOLAP_ASSIGN_OR_RETURN(uint32_t version, r.U32());
+  if (version != kVersion) {
+    return Status::ParseError("unsupported snapshot version " +
+                              std::to_string(version));
+  }
+  SOLAP_ASSIGN_OR_RETURN(uint8_t kind, r.U8());
+  if (kind != expected_kind) {
+    return Status::ParseError("snapshot holds a different object kind");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = ~seed;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+/// Accessor bridge into EventTable internals (declared friend there).
+class TableIo {
+ public:
+  static Status Save(const EventTable& t, const std::string& path) {
+    Writer w;
+    w.Raw(kMagic, 4);
+    w.U32(kVersion);
+    w.U8(kKindTable);
+    const Schema& schema = t.schema();
+    w.U32(static_cast<uint32_t>(schema.num_fields()));
+    for (const Field& f : schema.fields()) {
+      w.Str(f.name);
+      w.U8(static_cast<uint8_t>(f.type));
+      w.U8(static_cast<uint8_t>(f.role));
+    }
+    w.U64(t.num_rows_);
+    for (size_t c = 0; c < schema.num_fields(); ++c) {
+      switch (schema.field(c).type) {
+        case ValueType::kString: {
+          const Dictionary& dict = *t.dicts_[c];
+          w.U32(static_cast<uint32_t>(dict.size()));
+          for (Code code = 0; code < dict.size(); ++code) {
+            w.Str(dict.ValueOf(code));
+          }
+          w.Vec(t.code_cols_[c]);
+          break;
+        }
+        case ValueType::kInt64:
+        case ValueType::kTimestamp:
+          w.Vec(t.int_cols_[c]);
+          break;
+        case ValueType::kDouble:
+          w.Vec(t.dbl_cols_[c]);
+          break;
+        case ValueType::kNull:
+          break;
+      }
+    }
+    return w.Flush(path);
+  }
+
+  static Result<std::shared_ptr<EventTable>> Load(const std::string& path) {
+    SOLAP_ASSIGN_OR_RETURN(Reader r, Reader::Open(path));
+    SOLAP_RETURN_NOT_OK(CheckHeader(r, kKindTable));
+    SOLAP_ASSIGN_OR_RETURN(uint32_t nfields, r.U32());
+    std::vector<Field> fields(nfields);
+    for (Field& f : fields) {
+      SOLAP_ASSIGN_OR_RETURN(f.name, r.Str());
+      SOLAP_ASSIGN_OR_RETURN(uint8_t type, r.U8());
+      SOLAP_ASSIGN_OR_RETURN(uint8_t role, r.U8());
+      f.type = static_cast<ValueType>(type);
+      f.role = static_cast<FieldRole>(role);
+    }
+    auto table = std::make_shared<EventTable>(Schema(fields));
+    SOLAP_ASSIGN_OR_RETURN(uint64_t nrows, r.U64());
+    table->num_rows_ = nrows;
+    for (size_t c = 0; c < fields.size(); ++c) {
+      switch (fields[c].type) {
+        case ValueType::kString: {
+          SOLAP_ASSIGN_OR_RETURN(uint32_t dict_size, r.U32());
+          for (uint32_t i = 0; i < dict_size; ++i) {
+            SOLAP_ASSIGN_OR_RETURN(std::string value, r.Str());
+            if (table->dicts_[c]->GetOrAdd(value) != i) {
+              return Status::ParseError("duplicate dictionary entry in "
+                                        "snapshot");
+            }
+          }
+          SOLAP_ASSIGN_OR_RETURN(table->code_cols_[c], r.Vec<Code>());
+          for (Code code : table->code_cols_[c]) {
+            if (code >= dict_size) {
+              return Status::ParseError("snapshot code out of dictionary "
+                                        "range");
+            }
+          }
+          if (table->code_cols_[c].size() != nrows) {
+            return Status::ParseError("snapshot column length mismatch");
+          }
+          break;
+        }
+        case ValueType::kInt64:
+        case ValueType::kTimestamp: {
+          SOLAP_ASSIGN_OR_RETURN(table->int_cols_[c], r.Vec<int64_t>());
+          if (table->int_cols_[c].size() != nrows) {
+            return Status::ParseError("snapshot column length mismatch");
+          }
+          break;
+        }
+        case ValueType::kDouble: {
+          SOLAP_ASSIGN_OR_RETURN(table->dbl_cols_[c], r.Vec<double>());
+          if (table->dbl_cols_[c].size() != nrows) {
+            return Status::ParseError("snapshot column length mismatch");
+          }
+          break;
+        }
+        case ValueType::kNull:
+          return Status::ParseError("snapshot schema has a null column");
+      }
+    }
+    return table;
+  }
+};
+
+Status SaveTable(const EventTable& table, const std::string& path) {
+  return TableIo::Save(table, path);
+}
+
+Result<std::shared_ptr<EventTable>> LoadTable(const std::string& path) {
+  return TableIo::Load(path);
+}
+
+Status SaveIndex(const InvertedIndex& index, const std::string& path) {
+  Writer w;
+  w.Raw(kMagic, 4);
+  w.U32(kVersion);
+  w.U8(kKindIndex);
+  const IndexShape& shape = index.shape();
+  w.U8(static_cast<uint8_t>(shape.kind));
+  w.U32(static_cast<uint32_t>(shape.size()));
+  for (const LevelRef& ref : shape.positions) {
+    w.Str(ref.attr);
+    w.Str(ref.level);
+  }
+  w.U8(index.complete() ? 1 : 0);
+  w.Str(index.constraint_sig());
+  w.U64(index.num_lists());
+  for (const auto& [key, list] : index.lists()) {
+    w.Raw(key.data(), key.size() * sizeof(Code));
+    w.Vec(list);
+  }
+  return w.Flush(path);
+}
+
+Result<std::shared_ptr<InvertedIndex>> LoadIndex(const std::string& path) {
+  SOLAP_ASSIGN_OR_RETURN(Reader r, Reader::Open(path));
+  SOLAP_RETURN_NOT_OK(CheckHeader(r, kKindIndex));
+  IndexShape shape;
+  SOLAP_ASSIGN_OR_RETURN(uint8_t kind, r.U8());
+  shape.kind = static_cast<PatternKind>(kind);
+  SOLAP_ASSIGN_OR_RETURN(uint32_t m, r.U32());
+  shape.positions.resize(m);
+  for (LevelRef& ref : shape.positions) {
+    SOLAP_ASSIGN_OR_RETURN(ref.attr, r.Str());
+    SOLAP_ASSIGN_OR_RETURN(ref.level, r.Str());
+  }
+  SOLAP_ASSIGN_OR_RETURN(uint8_t complete, r.U8());
+  SOLAP_ASSIGN_OR_RETURN(std::string sig, r.Str());
+  auto index = std::make_shared<InvertedIndex>(shape, complete != 0);
+  index->set_constraint_sig(sig);
+  SOLAP_ASSIGN_OR_RETURN(uint64_t nlists, r.U64());
+  PatternKey key(m);
+  for (uint64_t i = 0; i < nlists; ++i) {
+    SOLAP_RETURN_NOT_OK(r.Raw(key.data(), m * sizeof(Code)));
+    SOLAP_ASSIGN_OR_RETURN(std::vector<Sid> list, r.Vec<Sid>());
+    index->lists().emplace(key, std::move(list));
+  }
+  return index;
+}
+
+}  // namespace solap

@@ -1,0 +1,39 @@
+// Binary persistence for the warehouse: snapshot an event database or a
+// precomputed inverted index to disk and load it back. Format: "SOLP"
+// magic, version, typed payload, CRC-32 trailer (torn/corrupt files are
+// detected at load).
+//
+// Codes are stable across a save/load round trip (dictionaries are
+// serialized in code order), so inverted indices saved alongside a table
+// remain valid against the reloaded table.
+#ifndef SOLAP_STORAGE_IO_H_
+#define SOLAP_STORAGE_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "solap/common/status.h"
+#include "solap/index/inverted_index.h"
+#include "solap/storage/event_table.h"
+
+namespace solap {
+
+/// Writes a snapshot of `table` to `path` (atomic-ish: fails cleanly, never
+/// half-applies to an existing table object).
+Status SaveTable(const EventTable& table, const std::string& path);
+
+/// Loads a table snapshot; verifies magic, version and checksum.
+Result<std::shared_ptr<EventTable>> LoadTable(const std::string& path);
+
+/// Writes one inverted index (shape + completeness + lists) to `path`.
+Status SaveIndex(const InvertedIndex& index, const std::string& path);
+
+/// Loads an inverted index snapshot.
+Result<std::shared_ptr<InvertedIndex>> LoadIndex(const std::string& path);
+
+/// CRC-32 (IEEE 802.3) of a byte buffer — exposed for tests.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace solap
+
+#endif  // SOLAP_STORAGE_IO_H_

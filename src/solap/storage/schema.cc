@@ -1,0 +1,27 @@
+#include "solap/storage/schema.h"
+
+#include <sstream>
+
+namespace solap {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    index_.emplace(fields_[i].name, static_cast<int>(i));
+  }
+}
+
+int Schema::FieldIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+Result<int> Schema::RequireField(const std::string& name) const {
+  int idx = FieldIndex(name);
+  if (idx >= 0) return idx;
+  std::ostringstream os;
+  os << "unknown attribute '" << name << "'; schema has:";
+  for (const Field& f : fields_) os << " " << f.name;
+  return Status::InvalidArgument(os.str());
+}
+
+}  // namespace solap

@@ -1,0 +1,49 @@
+// Schema of an event database: named, typed attributes with dimension /
+// measure roles.
+#ifndef SOLAP_STORAGE_SCHEMA_H_
+#define SOLAP_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "solap/common/status.h"
+#include "solap/storage/value.h"
+
+namespace solap {
+
+/// Whether an attribute participates in grouping (dimension) or in
+/// aggregation (measure), mirroring the paper's event model (§3.1).
+enum class FieldRole { kDimension, kMeasure };
+
+/// One attribute of an event.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  FieldRole role = FieldRole::kDimension;
+};
+
+/// \brief Ordered collection of fields with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or -1 if absent.
+  int FieldIndex(const std::string& name) const;
+
+  /// Field index or InvalidArgument listing the known names.
+  Result<int> RequireField(const std::string& name) const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_STORAGE_SCHEMA_H_

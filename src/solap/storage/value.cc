@@ -1,0 +1,93 @@
+#include "solap/storage/value.h"
+
+#include <sstream>
+
+namespace solap {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kTimestamp:
+      return "timestamp";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool IsNumeric(ValueType t) {
+  return t == ValueType::kInt64 || t == ValueType::kDouble ||
+         t == ValueType::kTimestamp;
+}
+
+}  // namespace
+
+double Value::AsDouble() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return 0.0;
+    case ValueType::kInt64:
+    case ValueType::kTimestamp:
+      return static_cast<double>(int64());
+    case ValueType::kDouble:
+      return dbl();
+    case ValueType::kString:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+bool Value::AsBool() const {
+  if (is_null()) return false;
+  if (type_ == ValueType::kString) return !str().empty();
+  return AsDouble() != 0.0;
+}
+
+bool Value::Equals(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  if (type_ == ValueType::kString && other.type_ == ValueType::kString) {
+    return str() == other.str();
+  }
+  if (IsNumeric(type_) && IsNumeric(other.type_)) {
+    return AsDouble() == other.AsDouble();
+  }
+  return false;
+}
+
+bool Value::LessThan(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  if (type_ == ValueType::kString && other.type_ == ValueType::kString) {
+    return str() < other.str();
+  }
+  if (IsNumeric(type_) && IsNumeric(other.type_)) {
+    return AsDouble() < other.AsDouble();
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+    case ValueType::kTimestamp:
+      return std::to_string(int64());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << dbl();
+      return os.str();
+    }
+    case ValueType::kString:
+      return str();
+  }
+  return "?";
+}
+
+}  // namespace solap

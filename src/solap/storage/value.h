@@ -1,0 +1,83 @@
+// Typed scalar values used by the event database and expression evaluation.
+#ifndef SOLAP_STORAGE_VALUE_H_
+#define SOLAP_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace solap {
+
+/// Physical type of an event attribute.
+enum class ValueType {
+  kNull,
+  kInt64,
+  kDouble,
+  kString,
+  /// Seconds since the Unix epoch; stored as int64 but carries calendar
+  /// semantics (day/week/month bucketing in concept hierarchies).
+  kTimestamp,
+};
+
+/// Name of a ValueType ("int64", "string", ...).
+const char* ValueTypeName(ValueType type);
+
+/// \brief A dynamically typed scalar: NULL, int64, double, string or
+/// timestamp.
+///
+/// Value is the currency of expression evaluation and of row-level access to
+/// the EventTable. It is a small tagged union; strings own their storage.
+class Value {
+ public:
+  Value() : type_(ValueType::kNull) {}
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) { return Value(ValueType::kInt64, v); }
+  static Value Double(double v) {
+    Value out;
+    out.type_ = ValueType::kDouble;
+    out.data_ = v;
+    return out;
+  }
+  static Value String(std::string v) {
+    Value out;
+    out.type_ = ValueType::kString;
+    out.data_ = std::move(v);
+    return out;
+  }
+  static Value Timestamp(int64_t seconds) {
+    return Value(ValueType::kTimestamp, seconds);
+  }
+  static Value Bool(bool b) { return Int64(b ? 1 : 0); }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+
+  /// Underlying int64 (valid for kInt64 and kTimestamp).
+  int64_t int64() const { return std::get<int64_t>(data_); }
+  double dbl() const { return std::get<double>(data_); }
+  const std::string& str() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: int64/timestamp widened to double; NULL -> 0.
+  double AsDouble() const;
+  /// Truthiness for predicate results: non-zero numeric; NULL is false.
+  bool AsBool() const;
+
+  /// Total-order comparison within the same type family (numeric types
+  /// compare numerically with each other; strings lexicographically).
+  /// Comparing a string with a number returns false for all of ==,<,>.
+  bool Equals(const Value& other) const;
+  bool LessThan(const Value& other) const;
+
+  /// Display form ("NULL", "42", "3.5", "abc").
+  std::string ToString() const;
+
+ private:
+  Value(ValueType type, int64_t v) : type_(type), data_(v) {}
+
+  ValueType type_;
+  std::variant<int64_t, double, std::string> data_ = int64_t{0};
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_STORAGE_VALUE_H_

@@ -1,0 +1,392 @@
+#include "solap/tools/shell.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "solap/common/strings.h"
+#include "solap/common/timer.h"
+#include "solap/cube/lattice.h"
+#include "solap/engine/operations.h"
+#include "solap/gen/clickstream.h"
+#include "solap/gen/synthetic.h"
+#include "solap/gen/transit.h"
+#include "solap/parser/parser.h"
+#include "solap/storage/csv.h"
+#include "solap/storage/io.h"
+
+namespace solap {
+
+namespace {
+
+constexpr const char* kHelp = R"(commands:
+  schema <name:type[:measure],...>   types: string,int64,double,timestamp
+  load csv <path>                    requires a schema
+  load snapshot <path>               binary table snapshot
+  save snapshot <path>
+  generate transit [passengers]      built-in workloads (with hierarchies)
+  generate clickstream [sessions]
+  generate synthetic [sequences]
+  hierarchy <attr> <lvl0,lvl1,...>   declare abstraction levels
+  map <attr> <child> <parent>        child value rolls up to parent value
+  select ... ;                       S-cuboid query (may span lines)
+  append <sym> [attr level] | prepend <sym> [attr level]
+  detail | dehead                    DE-TAIL / DE-HEAD
+  rollup <sym> | drilldown <sym>     P-ROLL-UP / P-DRILL-DOWN
+  slice <sym> <label>                slice a pattern dimension
+  top [n]                            re-show the current cuboid
+  export <path.csv>                  write the current cuboid as CSV
+  parents | children                 S-cube lattice neighbors
+  strategy cb|ii|auto                construction strategy
+  stats                              engine counters
+  help | quit)";
+
+std::pair<std::string, std::string> SplitCommand(const std::string& line) {
+  size_t sp = line.find(' ');
+  if (sp == std::string::npos) return {line, ""};
+  size_t rest = line.find_first_not_of(' ', sp);
+  return {line.substr(0, sp),
+          rest == std::string::npos ? "" : line.substr(rest)};
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> Words(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string w;
+  while (is >> w) out.push_back(w);
+  return out;
+}
+
+}  // namespace
+
+ShellSession::ShellSession(std::ostream& out)
+    : out_(out), hierarchies_(std::make_shared<HierarchyRegistry>()) {}
+
+ShellSession::~ShellSession() = default;
+
+void ShellSession::Run(std::istream& in) {
+  std::string line;
+  while (!done_ && std::getline(in, line)) {
+    if (!ExecLine(line)) break;
+  }
+}
+
+bool ShellSession::ExecLine(const std::string& line) {
+  Status st = Dispatch(line);
+  if (!st.ok()) out_ << "error: " << st.ToString() << "\n";
+  return !done_;
+}
+
+Status ShellSession::Dispatch(const std::string& raw) {
+  std::string line = Trim(raw);
+  if (!pending_query_.empty()) {
+    pending_query_ += " " + line;
+    if (!line.empty() && line.back() == ';') {
+      std::string q = pending_query_.substr(0, pending_query_.size() - 1);
+      pending_query_.clear();
+      return RunQuery(q);
+    }
+    return Status::OK();
+  }
+  if (line.empty() || line[0] == '#') return Status::OK();
+
+  auto [cmd, args] = SplitCommand(line);
+  std::string c = ToLower(cmd);
+  if (c == "quit" || c == "exit") {
+    done_ = true;
+    return Status::OK();
+  }
+  if (c == "help") {
+    out_ << kHelp << "\n";
+    return Status::OK();
+  }
+  if (c == "select") {
+    if (!line.empty() && line.back() == ';') {
+      return RunQuery(line.substr(0, line.size() - 1));
+    }
+    pending_query_ = line;
+    return Status::OK();
+  }
+  if (c == "schema") return CmdSchema(args);
+  if (c == "load") return CmdLoad(args);
+  if (c == "save") return CmdSave(args);
+  if (c == "generate") return CmdGenerate(args);
+  if (c == "hierarchy") return CmdHierarchy(args);
+  if (c == "map") return CmdMap(args);
+  if (c == "strategy") return CmdStrategy(args);
+  if (c == "stats") {
+    SOLAP_RETURN_NOT_OK(RequireEngine());
+    out_ << engine_->stats().ToString()
+         << " index_cache_bytes=" << engine_->IndexCacheBytes() << "\n";
+    return Status::OK();
+  }
+  if (c == "top" || c == "show") {
+    if (!args.empty()) show_limit_ = std::strtoul(args.c_str(), nullptr, 10);
+    if (current_cuboid_ == nullptr) {
+      return Status::InvalidArgument("no cuboid yet; run a query first");
+    }
+    out_ << current_cuboid_->ToTable(show_limit_);
+    return Status::OK();
+  }
+  if (c == "export") {
+    if (current_cuboid_ == nullptr) {
+      return Status::InvalidArgument("no cuboid yet; run a query first");
+    }
+    std::string path = Trim(args);
+    if (path.empty()) return Status::InvalidArgument("export <path.csv>");
+    std::ofstream f(path);
+    if (!f) return Status::NotFound("cannot create '" + path + "'");
+    f << current_cuboid_->ToCsv();
+    out_ << "exported " << current_cuboid_->num_cells() << " cells to "
+         << path << "\n";
+    return Status::OK();
+  }
+  if (c == "parents") return ShowLattice(true);
+  if (c == "children") return ShowLattice(false);
+  if (c == "append" || c == "prepend" || c == "detail" || c == "dehead" ||
+      c == "rollup" || c == "drilldown" || c == "slice") {
+    return RunOp(c, args);
+  }
+  return Status::InvalidArgument("unknown command '" + cmd +
+                                 "' (try 'help')");
+}
+
+Status ShellSession::CmdSchema(const std::string& args) {
+  std::vector<Field> fields;
+  for (const std::string& part : Split(args, ',')) {
+    std::vector<std::string> bits = Split(Trim(part), ':');
+    if (bits.size() < 2) {
+      return Status::InvalidArgument("schema entries are name:type[:measure]");
+    }
+    Field f;
+    f.name = bits[0];
+    std::string type = ToLower(bits[1]);
+    if (type == "string") {
+      f.type = ValueType::kString;
+    } else if (type == "int64") {
+      f.type = ValueType::kInt64;
+    } else if (type == "double") {
+      f.type = ValueType::kDouble;
+    } else if (type == "timestamp") {
+      f.type = ValueType::kTimestamp;
+    } else {
+      return Status::InvalidArgument("unknown type '" + bits[1] + "'");
+    }
+    f.role = bits.size() > 2 && ToLower(bits[2]) == "measure"
+                 ? FieldRole::kMeasure
+                 : FieldRole::kDimension;
+    fields.push_back(std::move(f));
+  }
+  schema_ = Schema(fields);
+  out_ << "schema with " << fields.size() << " attributes\n";
+  return Status::OK();
+}
+
+Status ShellSession::CmdLoad(const std::string& args) {
+  auto [what, path] = SplitCommand(args);
+  if (ToLower(what) == "csv") {
+    if (!schema_.has_value()) {
+      return Status::InvalidArgument("declare a schema before loading CSV");
+    }
+    SOLAP_ASSIGN_OR_RETURN(table_, LoadCsvFile(*schema_, Trim(path)));
+  } else if (ToLower(what) == "snapshot") {
+    SOLAP_ASSIGN_OR_RETURN(table_, LoadTable(Trim(path)));
+    schema_ = table_->schema();
+  } else {
+    return Status::InvalidArgument("load csv <path> | load snapshot <path>");
+  }
+  raw_groups_.reset();
+  engine_ = std::make_unique<SOlapEngine>(table_.get(), hierarchies_.get());
+  out_ << "loaded " << table_->num_rows() << " events\n";
+  return Status::OK();
+}
+
+Status ShellSession::CmdSave(const std::string& args) {
+  auto [what, path] = SplitCommand(args);
+  if (ToLower(what) != "snapshot" || table_ == nullptr) {
+    return Status::InvalidArgument(
+        "save snapshot <path> (requires a loaded table)");
+  }
+  SOLAP_RETURN_NOT_OK(SaveTable(*table_, Trim(path)));
+  out_ << "saved " << table_->num_rows() << " events\n";
+  return Status::OK();
+}
+
+Status ShellSession::CmdGenerate(const std::string& args) {
+  std::vector<std::string> w = Words(args);
+  if (w.empty()) {
+    return Status::InvalidArgument(
+        "generate transit|clickstream|synthetic [n]");
+  }
+  size_t n = w.size() > 1 ? std::strtoul(w[1].c_str(), nullptr, 10) : 0;
+  std::string kind = ToLower(w[0]);
+  if (kind == "transit") {
+    TransitParams p;
+    if (n) p.num_passengers = n;
+    TransitData data = GenerateTransit(p);
+    table_ = data.table;
+    hierarchies_ = data.hierarchies;
+    raw_groups_.reset();
+    engine_ = std::make_unique<SOlapEngine>(table_.get(), hierarchies_.get());
+  } else if (kind == "clickstream") {
+    ClickstreamParams p;
+    if (n) p.num_sessions = n;
+    ClickstreamData data = GenerateClickstream(p);
+    table_ = data.table;
+    hierarchies_ = data.hierarchies;
+    raw_groups_.reset();
+    engine_ = std::make_unique<SOlapEngine>(table_.get(), hierarchies_.get());
+  } else if (kind == "synthetic") {
+    SyntheticParams p;
+    if (n) p.num_sequences = n;
+    SyntheticData data = GenerateSynthetic(p);
+    raw_groups_ = data.groups;
+    hierarchies_ = data.hierarchies;
+    table_.reset();
+    engine_ = std::make_unique<SOlapEngine>(raw_groups_, hierarchies_.get());
+  } else {
+    return Status::InvalidArgument("unknown workload '" + w[0] + "'");
+  }
+  out_ << "generated " << kind << " workload"
+       << (table_ ? " (" + std::to_string(table_->num_rows()) + " events)"
+                  : "")
+       << "\n";
+  return Status::OK();
+}
+
+Status ShellSession::CmdHierarchy(const std::string& args) {
+  std::vector<std::string> w = Words(args);
+  if (w.size() != 2) {
+    return Status::InvalidArgument("hierarchy <attr> <lvl0,lvl1,...>");
+  }
+  std::vector<std::string> levels = Split(w[1], ',');
+  if (levels.size() < 2) {
+    return Status::InvalidArgument("a hierarchy needs at least two levels");
+  }
+  hierarchies_->Register(w[0],
+                         std::make_shared<ConceptHierarchy>(levels));
+  out_ << "hierarchy on '" << w[0] << "' with " << levels.size()
+       << " levels\n";
+  return Status::OK();
+}
+
+Status ShellSession::CmdMap(const std::string& args) {
+  std::vector<std::string> w = Words(args);
+  if (w.size() != 3) return Status::InvalidArgument("map <attr> <child> <parent>");
+  ConceptHierarchy* h = hierarchies_->Find(w[0]);
+  if (h == nullptr) {
+    return Status::NotFound("no hierarchy on '" + w[0] +
+                            "'; declare it first");
+  }
+  // The child may live at any non-top level; find the level whose parent
+  // mapping should hold it. Default: level 0.
+  return h->SetParent(0, w[1], w[2]);
+}
+
+Status ShellSession::CmdStrategy(const std::string& args) {
+  std::string s = ToLower(Trim(args));
+  if (s == "cb") {
+    strategy_ = ExecStrategy::kCounterBased;
+  } else if (s == "ii") {
+    strategy_ = ExecStrategy::kInvertedIndex;
+  } else if (s == "auto") {
+    strategy_ = ExecStrategy::kAuto;
+  } else {
+    return Status::InvalidArgument("strategy cb|ii|auto");
+  }
+  out_ << "strategy = " << s << "\n";
+  return Status::OK();
+}
+
+Status ShellSession::RequireEngine() const {
+  if (engine_ == nullptr) {
+    return Status::InvalidArgument(
+        "no data yet: load csv/snapshot or generate a workload");
+  }
+  return Status::OK();
+}
+
+Status ShellSession::RunQuery(const std::string& text) {
+  SOLAP_RETURN_NOT_OK(RequireEngine());
+  SOLAP_ASSIGN_OR_RETURN(CuboidSpec spec, ParseQuery(text));
+  current_spec_ = std::move(spec);
+  return ExecuteCurrent();
+}
+
+Status ShellSession::ExecuteCurrent() {
+  SOLAP_RETURN_NOT_OK(RequireEngine());
+  Timer t;
+  SOLAP_ASSIGN_OR_RETURN(current_cuboid_,
+                         engine_->Execute(*current_spec_, strategy_));
+  out_ << current_cuboid_->num_cells() << " cells in " << t.ElapsedMs()
+       << " ms\n"
+       << current_cuboid_->ToTable(show_limit_);
+  return Status::OK();
+}
+
+Status ShellSession::RunOp(const std::string& op, const std::string& args) {
+  if (!current_spec_.has_value()) {
+    return Status::InvalidArgument("no current cuboid; run a query first");
+  }
+  std::vector<std::string> w = Words(args);
+  Result<CuboidSpec> next = Status::Internal("unreached");
+  if (op == "append" || op == "prepend") {
+    if (w.empty()) return Status::InvalidArgument(op + " <sym> [attr level]");
+    LevelRef ref;
+    if (w.size() >= 3) ref = {w[1], w[2]};
+    next = op == "append" ? ops::Append(*current_spec_, w[0], ref)
+                          : ops::Prepend(*current_spec_, w[0], ref);
+  } else if (op == "detail") {
+    next = ops::DeTail(*current_spec_);
+  } else if (op == "dehead") {
+    next = ops::DeHead(*current_spec_);
+  } else if (op == "rollup") {
+    if (w.empty()) return Status::InvalidArgument("rollup <sym>");
+    next = ops::PRollUp(*current_spec_, w[0], *hierarchies_);
+  } else if (op == "drilldown") {
+    if (w.empty()) return Status::InvalidArgument("drilldown <sym>");
+    next = ops::PDrillDown(*current_spec_, w[0], *hierarchies_);
+  } else if (op == "slice") {
+    if (w.size() < 2) return Status::InvalidArgument("slice <sym> <label>");
+    next = ops::SlicePattern(*current_spec_, w[0], {w[1]});
+  }
+  SOLAP_RETURN_NOT_OK(next.status());
+  current_spec_ = *std::move(next);
+  return ExecuteCurrent();
+}
+
+Status ShellSession::ShowLattice(bool parents) {
+  if (!current_spec_.has_value()) {
+    return Status::InvalidArgument("no current cuboid; run a query first");
+  }
+  SOLAP_ASSIGN_OR_RETURN(std::vector<CuboidSpec> neighbors,
+                         parents
+                             ? CoarserNeighbors(*current_spec_, *hierarchies_)
+                             : FinerNeighbors(*current_spec_, *hierarchies_));
+  out_ << (parents ? "parents" : "children") << " in the S-cube lattice:\n";
+  for (const CuboidSpec& n : neighbors) {
+    out_ << "  ";
+    if (n.is_regex()) {
+      out_ << "PATTERN \"" << n.regex << "\"";
+    } else {
+      out_ << PatternKindName(n.kind) << "(" << Join(n.symbols, ", ") << ")";
+    }
+    for (const PatternDim& d : n.dims) {
+      out_ << " " << d.symbol << "@" << d.ref.level;
+    }
+    out_ << " | global:";
+    for (const LevelRef& g : n.seq.group_by) out_ << " " << g.ToString();
+    out_ << "\n";
+  }
+  return Status::OK();
+}
+
+}  // namespace solap

@@ -1,0 +1,161 @@
+// Tests for the materialization advisor (the §4.2.2 "which inverted
+// indices should be materialized offline" question).
+#include <gtest/gtest.h>
+
+#include "solap/engine/advisor.h"
+#include "solap/engine/optimizer.h"
+#include "solap/gen/synthetic.h"
+
+namespace solap {
+namespace {
+
+SyntheticData SmallData() {
+  SyntheticParams p;
+  p.num_sequences = 600;
+  p.num_symbols = 15;
+  p.mean_length = 8;
+  return GenerateSynthetic(p);
+}
+
+CuboidSpec Spec(std::vector<std::string> symbols) {
+  CuboidSpec s;
+  s.symbols = symbols;
+  std::vector<std::string> seen;
+  for (const std::string& sym : symbols) {
+    if (std::find(seen.begin(), seen.end(), sym) != seen.end()) continue;
+    s.dims.push_back(PatternDim{sym, {SyntheticData::kAttr, "symbol"}, {}, ""});
+    seen.push_back(sym);
+  }
+  return s;
+}
+
+TEST(AdvisorTest, RecommendsWindowsAndFullShapes) {
+  SyntheticData data = SmallData();
+  SOlapEngine engine(data.groups, data.hierarchies.get());
+  MaterializationAdvisor advisor(&engine);
+  std::vector<WorkloadQuery> workload = {
+      {Spec({"X", "Y"}), 1.0},
+      {Spec({"X", "Y", "Z"}), 1.0},
+  };
+  auto recs = advisor.Recommend(workload, size_t{1} << 30);
+  ASSERT_TRUE(recs.ok()) << recs.status().ToString();
+  // Candidates: the (shared) L2 window + the L3 full shape. The L2 window
+  // of (X,Y) coincides with both windows of (X,Y,Z) (same levels).
+  ASSERT_EQ(recs->size(), 2u);
+  bool has_l2 = false, has_l3 = false;
+  for (const IndexRecommendation& r : *recs) {
+    if (r.shape.size() == 2) has_l2 = true;
+    if (r.shape.size() == 3) has_l3 = true;
+    EXPECT_GT(r.benefit, 0);
+    EXPECT_GT(r.estimated_bytes, 0u);
+    EXPECT_FALSE(r.ToString().empty());
+  }
+  EXPECT_TRUE(has_l2 && has_l3);
+}
+
+TEST(AdvisorTest, SharedWindowsAccumulateBenefit) {
+  SyntheticData data = SmallData();
+  SOlapEngine engine(data.groups, data.hierarchies.get());
+  MaterializationAdvisor advisor(&engine);
+  // Three queries all touching the same L2 window vs one L1-only query.
+  std::vector<WorkloadQuery> workload = {
+      {Spec({"X", "Y"}), 1.0},
+      {Spec({"X", "Y"}), 1.0},
+      {Spec({"A", "B"}), 1.0},  // same levels -> same window candidate
+      {Spec({"X"}), 1.0},
+  };
+  auto recs = advisor.Recommend(workload, size_t{1} << 30);
+  ASSERT_TRUE(recs.ok());
+  double l2_benefit = 0, l1_benefit = 0;
+  for (const IndexRecommendation& r : *recs) {
+    if (r.shape.size() == 2) l2_benefit = r.benefit;
+    if (r.shape.size() == 1) l1_benefit = r.benefit;
+  }
+  EXPECT_DOUBLE_EQ(l2_benefit, 3 * 600.0);
+  EXPECT_DOUBLE_EQ(l1_benefit, 600.0);
+}
+
+TEST(AdvisorTest, BudgetCapsTheSelection) {
+  SyntheticData data = SmallData();
+  SOlapEngine engine(data.groups, data.hierarchies.get());
+  MaterializationAdvisor advisor(&engine);
+  std::vector<WorkloadQuery> workload = {{Spec({"X", "Y", "Z"}), 1.0}};
+  auto all = advisor.Recommend(workload, size_t{1} << 30);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 2u);  // the L2 window + the L3 shape
+  size_t small_budget = 0;
+  for (const IndexRecommendation& r : *all) {
+    small_budget = std::max(small_budget, r.estimated_bytes);
+  }
+  // A budget fitting only the cheaper candidate keeps exactly one.
+  size_t min_bytes = std::min((*all)[0].estimated_bytes,
+                              (*all)[1].estimated_bytes);
+  auto capped = advisor.Recommend(workload, min_bytes);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->size(), 1u);
+  auto nothing = advisor.Recommend(workload, 0);
+  ASSERT_TRUE(nothing.ok());
+  EXPECT_TRUE(nothing->empty());
+}
+
+TEST(AdvisorTest, MaterializeFeedsTheOptimizerAndEngine) {
+  SyntheticData data = SmallData();
+  SOlapEngine engine(data.groups, data.hierarchies.get());
+  MaterializationAdvisor advisor(&engine);
+  CuboidSpec q = Spec({"X", "Y"});
+  auto recs = advisor.Recommend({{q, 1.0}}, size_t{1} << 30);
+  ASSERT_TRUE(recs.ok());
+  ASSERT_FALSE(recs->empty());
+  ASSERT_TRUE(advisor.Materialize(*recs).ok());
+  EXPECT_GT(engine.IndexCacheBytes(), 0u);
+
+  // The optimizer now sees the exact index: zero-cost II.
+  StrategyOptimizer opt(&engine);
+  auto choice = opt.Choose(q);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice->strategy, ExecStrategy::kInvertedIndex);
+  EXPECT_DOUBLE_EQ(choice->ii_cost, 0.0);
+
+  // Executing uses the materialized index: no sequences scanned.
+  uint64_t before = engine.stats().sequences_scanned;
+  auto r = engine.Execute(q, ExecStrategy::kInvertedIndex);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(engine.stats().sequences_scanned, before);
+
+  // Already-materialized shapes stop being recommended.
+  auto again = advisor.Recommend({{q, 1.0}}, size_t{1} << 30);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->empty());
+}
+
+TEST(AdvisorTest, RegexQueriesContributeNothing) {
+  SyntheticData data = SmallData();
+  SOlapEngine engine(data.groups, data.hierarchies.get());
+  MaterializationAdvisor advisor(&engine);
+  CuboidSpec regex;
+  regex.regex = "X ( . )* X";
+  regex.dims = {PatternDim{"X", {SyntheticData::kAttr, "symbol"}, {}, ""}};
+  auto recs = advisor.Recommend({{regex, 5.0}}, size_t{1} << 30);
+  ASSERT_TRUE(recs.ok());
+  EXPECT_TRUE(recs->empty());
+}
+
+TEST(AdvisorTest, SampledFootprintIsInTheRightBallpark) {
+  SyntheticData data = SmallData();
+  SOlapEngine engine(data.groups, data.hierarchies.get());
+  MaterializationAdvisor advisor(&engine);
+  advisor.set_sample_sequences(100);
+  CuboidSpec q = Spec({"X", "Y"});
+  auto recs = advisor.Recommend({{q, 1.0}}, size_t{1} << 30);
+  ASSERT_TRUE(recs.ok());
+  ASSERT_EQ(recs->size(), 1u);
+  // Build the exact index to compare.
+  ASSERT_TRUE(advisor.Materialize(*recs).ok());
+  size_t actual = engine.IndexCacheBytes();
+  size_t estimated = (*recs)[0].estimated_bytes;
+  EXPECT_GT(estimated, actual / 4);
+  EXPECT_LT(estimated, actual * 4);
+}
+
+}  // namespace
+}  // namespace solap

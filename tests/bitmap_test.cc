@@ -1,0 +1,89 @@
+// Unit tests for the bitmap extension (paper §6): bitsets, bitmap-encoded
+// inverted indices, and equivalence of AND-joins with list intersection.
+#include <gtest/gtest.h>
+
+#include "paper_fixtures.h"
+#include "solap/index/bitmap_index.h"
+#include "solap/index/build_index.h"
+
+namespace solap {
+namespace {
+
+TEST(BitmapTest, SetGetAndCount) {
+  Bitmap b(130);
+  EXPECT_EQ(b.num_bits(), 130u);
+  EXPECT_EQ(b.Count(), 0u);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Get(0));
+  EXPECT_TRUE(b.Get(63));
+  EXPECT_TRUE(b.Get(64));
+  EXPECT_TRUE(b.Get(129));
+  EXPECT_FALSE(b.Get(1));
+  EXPECT_EQ(b.Count(), 4u);
+}
+
+TEST(BitmapTest, FromSidsAndToSidsRoundTrip) {
+  std::vector<Sid> sids = {3, 7, 64, 100};
+  Bitmap b = Bitmap::FromSids(sids, 128);
+  EXPECT_EQ(b.ToSids(), sids);
+  EXPECT_EQ(b.ByteSize(), 2 * sizeof(uint64_t));
+}
+
+TEST(BitmapTest, AndOrMatchSetSemantics) {
+  Bitmap a = Bitmap::FromSids({1, 3, 5, 7}, 64);
+  Bitmap b = Bitmap::FromSids({3, 4, 5, 8}, 64);
+  Bitmap i = a;
+  i.AndWith(b);
+  EXPECT_EQ(i.ToSids(), (std::vector<Sid>{3, 5}));
+  Bitmap u = a;
+  u.OrWith(b);
+  EXPECT_EQ(u.ToSids(), (std::vector<Sid>{1, 3, 4, 5, 7, 8}));
+}
+
+TEST(BitmapIndexTest, RoundTripsThroughInvertedIndex) {
+  auto set = testing::Fig8RawGroups();
+  auto reg = testing::Fig8Hierarchies();
+  IndexShape shape;
+  shape.positions.assign(2, LevelRef{"symbol", "symbol"});
+  ScanStats stats;
+  auto l2 = BuildIndex(&set->groups()[0], *set, reg.get(), shape, &stats);
+  ASSERT_TRUE(l2.ok());
+
+  BitmapIndex bi =
+      BitmapIndex::FromInverted(**l2, set->groups()[0].num_sequences());
+  EXPECT_EQ(bi.lists().size(), (*l2)->num_lists());
+  auto back = bi.ToInverted(/*complete=*/true);
+  EXPECT_TRUE(back->complete());
+  for (const auto& [key, list] : (*l2)->lists()) {
+    const std::vector<Sid>* got = back->Find(key);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(*got, list);
+  }
+}
+
+TEST(BitmapIndexTest, AndJoinEqualsListIntersection) {
+  auto set = testing::Fig8RawGroups();
+  auto reg = testing::Fig8Hierarchies();
+  IndexShape shape;
+  shape.positions.assign(2, LevelRef{"symbol", "symbol"});
+  ScanStats stats;
+  auto l2 = BuildIndex(&set->groups()[0], *set, reg.get(), shape, &stats);
+  ASSERT_TRUE(l2.ok());
+  size_t n = set->groups()[0].num_sequences();
+  BitmapIndex bi = BitmapIndex::FromInverted(**l2, n);
+
+  // Every pair of lists: bitmap AND == sorted intersection.
+  for (const auto& [k1, list1] : (*l2)->lists()) {
+    for (const auto& [k2, list2] : (*l2)->lists()) {
+      Bitmap b = *bi.Find(k1);
+      b.AndWith(*bi.Find(k2));
+      EXPECT_EQ(b.ToSids(), IntersectSorted(list1, list2));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace solap

@@ -1,0 +1,208 @@
+// Edge-case and failure-injection tests across the engine surface: empty
+// inputs, over-selective filters, capacity pressure, boundary template
+// sizes, and export formatting.
+#include <gtest/gtest.h>
+
+#include "paper_fixtures.h"
+#include "solap/engine/engine.h"
+#include "solap/engine/operations.h"
+#include "solap/gen/transit.h"
+
+namespace solap {
+namespace {
+
+using testing::Fig8Hierarchies;
+using testing::Fig8Table;
+
+CuboidSpec TransitXY() {
+  CuboidSpec spec;
+  spec.seq.cluster_by = {{"card-id", "card-id"}};
+  spec.seq.sequence_by = "time";
+  spec.symbols = {"X", "Y"};
+  spec.dims = {PatternDim{"X", {"location", "station"}, {}, ""},
+               PatternDim{"Y", {"location", "station"}, {}, ""}};
+  return spec;
+}
+
+TEST(EdgeTest, EmptyTableYieldsEmptyCuboid) {
+  Schema schema({{"time", ValueType::kTimestamp, FieldRole::kDimension},
+                 {"card-id", ValueType::kString, FieldRole::kDimension},
+                 {"location", ValueType::kString, FieldRole::kDimension}});
+  EventTable table(schema);
+  auto reg = Fig8Hierarchies();
+  SOlapEngine engine(&table, reg.get());
+  for (ExecStrategy s :
+       {ExecStrategy::kCounterBased, ExecStrategy::kInvertedIndex,
+        ExecStrategy::kAuto}) {
+    auto r = engine.Execute(TransitXY(), s);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ((*r)->num_cells(), 0u);
+  }
+}
+
+TEST(EdgeTest, WhereSelectingNothing) {
+  auto table = Fig8Table();
+  auto reg = Fig8Hierarchies();
+  SOlapEngine engine(table.get(), reg.get());
+  CuboidSpec spec = TransitXY();
+  spec.seq.where =
+      Expr::Eq(Expr::Col("card-id"), Expr::Lit(Value::String("nobody")));
+  auto r = engine.Execute(spec);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->num_cells(), 0u);
+}
+
+TEST(EdgeTest, TemplateLongerThanEverySequence) {
+  auto table = Fig8Table();
+  auto reg = Fig8Hierarchies();
+  SOlapEngine engine(table.get(), reg.get());
+  CuboidSpec spec = TransitXY();
+  spec.symbols.assign(10, "X");  // longest sequence has 6 events
+  spec.dims = {PatternDim{"X", {"location", "station"}, {}, ""}};
+  for (ExecStrategy s :
+       {ExecStrategy::kCounterBased, ExecStrategy::kInvertedIndex}) {
+    auto r = engine.Execute(spec, s);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ((*r)->num_cells(), 0u);
+  }
+}
+
+TEST(EdgeTest, SingleEventSequences) {
+  // Every sequence has exactly one event; (X) counts them, (X, Y) is empty.
+  Schema schema({{"t", ValueType::kInt64, FieldRole::kDimension},
+                 {"u", ValueType::kString, FieldRole::kDimension},
+                 {"p", ValueType::kString, FieldRole::kDimension}});
+  EventTable table(schema);
+  for (int i = 0; i < 5; ++i) {
+    (void)table.AppendRow({Value::Int64(i),
+                           Value::String("u" + std::to_string(i)),
+                           Value::String(i % 2 ? "a" : "b")});
+  }
+  SOlapEngine engine(&table, nullptr);
+  CuboidSpec one;
+  one.seq.cluster_by = {{"u", "u"}};
+  one.seq.sequence_by = "t";
+  one.symbols = {"X"};
+  one.dims = {PatternDim{"X", {"p", "p"}, {}, ""}};
+  auto r1 = engine.Execute(one);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ((*r1)->num_cells(), 2u);
+  CuboidSpec two = *ops::Append(one, "Y", {"p", "p"});
+  auto r2 = engine.Execute(two);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ((*r2)->num_cells(), 0u);
+}
+
+TEST(EdgeTest, GlobalSliceEliminatingEveryGroup) {
+  auto table = Fig8Table();
+  auto reg = Fig8Hierarchies();
+  SOlapEngine engine(table.get(), reg.get());
+  CuboidSpec spec = TransitXY();
+  spec.seq.group_by = {{"card-id", "card-id"}};
+  auto sliced = ops::SliceGlobal(spec, {"card-id", "card-id"}, {"nobody"});
+  ASSERT_TRUE(sliced.ok());
+  auto r = engine.Execute(*sliced);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->num_cells(), 0u);
+}
+
+TEST(EdgeTest, TinyRepositoryStillAnswersCorrectly) {
+  auto table = Fig8Table();
+  auto reg = Fig8Hierarchies();
+  EngineOptions opts;
+  opts.repository_capacity_bytes = 64;  // over budget immediately
+  SOlapEngine engine(table.get(), reg.get(), opts);
+  auto r1 = engine.Execute(TransitXY());
+  ASSERT_TRUE(r1.ok());
+  // The LRU keeps the most-recent entry even over budget (it is in use),
+  // but never more than that one entry.
+  EXPECT_LE(engine.repository().size(), 1u);
+  auto other = TransitXY();
+  other.restriction = CellRestriction::kAllMatchedGo;
+  ASSERT_TRUE(engine.Execute(other).ok());  // evicts the first
+  EXPECT_LE(engine.repository().size(), 1u);
+  auto r2 = engine.Execute(TransitXY());  // recomputed after eviction
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ((*r1)->num_cells(), (*r2)->num_cells());
+  EXPECT_EQ(engine.stats().repository_hits, 0u);
+}
+
+TEST(EdgeTest, MaxTemplateLengthBoundary) {
+  auto table = Fig8Table();
+  auto reg = Fig8Hierarchies();
+  SOlapEngine engine(table.get(), reg.get());
+  CuboidSpec spec = TransitXY();
+  spec.symbols.assign(kMaxTemplatePositions + 1, "X");
+  spec.dims = {PatternDim{"X", {"location", "station"}, {}, ""}};
+  auto r = engine.Execute(spec, ExecStrategy::kCounterBased);
+  EXPECT_FALSE(r.ok());
+  spec.symbols.assign(kMaxTemplatePositions, "X");
+  auto r2 = engine.Execute(spec, ExecStrategy::kCounterBased);
+  EXPECT_TRUE(r2.ok()) << r2.status().ToString();
+}
+
+TEST(EdgeTest, IcebergAboveEverything) {
+  auto table = Fig8Table();
+  auto reg = Fig8Hierarchies();
+  SOlapEngine engine(table.get(), reg.get());
+  CuboidSpec spec = TransitXY();
+  spec.iceberg_min_count = 1'000'000;
+  auto r = engine.Execute(spec);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->num_cells(), 0u);
+}
+
+TEST(EdgeTest, CuboidCsvExportQuotesProperly) {
+  std::vector<DimDescriptor> dims = {{"X", {"p", "p"}, true}};
+  SCuboid c(dims, AggKind::kCount);
+  c.Add({0}, 0);
+  c.Add({1}, 0);
+  c.SetLabel(0, 0, "plain");
+  c.SetLabel(0, 1, "with,comma \"and quote\"");
+  std::string csv = c.ToCsv();
+  EXPECT_NE(csv.find("X:p,COUNT\n"), std::string::npos);
+  EXPECT_NE(csv.find("plain,1"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma \"\"and quote\"\"\",1"),
+            std::string::npos);
+}
+
+TEST(EdgeTest, PerGroupIndexesStayIsolated) {
+  // Two groups (fare groups) must not leak sids across their indices.
+  TransitParams p;
+  p.num_passengers = 120;
+  p.num_days = 1;
+  TransitData data = GenerateTransit(p);
+  SOlapEngine engine(data.table.get(), data.hierarchies.get());
+  CuboidSpec spec;
+  spec.seq.cluster_by = {{"card-id", "individual"}};
+  spec.seq.sequence_by = "time";
+  spec.seq.group_by = {{"card-id", "fare-group"}};
+  spec.symbols = {"X", "Y"};
+  spec.dims = {PatternDim{"X", {"location", "station"}, {}, ""},
+               PatternDim{"Y", {"location", "station"}, {}, ""}};
+  auto ii = engine.Execute(spec, ExecStrategy::kInvertedIndex);
+  ASSERT_TRUE(ii.ok()) << ii.status().ToString();
+  SOlapEngine cb_engine(data.table.get(), data.hierarchies.get());
+  auto cb = cb_engine.Execute(spec, ExecStrategy::kCounterBased);
+  ASSERT_TRUE(cb.ok());
+  EXPECT_EQ((*ii)->num_cells(), (*cb)->num_cells());
+  for (const auto& [key, cell] : (*cb)->cells()) {
+    EXPECT_EQ((*ii)->CellAt(key).count, cell.count);
+  }
+}
+
+TEST(EdgeTest, RawEngineIgnoresFormationClauses) {
+  // A raw-group engine serves any spec.seq content from its fixed groups;
+  // the canonical key still distinguishes cuboids.
+  auto set = testing::Fig8RawGroups();
+  SOlapEngine engine(set, nullptr);
+  CuboidSpec spec;
+  spec.symbols = {"X"};
+  spec.dims = {PatternDim{"X", {"symbol", "symbol"}, {}, ""}};
+  auto r1 = engine.Execute(spec);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ((*r1)->num_cells(), 5u);  // the five stations of Fig. 8
+}
+
+}  // namespace
+}  // namespace solap

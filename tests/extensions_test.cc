@@ -1,0 +1,141 @@
+// Tests for the §6 extensions working together: iceberg S-cuboids through
+// the query language, online aggregation as progressive estimation, and
+// incremental update under day-batch arrival.
+#include <gtest/gtest.h>
+
+#include "solap/engine/engine.h"
+#include "solap/gen/synthetic.h"
+#include "solap/parser/parser.h"
+
+namespace solap {
+namespace {
+
+SyntheticData SmallData() {
+  SyntheticParams p;
+  p.num_sequences = 500;
+  p.num_symbols = 15;
+  p.mean_length = 8;
+  return GenerateSynthetic(p);
+}
+
+CuboidSpec XYSpec() {
+  CuboidSpec spec;
+  spec.symbols = {"X", "Y"};
+  spec.dims = {PatternDim{"X", {SyntheticData::kAttr, "symbol"}, {}, ""},
+               PatternDim{"Y", {SyntheticData::kAttr, "symbol"}, {}, ""}};
+  return spec;
+}
+
+TEST(IcebergTest, ThresholdMonotonicity) {
+  SyntheticData data = SmallData();
+  SOlapEngine engine(data.groups, data.hierarchies.get());
+  CuboidSpec spec = XYSpec();
+  auto full = engine.Execute(spec);
+  ASSERT_TRUE(full.ok());
+  size_t prev = (*full)->num_cells();
+  for (int64_t threshold : {2, 5, 20, 100}) {
+    spec.iceberg_min_count = threshold;
+    auto r = engine.Execute(spec);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE((*r)->num_cells(), prev);
+    for (const auto& [key, cell] : (*r)->cells()) {
+      EXPECT_GE(cell.count, threshold);
+      // Surviving cells keep their exact counts.
+      EXPECT_EQ(cell.count, (*full)->CellAt(key).count);
+    }
+    prev = (*r)->num_cells();
+  }
+}
+
+TEST(IcebergTest, ParsedIcebergKeywordFiltersCells) {
+  // The ICEBERG extension is reachable from the query language.
+  auto spec = ParseQuery(
+      "SELECT COUNT(*) FROM E CLUSTER BY a AT a SEQUENCE BY t "
+      "CUBOID BY SUBSTRING (X, Y) WITH X AS symbol AT symbol, "
+      "Y AS symbol AT symbol LEFT-MAXIMALITY ICEBERG 10");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  SyntheticData data = SmallData();
+  SOlapEngine engine(data.groups, data.hierarchies.get());
+  auto r = engine.Execute(*spec);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  for (const auto& [key, cell] : (*r)->cells()) {
+    EXPECT_GE(cell.count, 10);
+  }
+}
+
+TEST(OnlineAggregationTest, PartialCountsScaleTowardExact) {
+  SyntheticData data = SmallData();
+  SOlapEngine engine(data.groups, data.hierarchies.get());
+  CuboidSpec spec = XYSpec();
+  SOlapEngine offline(data.groups, data.hierarchies.get());
+  auto exact = offline.Execute(spec);
+  ASSERT_TRUE(exact.ok());
+  CellKey hot = (*exact)->ArgMaxCell();
+  double exact_count = (*exact)->CellAt(hot).count;
+
+  // At the halfway callback, count/fraction is a usable estimator of the
+  // final count (the paper's "approximate numbers like 200,000 would be
+  // informative enough" motivation).
+  double estimate = 0;
+  auto r = engine.ExecuteOnline(
+      spec, 50, [&](const SCuboid& partial, double fraction) {
+        if (fraction >= 0.5 && estimate == 0) {
+          estimate = partial.CellAt(hot).count / fraction;
+          return false;  // stop early with the estimate
+        }
+        return true;
+      });
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(estimate, 0);
+  EXPECT_NEAR(estimate, exact_count, exact_count * 0.35);
+}
+
+TEST(IncrementalTest, DayBatchesKeepIndexBytesGrowing) {
+  SyntheticParams p;
+  p.num_sequences = 300;
+  p.num_symbols = 15;
+  p.mean_length = 8;
+  SyntheticData data = GenerateSynthetic(p);
+  SOlapEngine engine(data.groups, data.hierarchies.get());
+  CuboidSpec spec = XYSpec();
+  ASSERT_TRUE(engine.Execute(spec, ExecStrategy::kInvertedIndex).ok());
+  size_t bytes_before = engine.IndexCacheBytes();
+  ASSERT_GT(bytes_before, 0u);
+  uint64_t scans_before = engine.stats().sequences_scanned;
+
+  auto delta = GenerateSyntheticBatch(p, 100, 555);
+  ASSERT_TRUE(engine.AppendRawSequences(0, delta).ok());
+  // Only the delta was scanned to maintain the index.
+  EXPECT_EQ(engine.stats().sequences_scanned, scans_before + 100);
+  EXPECT_GE(engine.IndexCacheBytes(), bytes_before);
+
+  // Repository was invalidated: the next query recomputes (from the
+  // maintained index) rather than serving the stale cuboid.
+  uint64_t repo_hits = engine.stats().repository_hits;
+  auto r = engine.Execute(spec, ExecStrategy::kInvertedIndex);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(engine.stats().repository_hits, repo_hits);
+}
+
+TEST(IncrementalTest, AppendValidation) {
+  SyntheticData data = SmallData();
+  SOlapEngine engine(data.groups, data.hierarchies.get());
+  EXPECT_FALSE(engine.AppendRawSequences(99, {}).ok());
+
+  // Table-backed engines direct callers to NotifyTableAppend.
+  Schema schema({{"t", ValueType::kInt64, FieldRole::kDimension}});
+  EventTable table(schema);
+  SOlapEngine table_engine(&table, nullptr);
+  EXPECT_FALSE(table_engine.AppendRawSequences(0, {}).ok());
+}
+
+TEST(OnlineAggregationTest, RejectsZeroChunk) {
+  SyntheticData data = SmallData();
+  SOlapEngine engine(data.groups, data.hierarchies.get());
+  auto r = engine.ExecuteOnline(XYSpec(), 0,
+                                [](const SCuboid&, double) { return true; });
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace solap

@@ -1,0 +1,219 @@
+// Tests for the workload generators: the paper's §5.2 synthetic model,
+// the transit simulator, and the clickstream (Gazelle substitute).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "solap/engine/engine.h"
+#include "solap/gen/clickstream.h"
+#include "solap/gen/synthetic.h"
+#include "solap/gen/transit.h"
+#include "solap/gen/zipf.h"
+
+namespace solap {
+namespace {
+
+TEST(ZipfTest, ProbabilitiesAreNormalizedAndSkewed) {
+  ZipfDistribution z(10, 0.9);
+  double total = 0;
+  for (size_t i = 0; i < 10; ++i) total += z.ProbabilityOf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(z.ProbabilityOf(0), z.ProbabilityOf(1));
+  EXPECT_GT(z.ProbabilityOf(1), z.ProbabilityOf(9));
+}
+
+TEST(ZipfTest, SamplingFollowsTheDistribution) {
+  ZipfDistribution z(5, 1.0);
+  std::mt19937_64 rng(1);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[z.Sample(rng)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[4]);
+  double p0 = counts[0] / 20000.0;
+  EXPECT_NEAR(p0, z.ProbabilityOf(0), 0.02);
+}
+
+TEST(SyntheticTest, ShapeMatchesParameters) {
+  SyntheticParams p;
+  p.num_sequences = 2000;
+  p.num_symbols = 50;
+  p.mean_length = 12;
+  auto data = GenerateSynthetic(p);
+  ASSERT_EQ(data.groups->groups().size(), 1u);  // single sequence group
+  SequenceGroup& g = data.groups->groups()[0];
+  EXPECT_EQ(g.num_sequences(), 2000u);
+  double mean = static_cast<double>(g.total_events()) / g.num_sequences();
+  EXPECT_NEAR(mean, 12.0, 0.5);
+  EXPECT_EQ(data.groups->raw_dictionary().size(), 50u);
+  // Every code within the symbol domain.
+  auto b = data.groups->BindDimension(data.hierarchies.get(), data.Base());
+  ASSERT_TRUE(b.ok());
+  const std::vector<Code>& view = g.ViewFor(*b);
+  for (Code c : view) EXPECT_LT(c, 50u);
+}
+
+TEST(SyntheticTest, FirstSymbolSkewFollowsZipf) {
+  SyntheticParams p;
+  p.num_sequences = 5000;
+  auto data = GenerateSynthetic(p);
+  SequenceGroup& g = data.groups->groups()[0];
+  std::map<Code, int> first_counts;
+  auto b = data.groups->BindDimension(data.hierarchies.get(), data.Base());
+  ASSERT_TRUE(b.ok());
+  const std::vector<Code>& view = g.ViewFor(*b);
+  for (Sid s = 0; s < g.num_sequences(); ++s) {
+    ++first_counts[g.Symbols(view, s)[0]];
+  }
+  // "e0" (rank 0) must dominate the tail by a wide margin.
+  EXPECT_GT(first_counts[0], first_counts[40] * 3);
+}
+
+TEST(SyntheticTest, HierarchyHasThreeLevels) {
+  SyntheticParams p;
+  p.num_sequences = 10;
+  auto data = GenerateSynthetic(p);
+  ConceptHierarchy* h = data.hierarchies->Find(SyntheticData::kAttr);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->num_levels(), 3u);
+  // All 100 symbols distribute over 20 groups and 5 supergroups.
+  const Dictionary& dict = data.groups->raw_dictionary();
+  std::set<Code> groups, supers;
+  for (Code c = 0; c < dict.size(); ++c) {
+    groups.insert(h->MapBaseCode(dict, 1, c));
+    supers.insert(h->MapBaseCode(dict, 2, c));
+  }
+  EXPECT_EQ(groups.size(), 20u);
+  EXPECT_EQ(supers.size(), 5u);
+}
+
+TEST(SyntheticTest, DeterministicBySeed) {
+  SyntheticParams p;
+  p.num_sequences = 100;
+  auto a = GenerateSynthetic(p);
+  auto b = GenerateSynthetic(p);
+  SequenceGroup& ga = a.groups->groups()[0];
+  SequenceGroup& gb = b.groups->groups()[0];
+  ASSERT_EQ(ga.total_events(), gb.total_events());
+  EXPECT_EQ(ga.offsets(), gb.offsets());
+  auto batch1 = GenerateSyntheticBatch(p, 10, 99);
+  auto batch2 = GenerateSyntheticBatch(p, 10, 99);
+  EXPECT_EQ(batch1, batch2);
+  EXPECT_EQ(p.Tag(), "I100.L20.t0.9.D100");
+}
+
+TEST(TransitTest, EventStreamShape) {
+  TransitParams p;
+  p.num_passengers = 50;
+  p.num_days = 2;
+  auto data = GenerateTransit(p);
+  ASSERT_GT(data.table->num_rows(), 100u);  // >= 4 events/passenger/day
+  // Schema sanity.
+  EXPECT_EQ(data.table->schema().FieldIndex("card-id"), 1);
+  EXPECT_NE(data.hierarchies->Find("location"), nullptr);
+  EXPECT_NE(data.hierarchies->Find("card-id"), nullptr);
+  // Actions are in/out pairs with negative fares on "out".
+  int col_action = data.table->schema().FieldIndex("action");
+  int col_amount = data.table->schema().FieldIndex("amount");
+  for (RowId r = 0; r < 20; ++r) {
+    std::string action = data.table->GetValue(r, col_action).str();
+    double amount = data.table->DoubleAt(r, col_amount);
+    if (action == "in") {
+      EXPECT_EQ(amount, 0.0);
+    } else {
+      EXPECT_LT(amount, 0.0);
+    }
+  }
+}
+
+TEST(TransitTest, RoundTripsAreFrequent) {
+  TransitParams p;
+  p.num_passengers = 300;
+  p.num_days = 1;
+  auto data = GenerateTransit(p);
+  SOlapEngine engine(data.table.get(), data.hierarchies.get());
+  CuboidSpec spec;
+  spec.seq.cluster_by = {{"card-id", "individual"}, {"time", "day"}};
+  spec.seq.sequence_by = "time";
+  spec.symbols = {"X", "Y", "Y", "X"};
+  spec.dims = {PatternDim{"X", {"location", "station"}, {}, ""},
+               PatternDim{"Y", {"location", "station"}, {}, ""}};
+  auto r = engine.Execute(spec);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  double total = 0;
+  for (const auto& [key, cell] : (*r)->cells()) total += cell.count;
+  // round_trip_prob = 0.6 over 300 passengers: expect a healthy count.
+  EXPECT_GT(total, 100);
+}
+
+TEST(ClickstreamTest, CrawlerSessionsCanBeFilteredLikeThePaper) {
+  // §5.1 preprocessing: "filtered out click sequences that were generated
+  // from web crawlers (i.e., user sessions with thousands of clicks)".
+  // Crawler ids carry a "bot" prefix, so the WHERE clause can drop them;
+  // without the filter the crawler sequences dominate the event count.
+  ClickstreamParams p;
+  p.num_sessions = 500;
+  p.num_crawler_sessions = 3;
+  auto data = GenerateClickstream(p);
+
+  SOlapEngine engine(data.table.get(), data.hierarchies.get());
+  CuboidSpec spec;
+  spec.seq.cluster_by = {{"session-id", "session-id"}};
+  spec.seq.sequence_by = "request-time";
+  spec.symbols = {"X"};
+  spec.dims = {PatternDim{"X", {"page", "page-category"}, {}, ""}};
+  auto unfiltered = engine.Execute(spec);
+  ASSERT_TRUE(unfiltered.ok());
+
+  // Filter: keep only sessions whose id is lexicographically below "bot"
+  // or above "bou" — generated user ids start with 's'.
+  spec.seq.where = Expr::Ge(Expr::Col("session-id"),
+                            Expr::Lit(Value::String("s")));
+  auto filtered = engine.Execute(spec);
+  ASSERT_TRUE(filtered.ok());
+
+  // The crawlers sweep every category, so unfiltered counts exceed the
+  // filtered ones; filtering recovers exactly the 500 user sessions.
+  double unfiltered_mass = 0, filtered_mass = 0;
+  for (const auto& [k, c] : (*unfiltered)->cells()) unfiltered_mass += c.count;
+  for (const auto& [k, c] : (*filtered)->cells()) filtered_mass += c.count;
+  EXPECT_GT(unfiltered_mass, filtered_mass);
+  auto groups = engine.GroupsFor(spec.seq);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ((*groups)->total_sequences(), 500u);
+}
+
+TEST(ClickstreamTest, HierarchyAndHotPath) {
+  ClickstreamParams p;
+  p.num_sessions = 3000;
+  auto data = GenerateClickstream(p);
+  EXPECT_GT(data.table->num_rows(), 3000u);
+  ConceptHierarchy* h = data.hierarchies->Find("page");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->num_levels(), 2u);
+
+  // Category-level 2-step distribution: (Assortment, Legwear) must be the
+  // hottest Assortment-outgoing pair, echoing the paper's 2,201 vs 150.
+  SOlapEngine engine(data.table.get(), data.hierarchies.get());
+  CuboidSpec spec;
+  spec.seq.cluster_by = {{"session-id", "session-id"}};
+  spec.seq.sequence_by = "request-time";
+  spec.symbols = {"X", "Y"};
+  spec.dims = {PatternDim{"X", {"page", "page-category"}, {}, ""},
+               PatternDim{"Y", {"page", "page-category"}, {}, ""}};
+  auto r = engine.Execute(spec);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  double legwear = 0, legcare = 0;
+  for (const auto& [key, cell] : (*r)->cells()) {
+    if ((*r)->LabelOf(0, key[0]) == "Assortment") {
+      std::string y = (*r)->LabelOf(1, key[1]);
+      if (y == "Legwear") legwear = cell.Value(AggKind::kCount);
+      if (y == "Legcare") legcare = cell.Value(AggKind::kCount);
+    }
+  }
+  EXPECT_GT(legwear, 0);
+  EXPECT_GT(legwear, 5 * legcare);
+}
+
+}  // namespace
+}  // namespace solap

@@ -1,0 +1,97 @@
+// Direct unit tests for GroupIndexCache and IndexShape (elsewhere only
+// exercised through the engine).
+#include <gtest/gtest.h>
+
+#include "solap/index/index_cache.h"
+
+namespace solap {
+namespace {
+
+IndexShape Shape(std::vector<std::string> levels,
+                 PatternKind kind = PatternKind::kSubstring) {
+  IndexShape s;
+  s.kind = kind;
+  for (const std::string& level : levels) {
+    s.positions.push_back(LevelRef{"symbol", level});
+  }
+  return s;
+}
+
+std::shared_ptr<InvertedIndex> MakeIndex(const IndexShape& shape,
+                                         bool complete,
+                                         const std::string& sig = "") {
+  auto idx = std::make_shared<InvertedIndex>(shape, complete);
+  idx->set_constraint_sig(sig);
+  idx->AddSid({0, 0}, 1);
+  return idx;
+}
+
+TEST(IndexShapeTest, CanonicalStringAndExtension) {
+  IndexShape s2 = Shape({"symbol", "group"});
+  EXPECT_EQ(s2.CanonicalString(),
+            "SUBSTRING[symbol@symbol,symbol@group,]");
+  IndexShape right = s2.ExtendedRight({"symbol", "symbol"});
+  ASSERT_EQ(right.size(), 3u);
+  EXPECT_EQ(right.positions[2].level, "symbol");
+  IndexShape left = s2.ExtendedLeft({"symbol", "supergroup"});
+  EXPECT_EQ(left.positions[0].level, "supergroup");
+  EXPECT_EQ(left.positions[1].level, "symbol");
+  // Kind participates in identity.
+  IndexShape sub = Shape({"symbol", "group"}, PatternKind::kSubsequence);
+  EXPECT_NE(sub.CanonicalString(), s2.CanonicalString());
+  EXPECT_FALSE(sub == s2);
+}
+
+TEST(IndexCacheTest, FindIsExactOnShapeAndSignature) {
+  GroupIndexCache cache;
+  IndexShape shape = Shape({"symbol", "symbol"});
+  EXPECT_EQ(cache.Find(shape, ""), nullptr);
+  auto complete = MakeIndex(shape, true);
+  auto filtered = MakeIndex(shape, false, "p0,p0,");
+  cache.Insert(complete);
+  cache.Insert(filtered);
+  EXPECT_EQ(cache.Find(shape, ""), complete);
+  EXPECT_EQ(cache.Find(shape, "p0,p0,"), filtered);
+  EXPECT_EQ(cache.Find(shape, "p0,p1,"), nullptr);
+  EXPECT_EQ(cache.Find(Shape({"symbol", "group"}), ""), nullptr);
+  EXPECT_EQ(cache.entries().size(), 2u);
+}
+
+TEST(IndexCacheTest, FindUsableFallsBackToComplete) {
+  GroupIndexCache cache;
+  IndexShape shape = Shape({"symbol", "symbol"});
+  auto complete = MakeIndex(shape, true);
+  cache.Insert(complete);
+  // No exact signature match: the complete index is a usable superset.
+  EXPECT_EQ(cache.FindUsable(shape, "p0,p0,"), complete);
+  // But a filtered index never substitutes for a different signature.
+  GroupIndexCache cache2;
+  cache2.Insert(MakeIndex(shape, false, "p0,p0,"));
+  EXPECT_EQ(cache2.FindUsable(shape, "p0,p1,"), nullptr);
+  EXPECT_NE(cache2.FindUsable(shape, "p0,p0,"), nullptr);
+}
+
+TEST(IndexCacheTest, InsertReplacesSameKey) {
+  GroupIndexCache cache;
+  IndexShape shape = Shape({"symbol", "symbol"});
+  auto first = MakeIndex(shape, true);
+  cache.Insert(first);
+  auto second = MakeIndex(shape, true);
+  second->AddSid({1, 1}, 2);
+  cache.Insert(second);
+  EXPECT_EQ(cache.entries().size(), 1u);
+  EXPECT_EQ(cache.Find(shape, ""), second);
+}
+
+TEST(IndexCacheTest, TotalBytesAndClear) {
+  GroupIndexCache cache;
+  cache.Insert(MakeIndex(Shape({"symbol"}), true));
+  cache.Insert(MakeIndex(Shape({"symbol", "symbol"}), true));
+  EXPECT_GT(cache.TotalBytes(), 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.entries().size(), 0u);
+  EXPECT_EQ(cache.TotalBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace solap

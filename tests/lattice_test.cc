@@ -1,0 +1,151 @@
+// Tests for the S-cube lattice partial order and navigation (paper §3.4).
+#include <gtest/gtest.h>
+
+#include "paper_fixtures.h"
+#include "solap/cube/lattice.h"
+#include "solap/engine/engine.h"
+#include "solap/engine/operations.h"
+
+namespace solap {
+namespace {
+
+CuboidSpec Spec(std::vector<std::string> symbols,
+                const std::string& level = "station") {
+  CuboidSpec s;
+  s.seq.cluster_by = {{"card-id", "card-id"}};
+  s.seq.sequence_by = "time";
+  s.symbols = symbols;
+  std::vector<std::string> seen;
+  for (const std::string& sym : symbols) {
+    if (std::find(seen.begin(), seen.end(), sym) != seen.end()) continue;
+    s.dims.push_back(PatternDim{sym, {"location", level}, {}, ""});
+    seen.push_back(sym);
+  }
+  return s;
+}
+
+class LatticeTest : public ::testing::Test {
+ protected:
+  LatticeTest() : reg_(testing::Fig8Hierarchies()) {}
+  std::shared_ptr<HierarchyRegistry> reg_;
+};
+
+TEST_F(LatticeTest, EqualSpecsCompareEqual) {
+  CuboidSpec a = Spec({"X", "Y"});
+  EXPECT_EQ(CompareSpecs(a, a, reg_.get()), SpecOrder::kEqual);
+}
+
+TEST_F(LatticeTest, WindowOfLongerTemplateIsCoarser) {
+  // (X, Y) is the DE-TAIL of (X, Y, Z): a window at offset 0.
+  CuboidSpec xy = Spec({"X", "Y"});
+  CuboidSpec xyz = Spec({"X", "Y", "Z"});
+  EXPECT_EQ(CompareSpecs(xy, xyz, reg_.get()), SpecOrder::kCoarser);
+  EXPECT_EQ(CompareSpecs(xyz, xy, reg_.get()), SpecOrder::kFiner);
+  // Also a middle window (reachable by DE-HEAD + DE-TAIL).
+  CuboidSpec y = Spec({"Y"});
+  EXPECT_EQ(CompareSpecs(y, xyz, reg_.get()), SpecOrder::kCoarser);
+}
+
+TEST_F(LatticeTest, EqualityStructureMustMatch) {
+  // (X, X) is NOT a window of (X, Y, Z) — no adjacent equal pair there —
+  // but it IS one of (X, Y, Y, X) (the middle (Y, Y)).
+  CuboidSpec xx = Spec({"X", "X"});
+  CuboidSpec xyz = Spec({"X", "Y", "Z"});
+  CuboidSpec xyyx = Spec({"X", "Y", "Y", "X"});
+  EXPECT_EQ(CompareSpecs(xx, xyz, reg_.get()), SpecOrder::kIncomparable);
+  EXPECT_EQ(CompareSpecs(xx, xyyx, reg_.get()), SpecOrder::kCoarser);
+  // Conversely a free pair is NOT a window of (X, X): the window's two
+  // positions are forced equal, the pair's are not.
+  CuboidSpec xy = Spec({"X", "Y"});
+  EXPECT_EQ(CompareSpecs(xy, xx, reg_.get()), SpecOrder::kIncomparable);
+}
+
+TEST_F(LatticeTest, HigherAbstractionLevelIsCoarser) {
+  CuboidSpec fine = Spec({"X", "Y"}, "station");
+  CuboidSpec coarse = Spec({"X", "Y"}, "district");
+  EXPECT_EQ(CompareSpecs(coarse, fine, reg_.get()), SpecOrder::kCoarser);
+  EXPECT_EQ(CompareSpecs(fine, coarse, reg_.get()), SpecOrder::kFiner);
+  // Mixed: one dim finer, one coarser -> incomparable.
+  CuboidSpec mixed = Spec({"X", "Y"});
+  mixed.dims[0].ref.level = "district";
+  CuboidSpec mixed2 = Spec({"X", "Y"});
+  mixed2.dims[1].ref.level = "district";
+  EXPECT_EQ(CompareSpecs(mixed, mixed2, reg_.get()),
+            SpecOrder::kIncomparable);
+}
+
+TEST_F(LatticeTest, GlobalDimensionsParticipate) {
+  CuboidSpec with_global = Spec({"X", "Y"});
+  with_global.seq.group_by = {{"time", "day"}};
+  CuboidSpec without = Spec({"X", "Y"});
+  // Fewer global dimensions = coarser.
+  EXPECT_EQ(CompareSpecs(without, with_global, reg_.get()),
+            SpecOrder::kCoarser);
+  CuboidSpec weekly = Spec({"X", "Y"});
+  weekly.seq.group_by = {{"time", "week"}};
+  EXPECT_EQ(CompareSpecs(weekly, with_global, reg_.get()),
+            SpecOrder::kCoarser);
+}
+
+TEST_F(LatticeTest, DifferentFamiliesAreIncomparable) {
+  CuboidSpec a = Spec({"X", "Y"});
+  CuboidSpec all = a;
+  all.restriction = CellRestriction::kAllMatchedGo;
+  EXPECT_EQ(CompareSpecs(a, all, reg_.get()), SpecOrder::kIncomparable);
+  CuboidSpec sliced = *ops::SlicePattern(a, "X", {"Pentagon"});
+  EXPECT_EQ(CompareSpecs(a, sliced, reg_.get()), SpecOrder::kIncomparable);
+  CuboidSpec subseq = a;
+  subseq.kind = PatternKind::kSubsequence;
+  EXPECT_EQ(CompareSpecs(a, subseq, reg_.get()), SpecOrder::kIncomparable);
+}
+
+TEST_F(LatticeTest, CoarserNeighborsEnumeratesAllOneStepMoves) {
+  CuboidSpec spec = Spec({"X", "Y", "Y"});
+  spec.seq.group_by = {{"time", "day"}};
+  auto parents = CoarserNeighbors(spec, *reg_);
+  ASSERT_TRUE(parents.ok()) << parents.status().ToString();
+  // DE-HEAD, DE-TAIL, P-ROLL-UP X, P-ROLL-UP Y, roll-up time -> 5.
+  EXPECT_EQ(parents->size(), 5u);
+  // Every parent must actually be coarser (or equal for degenerate moves).
+  for (const CuboidSpec& p : *parents) {
+    SpecOrder order = CompareSpecs(p, spec, reg_.get());
+    EXPECT_TRUE(order == SpecOrder::kCoarser || order == SpecOrder::kEqual)
+        << SpecOrderName(order) << " for " << p.CanonicalString();
+  }
+}
+
+TEST_F(LatticeTest, FinerNeighborsInvertRollUps) {
+  CuboidSpec spec = Spec({"X", "Y"}, "district");
+  spec.seq.group_by = {{"time", "week"}};
+  auto children = FinerNeighbors(spec, *reg_);
+  ASSERT_TRUE(children.ok());
+  // P-DRILL-DOWN X, P-DRILL-DOWN Y, and the calendar drill week -> day.
+  EXPECT_EQ(children->size(), 3u);
+  for (const CuboidSpec& c : *children) {
+    EXPECT_EQ(CompareSpecs(c, spec, reg_.get()), SpecOrder::kFiner);
+  }
+}
+
+TEST_F(LatticeTest, SingleSymbolHasNoDeHeadDeTail) {
+  CuboidSpec spec = Spec({"X"});
+  auto parents = CoarserNeighbors(spec, *reg_);
+  ASSERT_TRUE(parents.ok());
+  // Only the P-ROLL-UP of X.
+  EXPECT_EQ(parents->size(), 1u);
+}
+
+TEST_F(LatticeTest, NavigationSpecsExecute) {
+  auto table = testing::Fig8Table();
+  SOlapEngine engine(table.get(), reg_.get());
+  CuboidSpec spec = Spec({"X", "Y"});
+  auto parents = CoarserNeighbors(spec, *reg_);
+  ASSERT_TRUE(parents.ok());
+  for (const CuboidSpec& p : *parents) {
+    auto r = engine.Execute(p);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << " for "
+                        << p.CanonicalString();
+  }
+}
+
+}  // namespace
+}  // namespace solap

@@ -1,0 +1,191 @@
+// Unit tests for the six S-OLAP operations (paper §3.3) plus the classical
+// global-dimension operations, as CuboidSpec transformations.
+#include <gtest/gtest.h>
+
+#include "paper_fixtures.h"
+#include "solap/engine/engine.h"
+#include "solap/engine/operations.h"
+
+namespace solap {
+namespace {
+
+CuboidSpec BaseXY() {
+  CuboidSpec s;
+  s.seq.cluster_by = {{"card-id", "card-id"}};
+  s.seq.sequence_by = "time";
+  s.symbols = {"X", "Y"};
+  s.dims = {PatternDim{"X", {"location", "station"}, {}, ""},
+            PatternDim{"Y", {"location", "station"}, {}, ""}};
+  return s;
+}
+
+TEST(OperationsTest, AppendExistingAndNewSymbols) {
+  // The paper's Q1 -> Q2 flow: APPEND X then APPEND Z (Fig. 5).
+  CuboidSpec q1 = BaseXY();
+  q1.symbols = {"X", "Y", "Y", "X"};
+  auto with_x = ops::Append(q1, "X");
+  ASSERT_TRUE(with_x.ok());
+  EXPECT_EQ(with_x->symbols,
+            (std::vector<std::string>{"X", "Y", "Y", "X", "X"}));
+  EXPECT_EQ(with_x->dims.size(), 2u);  // X already declared
+  auto q2 = ops::Append(*with_x, "Z", {"location", "station"});
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->symbols.size(), 6u);
+  EXPECT_EQ(q2->dims.size(), 3u);
+  EXPECT_EQ(q2->dims[2].symbol, "Z");
+
+  // A new symbol without a domain is an error.
+  EXPECT_FALSE(ops::Append(q1, "W").ok());
+}
+
+TEST(OperationsTest, AppendExtendsPlaceholders) {
+  CuboidSpec s = BaseXY();
+  s.placeholders = {"x1", "y1"};
+  s.predicate = Expr::Eq(Expr::PCol("x1", "action"),
+                         Expr::Lit(Value::String("in")));
+  auto r = ops::Append(s, "Z", {"location", "station"}, "z1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->placeholders, (std::vector<std::string>{"x1", "y1", "z1"}));
+  // Auto-generated placeholder avoids collisions.
+  auto r2 = ops::Append(s, "Z", {"location", "station"});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->placeholders.size(), 3u);
+  EXPECT_NE(r2->placeholders[2], "x1");
+  EXPECT_NE(r2->placeholders[2], "y1");
+}
+
+TEST(OperationsTest, PrependAddsAtFront) {
+  CuboidSpec s = BaseXY();
+  auto r = ops::Prepend(s, "Z", {"location", "district"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->symbols, (std::vector<std::string>{"Z", "X", "Y"}));
+  EXPECT_EQ(r->dims.size(), 3u);
+}
+
+TEST(OperationsTest, DeTailDeHeadRoundTripRestoresSpec) {
+  // Paper §4.2.2: APPEND then DE-TAIL returns to the original cuboid, so
+  // the repository can serve the cached result — canonical keys must match.
+  CuboidSpec qa = BaseXY();
+  auto qb = ops::Append(qa, "Y");
+  ASSERT_TRUE(qb.ok());
+  auto qc = ops::DeTail(*qb);
+  ASSERT_TRUE(qc.ok());
+  EXPECT_EQ(qc->CanonicalString(), qa.CanonicalString());
+
+  auto qd = ops::Prepend(qa, "Z", {"location", "station"});
+  ASSERT_TRUE(qd.ok());
+  auto qe = ops::DeHead(*qd);
+  ASSERT_TRUE(qe.ok());
+  EXPECT_EQ(qe->CanonicalString(), qa.CanonicalString());
+}
+
+TEST(OperationsTest, RemovingLastOccurrenceDropsDimension) {
+  CuboidSpec s = BaseXY();
+  auto r = ops::DeTail(s);  // removes Y entirely
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->symbols, (std::vector<std::string>{"X"}));
+  EXPECT_EQ(r->dims.size(), 1u);
+  // Cannot drop below one symbol.
+  EXPECT_FALSE(ops::DeTail(*r).ok());
+  EXPECT_FALSE(ops::DeHead(*r).ok());
+}
+
+TEST(OperationsTest, DeTailRefusesWhenPredicateReferencesPosition) {
+  CuboidSpec s = BaseXY();
+  s.placeholders = {"x1", "y1"};
+  s.predicate = Expr::Eq(Expr::PCol("y1", "action"),
+                         Expr::Lit(Value::String("out")));
+  auto r = ops::DeTail(s);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("y1"), std::string::npos);
+  // DE-HEAD is fine: x1 is removed but unreferenced.
+  s.predicate = Expr::Eq(Expr::PCol("y1", "action"),
+                         Expr::Lit(Value::String("out")));
+  auto r2 = ops::DeHead(s);
+  EXPECT_TRUE(r2.ok());
+}
+
+TEST(OperationsTest, PRollUpAndDrillDownWalkTheHierarchy) {
+  auto reg = testing::Fig8Hierarchies();
+  CuboidSpec s = BaseXY();
+  auto up = ops::PRollUp(s, "Y", *reg);
+  ASSERT_TRUE(up.ok()) << up.status().ToString();
+  EXPECT_EQ(up->dims[1].ref.level, "district");
+  EXPECT_EQ(up->dims[0].ref.level, "station");
+  // No level above district.
+  EXPECT_FALSE(ops::PRollUp(*up, "Y", *reg).ok());
+  auto down = ops::PDrillDown(*up, "Y", *reg);
+  ASSERT_TRUE(down.ok());
+  EXPECT_EQ(down->dims[1].ref.level, "station");
+  EXPECT_FALSE(ops::PDrillDown(*down, "Y", *reg).ok());
+  EXPECT_FALSE(ops::PRollUp(s, "Q", *reg).ok());  // unknown symbol
+}
+
+TEST(OperationsTest, SliceLevelSticksThroughDrillDown) {
+  auto reg = testing::Fig8Hierarchies();
+  CuboidSpec s = BaseXY();
+  auto up = ops::PRollUpTo(s, "X", "district");
+  ASSERT_TRUE(up.ok());
+  auto sliced = ops::SlicePattern(*up, "X", {"D10"});
+  ASSERT_TRUE(sliced.ok());
+  EXPECT_EQ(sliced->dims[0].fixed_labels,
+            (std::vector<std::string>{"D10"}));
+  EXPECT_TRUE(sliced->dims[0].fixed_level.empty());
+  // Drill back down: the slice keeps its district level.
+  auto down = ops::PDrillDown(*sliced, "X", *reg);
+  ASSERT_TRUE(down.ok());
+  EXPECT_EQ(down->dims[0].ref.level, "station");
+  EXPECT_EQ(down->dims[0].fixed_level, "district");
+  EXPECT_EQ(down->dims[0].fixed_labels,
+            (std::vector<std::string>{"D10"}));
+}
+
+TEST(OperationsTest, CalendarLevelsRollUpWithoutHierarchy) {
+  HierarchyRegistry empty;
+  CuboidSpec s = BaseXY();
+  s.dims[0].ref = {"time", "day"};
+  auto up = ops::PRollUp(s, "X", empty);
+  ASSERT_TRUE(up.ok()) << up.status().ToString();
+  EXPECT_EQ(up->dims[0].ref.level, "week");
+  auto down = ops::PDrillDown(*up, "X", empty);
+  ASSERT_TRUE(down.ok());
+  EXPECT_EQ(down->dims[0].ref.level, "day");
+}
+
+TEST(OperationsTest, GlobalLevelChanges) {
+  CuboidSpec s = BaseXY();
+  s.seq.group_by = {{"card-id", "fare-group"}};
+  auto down = ops::DrillDownGlobal(s, "card-id", "card-id");
+  ASSERT_TRUE(down.ok());
+  EXPECT_EQ(down->seq.group_by[0].level, "card-id");
+  auto up = ops::RollUpGlobal(*down, "card-id", "fare-group");
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up->seq.group_by[0].level, "fare-group");
+  EXPECT_FALSE(ops::RollUpGlobal(s, "location", "district").ok());
+}
+
+TEST(OperationsTest, SliceToCellFixesEveryPatternDimension) {
+  // Execute a tiny query, then slice to its argmax cell.
+  auto table = testing::Fig8Table();
+  auto reg = testing::Fig8Hierarchies();
+  SOlapEngine engine(table.get(), reg.get());
+  CuboidSpec s = BaseXY();
+  auto r = engine.Execute(s);
+  ASSERT_TRUE(r.ok());
+  CellKey top = (*r)->ArgMaxCell();
+  ASSERT_FALSE(top.empty());
+  auto sliced = ops::SliceToCell(s, **r, top);
+  ASSERT_TRUE(sliced.ok());
+  EXPECT_EQ(sliced->dims[0].fixed_labels.size(), 1u);
+  EXPECT_EQ(sliced->dims[1].fixed_labels.size(), 1u);
+  // Executing the sliced spec yields exactly that one cell.
+  auto rs = engine.Execute(*sliced);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ((*rs)->num_cells(), 1u);
+  EXPECT_EQ((*rs)->CellAt(top).count, (*r)->CellAt(top).count);
+  // Arity mismatch is rejected.
+  EXPECT_FALSE(ops::SliceToCell(s, **r, {0}).ok());
+}
+
+}  // namespace
+}  // namespace solap

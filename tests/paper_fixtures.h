@@ -1,0 +1,99 @@
+// Shared test fixtures reproducing the paper's worked examples:
+//  - the Figure 8 sequence group (sids s1..s4, station values, alternating
+//    in/out actions);
+//  - the station -> district hierarchy used by the §4.2.2 P-ROLL-UP
+//    discussion (district D10 = {Pentagon, Clarendon});
+//  - both a table-backed variant (supports matching predicates) and a raw
+//    variant (symbol streams only).
+#ifndef SOLAP_TESTS_PAPER_FIXTURES_H_
+#define SOLAP_TESTS_PAPER_FIXTURES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "solap/gen/transit.h"
+#include "solap/hierarchy/concept_hierarchy.h"
+#include "solap/seq/sequence_group.h"
+#include "solap/storage/event_table.h"
+
+namespace solap {
+namespace testing {
+
+/// Station streams of the four Figure 8 sequences.
+inline const std::vector<std::vector<std::string>>& Fig8Sequences() {
+  static const std::vector<std::vector<std::string>> kSeqs = {
+      {"Glenmont", "Pentagon", "Pentagon", "Wheaton", "Wheaton", "Pentagon"},
+      {"Pentagon", "Wheaton", "Wheaton", "Pentagon"},
+      {"Clarendon", "Pentagon"},
+      {"Wheaton", "Clarendon", "Deanwood", "Wheaton"},
+  };
+  return kSeqs;
+}
+
+/// station -> district hierarchy: D10 = {Pentagon, Clarendon} (paper
+/// §4.2.2), D20 = {Wheaton, Glenmont}, D30 = {Deanwood}.
+inline std::shared_ptr<HierarchyRegistry> Fig8Hierarchies() {
+  auto reg = std::make_shared<HierarchyRegistry>();
+  auto h = std::make_shared<ConceptHierarchy>(
+      std::vector<std::string>{"station", "district"});
+  (void)h->SetParent(0, "Pentagon", "D10");
+  (void)h->SetParent(0, "Clarendon", "D10");
+  (void)h->SetParent(0, "Wheaton", "D20");
+  (void)h->SetParent(0, "Glenmont", "D20");
+  (void)h->SetParent(0, "Deanwood", "D30");
+  reg->Register("location", h);
+  // The raw fixture exposes the same hierarchy under the raw attr name.
+  reg->Register("symbol", h);
+  return reg;
+}
+
+/// Raw sequence group set over attribute "symbol" holding the Fig. 8
+/// sequences (single group, sids 0..3 = s1..s4).
+inline std::shared_ptr<SequenceGroupSet> Fig8RawGroups() {
+  auto set = std::make_shared<SequenceGroupSet>("symbol");
+  SequenceGroup& g = set->GroupFor({});
+  for (const auto& seq : Fig8Sequences()) {
+    std::vector<Code> codes;
+    for (const std::string& s : seq) {
+      codes.push_back(set->raw_dictionary().GetOrAdd(s));
+    }
+    g.AddSequence(codes);
+  }
+  return set;
+}
+
+/// Table-backed Fig. 8 data: one passenger per sequence, events ordered by
+/// time, action alternating in/out ("events at odd positions have action
+/// 'in' whereas events at even positions have action 'out'").
+inline std::shared_ptr<EventTable> Fig8Table() {
+  Schema schema({
+      {"time", ValueType::kTimestamp, FieldRole::kDimension},
+      {"card-id", ValueType::kString, FieldRole::kDimension},
+      {"location", ValueType::kString, FieldRole::kDimension},
+      {"action", ValueType::kString, FieldRole::kDimension},
+      {"amount", ValueType::kDouble, FieldRole::kMeasure},
+  });
+  auto table = std::make_shared<EventTable>(std::move(schema));
+  const char* cards[] = {"688", "23456", "1012", "77"};
+  const auto& seqs = Fig8Sequences();
+  int64_t t = MakeTimestamp(2007, 12, 25, 8, 0, 0);
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    for (size_t j = 0; j < seqs[i].size(); ++j) {
+      (void)table->AppendRow({
+          Value::Timestamp(t),
+          Value::String(cards[i]),
+          Value::String(seqs[i][j]),
+          Value::String(j % 2 == 0 ? "in" : "out"),
+          Value::Double(j % 2 == 0 ? 0.0 : -2.0),
+      });
+      t += 60;
+    }
+  }
+  return table;
+}
+
+}  // namespace testing
+}  // namespace solap
+
+#endif  // SOLAP_TESTS_PAPER_FIXTURES_H_

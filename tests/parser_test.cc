@@ -1,0 +1,198 @@
+// Tests for the query-language lexer and parser, including the paper's own
+// query texts (Fig. 3 Q1 and Fig. 11 Q3).
+#include <gtest/gtest.h>
+
+#include "paper_fixtures.h"
+#include "solap/engine/engine.h"
+#include "solap/parser/lexer.h"
+#include "solap/parser/parser.h"
+
+namespace solap {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto r = Tokenize("SELECT COUNT(*) x1.action = \"in\" 3.5 42 <= !=");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const std::vector<Token>& t = *r;
+  EXPECT_EQ(t[0].type, TokenType::kIdent);
+  EXPECT_EQ(t[1].text, "COUNT");
+  EXPECT_EQ(t[2].text, "(");
+  EXPECT_EQ(t[3].text, "*");
+  EXPECT_EQ(t[5].text, "x1");
+  EXPECT_EQ(t[6].text, ".");
+  EXPECT_EQ(t[7].text, "action");
+  EXPECT_EQ(t[8].text, "=");
+  EXPECT_EQ(t[9].type, TokenType::kString);
+  EXPECT_EQ(t[9].literal.str(), "in");
+  EXPECT_EQ(t[10].type, TokenType::kNumber);
+  EXPECT_DOUBLE_EQ(t[10].literal.dbl(), 3.5);
+  EXPECT_EQ(t[11].literal.int64(), 42);
+  EXPECT_EQ(t[12].text, "<=");
+  EXPECT_EQ(t[13].text, "!=");
+  EXPECT_EQ(t.back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, HyphenatedIdentifiersAndDates) {
+  auto r = Tokenize("card-id LEFT-MAXIMALITY 2007-10-01T00:01 2007-12-31");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].text, "card-id");
+  EXPECT_EQ((*r)[1].text, "LEFT-MAXIMALITY");
+  EXPECT_EQ((*r)[2].type, TokenType::kDateTime);
+  EXPECT_EQ((*r)[2].literal.int64(), MakeTimestamp(2007, 10, 1, 0, 1));
+  EXPECT_EQ((*r)[3].literal.int64(), MakeTimestamp(2007, 12, 31));
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+  EXPECT_FALSE(Tokenize("a # b").ok());
+  EXPECT_FALSE(Tokenize("2007-13-99T99:99").ok());
+}
+
+// The paper's Q1 (Fig. 3), verbatim modulo ASCII quotes.
+const char* kQ1 = R"(
+  SELECT COUNT(*) FROM Event
+  WHERE time >= 2007-10-01T00:00 AND time < 2008-01-01T00:00
+  CLUSTER BY card-id AT individual, time AT day
+  SEQUENCE BY time ASCENDING
+  SEQUENCE GROUP BY card-id AT fare-group, time AT day
+  CUBOID BY SUBSTRING (X, Y, Y, X)
+    WITH X AS location AT station, Y AS location AT station
+    LEFT-MAXIMALITY (x1, y1, y2, x2)
+    WITH x1.action = "in" AND y1.action = "out" AND
+         y2.action = "in" AND x2.action = "out"
+)";
+
+TEST(ParserTest, ParsesPaperQ1) {
+  auto r = ParseQuery(kQ1);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const CuboidSpec& s = *r;
+  EXPECT_EQ(s.agg, AggKind::kCount);
+  ASSERT_NE(s.seq.where, nullptr);
+  EXPECT_EQ(s.seq.cluster_by.size(), 2u);
+  EXPECT_EQ(s.seq.cluster_by[0].attr, "card-id");
+  EXPECT_EQ(s.seq.cluster_by[0].level, "individual");
+  EXPECT_EQ(s.seq.sequence_by, "time");
+  EXPECT_TRUE(s.seq.ascending);
+  EXPECT_EQ(s.seq.group_by.size(), 2u);
+  EXPECT_EQ(s.seq.group_by[0].level, "fare-group");
+  EXPECT_EQ(s.kind, PatternKind::kSubstring);
+  EXPECT_EQ(s.symbols, (std::vector<std::string>{"X", "Y", "Y", "X"}));
+  ASSERT_EQ(s.dims.size(), 2u);
+  EXPECT_EQ(s.dims[0].ref.ToString(), "location@station");
+  EXPECT_EQ(s.restriction, CellRestriction::kLeftMaxMatchedGo);
+  EXPECT_EQ(s.placeholders,
+            (std::vector<std::string>{"x1", "y1", "y2", "x2"}));
+  ASSERT_NE(s.predicate, nullptr);
+  EXPECT_TRUE(s.predicate->UsesPlaceholders());
+}
+
+TEST(ParserTest, ParsedQ3ExecutesAgainstFig8) {
+  const char* q3 = R"(
+    SELECT COUNT(*) FROM Event
+    CLUSTER BY card-id AT card-id
+    SEQUENCE BY time ASCENDING
+    CUBOID BY SUBSTRING (X, Y)
+      WITH X AS location AT station, Y AS location AT station
+      LEFT-MAXIMALITY (x1, y1)
+      WITH x1.action = "in" AND y1.action = "out"
+  )";
+  auto spec = ParseQuery(q3);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  auto table = testing::Fig8Table();
+  auto reg = testing::Fig8Hierarchies();
+  SOlapEngine engine(table.get(), reg.get());
+  auto r = engine.Execute(*spec);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->num_cells(), 6u);  // Figure 12
+}
+
+TEST(ParserTest, AggregatesAndSubsequenceAndIceberg) {
+  const char* q = R"(
+    SELECT SUM(amount) FROM Event
+    CLUSTER BY card-id AT card-id
+    SEQUENCE BY time DESCENDING
+    CUBOID BY SUBSEQUENCE (A, B)
+      WITH A AS location AT district, B AS location AT district
+      ALL-MATCHED
+    ICEBERG 5
+  )";
+  auto r = ParseQuery(q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->agg, AggKind::kSum);
+  EXPECT_EQ(r->measure, "amount");
+  EXPECT_FALSE(r->seq.ascending);
+  EXPECT_EQ(r->kind, PatternKind::kSubsequence);
+  EXPECT_EQ(r->restriction, CellRestriction::kAllMatchedGo);
+  EXPECT_TRUE(r->placeholders.empty());
+  EXPECT_EQ(r->predicate, nullptr);
+  ASSERT_TRUE(r->iceberg_min_count.has_value());
+  EXPECT_EQ(*r->iceberg_min_count, 5);
+}
+
+TEST(ParserTest, LeftMaximalityDataVariant) {
+  const char* q = R"(
+    SELECT COUNT(*) FROM Event
+    CLUSTER BY s AT s SEQUENCE BY t
+    CUBOID BY SUBSTRING (X) WITH X AS p AT p LEFT-MAXIMALITY-DATA
+  )";
+  auto r = ParseQuery(q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->restriction, CellRestriction::kLeftMaxDataGo);
+}
+
+TEST(ParserTest, ErrorDiagnostics) {
+  // Missing FROM.
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) CLUSTER BY a AT a").ok());
+  // Unknown aggregate.
+  EXPECT_FALSE(ParseQuery("SELECT MEDIAN(x) FROM E CLUSTER BY a AT a "
+                          "SEQUENCE BY t CUBOID BY SUBSTRING (X) WITH X AS "
+                          "p AT p LEFT-MAXIMALITY")
+                   .ok());
+  // Missing restriction.
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM E CLUSTER BY a AT a "
+                          "SEQUENCE BY t CUBOID BY SUBSTRING (X) WITH X AS "
+                          "p AT p")
+                   .ok());
+  // Placeholder arity mismatch.
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM E CLUSTER BY a AT a "
+                          "SEQUENCE BY t CUBOID BY SUBSTRING (X, Y) WITH "
+                          "X AS p AT p, Y AS p AT p LEFT-MAXIMALITY (x1)")
+                   .ok());
+  // Undeclared symbol.
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM E CLUSTER BY a AT a "
+                          "SEQUENCE BY t CUBOID BY SUBSTRING (X, Y) WITH "
+                          "X AS p AT p LEFT-MAXIMALITY")
+                   .ok());
+  // Trailing garbage.
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM E CLUSTER BY a AT a "
+                          "SEQUENCE BY t CUBOID BY SUBSTRING (X) WITH X AS "
+                          "p AT p LEFT-MAXIMALITY banana")
+                   .ok());
+}
+
+TEST(ParserTest, ExpressionParsing) {
+  auto e = ParseExpression("NOT (a = 1 OR b != \"x\") AND c >= 2.5");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ((*e)->op(), ExprOp::kAnd);
+  EXPECT_FALSE(ParseExpression("a = ").ok());
+  EXPECT_FALSE(ParseExpression("a = 1 extra").ok());
+  auto ph = ParseExpression("x1.action = \"in\"");
+  ASSERT_TRUE(ph.ok());
+  EXPECT_TRUE((*ph)->UsesPlaceholders());
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  const char* q = R"(
+    select count(*) from Event
+    cluster by card-id at card-id
+    sequence by time ascending
+    cuboid by substring (X) with X as location at station left-maximality
+  )";
+  auto r = ParseQuery(q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->symbols.size(), 1u);
+}
+
+}  // namespace
+}  // namespace solap

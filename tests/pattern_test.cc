@@ -1,0 +1,275 @@
+// Unit tests for pattern templates and the matcher: substring/subsequence
+// semantics, repeated-symbol consistency, slice restrictions, predicates.
+#include <gtest/gtest.h>
+
+#include "paper_fixtures.h"
+#include "solap/pattern/matcher.h"
+#include "solap/seq/sequence_query_engine.h"
+
+namespace solap {
+namespace {
+
+using testing::Fig8Hierarchies;
+using testing::Fig8RawGroups;
+
+PatternTemplate MakeTemplate(PatternKind kind,
+                             std::vector<std::string> symbols,
+                             std::vector<PatternDim> dims) {
+  auto t = PatternTemplate::Make(kind, std::move(symbols), std::move(dims));
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return *std::move(t);
+}
+
+PatternDim Dim(const std::string& symbol,
+               std::vector<std::string> fixed = {}) {
+  return PatternDim{symbol, {"symbol", "symbol"}, std::move(fixed), ""};
+}
+
+TEST(PatternTemplateTest, StructureOfXYYX) {
+  PatternTemplate t = MakeTemplate(PatternKind::kSubstring,
+                                   {"X", "Y", "Y", "X"},
+                                   {Dim("X"), Dim("Y")});
+  EXPECT_EQ(t.num_positions(), 4u);
+  EXPECT_EQ(t.num_dims(), 2u);
+  EXPECT_EQ(t.dim_of(0), 0);
+  EXPECT_EQ(t.dim_of(1), 1);
+  EXPECT_EQ(t.dim_of(2), 1);
+  EXPECT_EQ(t.dim_of(3), 0);
+  EXPECT_EQ(t.first_position_of(0), 0);
+  EXPECT_EQ(t.first_position_of(1), 1);
+  EXPECT_TRUE(t.HasRepeatedSymbols());
+  EXPECT_FALSE(t.HasRestrictedDims());
+}
+
+TEST(PatternTemplateTest, ValidationErrors) {
+  EXPECT_FALSE(
+      PatternTemplate::Make(PatternKind::kSubstring, {}, {Dim("X")}).ok());
+  // Symbol without declaration.
+  EXPECT_FALSE(PatternTemplate::Make(PatternKind::kSubstring, {"X", "Z"},
+                                     {Dim("X")})
+                   .ok());
+  // Declared dimension never used.
+  EXPECT_FALSE(PatternTemplate::Make(PatternKind::kSubstring, {"X"},
+                                     {Dim("X"), Dim("Y")})
+                   .ok());
+}
+
+TEST(PatternTemplateTest, DimCodesProjection) {
+  PatternTemplate t = MakeTemplate(PatternKind::kSubstring,
+                                   {"X", "Y", "Y", "X"},
+                                   {Dim("X"), Dim("Y")});
+  PatternKey positions = {7, 3, 3, 7};
+  PatternKey dims = t.DimCodesOf(positions);
+  ASSERT_EQ(dims.size(), 2u);
+  EXPECT_EQ(dims[0], 7u);
+  EXPECT_EQ(dims[1], 3u);
+}
+
+class MatcherTest : public ::testing::Test {
+ protected:
+  MatcherTest() : set_(Fig8RawGroups()), reg_(Fig8Hierarchies()) {}
+
+  BoundPattern Bind(const PatternTemplate* t) {
+    auto bp = BoundPattern::Bind(t, &set_->groups()[0], *set_, reg_.get(),
+                                 nullptr, {});
+    EXPECT_TRUE(bp.ok()) << bp.status().ToString();
+    return *std::move(bp);
+  }
+
+  // All occurrences of `t` in sequence s as flat position lists.
+  std::vector<std::vector<uint32_t>> Occurrences(const BoundPattern& bp,
+                                                 Sid s) {
+    std::vector<std::vector<uint32_t>> out;
+    bp.ForEachOccurrence(s, [&](const uint32_t* idx) {
+      out.emplace_back(idx, idx + bp.tmpl().num_positions());
+      return true;
+    });
+    return out;
+  }
+
+  Code CodeOfStation(const std::string& name) {
+    return set_->raw_dictionary().Lookup(name);
+  }
+
+  std::shared_ptr<SequenceGroupSet> set_;
+  std::shared_ptr<HierarchyRegistry> reg_;
+};
+
+TEST_F(MatcherTest, SubstringOccurrenceEnumeration) {
+  // (X, Y) over s1 = <G,P,P,W,W,P>: five adjacent pairs.
+  PatternTemplate t = MakeTemplate(PatternKind::kSubstring, {"X", "Y"},
+                                   {Dim("X"), Dim("Y")});
+  BoundPattern bp = Bind(&t);
+  auto occ = Occurrences(bp, 0);
+  ASSERT_EQ(occ.size(), 5u);
+  EXPECT_EQ(occ[0], (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(occ[4], (std::vector<uint32_t>{4, 5}));
+}
+
+TEST_F(MatcherTest, RepeatedSymbolEqualityPruning) {
+  // (X, X) matches only adjacent equal pairs: s1 has (P,P) and (W,W).
+  PatternTemplate t =
+      MakeTemplate(PatternKind::kSubstring, {"X", "X"}, {Dim("X")});
+  BoundPattern bp = Bind(&t);
+  auto occ = Occurrences(bp, 0);
+  ASSERT_EQ(occ.size(), 2u);
+  EXPECT_EQ(occ[0], (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(occ[1], (std::vector<uint32_t>{3, 4}));
+  // s4 = <W,C,D,W> has none.
+  EXPECT_TRUE(Occurrences(bp, 3).empty());
+}
+
+TEST_F(MatcherTest, RoundTripTemplateXYYX) {
+  PatternTemplate t = MakeTemplate(PatternKind::kSubstring,
+                                   {"X", "Y", "Y", "X"},
+                                   {Dim("X"), Dim("Y")});
+  BoundPattern bp = Bind(&t);
+  // s1 = <G,P,P,W,W,P>: only (P,W,W,P) at positions 2..5.
+  auto occ1 = Occurrences(bp, 0);
+  ASSERT_EQ(occ1.size(), 1u);
+  EXPECT_EQ(occ1[0], (std::vector<uint32_t>{2, 3, 4, 5}));
+  // s2 = <P,W,W,P> matches whole; s3 too short; s4 = <W,C,D,W> needs C == D.
+  EXPECT_EQ(Occurrences(bp, 1).size(), 1u);
+  EXPECT_TRUE(Occurrences(bp, 2).empty());
+  EXPECT_TRUE(Occurrences(bp, 3).empty());
+}
+
+TEST_F(MatcherTest, FixedDimRestriction) {
+  PatternTemplate t = MakeTemplate(
+      PatternKind::kSubstring, {"X", "Y"},
+      {Dim("X", {"Pentagon"}), Dim("Y")});
+  BoundPattern bp = Bind(&t);
+  // s1: pairs starting at Pentagon: (P,P) at 1, (P,W) at 2 — and position 5
+  // is the final P with no successor.
+  auto occ = Occurrences(bp, 0);
+  ASSERT_EQ(occ.size(), 2u);
+  EXPECT_EQ(occ[0][0], 1u);
+  EXPECT_EQ(occ[1][0], 2u);
+}
+
+TEST_F(MatcherTest, UnknownSliceLabelMatchesNothing) {
+  PatternTemplate t = MakeTemplate(PatternKind::kSubstring, {"X", "Y"},
+                                   {Dim("X", {"Atlantis"}), Dim("Y")});
+  BoundPattern bp = Bind(&t);
+  for (Sid s = 0; s < 4; ++s) EXPECT_TRUE(Occurrences(bp, s).empty());
+}
+
+TEST_F(MatcherTest, DistrictLevelMatching) {
+  // (X, X) at district level: s4 = <W,C,D,W> -> <D20,D10,D30,D20> none;
+  // s1 = <G,P,P,W,W,P> -> <D20,D10,D10,D20,D20,D10> has (D10,D10), (D20,D20).
+  PatternDim d{"X", {"symbol", "district"}, {}, ""};
+  PatternTemplate t =
+      MakeTemplate(PatternKind::kSubstring, {"X", "X"}, {d});
+  BoundPattern bp = Bind(&t);
+  EXPECT_EQ(Occurrences(bp, 0).size(), 2u);
+  EXPECT_TRUE(Occurrences(bp, 3).empty());
+}
+
+TEST_F(MatcherTest, SubsequenceEnumeration) {
+  // SUBSEQUENCE(X, X) on s4 = <W,C,D,W>: only (W,...,W) = indices {0,3}.
+  PatternTemplate t =
+      MakeTemplate(PatternKind::kSubsequence, {"X", "X"}, {Dim("X")});
+  BoundPattern bp = Bind(&t);
+  auto occ = Occurrences(bp, 3);
+  ASSERT_EQ(occ.size(), 1u);
+  EXPECT_EQ(occ[0], (std::vector<uint32_t>{0, 3}));
+  // s1 = <G,P,P,W,W,P>: pairs of equal symbols among P@{1,2,5}, W@{3,4}:
+  // (1,2),(1,5),(2,5),(3,4) = 4 occurrences.
+  EXPECT_EQ(Occurrences(bp, 0).size(), 4u);
+}
+
+TEST_F(MatcherTest, ContainsConcreteSubstringAndSubsequence) {
+  PatternTemplate sub = MakeTemplate(PatternKind::kSubstring, {"X", "Y"},
+                                     {Dim("X"), Dim("Y")});
+  BoundPattern bp = Bind(&sub);
+  PatternKey pw = {CodeOfStation("Pentagon"), CodeOfStation("Wheaton")};
+  PatternKey wd = {CodeOfStation("Wheaton"), CodeOfStation("Deanwood")};
+  EXPECT_TRUE(bp.ContainsConcrete(0, pw));
+  EXPECT_FALSE(bp.ContainsConcrete(3, pw));
+  EXPECT_FALSE(bp.ContainsConcrete(3, wd));  // W..D not adjacent in s4
+
+  PatternTemplate sseq = MakeTemplate(PatternKind::kSubsequence, {"X", "Y"},
+                                      {Dim("X"), Dim("Y")});
+  BoundPattern bps = Bind(&sseq);
+  EXPECT_TRUE(bps.ContainsConcrete(3, wd));  // subsequence: W then D
+}
+
+TEST_F(MatcherTest, TemplateTooLongIsRejected) {
+  std::vector<std::string> symbols(kMaxTemplatePositions + 1, "X");
+  auto t = PatternTemplate::Make(PatternKind::kSubstring, symbols, {Dim("X")});
+  ASSERT_TRUE(t.ok());
+  auto bp = BoundPattern::Bind(&*t, &set_->groups()[0], *set_, reg_.get(),
+                               nullptr, {});
+  EXPECT_FALSE(bp.ok());
+}
+
+class PredicateMatchTest : public ::testing::Test {
+ protected:
+  PredicateMatchTest()
+      : table_(testing::Fig8Table()), reg_(Fig8Hierarchies()) {
+    SequenceSpec spec;
+    spec.cluster_by = {{"card-id", "card-id"}};
+    spec.sequence_by = "time";
+    SequenceQueryEngine sqe(reg_.get());
+    auto set = sqe.Build(*table_, spec);
+    EXPECT_TRUE(set.ok());
+    set_ = *set;
+  }
+
+  std::shared_ptr<EventTable> table_;
+  std::shared_ptr<HierarchyRegistry> reg_;
+  std::shared_ptr<SequenceGroupSet> set_;
+};
+
+TEST_F(PredicateMatchTest, InOutPredicateFiltersOccurrences) {
+  // Q3's predicate: x1.action = "in" AND y1.action = "out".
+  PatternDim dx{"X", {"location", "station"}, {}, ""};
+  PatternDim dy{"Y", {"location", "station"}, {}, ""};
+  auto t = PatternTemplate::Make(PatternKind::kSubstring, {"X", "Y"},
+                                 {dx, dy});
+  ASSERT_TRUE(t.ok());
+  ExprPtr pred = Expr::And(
+      Expr::Eq(Expr::PCol("x1", "action"), Expr::Lit(Value::String("in"))),
+      Expr::Eq(Expr::PCol("y1", "action"), Expr::Lit(Value::String("out"))));
+  auto bp = BoundPattern::Bind(&*t, &set_->groups()[0], *set_, reg_.get(),
+                               pred, {"x1", "y1"});
+  ASSERT_TRUE(bp.ok()) << bp.status().ToString();
+  // Card 1012 = <Clarendon(in), Pentagon(out)>: exactly one valid pair.
+  // Find its sid by length 2.
+  Sid sid = 0;
+  for (Sid s = 0; s < 4; ++s) {
+    if (set_->groups()[0].length(s) == 2) sid = s;
+  }
+  int count = 0;
+  bp->ForEachOccurrence(sid, [&](const uint32_t*) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(PredicateMatchTest, PredicateRequiresMatchingPlaceholderArity) {
+  PatternDim dx{"X", {"location", "station"}, {}, ""};
+  auto t = PatternTemplate::Make(PatternKind::kSubstring, {"X", "X"}, {dx});
+  ASSERT_TRUE(t.ok());
+  ExprPtr pred =
+      Expr::Eq(Expr::PCol("x1", "action"), Expr::Lit(Value::String("in")));
+  auto bp = BoundPattern::Bind(&*t, &set_->groups()[0], *set_, reg_.get(),
+                               pred, {"x1"});  // needs 2 placeholders
+  EXPECT_FALSE(bp.ok());
+}
+
+TEST_F(PredicateMatchTest, PredicateRejectedOnRawGroups) {
+  auto raw = Fig8RawGroups();
+  PatternDim dx{"X", {"symbol", "symbol"}, {}, ""};
+  auto t = PatternTemplate::Make(PatternKind::kSubstring, {"X"}, {dx});
+  ASSERT_TRUE(t.ok());
+  ExprPtr pred =
+      Expr::Eq(Expr::PCol("x1", "action"), Expr::Lit(Value::String("in")));
+  auto bp = BoundPattern::Bind(&*t, &raw->groups()[0], *raw, reg_.get(),
+                               pred, {"x1"});
+  EXPECT_FALSE(bp.ok());
+}
+
+}  // namespace
+}  // namespace solap

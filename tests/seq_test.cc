@@ -1,0 +1,214 @@
+// Unit tests for the sequence layer: dimension bindings, sequence groups,
+// the formation pipeline (steps 1-4 of S-cuboid construction), and caching.
+#include <gtest/gtest.h>
+
+#include "paper_fixtures.h"
+#include "solap/seq/sequence_cache.h"
+#include "solap/seq/sequence_query_engine.h"
+
+namespace solap {
+namespace {
+
+using testing::Fig8Hierarchies;
+using testing::Fig8RawGroups;
+using testing::Fig8Table;
+
+TEST(DimensionBindingTest, StringIdentityAndHierarchyLevels) {
+  auto table = Fig8Table();
+  auto reg = Fig8Hierarchies();
+  auto station = DimensionBinding::MakeForTable(*table, reg.get(),
+                                                {"location", "station"});
+  ASSERT_TRUE(station.ok());
+  EXPECT_EQ(station->Label(station->CodeOf(*table, 0)), "Glenmont");
+
+  auto district = DimensionBinding::MakeForTable(*table, reg.get(),
+                                                 {"location", "district"});
+  ASSERT_TRUE(district.ok());
+  EXPECT_EQ(district->Label(district->CodeOf(*table, 0)), "D20");
+  // Row 1 is Pentagon; the two code paths must agree.
+  EXPECT_EQ(district->CodeOf(*table, 1),
+            district->MapBaseCode(station->CodeOf(*table, 1)));
+}
+
+TEST(DimensionBindingTest, CalendarLevels) {
+  auto table = Fig8Table();
+  auto day = DimensionBinding::MakeForTable(*table, nullptr, {"time", "day"});
+  ASSERT_TRUE(day.ok());
+  EXPECT_EQ(day->Label(day->CodeOf(*table, 0)), "2007-12-25");
+  auto bad =
+      DimensionBinding::MakeForTable(*table, nullptr, {"time", "stardate"});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(DimensionBindingTest, RejectsUnknownLevelAndMeasureAttr) {
+  auto table = Fig8Table();
+  auto reg = Fig8Hierarchies();
+  EXPECT_FALSE(DimensionBinding::MakeForTable(*table, reg.get(),
+                                              {"location", "continent"})
+                   .ok());
+  EXPECT_FALSE(
+      DimensionBinding::MakeForTable(*table, reg.get(), {"amount", "amount"})
+          .ok());
+}
+
+TEST(DimensionBindingTest, CodeOfLabelAndAllowedCodes) {
+  auto table = Fig8Table();
+  auto reg = Fig8Hierarchies();
+  auto station = DimensionBinding::MakeForTable(*table, reg.get(),
+                                                {"location", "station"});
+  ASSERT_TRUE(station.ok());
+  auto code = station->CodeOfLabel("Pentagon");
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(station->Label(*code), "Pentagon");
+  EXPECT_EQ(*station->CodeOfLabel("Atlantis"), kNullCode);
+
+  // A district-level slice expands to its member stations.
+  auto allowed = station->AllowedCodes("district", {"D10"});
+  ASSERT_TRUE(allowed.ok()) << allowed.status().ToString();
+  EXPECT_EQ(allowed->size(), 2u);  // Pentagon + Clarendon
+}
+
+TEST(SequenceGroupTest, CsrStorageAndViews) {
+  auto set = Fig8RawGroups();
+  SequenceGroup& g = set->groups()[0];
+  EXPECT_EQ(g.num_sequences(), 4u);
+  EXPECT_EQ(g.length(0), 6u);
+  EXPECT_EQ(g.length(2), 2u);
+  EXPECT_EQ(g.total_events(), 16u);
+
+  auto reg = Fig8Hierarchies();
+  auto b = set->BindDimension(reg.get(), {"symbol", "symbol"});
+  ASSERT_TRUE(b.ok());
+  const std::vector<Code>& view = g.ViewFor(*b);
+  std::span<const Code> s2 = g.Symbols(view, 1);
+  ASSERT_EQ(s2.size(), 4u);
+  EXPECT_EQ(b->Label(s2[0]), "Pentagon");
+  EXPECT_EQ(b->Label(s2[3]), "Pentagon");
+  // Same-level view is cached (same address).
+  EXPECT_EQ(&g.ViewFor(*b), &view);
+
+  auto dist = set->BindDimension(reg.get(), {"symbol", "district"});
+  ASSERT_TRUE(dist.ok());
+  const std::vector<Code>& dview = g.ViewFor(*dist);
+  EXPECT_EQ(dist->Label(g.Symbols(dview, 1)[0]), "D10");
+}
+
+TEST(SequenceGroupSetTest, RawDimensionValidation) {
+  auto set = Fig8RawGroups();
+  EXPECT_FALSE(set->BindDimension(nullptr, {"location", "station"}).ok());
+  EXPECT_TRUE(set->BindDimension(nullptr, {"symbol", "symbol"}).ok());
+}
+
+class FormationTest : public ::testing::Test {
+ protected:
+  FormationTest() : table_(Fig8Table()), reg_(Fig8Hierarchies()) {}
+
+  SequenceSpec BaseSpec() {
+    SequenceSpec s;
+    s.cluster_by = {{"card-id", "card-id"}, {"time", "day"}};
+    s.sequence_by = "time";
+    return s;
+  }
+
+  std::shared_ptr<EventTable> table_;
+  std::shared_ptr<HierarchyRegistry> reg_;
+};
+
+TEST_F(FormationTest, ClusterAndOrderReproducesFig8) {
+  SequenceQueryEngine sqe(reg_.get());
+  auto set = sqe.Build(*table_, BaseSpec());
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ASSERT_EQ((*set)->groups().size(), 1u);  // no SEQUENCE GROUP BY
+  SequenceGroup& g = (*set)->groups()[0];
+  ASSERT_EQ(g.num_sequences(), 4u);
+  size_t total = 0;
+  for (Sid s = 0; s < 4; ++s) total += g.length(s);
+  EXPECT_EQ(total, 16u);
+  // Each sequence's rows must be time-ordered.
+  for (Sid s = 0; s < 4; ++s) {
+    auto rows = g.Rows(s);
+    for (size_t i = 1; i < rows.size(); ++i) {
+      EXPECT_LE(table_->Int64At(rows[i - 1], 0), table_->Int64At(rows[i], 0));
+    }
+  }
+}
+
+TEST_F(FormationTest, WhereClauseFiltersEvents) {
+  SequenceSpec spec = BaseSpec();
+  spec.where =
+      Expr::Eq(Expr::Col("card-id"), Expr::Lit(Value::String("688")));
+  SequenceQueryEngine sqe(reg_.get());
+  auto set = sqe.Build(*table_, spec);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ((*set)->total_sequences(), 1u);
+  EXPECT_EQ((*set)->groups()[0].total_events(), 6u);
+}
+
+TEST_F(FormationTest, DescendingOrderReversesSequences) {
+  SequenceSpec asc = BaseSpec();
+  SequenceSpec desc = BaseSpec();
+  desc.ascending = false;
+  SequenceQueryEngine sqe(reg_.get());
+  auto sa = sqe.Build(*table_, asc);
+  auto sd = sqe.Build(*table_, desc);
+  ASSERT_TRUE(sa.ok() && sd.ok());
+  auto ra = (*sa)->groups()[0].Rows(0);
+  auto rd = (*sd)->groups()[0].Rows(0);
+  ASSERT_EQ(ra.size(), rd.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i], rd[rd.size() - 1 - i]);
+  }
+}
+
+TEST_F(FormationTest, SequenceGroupByPartitionsByFareGroup) {
+  SequenceSpec spec = BaseSpec();
+  spec.group_by = {{"card-id", "fare-group"}};
+  auto card_h = std::make_shared<ConceptHierarchy>(
+      std::vector<std::string>{"card-id", "fare-group"});
+  (void)card_h->SetParent(0, "688", "regular");
+  (void)card_h->SetParent(0, "23456", "regular");
+  (void)card_h->SetParent(0, "1012", "student");
+  (void)card_h->SetParent(0, "77", "student");
+  reg_->Register("card-id", card_h);
+  SequenceQueryEngine sqe(reg_.get());
+  auto set = sqe.Build(*table_, spec);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ASSERT_EQ((*set)->groups().size(), 2u);
+  EXPECT_EQ((*set)->groups()[0].num_sequences(), 2u);
+  EXPECT_EQ((*set)->groups()[1].num_sequences(), 2u);
+  auto labels0 = (*set)->KeyLabels((*set)->groups()[0].key());
+  ASSERT_EQ(labels0.size(), 1u);
+  EXPECT_TRUE(labels0[0] == "regular" || labels0[0] == "student");
+}
+
+TEST_F(FormationTest, ErrorsOnBadSpecs) {
+  SequenceQueryEngine sqe(reg_.get());
+  SequenceSpec no_cluster;
+  no_cluster.sequence_by = "time";
+  EXPECT_FALSE(sqe.Build(*table_, no_cluster).ok());
+  SequenceSpec bad_order = BaseSpec();
+  bad_order.sequence_by = "location";  // string: not a valid order attr
+  EXPECT_FALSE(sqe.Build(*table_, bad_order).ok());
+  SequenceSpec bad_attr = BaseSpec();
+  bad_attr.cluster_by = {{"nope", "nope"}};
+  EXPECT_FALSE(sqe.Build(*table_, bad_attr).ok());
+}
+
+TEST_F(FormationTest, SequenceCacheRoundTrip) {
+  SequenceCache cache;
+  SequenceSpec spec = BaseSpec();
+  EXPECT_EQ(cache.Lookup(spec), nullptr);
+  SequenceQueryEngine sqe(reg_.get());
+  auto set = sqe.Build(*table_, spec);
+  ASSERT_TRUE(set.ok());
+  cache.Insert(spec, *set);
+  EXPECT_EQ(cache.Lookup(spec), *set);
+  SequenceSpec other = BaseSpec();
+  other.ascending = false;
+  EXPECT_EQ(cache.Lookup(other), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace solap

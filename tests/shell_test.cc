@@ -1,0 +1,171 @@
+// Tests for the interactive shell (the Fig. 6 "User Interface"), driven
+// through string streams.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "solap/tools/shell.h"
+
+namespace solap {
+namespace {
+
+// Runs a scripted session; returns everything the shell printed.
+std::string RunScript(const std::string& script) {
+  std::ostringstream out;
+  ShellSession session(out);
+  std::istringstream in(script);
+  session.Run(in);
+  return out.str();
+}
+
+TEST(ShellTest, HelpAndUnknownCommands) {
+  std::string out = RunScript("help\nfrobnicate\nquit\n");
+  EXPECT_NE(out.find("commands:"), std::string::npos);
+  EXPECT_NE(out.find("unknown command 'frobnicate'"), std::string::npos);
+}
+
+TEST(ShellTest, RequiresDataBeforeQuerying) {
+  std::string out = RunScript(
+      "select COUNT(*) FROM E CLUSTER BY a AT a SEQUENCE BY t CUBOID BY "
+      "SUBSTRING (X) WITH X AS p AT p LEFT-MAXIMALITY;\nquit\n");
+  EXPECT_NE(out.find("no data yet"), std::string::npos);
+}
+
+TEST(ShellTest, GenerateQueryAndNavigate) {
+  std::string out = RunScript(R"(
+generate transit 100
+select COUNT(*) FROM Event
+  CLUSTER BY card-id AT individual, time AT day
+  SEQUENCE BY time ASCENDING
+  CUBOID BY SUBSTRING (X, Y)
+    WITH X AS location AT station, Y AS location AT station
+    LEFT-MAXIMALITY;
+rollup Y
+slice Y D10
+detail
+quit
+)");
+  EXPECT_NE(out.find("generated transit workload"), std::string::npos);
+  // The multi-line query executed and printed a table header.
+  EXPECT_NE(out.find("(X:station, Y:station)  COUNT"), std::string::npos);
+  // P-ROLL-UP switched Y to districts.
+  EXPECT_NE(out.find("(X:station, Y:district)"), std::string::npos);
+  // DE-TAIL dropped Y entirely.
+  EXPECT_NE(out.find("(X:station)  COUNT"), std::string::npos);
+  EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+}
+
+TEST(ShellTest, StrategySwitchAndStats) {
+  std::string out = RunScript(R"(
+generate synthetic 500
+strategy cb
+select COUNT(*) FROM S CLUSTER BY x AT x SEQUENCE BY t
+  CUBOID BY SUBSTRING (X, Y)
+  WITH X AS symbol AT symbol, Y AS symbol AT symbol LEFT-MAXIMALITY;
+strategy ii
+top 3
+stats
+strategy warp
+quit
+)");
+  EXPECT_NE(out.find("strategy = cb"), std::string::npos);
+  EXPECT_NE(out.find("strategy = ii"), std::string::npos);
+  EXPECT_NE(out.find("scanned="), std::string::npos);
+  EXPECT_NE(out.find("strategy cb|ii|auto"), std::string::npos);
+}
+
+TEST(ShellTest, LatticeNavigation) {
+  std::string out = RunScript(R"(
+generate transit 50
+select COUNT(*) FROM Event CLUSTER BY card-id AT individual
+  SEQUENCE BY time CUBOID BY SUBSTRING (X, Y)
+  WITH X AS location AT station, Y AS location AT station LEFT-MAXIMALITY;
+parents
+children
+quit
+)");
+  EXPECT_NE(out.find("parents in the S-cube lattice:"), std::string::npos);
+  EXPECT_NE(out.find("children in the S-cube lattice:"), std::string::npos);
+  EXPECT_NE(out.find("X@district"), std::string::npos);  // a P-ROLL-UP parent
+}
+
+TEST(ShellTest, CsvAndSnapshotRoundTrip) {
+  std::string csv_path = ::testing::TempDir() + "shell_events.csv";
+  std::string snap_path = ::testing::TempDir() + "shell_events.bin";
+  {
+    std::ofstream f(csv_path);
+    f << "t,user,page\n";
+    f << "1,u1,home\n2,u1,search\n3,u1,home\n";
+    f << "4,u2,search\n5,u2,home\n";
+  }
+  std::string out = RunScript(
+      "schema t:timestamp,user:string,page:string\n"
+      "load csv " + csv_path + "\n" +
+      "save snapshot " + snap_path + "\n" +
+      "load snapshot " + snap_path + "\n" +
+      "select COUNT(*) FROM E CLUSTER BY user AT user SEQUENCE BY t "
+      "CUBOID BY SUBSTRING (X, Y) WITH X AS page AT page, "
+      "Y AS page AT page LEFT-MAXIMALITY;\n"
+      "quit\n");
+  EXPECT_NE(out.find("loaded 5 events"), std::string::npos);
+  EXPECT_NE(out.find("saved 5 events"), std::string::npos);
+  EXPECT_NE(out.find("(home, search)  1"), std::string::npos);
+  EXPECT_NE(out.find("(search, home)  2"), std::string::npos);
+  std::remove(csv_path.c_str());
+  std::remove(snap_path.c_str());
+}
+
+TEST(ShellTest, UserDefinedHierarchy) {
+  std::string csv_path = ::testing::TempDir() + "shell_hier.csv";
+  {
+    std::ofstream f(csv_path);
+    f << "t,user,page\n1,u1,home\n2,u1,search\n3,u1,cart\n";
+  }
+  std::string out = RunScript(
+      "schema t:timestamp,user:string,page:string\n"
+      "hierarchy page page,section\n"
+      "map page home browse\n"
+      "map page search browse\n"
+      "map page cart checkout\n"
+      "load csv " + csv_path + "\n" +
+      "select COUNT(*) FROM E CLUSTER BY user AT user SEQUENCE BY t "
+      "CUBOID BY SUBSTRING (X, Y) WITH X AS page AT section, "
+      "Y AS page AT section LEFT-MAXIMALITY;\n"
+      "quit\n");
+  EXPECT_NE(out.find("(browse, browse)  1"), std::string::npos);
+  EXPECT_NE(out.find("(browse, checkout)  1"), std::string::npos);
+  std::remove(csv_path.c_str());
+}
+
+TEST(ShellTest, RegexQueryThroughTheShell) {
+  std::string out = RunScript(R"(
+generate transit 100
+select COUNT(*) FROM Event CLUSTER BY card-id AT individual, time AT day
+  SEQUENCE BY time
+  CUBOID BY PATTERN "X ( . )* X" WITH X AS location AT station
+  LEFT-MAXIMALITY;
+quit
+)");
+  EXPECT_NE(out.find("(X:station)  COUNT"), std::string::npos);
+  EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+}
+
+TEST(ShellTest, SurvivesErrorsAndContinues) {
+  std::string out = RunScript(R"(
+schema bad
+generate transit 30
+select nonsense;
+select COUNT(*) FROM Event CLUSTER BY card-id AT individual
+  SEQUENCE BY time CUBOID BY SUBSTRING (X)
+  WITH X AS location AT station LEFT-MAXIMALITY;
+quit
+)");
+  // Two errors, then a successful query.
+  EXPECT_NE(out.find("error:"), std::string::npos);
+  EXPECT_NE(out.find("(X:station)  COUNT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace solap

@@ -1,0 +1,193 @@
+// Tests for CSV ingestion/export and binary snapshot persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "paper_fixtures.h"
+#include "solap/engine/engine.h"
+#include "solap/index/build_index.h"
+#include "solap/storage/csv.h"
+#include "solap/storage/io.h"
+
+namespace solap {
+namespace {
+
+Schema TransitSchema() {
+  return Schema({
+      {"time", ValueType::kTimestamp, FieldRole::kDimension},
+      {"card-id", ValueType::kString, FieldRole::kDimension},
+      {"location", ValueType::kString, FieldRole::kDimension},
+      {"action", ValueType::kString, FieldRole::kDimension},
+      {"amount", ValueType::kDouble, FieldRole::kMeasure},
+  });
+}
+
+TEST(CsvTest, LoadsHeaderedCsvInAnyColumnOrder) {
+  std::istringstream in(
+      "location,amount,card-id,action,time\n"
+      "Pentagon,0,688,in,2007-10-01T08:30\n"
+      "Wheaton,-2.5,688,out,2007-10-01T09:02:30\n");
+  auto table = LoadCsv(TransitSchema(), in);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ((*table)->num_rows(), 2u);
+  EXPECT_EQ((*table)->Int64At(0, 0), MakeTimestamp(2007, 10, 1, 8, 30));
+  EXPECT_EQ((*table)->Int64At(1, 0), MakeTimestamp(2007, 10, 1, 9, 2, 30));
+  EXPECT_EQ((*table)->GetValue(0, 2).str(), "Pentagon");
+  EXPECT_DOUBLE_EQ((*table)->DoubleAt(1, 4), -2.5);
+}
+
+TEST(CsvTest, HeaderlessPositionalAndEpochTimestamps) {
+  std::istringstream in("1000,688,Pentagon,in,0\n");
+  CsvOptions opts;
+  opts.has_header = false;
+  auto table = LoadCsv(TransitSchema(), in, opts);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ((*table)->Int64At(0, 0), 1000);
+}
+
+TEST(CsvTest, QuotedFieldsAndEmbeddedDelimiters) {
+  std::istringstream in(
+      "time,card-id,location,action,amount\n"
+      "1000,688,\"Foggy, Bottom\",\"say \"\"in\"\"\",1\n");
+  auto table = LoadCsv(TransitSchema(), in);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ((*table)->GetValue(0, 2).str(), "Foggy, Bottom");
+  EXPECT_EQ((*table)->GetValue(0, 3).str(), "say \"in\"");
+}
+
+TEST(CsvTest, DiagnosesBadInput) {
+  // Missing schema column in the header.
+  std::istringstream h("time,card-id\n1,2\n");
+  EXPECT_FALSE(LoadCsv(TransitSchema(), h).ok());
+  // Unparseable field, with line/column in the message.
+  std::istringstream bad(
+      "time,card-id,location,action,amount\n"
+      "not-a-date,688,Pentagon,in,0\n");
+  auto r = LoadCsv(TransitSchema(), bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(r.status().message().find("'time'"), std::string::npos);
+  // Short row.
+  std::istringstream shortrow(
+      "time,card-id,location,action,amount\n1,688\n");
+  EXPECT_FALSE(LoadCsv(TransitSchema(), shortrow).ok());
+}
+
+TEST(CsvTest, RoundTripPreservesQueries) {
+  auto table = testing::Fig8Table();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(*table, out).ok());
+  std::istringstream in(out.str());
+  auto loaded = LoadCsv(table->schema(), in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ((*loaded)->num_rows(), table->num_rows());
+
+  // The reloaded table answers the same query with the same counts.
+  auto reg = testing::Fig8Hierarchies();
+  CuboidSpec spec;
+  spec.seq.cluster_by = {{"card-id", "card-id"}};
+  spec.seq.sequence_by = "time";
+  spec.symbols = {"X", "Y"};
+  spec.dims = {PatternDim{"X", {"location", "station"}, {}, ""},
+               PatternDim{"Y", {"location", "station"}, {}, ""}};
+  SOlapEngine e1(table.get(), reg.get());
+  SOlapEngine e2(loaded->get(), reg.get());
+  auto r1 = e1.Execute(spec);
+  auto r2 = e2.Execute(spec);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ((*r1)->num_cells(), (*r2)->num_cells());
+  for (const auto& [key, cell] : (*r1)->cells()) {
+    EXPECT_EQ((*r2)->CellAt(key).count, cell.count);
+  }
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "solap_snapshot_test.bin";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(SnapshotTest, TableRoundTripPreservesEverything) {
+  auto table = testing::Fig8Table();
+  ASSERT_TRUE(SaveTable(*table, path_).ok());
+  auto loaded = LoadTable(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ((*loaded)->num_rows(), table->num_rows());
+  ASSERT_EQ((*loaded)->schema().num_fields(), table->schema().num_fields());
+  for (RowId r = 0; r < table->num_rows(); ++r) {
+    for (size_t c = 0; c < table->schema().num_fields(); ++c) {
+      EXPECT_TRUE((*loaded)
+                      ->GetValue(r, static_cast<int>(c))
+                      .Equals(table->GetValue(r, static_cast<int>(c))))
+          << "row " << r << " col " << c;
+    }
+  }
+  // Dictionary codes are stable: same code for the same station.
+  EXPECT_EQ((*loaded)->CodeAt(1, 2), table->CodeAt(1, 2));
+}
+
+TEST_F(SnapshotTest, IndexRoundTrip) {
+  auto set = testing::Fig8RawGroups();
+  auto reg = testing::Fig8Hierarchies();
+  IndexShape shape;
+  shape.positions.assign(2, LevelRef{"symbol", "symbol"});
+  ScanStats stats;
+  auto index = BuildIndex(&set->groups()[0], *set, reg.get(), shape, &stats);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(SaveIndex(**index, path_).ok());
+  auto loaded = LoadIndex(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->shape().CanonicalString(),
+            (*index)->shape().CanonicalString());
+  EXPECT_TRUE((*loaded)->complete());
+  EXPECT_EQ((*loaded)->num_lists(), (*index)->num_lists());
+  for (const auto& [key, list] : (*index)->lists()) {
+    const std::vector<Sid>* got = (*loaded)->Find(key);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(*got, list);
+  }
+}
+
+TEST_F(SnapshotTest, DetectsCorruption) {
+  auto table = testing::Fig8Table();
+  ASSERT_TRUE(SaveTable(*table, path_).ok());
+  // Flip one byte in the middle.
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(30);
+    char c;
+    f.seekg(30);
+    f.get(c);
+    f.seekp(30);
+    f.put(static_cast<char>(c ^ 0x5A));
+  }
+  auto loaded = LoadTable(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, RejectsWrongKindAndGarbage) {
+  auto table = testing::Fig8Table();
+  ASSERT_TRUE(SaveTable(*table, path_).ok());
+  EXPECT_FALSE(LoadIndex(path_).ok());  // table snapshot loaded as index
+  EXPECT_FALSE(LoadTable("/nonexistent/file.bin").ok());
+  {
+    std::ofstream f(path_, std::ios::binary | std::ios::trunc);
+    f << "junkjunkjunkjunk";
+  }
+  EXPECT_FALSE(LoadTable(path_).ok());
+}
+
+TEST(Crc32Test, KnownVector) {
+  // The classic check value: CRC-32("123456789") = 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+}  // namespace
+}  // namespace solap

@@ -1,0 +1,119 @@
+// Unit tests for the storage module: Value, Schema, Dictionary, EventTable.
+#include <gtest/gtest.h>
+
+#include "solap/storage/event_table.h"
+
+namespace solap {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int64(42).int64(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).dbl(), 2.5);
+  EXPECT_EQ(Value::String("abc").str(), "abc");
+  EXPECT_EQ(Value::Timestamp(1000).type(), ValueType::kTimestamp);
+  EXPECT_EQ(Value::Bool(true).int64(), 1);
+}
+
+TEST(ValueTest, NumericCoercion) {
+  EXPECT_DOUBLE_EQ(Value::Int64(3).AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Timestamp(60).AsDouble(), 60.0);
+  EXPECT_FALSE(Value::Null().AsBool());
+  EXPECT_TRUE(Value::Int64(1).AsBool());
+  EXPECT_FALSE(Value::Int64(0).AsBool());
+  EXPECT_TRUE(Value::String("x").AsBool());
+  EXPECT_FALSE(Value::String("").AsBool());
+}
+
+TEST(ValueTest, CrossTypeComparison) {
+  EXPECT_TRUE(Value::Int64(3).Equals(Value::Double(3.0)));
+  EXPECT_TRUE(Value::Int64(2).LessThan(Value::Timestamp(5)));
+  EXPECT_TRUE(Value::String("a").LessThan(Value::String("b")));
+  // String vs number never compares equal or ordered.
+  EXPECT_FALSE(Value::String("3").Equals(Value::Int64(3)));
+  EXPECT_FALSE(Value::String("3").LessThan(Value::Int64(4)));
+  // NULL compares with nothing.
+  EXPECT_FALSE(Value::Null().Equals(Value::Null()));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int64(-5).ToString(), "-5");
+  EXPECT_EQ(Value::String("hi").ToString(), "hi");
+}
+
+TEST(SchemaTest, LookupByName) {
+  Schema s({{"a", ValueType::kInt64, FieldRole::kDimension},
+            {"b", ValueType::kString, FieldRole::kMeasure}});
+  EXPECT_EQ(s.num_fields(), 2u);
+  EXPECT_EQ(s.FieldIndex("b"), 1);
+  EXPECT_EQ(s.FieldIndex("zzz"), -1);
+  ASSERT_TRUE(s.RequireField("a").ok());
+  Result<int> missing = s.RequireField("zzz");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("zzz"), std::string::npos);
+}
+
+TEST(DictionaryTest, AssignsDenseCodesInFirstSeenOrder) {
+  Dictionary d;
+  EXPECT_EQ(d.GetOrAdd("x"), 0u);
+  EXPECT_EQ(d.GetOrAdd("y"), 1u);
+  EXPECT_EQ(d.GetOrAdd("x"), 0u);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.ValueOf(1), "y");
+  EXPECT_EQ(d.Lookup("y"), 1u);
+  EXPECT_EQ(d.Lookup("absent"), kNullCode);
+}
+
+class EventTableTest : public ::testing::Test {
+ protected:
+  EventTableTest()
+      : table_(Schema({{"t", ValueType::kTimestamp, FieldRole::kDimension},
+                       {"loc", ValueType::kString, FieldRole::kDimension},
+                       {"amt", ValueType::kDouble, FieldRole::kMeasure}})) {}
+  EventTable table_;
+};
+
+TEST_F(EventTableTest, AppendAndRead) {
+  ASSERT_TRUE(table_
+                  .AppendRow({Value::Timestamp(100), Value::String("A"),
+                              Value::Double(1.5)})
+                  .ok());
+  ASSERT_TRUE(table_
+                  .AppendRow({Value::Timestamp(200), Value::String("B"),
+                              Value::Int64(2)})  // int widens to double
+                  .ok());
+  EXPECT_EQ(table_.num_rows(), 2u);
+  EXPECT_EQ(table_.Int64At(0, 0), 100);
+  EXPECT_EQ(table_.CodeAt(1, 1), 1u);
+  EXPECT_DOUBLE_EQ(table_.DoubleAt(1, 2), 2.0);
+  EXPECT_EQ(table_.GetValue(0, 1).str(), "A");
+  EXPECT_EQ(table_.GetValue(0, 0).type(), ValueType::kTimestamp);
+}
+
+TEST_F(EventTableTest, DictionarySharedAcrossRows) {
+  (void)table_.AppendRow(
+      {Value::Timestamp(1), Value::String("A"), Value::Double(0)});
+  (void)table_.AppendRow(
+      {Value::Timestamp(2), Value::String("A"), Value::Double(0)});
+  EXPECT_EQ(table_.CodeAt(0, 1), table_.CodeAt(1, 1));
+  ASSERT_NE(table_.dictionary(1), nullptr);
+  EXPECT_EQ(table_.dictionary(1)->size(), 1u);
+  EXPECT_EQ(table_.dictionary(0), nullptr);  // non-string column
+}
+
+TEST_F(EventTableTest, RejectsArityMismatch) {
+  Status s = table_.AppendRow({Value::Timestamp(1)});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EventTableTest, RejectsTypeMismatch) {
+  Status s = table_.AppendRow(
+      {Value::String("oops"), Value::String("A"), Value::Double(0)});
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("'t'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace solap

@@ -1,0 +1,16 @@
+// The interactive S-OLAP shell binary: the "User Interface" of the paper's
+// architecture (Fig. 6). Reads commands from stdin (or a script via shell
+// redirection); see `help` for the command set.
+//
+//   ./build/tools/solap_shell
+//   ./build/tools/solap_shell < session_script.txt
+#include <iostream>
+
+#include "solap/tools/shell.h"
+
+int main() {
+  std::cout << "S-OLAP shell — 'help' lists commands, 'quit' exits.\n";
+  solap::ShellSession session(std::cout);
+  session.Run(std::cin);
+  return 0;
+}
