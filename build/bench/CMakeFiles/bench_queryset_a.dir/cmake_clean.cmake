@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queryset_a.dir/bench_queryset_a.cc.o"
+  "CMakeFiles/bench_queryset_a.dir/bench_queryset_a.cc.o.d"
+  "bench_queryset_a"
+  "bench_queryset_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queryset_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

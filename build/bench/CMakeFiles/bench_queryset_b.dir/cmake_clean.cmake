@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queryset_b.dir/bench_queryset_b.cc.o"
+  "CMakeFiles/bench_queryset_b.dir/bench_queryset_b.cc.o.d"
+  "bench_queryset_b"
+  "bench_queryset_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queryset_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queryset_c.dir/bench_queryset_c.cc.o"
+  "CMakeFiles/bench_queryset_c.dir/bench_queryset_c.cc.o.d"
+  "bench_queryset_c"
+  "bench_queryset_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queryset_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

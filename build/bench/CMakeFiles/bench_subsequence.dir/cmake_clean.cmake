@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subsequence.dir/bench_subsequence.cc.o"
+  "CMakeFiles/bench_subsequence.dir/bench_subsequence.cc.o.d"
+  "bench_subsequence"
+  "bench_subsequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subsequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vary_skew.dir/bench_vary_skew.cc.o"
+  "CMakeFiles/bench_vary_skew.dir/bench_vary_skew.cc.o.d"
+  "bench_vary_skew"
+  "bench_vary_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vary_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

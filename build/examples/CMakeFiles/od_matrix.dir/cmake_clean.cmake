@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/od_matrix.dir/od_matrix.cpp.o"
+  "CMakeFiles/od_matrix.dir/od_matrix.cpp.o.d"
+  "od_matrix"
+  "od_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/od_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transit_analysis.dir/transit_analysis.cpp.o"
+  "CMakeFiles/transit_analysis.dir/transit_analysis.cpp.o.d"
+  "transit_analysis"
+  "transit_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transit_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

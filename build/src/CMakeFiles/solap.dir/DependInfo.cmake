@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solap/common/stats.cc" "src/CMakeFiles/solap.dir/solap/common/stats.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/common/stats.cc.o.d"
+  "/root/repo/src/solap/common/status.cc" "src/CMakeFiles/solap.dir/solap/common/status.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/common/status.cc.o.d"
+  "/root/repo/src/solap/common/strings.cc" "src/CMakeFiles/solap.dir/solap/common/strings.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/common/strings.cc.o.d"
+  "/root/repo/src/solap/cube/cell.cc" "src/CMakeFiles/solap.dir/solap/cube/cell.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/cube/cell.cc.o.d"
+  "/root/repo/src/solap/cube/cuboid.cc" "src/CMakeFiles/solap.dir/solap/cube/cuboid.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/cube/cuboid.cc.o.d"
+  "/root/repo/src/solap/cube/cuboid_repository.cc" "src/CMakeFiles/solap.dir/solap/cube/cuboid_repository.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/cube/cuboid_repository.cc.o.d"
+  "/root/repo/src/solap/cube/cuboid_spec.cc" "src/CMakeFiles/solap.dir/solap/cube/cuboid_spec.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/cube/cuboid_spec.cc.o.d"
+  "/root/repo/src/solap/cube/lattice.cc" "src/CMakeFiles/solap.dir/solap/cube/lattice.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/cube/lattice.cc.o.d"
+  "/root/repo/src/solap/engine/advisor.cc" "src/CMakeFiles/solap.dir/solap/engine/advisor.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/engine/advisor.cc.o.d"
+  "/root/repo/src/solap/engine/counter_based.cc" "src/CMakeFiles/solap.dir/solap/engine/counter_based.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/engine/counter_based.cc.o.d"
+  "/root/repo/src/solap/engine/engine.cc" "src/CMakeFiles/solap.dir/solap/engine/engine.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/engine/engine.cc.o.d"
+  "/root/repo/src/solap/engine/incremental.cc" "src/CMakeFiles/solap.dir/solap/engine/incremental.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/engine/incremental.cc.o.d"
+  "/root/repo/src/solap/engine/online_aggregation.cc" "src/CMakeFiles/solap.dir/solap/engine/online_aggregation.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/engine/online_aggregation.cc.o.d"
+  "/root/repo/src/solap/engine/operations.cc" "src/CMakeFiles/solap.dir/solap/engine/operations.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/engine/operations.cc.o.d"
+  "/root/repo/src/solap/engine/optimizer.cc" "src/CMakeFiles/solap.dir/solap/engine/optimizer.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/engine/optimizer.cc.o.d"
+  "/root/repo/src/solap/engine/query_indices.cc" "src/CMakeFiles/solap.dir/solap/engine/query_indices.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/engine/query_indices.cc.o.d"
+  "/root/repo/src/solap/engine/regex_exec.cc" "src/CMakeFiles/solap.dir/solap/engine/regex_exec.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/engine/regex_exec.cc.o.d"
+  "/root/repo/src/solap/expr/expr.cc" "src/CMakeFiles/solap.dir/solap/expr/expr.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/expr/expr.cc.o.d"
+  "/root/repo/src/solap/gen/clickstream.cc" "src/CMakeFiles/solap.dir/solap/gen/clickstream.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/gen/clickstream.cc.o.d"
+  "/root/repo/src/solap/gen/synthetic.cc" "src/CMakeFiles/solap.dir/solap/gen/synthetic.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/gen/synthetic.cc.o.d"
+  "/root/repo/src/solap/gen/transit.cc" "src/CMakeFiles/solap.dir/solap/gen/transit.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/gen/transit.cc.o.d"
+  "/root/repo/src/solap/gen/zipf.cc" "src/CMakeFiles/solap.dir/solap/gen/zipf.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/gen/zipf.cc.o.d"
+  "/root/repo/src/solap/hierarchy/concept_hierarchy.cc" "src/CMakeFiles/solap.dir/solap/hierarchy/concept_hierarchy.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/hierarchy/concept_hierarchy.cc.o.d"
+  "/root/repo/src/solap/index/bitmap.cc" "src/CMakeFiles/solap.dir/solap/index/bitmap.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/index/bitmap.cc.o.d"
+  "/root/repo/src/solap/index/bitmap_index.cc" "src/CMakeFiles/solap.dir/solap/index/bitmap_index.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/index/bitmap_index.cc.o.d"
+  "/root/repo/src/solap/index/build_index.cc" "src/CMakeFiles/solap.dir/solap/index/build_index.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/index/build_index.cc.o.d"
+  "/root/repo/src/solap/index/index_cache.cc" "src/CMakeFiles/solap.dir/solap/index/index_cache.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/index/index_cache.cc.o.d"
+  "/root/repo/src/solap/index/index_ops.cc" "src/CMakeFiles/solap.dir/solap/index/index_ops.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/index/index_ops.cc.o.d"
+  "/root/repo/src/solap/index/inverted_index.cc" "src/CMakeFiles/solap.dir/solap/index/inverted_index.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/index/inverted_index.cc.o.d"
+  "/root/repo/src/solap/parser/lexer.cc" "src/CMakeFiles/solap.dir/solap/parser/lexer.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/parser/lexer.cc.o.d"
+  "/root/repo/src/solap/parser/parser.cc" "src/CMakeFiles/solap.dir/solap/parser/parser.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/parser/parser.cc.o.d"
+  "/root/repo/src/solap/pattern/matcher.cc" "src/CMakeFiles/solap.dir/solap/pattern/matcher.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/pattern/matcher.cc.o.d"
+  "/root/repo/src/solap/pattern/pattern_template.cc" "src/CMakeFiles/solap.dir/solap/pattern/pattern_template.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/pattern/pattern_template.cc.o.d"
+  "/root/repo/src/solap/pattern/regex.cc" "src/CMakeFiles/solap.dir/solap/pattern/regex.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/pattern/regex.cc.o.d"
+  "/root/repo/src/solap/seq/dimension.cc" "src/CMakeFiles/solap.dir/solap/seq/dimension.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/seq/dimension.cc.o.d"
+  "/root/repo/src/solap/seq/sequence_cache.cc" "src/CMakeFiles/solap.dir/solap/seq/sequence_cache.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/seq/sequence_cache.cc.o.d"
+  "/root/repo/src/solap/seq/sequence_group.cc" "src/CMakeFiles/solap.dir/solap/seq/sequence_group.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/seq/sequence_group.cc.o.d"
+  "/root/repo/src/solap/seq/sequence_query_engine.cc" "src/CMakeFiles/solap.dir/solap/seq/sequence_query_engine.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/seq/sequence_query_engine.cc.o.d"
+  "/root/repo/src/solap/storage/csv.cc" "src/CMakeFiles/solap.dir/solap/storage/csv.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/storage/csv.cc.o.d"
+  "/root/repo/src/solap/storage/dictionary.cc" "src/CMakeFiles/solap.dir/solap/storage/dictionary.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/storage/dictionary.cc.o.d"
+  "/root/repo/src/solap/storage/event_table.cc" "src/CMakeFiles/solap.dir/solap/storage/event_table.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/storage/event_table.cc.o.d"
+  "/root/repo/src/solap/storage/io.cc" "src/CMakeFiles/solap.dir/solap/storage/io.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/storage/io.cc.o.d"
+  "/root/repo/src/solap/storage/schema.cc" "src/CMakeFiles/solap.dir/solap/storage/schema.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/storage/schema.cc.o.d"
+  "/root/repo/src/solap/storage/value.cc" "src/CMakeFiles/solap.dir/solap/storage/value.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/storage/value.cc.o.d"
+  "/root/repo/src/solap/tools/shell.cc" "src/CMakeFiles/solap.dir/solap/tools/shell.cc.o" "gcc" "src/CMakeFiles/solap.dir/solap/tools/shell.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_cache_test.dir/index_cache_test.cc.o"
+  "CMakeFiles/index_cache_test.dir/index_cache_test.cc.o.d"
+  "index_cache_test"
+  "index_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

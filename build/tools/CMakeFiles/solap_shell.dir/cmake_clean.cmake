@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solap_shell.dir/solap_shell.cc.o"
+  "CMakeFiles/solap_shell.dir/solap_shell.cc.o.d"
+  "solap_shell"
+  "solap_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solap_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
