@@ -1,0 +1,148 @@
+// Service throughput experiment: queries-per-second of the concurrent
+// query service at 1/2/4/8 worker threads over a mixed CB/II batch with
+// repeated specs (repeats exercise single-flight dedup and the cuboid
+// repository, mirroring several clients exploring the same S-cube).
+//
+// Each thread count gets a fresh engine so caches start cold and the runs
+// are comparable. Scaling tops out at the machine's core count — on a
+// single-core host every configuration is serialized and qps stays flat.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "solap/engine/operations.h"
+#include "solap/gen/synthetic.h"
+#include "solap/service/query_service.h"
+
+namespace solap {
+namespace {
+
+CuboidSpec InitialXY() {
+  CuboidSpec spec;
+  spec.symbols = {"X", "Y"};
+  spec.dims = {PatternDim{"X", {SyntheticData::kAttr, "symbol"}, {}, ""},
+               PatternDim{"Y", {SyntheticData::kAttr, "symbol"}, {}, ""}};
+  return spec;
+}
+
+// The batch: distinct specs sliced to the base cuboid's heaviest cells,
+// alternating CB and II, each submitted `repeat` times.
+struct Workload {
+  std::vector<CuboidSpec> specs;
+  std::vector<ExecStrategy> strategies;
+};
+
+Workload BuildWorkload(const SyntheticData& data, size_t num_queries,
+                       size_t repeat) {
+  SOlapEngine scout(data.groups, data.hierarchies.get());
+  auto base = scout.Execute(InitialXY());
+  if (!base.ok()) {
+    std::fprintf(stderr, "base query failed: %s\n",
+                 base.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::vector<std::pair<CellKey, double>> cells =
+      (*base)->TopCells(num_queries);
+  if (cells.empty()) {
+    std::fprintf(stderr, "base cuboid is empty\n");
+    std::exit(1);
+  }
+  Workload w;
+  for (size_t q = 0; q < num_queries; ++q) {
+    auto sliced = ops::SliceToCell(InitialXY(), **base,
+                                   cells[q % cells.size()].first);
+    if (!sliced.ok()) {
+      std::fprintf(stderr, "slice failed: %s\n",
+                   sliced.status().ToString().c_str());
+      std::exit(1);
+    }
+    ExecStrategy strategy = q % 2 == 0 ? ExecStrategy::kCounterBased
+                                       : ExecStrategy::kInvertedIndex;
+    for (size_t r = 0; r < repeat; ++r) {
+      w.specs.push_back(*sliced);
+      w.strategies.push_back(strategy);
+    }
+  }
+  return w;
+}
+
+struct RunResult {
+  double wall_ms = 0;
+  double qps = 0;
+  uint64_t repo_hits = 0;
+  uint64_t shed = 0;
+};
+
+RunResult RunAtThreads(const SyntheticData& data, const Workload& w,
+                       size_t threads) {
+  SOlapEngine engine(data.groups, data.hierarchies.get());
+  ServiceOptions opts;
+  opts.num_threads = threads;
+  opts.max_queue_depth = w.specs.size() + threads;  // no shedding here
+  QueryService service(&engine, opts);
+
+  Timer t;
+  std::vector<QueryService::Ticket> tickets;
+  tickets.reserve(w.specs.size());
+  for (size_t i = 0; i < w.specs.size(); ++i) {
+    SubmitOptions so;
+    so.strategy = w.strategies[i];
+    tickets.push_back(service.Submit(w.specs[i], so));
+  }
+  for (auto& ticket : tickets) {
+    QueryResponse resp = ticket.response.get();
+    if (!resp.status.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   resp.status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  RunResult r;
+  r.wall_ms = t.ElapsedMs();
+  r.qps = static_cast<double>(w.specs.size()) / (r.wall_ms / 1000.0);
+  r.repo_hits = service.metrics().counter("repository_hits")->Value();
+  r.shed = service.metrics().counter("queries_shed")->Value();
+  return r;
+}
+
+int Run(int argc, char** argv) {
+  size_t d = static_cast<size_t>(std::strtoull(
+      bench::FlagValue(argc, argv, "d", "20000").c_str(), nullptr, 10));
+  size_t num_queries = static_cast<size_t>(std::strtoull(
+      bench::FlagValue(argc, argv, "queries", "24").c_str(), nullptr, 10));
+  size_t repeat = static_cast<size_t>(std::strtoull(
+      bench::FlagValue(argc, argv, "repeat", "2").c_str(), nullptr, 10));
+  std::vector<size_t> thread_list = bench::ParseSizeList(
+      bench::FlagValue(argc, argv, "threads", "1,2,4,8"));
+
+  SyntheticParams p;
+  p.num_sequences = d;
+  SyntheticData data = GenerateSynthetic(p);
+  Workload w = BuildWorkload(data, num_queries, repeat);
+
+  std::printf("== Service throughput: %zu queries (%zu distinct x %zu), "
+              "D=%zu, %u hardware threads ==\n\n",
+              w.specs.size(), num_queries, repeat, d,
+              std::thread::hardware_concurrency());
+  std::printf("%8s | %12s %10s %10s %12s %6s\n", "threads", "wall(ms)",
+              "qps", "speedup", "repo hits", "shed");
+  std::printf("%.*s\n", 66,
+              "------------------------------------------------------------"
+              "------");
+  double base_qps = 0;
+  for (size_t threads : thread_list) {
+    RunResult r = RunAtThreads(data, w, threads);
+    if (base_qps == 0) base_qps = r.qps;
+    std::printf("%8zu | %12.1f %10.1f %9.2fx %12llu %6llu\n", threads,
+                r.wall_ms, r.qps, r.qps / base_qps,
+                static_cast<unsigned long long>(r.repo_hits),
+                static_cast<unsigned long long>(r.shed));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace solap
+
+int main(int argc, char** argv) { return solap::Run(argc, argv); }

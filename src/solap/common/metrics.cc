@@ -1,0 +1,103 @@
+#include "solap/common/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace solap {
+
+namespace {
+
+// Upper bound of bucket i in microseconds: 2^i (bucket 0 covers < 1us).
+double BucketUpperUs(size_t i) {
+  return static_cast<double>(uint64_t{1} << i);
+}
+
+size_t BucketOf(double us) {
+  if (us < 1.0) return 0;
+  size_t b = static_cast<size_t>(std::log2(us)) + 1;
+  return b >= Histogram::kNumBuckets ? Histogram::kNumBuckets - 1 : b;
+}
+
+}  // namespace
+
+void Histogram::ObserveUs(double us) {
+  if (us < 0) us = 0;
+  buckets_[BucketOf(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(static_cast<uint64_t>(us), std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot s;
+  uint64_t buckets[kNumBuckets];
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += buckets[i];
+  }
+  s.sum_ms = static_cast<double>(sum_us_.load(std::memory_order_relaxed)) /
+             1000.0;
+  if (s.count == 0) return s;
+  s.mean_ms = s.sum_ms / static_cast<double>(s.count);
+  auto quantile = [&](double q) {
+    uint64_t rank = static_cast<uint64_t>(
+        q * static_cast<double>(s.count - 1));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      seen += buckets[i];
+      if (seen > rank) return BucketUpperUs(i) / 1000.0;
+    }
+    return BucketUpperUs(kNumBuckets - 1) / 1000.0;
+  };
+  s.p50_ms = quantile(0.50);
+  s.p95_ms = quantile(0.95);
+  s.p99_ms = quantile(0.99);
+  return s;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  Snapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    out.counters.emplace_back(name, c->Value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    out.histograms.emplace_back(name, h->TakeSnapshot());
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToString() const {
+  Snapshot s = TakeSnapshot();
+  std::string out;
+  char buf[256];
+  for (const auto& [name, value] : s.counters) {
+    std::snprintf(buf, sizeof(buf), "%-32s %12llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, h] : s.histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-32s count=%llu mean=%.3fms p50=%.3fms p95=%.3fms "
+                  "p99=%.3fms\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.mean_ms, h.p50_ms, h.p95_ms, h.p99_ms);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace solap

@@ -1,0 +1,108 @@
+// Cooperative cancellation: a StopSource hands out StopTokens that
+// long-running execution loops poll between units of work (sequences
+// scanned, index-join steps). A token trips either because the owner
+// requested a stop or because a deadline attached to it expired — the two
+// cases surface as distinct Status codes so callers can tell a client
+// cancel from a timeout.
+//
+// The deadline is set once, before the token is shared with a worker;
+// only the stop flag itself is written concurrently.
+#ifndef SOLAP_COMMON_STOP_H_
+#define SOLAP_COMMON_STOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "solap/common/status.h"
+
+namespace solap {
+
+namespace internal {
+struct StopState {
+  std::atomic<bool> stop_requested{false};
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+};
+}  // namespace internal
+
+/// \brief Read side of a cancellation channel. Cheap to copy; default
+/// constructed tokens never trip.
+class StopToken {
+ public:
+  StopToken() = default;
+
+  /// True once the owner called RequestStop().
+  bool cancelled() const {
+    return state_ != nullptr &&
+           state_->stop_requested.load(std::memory_order_relaxed);
+  }
+
+  /// True once the attached deadline (if any) has passed.
+  bool deadline_expired() const {
+    return state_ != nullptr &&
+           state_->deadline != std::chrono::steady_clock::time_point::max() &&
+           std::chrono::steady_clock::now() >= state_->deadline;
+  }
+
+  bool stop_requested() const { return cancelled() || deadline_expired(); }
+
+  /// OK while running is allowed; Cancelled / DeadlineExceeded once the
+  /// token tripped. `what` names the interrupted work for the message.
+  Status Check(const char* what) const {
+    if (state_ == nullptr) return Status::OK();
+    if (cancelled()) {
+      return Status::Cancelled(std::string(what) + " cancelled");
+    }
+    if (deadline_expired()) {
+      return Status::DeadlineExceeded(std::string(what) +
+                                      " exceeded its deadline");
+    }
+    return Status::OK();
+  }
+
+ private:
+  friend class StopSource;
+  explicit StopToken(std::shared_ptr<const internal::StopState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<const internal::StopState> state_;
+};
+
+/// \brief Write side: owns the stop flag and optional deadline.
+class StopSource {
+ public:
+  StopSource() : state_(std::make_shared<internal::StopState>()) {}
+
+  /// Trips every token handed out by this source.
+  void RequestStop() {
+    state_->stop_requested.store(true, std::memory_order_relaxed);
+  }
+
+  /// Attaches an absolute deadline. Must be called before tokens are
+  /// polled from other threads.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    state_->deadline = deadline;
+  }
+  /// Convenience: deadline `timeout` from now (non-positive = none).
+  void SetTimeout(std::chrono::milliseconds timeout) {
+    if (timeout.count() > 0) {
+      SetDeadline(std::chrono::steady_clock::now() + timeout);
+    }
+  }
+
+  StopToken token() const { return StopToken(state_); }
+
+ private:
+  std::shared_ptr<internal::StopState> state_;
+};
+
+/// Null-safe polling helper for execution loops holding a `const StopToken*`.
+inline Status CheckStop(const StopToken* token, const char* what) {
+  return token == nullptr ? Status::OK() : token->Check(what);
+}
+
+}  // namespace solap
+
+#endif  // SOLAP_COMMON_STOP_H_

@@ -4,6 +4,7 @@ namespace solap {
 
 std::shared_ptr<const SCuboid> CuboidRepository::Lookup(
     const std::string& spec_key) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(spec_key);
   if (it == map_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
@@ -13,6 +14,7 @@ std::shared_ptr<const SCuboid> CuboidRepository::Lookup(
 void CuboidRepository::Insert(const std::string& spec_key,
                               std::shared_ptr<const SCuboid> cuboid) {
   if (capacity_bytes_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(spec_key);
   if (it != map_.end()) {
     bytes_used_ -= it->second->bytes;
@@ -36,6 +38,7 @@ void CuboidRepository::EvictIfNeeded() {
 }
 
 void CuboidRepository::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   map_.clear();
   bytes_used_ = 0;

@@ -2,11 +2,16 @@
 // keyed by canonical specification text. Because S-cuboids are
 // non-summarizable (paper §3.4), only exact hits can be served — there is
 // deliberately no cross-cuboid aggregation shortcut here.
+//
+// Thread-safe: all operations lock an internal mutex (the LRU list is
+// rewired even on reads, so a shared lock would not help). Cached cuboids
+// are shared as `const` and never mutated after insertion.
 #ifndef SOLAP_CUBE_CUBOID_REPOSITORY_H_
 #define SOLAP_CUBE_CUBOID_REPOSITORY_H_
 
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -30,8 +35,14 @@ class CuboidRepository {
   void Insert(const std::string& spec_key,
               std::shared_ptr<const SCuboid> cuboid);
 
-  size_t size() const { return map_.size(); }
-  size_t bytes_used() const { return bytes_used_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+  size_t bytes_used() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_used_;
+  }
   void Clear();
 
  private:
@@ -41,8 +52,9 @@ class CuboidRepository {
     size_t bytes;
   };
 
-  void EvictIfNeeded();
+  void EvictIfNeeded();  // requires mu_ held
 
+  mutable std::mutex mu_;
   size_t capacity_bytes_;
   size_t bytes_used_ = 0;
   std::list<Entry> lru_;  // front = most recent

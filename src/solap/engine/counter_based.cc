@@ -23,7 +23,7 @@ Status SOlapEngine::RunCounterBased(QueryContext& ctx) {
         std::min<size_t>(options_.cb_threads, n / 1024 + 1);
     if (threads <= 1) {
       SOLAP_RETURN_NOT_OK(
-          CounterScanRange(ctx, group, bp, 0, n, ctx.cuboid, &stats_));
+          CounterScanRange(ctx, group, bp, 0, n, ctx.cuboid, ctx.stats));
       continue;
     }
     // Partition the group; threads only touch their private cuboid/stats
@@ -47,7 +47,7 @@ Status SOlapEngine::RunCounterBased(QueryContext& ctx) {
     for (std::thread& w : workers) w.join();
     for (size_t t = 0; t < threads; ++t) {
       SOLAP_RETURN_NOT_OK(results[t]);
-      stats_ += partial_stats[t];
+      *ctx.stats += partial_stats[t];
       for (const auto& [key, cell] : partials[t].cells()) {
         ctx.cuboid->MergeCell(key, cell);
       }
@@ -70,6 +70,11 @@ Status SOlapEngine::CounterScanRange(const QueryContext& ctx,
   std::unordered_set<PatternKey, CodeVecHash> seen;
   PatternKey dim_codes(n_dims);
   for (Sid s = begin; s < end; ++s) {
+    // Cancellation/deadline poll every 256 sequences — cheap relative to
+    // occurrence enumeration, fine-grained enough for sub-second timeouts.
+    if (((s - begin) & 0xFF) == 0) {
+      SOLAP_RETURN_NOT_OK(CheckStop(ctx.stop, "counter-based scan"));
+    }
     ++stats->sequences_scanned;
     seen.clear();
     bp.ForEachOccurrence(s, [&](const uint32_t* idx) {

@@ -60,6 +60,22 @@ Status LabelCells(SCuboid* cuboid, const SequenceGroupSet& set,
 
 Result<std::shared_ptr<const SCuboid>> SOlapEngine::Execute(
     const CuboidSpec& spec, ExecStrategy strategy) {
+  return Execute(spec, strategy, ExecControl{});
+}
+
+Result<std::shared_ptr<const SCuboid>> SOlapEngine::Execute(
+    const CuboidSpec& spec, ExecStrategy strategy,
+    const ExecControl& control) {
+  ScanStats local;
+  auto result = ExecuteWithStats(spec, strategy, control, &local);
+  MergeStats(local);
+  if (control.stats_out != nullptr) *control.stats_out = local;
+  return result;
+}
+
+Result<std::shared_ptr<const SCuboid>> SOlapEngine::ExecuteWithStats(
+    const CuboidSpec& spec, ExecStrategy strategy, const ExecControl& control,
+    ScanStats* stats) {
   if (strategy == ExecStrategy::kAuto && !spec.is_regex()) {
     StrategyOptimizer optimizer(this);
     SOLAP_ASSIGN_OR_RETURN(StrategyChoice choice, optimizer.Choose(spec));
@@ -67,11 +83,14 @@ Result<std::shared_ptr<const SCuboid>> SOlapEngine::Execute(
   }
   const std::string key = spec.CanonicalString();
   if (auto hit = repository_.Lookup(key)) {
-    ++stats_.repository_hits;
+    ++stats->repository_hits;
     return hit;
   }
+  SOLAP_RETURN_NOT_OK(CheckStop(control.stop, "query execution"));
   auto cuboid = std::make_shared<SCuboid>(MakeDimDescriptors(spec), spec.agg);
   SOLAP_ASSIGN_OR_RETURN(QueryContext ctx, Prepare(spec, cuboid.get()));
+  ctx.stats = stats;
+  ctx.stop = control.stop;
   if (spec.is_regex()) {
     SOLAP_RETURN_NOT_OK(RunRegex(ctx));
   } else if (strategy == ExecStrategy::kCounterBased) {
@@ -135,8 +154,9 @@ Result<std::shared_ptr<SequenceGroupSet>> SOlapEngine::GetGroups(
   SequenceQueryEngine sqe(hierarchies_);
   SOLAP_ASSIGN_OR_RETURN(std::shared_ptr<SequenceGroupSet> set,
                          sqe.Build(*table_, s));
-  sequence_cache_.Insert(s, set);
-  return set;
+  // Concurrent builders of the same formation converge on one canonical
+  // set, keeping the per-group index caches (keyed by set identity) shared.
+  return sequence_cache_.InsertIfAbsent(s, std::move(set));
 }
 
 Result<std::vector<size_t>> SOlapEngine::SelectGroups(
@@ -226,15 +246,19 @@ Status SOlapEngine::PrecomputeIndex(const CuboidSpec& spec, size_t m,
   IndexShape shape;
   shape.kind = spec.kind;
   shape.positions.assign(m, position_ref);
+  ScanStats local;
   for (size_t gi = 0; gi < groups->groups().size(); ++gi) {
     GroupIndexCache& cache = CacheFor(*groups, gi);
     if (cache.Find(shape, "") != nullptr) continue;
-    SOLAP_ASSIGN_OR_RETURN(
-        std::shared_ptr<InvertedIndex> index,
-        BuildIndex(&groups->groups()[gi], *groups, hierarchies_, shape,
-                   &stats_));
-    cache.Insert(std::move(index));
+    auto built = BuildIndex(&groups->groups()[gi], *groups, hierarchies_,
+                            shape, &local);
+    if (!built.ok()) {
+      MergeStats(local);
+      return built.status();
+    }
+    cache.Insert(*std::move(built));
   }
+  MergeStats(local);
   return Status::OK();
 }
 
@@ -242,15 +266,19 @@ Status SOlapEngine::MaterializeIndex(const SequenceSpec& formation,
                                      const IndexShape& shape) {
   SOLAP_ASSIGN_OR_RETURN(std::shared_ptr<SequenceGroupSet> groups,
                          GetGroups(formation));
+  ScanStats local;
   for (size_t gi = 0; gi < groups->groups().size(); ++gi) {
     GroupIndexCache& cache = CacheFor(*groups, gi);
     if (cache.Find(shape, "") != nullptr) continue;
-    SOLAP_ASSIGN_OR_RETURN(
-        std::shared_ptr<InvertedIndex> index,
-        BuildIndex(&groups->groups()[gi], *groups, hierarchies_, shape,
-                   &stats_));
-    cache.Insert(std::move(index));
+    auto built = BuildIndex(&groups->groups()[gi], *groups, hierarchies_,
+                            shape, &local);
+    if (!built.ok()) {
+      MergeStats(local);
+      return built.status();
+    }
+    cache.Insert(*std::move(built));
   }
+  MergeStats(local);
   return Status::OK();
 }
 
@@ -263,11 +291,15 @@ Status SOlapEngine::WarmSequenceCache(const SequenceSpec& spec) {
 
 void SOlapEngine::NotifyTableAppend() {
   sequence_cache_.Clear();
-  index_caches_.clear();
+  {
+    std::lock_guard<std::mutex> lock(index_caches_mu_);
+    index_caches_.clear();
+  }
   repository_.Clear();
 }
 
 size_t SOlapEngine::IndexCacheBytes() const {
+  std::lock_guard<std::mutex> lock(index_caches_mu_);
   size_t bytes = 0;
   for (const auto& [key, cache] : index_caches_) bytes += cache.TotalBytes();
   return bytes;
@@ -301,6 +333,9 @@ GroupIndexCache& SOlapEngine::CacheFor(const SequenceGroupSet& set,
   std::string key =
       std::to_string(reinterpret_cast<uintptr_t>(&set)) + ":" +
       std::to_string(group_idx);
+  // unordered_map references are stable across inserts, so the returned
+  // cache outlives the lock; the cache itself synchronizes internally.
+  std::lock_guard<std::mutex> lock(index_caches_mu_);
   return index_caches_[key];
 }
 
@@ -309,6 +344,7 @@ const GroupIndexCache* SOlapEngine::FindIndexCache(
   std::string key =
       std::to_string(reinterpret_cast<uintptr_t>(&set)) + ":" +
       std::to_string(group_idx);
+  std::lock_guard<std::mutex> lock(index_caches_mu_);
   auto it = index_caches_.find(key);
   return it == index_caches_.end() ? nullptr : &it->second;
 }

@@ -7,12 +7,14 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "solap/common/stats.h"
 #include "solap/common/status.h"
+#include "solap/common/stop.h"
 #include "solap/cube/cuboid.h"
 #include "solap/cube/cuboid_repository.h"
 #include "solap/cube/cuboid_spec.h"
@@ -51,12 +53,31 @@ struct EngineOptions {
   size_t cb_threads = 1;
 };
 
+/// Per-execution control block: cooperative cancellation plus a sink for
+/// the query's own statistics (the service layer reports per-query stats
+/// and merges them into the engine totals atomically).
+struct ExecControl {
+  /// Polled by the CB scan loop, the II join loop and the regex scan.
+  const StopToken* stop = nullptr;
+  /// If set, receives exactly this execution's counters.
+  ScanStats* stats_out = nullptr;
+};
+
 /// \brief The S-OLAP system facade.
 ///
 /// Construct either over an event table (+ hierarchy registry), in which
 /// case S-cuboid formation steps 1-4 run through the sequence query engine,
 /// or over a pre-formed raw SequenceGroupSet (synthetic workloads that have
 /// no event attributes beyond the symbol stream).
+///
+/// Query execution (`Execute` and the offline index builders) is
+/// thread-safe: the repository, sequence cache and per-group index caches
+/// synchronize internally (shared-lock reads, exclusive cache-populating
+/// writes), and each execution counts into a private ScanStats merged into
+/// the engine totals under a mutex. Mutating administration calls
+/// (`AppendRawSequences`, `NotifyTableAppend`) must not overlap queries —
+/// the service layer quiesces before applying them (see DESIGN.md
+/// "Service layer").
 class SOlapEngine {
  public:
   SOlapEngine(const EventTable* table, const HierarchyRegistry* hierarchies,
@@ -72,6 +93,10 @@ class SOlapEngine {
   Result<std::shared_ptr<const SCuboid>> Execute(const CuboidSpec& spec);
   Result<std::shared_ptr<const SCuboid>> Execute(const CuboidSpec& spec,
                                                  ExecStrategy strategy);
+  /// Full-control variant: cancellation/deadline token and per-query stats.
+  Result<std::shared_ptr<const SCuboid>> Execute(const CuboidSpec& spec,
+                                                 ExecStrategy strategy,
+                                                 const ExecControl& control);
 
   /// Online aggregation (paper §6): runs `spec` with the CB strategy,
   /// invoking `progress` after every `report_every` sequences with the
@@ -119,7 +144,14 @@ class SOlapEngine {
 
   // -- Introspection ---------------------------------------------------------
 
+  /// Direct reference to the engine totals — single-threaded use only
+  /// (benches, tests). Concurrent readers use StatsSnapshot().
   ScanStats& stats() { return stats_; }
+  /// Consistent copy of the engine totals, safe under concurrent queries.
+  ScanStats StatsSnapshot() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
   const CuboidRepository& repository() const { return repository_; }
   /// Bytes of inverted indices currently cached across all groups.
   size_t IndexCacheBytes() const;
@@ -151,8 +183,15 @@ class SOlapEngine {
     std::vector<size_t> selected_groups;
     int measure_col = -1;
     SCuboid* cuboid = nullptr;
+    /// This execution's private counters (merged into stats_ at the end).
+    ScanStats* stats = nullptr;
+    /// Cancellation/deadline token, nullptr when uncontrolled.
+    const StopToken* stop = nullptr;
   };
 
+  Result<std::shared_ptr<const SCuboid>> ExecuteWithStats(
+      const CuboidSpec& spec, ExecStrategy strategy,
+      const ExecControl& control, ScanStats* stats);
   Result<QueryContext> Prepare(const CuboidSpec& spec, SCuboid* cuboid);
   Result<std::shared_ptr<SequenceGroupSet>> GetGroups(const SequenceSpec& s);
   Result<std::vector<size_t>> SelectGroups(const SequenceGroupSet& set,
@@ -186,7 +225,7 @@ class SOlapEngine {
   Result<std::shared_ptr<InvertedIndex>> ObtainIndex(
       GroupIndexCache& cache, SequenceGroup& group,
       const SequenceGroupSet& set, const PatternTemplate& tmpl,
-      const BoundPattern& bp);
+      const BoundPattern& bp, ScanStats* stats, const StopToken* stop);
   /// Counting step shared by both strategies' index path (Fig. 15 l. 10-11).
   Status CountFromIndex(QueryContext& ctx, SequenceGroup& group,
                         const BoundPattern& bp, const InvertedIndex& index);
@@ -198,6 +237,12 @@ class SOlapEngine {
 
   GroupIndexCache& CacheFor(const SequenceGroupSet& set, size_t group_idx);
 
+  /// Folds one execution's counters into the engine totals.
+  void MergeStats(const ScanStats& delta) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_ += delta;
+  }
+
   const EventTable* table_ = nullptr;
   std::shared_ptr<SequenceGroupSet> raw_groups_;
   const HierarchyRegistry* hierarchies_;
@@ -205,9 +250,13 @@ class SOlapEngine {
 
   SequenceCache sequence_cache_;
   CuboidRepository repository_;
-  // Index caches keyed by (group set, group ordinal).
+  // Index caches keyed by (group set, group ordinal). The map itself is
+  // guarded by index_caches_mu_; each GroupIndexCache synchronizes
+  // internally (references stay valid across inserts).
   std::unordered_map<std::string, GroupIndexCache> index_caches_;
+  mutable std::mutex index_caches_mu_;
   ScanStats stats_;
+  mutable std::mutex stats_mu_;
 };
 
 }  // namespace solap

@@ -33,11 +33,17 @@ Status SOlapEngine::AppendRawSequences(
     if (entry->complete()) keep.push_back(entry);
   }
   cache.Clear();
+  ScanStats local;
   for (auto& entry : keep) {
-    SOLAP_RETURN_NOT_OK(AppendToIndex(entry.get(), &group, *raw_groups_,
-                                      hierarchies_, old_count, &stats_));
+    Status extended = AppendToIndex(entry.get(), &group, *raw_groups_,
+                                    hierarchies_, old_count, &local);
+    if (!extended.ok()) {
+      MergeStats(local);
+      return extended;
+    }
     cache.Insert(std::move(entry));
   }
+  MergeStats(local);
   // Every materialized cuboid over this data is stale.
   repository_.Clear();
   return Status::OK();

@@ -18,6 +18,8 @@ Result<std::shared_ptr<const SCuboid>> SOlapEngine::ExecuteOnline(
   }
   auto cuboid = std::make_shared<SCuboid>(MakeDimDescriptors(spec), spec.agg);
   SOLAP_ASSIGN_OR_RETURN(QueryContext ctx, Prepare(spec, cuboid.get()));
+  ScanStats local;
+  ctx.stats = &local;
 
   size_t total = 0;
   for (size_t gi : ctx.selected_groups) {
@@ -38,8 +40,12 @@ Result<std::shared_ptr<const SCuboid>> SOlapEngine::ExecuteOnline(
          begin += static_cast<Sid>(report_every)) {
       Sid end = static_cast<Sid>(
           std::min<size_t>(begin + report_every, n));
-      SOLAP_RETURN_NOT_OK(CounterScanRange(ctx, group, bp, begin, end,
-                                           ctx.cuboid, &stats_));
+      Status scan = CounterScanRange(ctx, group, bp, begin, end, ctx.cuboid,
+                                     ctx.stats);
+      if (!scan.ok()) {
+        MergeStats(local);
+        return scan;
+      }
       processed += end - begin;
       if (!progress(*cuboid, static_cast<double>(processed) /
                                  static_cast<double>(total))) {
@@ -49,6 +55,7 @@ Result<std::shared_ptr<const SCuboid>> SOlapEngine::ExecuteOnline(
     if (stopped) break;
   }
 
+  MergeStats(local);
   if (!stopped && spec.iceberg_min_count.has_value()) {
     cuboid->ApplyIceberg(*spec.iceberg_min_count);
   }

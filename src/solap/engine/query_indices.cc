@@ -39,7 +39,8 @@ Status SOlapEngine::RunInvertedIndex(QueryContext& ctx) {
     GroupIndexCache& cache = CacheFor(*ctx.groups, gi);
     SOLAP_ASSIGN_OR_RETURN(
         std::shared_ptr<InvertedIndex> index,
-        ObtainIndex(cache, group, *ctx.groups, ctx.tmpl, bp_index));
+        ObtainIndex(cache, group, *ctx.groups, ctx.tmpl, bp_index, ctx.stats,
+                    ctx.stop));
     SOLAP_RETURN_NOT_OK(CountFromIndex(ctx, group, bp, *index));
   }
   return Status::OK();
@@ -47,7 +48,8 @@ Status SOlapEngine::RunInvertedIndex(QueryContext& ctx) {
 
 Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
     GroupIndexCache& cache, SequenceGroup& group, const SequenceGroupSet& set,
-    const PatternTemplate& tmpl, const BoundPattern& bp) {
+    const PatternTemplate& tmpl, const BoundPattern& bp, ScanStats* stats,
+    const StopToken* stop) {
   const size_t m = tmpl.num_positions();
   IndexShape target;
   target.kind = tmpl.kind();
@@ -65,13 +67,13 @@ Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
     shape.positions = {target.positions[off], target.positions[off + 1]};
     if (options_.enable_index_cache) {
       if (auto hit = cache.Find(shape, "")) {
-        ++stats_.index_cache_hits;
+        ++stats->index_cache_hits;
         return hit;
       }
     }
     SOLAP_ASSIGN_OR_RETURN(
         std::shared_ptr<InvertedIndex> built,
-        BuildIndex(&group, set, hierarchies_, shape, &stats_));
+        BuildIndex(&group, set, hierarchies_, shape, stats));
     if (options_.enable_index_cache) cache.Insert(built);
     return built;
   };
@@ -79,7 +81,7 @@ Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
   if (options_.enable_index_cache) {
     // 1. Exact (or complete-superset) cache hit.
     if (auto hit = cache.FindUsable(target, full_sig)) {
-      ++stats_.index_cache_hits;
+      ++stats->index_cache_hits;
       return hit;
     }
 
@@ -137,7 +139,7 @@ Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
       SOLAP_ASSIGN_OR_RETURN(
           std::shared_ptr<InvertedIndex> merged,
           RollUpMerge(*rollup_src, maps, target, filtered ? &tmpl : nullptr,
-                      filtered ? &bp.fixed_codes() : nullptr, &stats_));
+                      filtered ? &bp.fixed_codes() : nullptr, stats));
       if (filtered) {
         merged->set_constraint_sig(full_sig);
         merged->set_complete(false);
@@ -174,7 +176,7 @@ Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
       SOLAP_ASSIGN_OR_RETURN(
           std::shared_ptr<InvertedIndex> refined,
           DrillDownRefine(*drill_src, maps, bp, target,
-                          any_fixed ? &coarse_fixed : nullptr, &stats_));
+                          any_fixed ? &coarse_fixed : nullptr, stats));
       // The refinement enumerated occurrences through the template, so the
       // result carries the template's constraint signature.
       if (!full_sig.empty()) {
@@ -193,7 +195,7 @@ Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
     shape.positions = {target.positions[0]};
     SOLAP_ASSIGN_OR_RETURN(
         std::shared_ptr<InvertedIndex> built,
-        BuildIndex(&group, set, hierarchies_, shape, &stats_));
+        BuildIndex(&group, set, hierarchies_, shape, stats));
     if (options_.enable_index_cache) cache.Insert(built);
     return built;
   }
@@ -238,15 +240,18 @@ Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
     current = prefix_idx;
     k = prefix_k;
     grow_right = true;
-    ++stats_.index_cache_hits;
+    ++stats->index_cache_hits;
   } else {
     current = suffix_idx;
     k = suffix_k;
     grow_right = false;
-    ++stats_.index_cache_hits;
+    ++stats->index_cache_hits;
   }
 
   while (k < m) {
+    // Each growth step scans or joins whole lists — poll between steps so
+    // a deadline interrupts multi-step growth of long templates.
+    SOLAP_RETURN_NOT_OK(CheckStop(stop, "index growth"));
     // A highly selective base (a sliced iterative follow-up) is cheaper to
     // grow by scanning its own member sequences than by building and
     // joining a complete size-2 index — unless that L2 is already cached.
@@ -276,18 +281,18 @@ Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
     if (selective && !l2_cached) {
       SOLAP_ASSIGN_OR_RETURN(
           current, ExtendByScan(*current, tmpl, grow_right ? 0 : m - k - 1,
-                                grow_right, bp, &stats_));
+                                grow_right, bp, stats));
     } else if (grow_right) {
       SOLAP_ASSIGN_OR_RETURN(std::shared_ptr<InvertedIndex> l2,
                              get_l2(k - 1));
       SOLAP_ASSIGN_OR_RETURN(
-          current, JoinExtendRight(*current, *l2, tmpl, 0, bp, &stats_,
+          current, JoinExtendRight(*current, *l2, tmpl, 0, bp, stats,
                                    options_.bitmap_join_threshold));
     } else {
       const size_t off = m - k - 1;
       SOLAP_ASSIGN_OR_RETURN(std::shared_ptr<InvertedIndex> l2, get_l2(off));
       SOLAP_ASSIGN_OR_RETURN(
-          current, JoinExtendLeft(*current, *l2, tmpl, off, bp, &stats_,
+          current, JoinExtendLeft(*current, *l2, tmpl, off, bp, stats,
                                   options_.bitmap_join_threshold));
     }
     ++k;
@@ -307,6 +312,7 @@ Status SOlapEngine::CountFromIndex(QueryContext& ctx, SequenceGroup& group,
   const bool fast = !bp.has_predicate() && ctx.spec->agg == AggKind::kCount &&
                     restriction != CellRestriction::kAllMatchedGo;
   for (const auto& [key, list] : index.lists()) {
+    SOLAP_RETURN_NOT_OK(CheckStop(ctx.stop, "index counting"));
     if (!WindowConsistent(tmpl, 0, key, bp.fixed_codes())) continue;
     PatternKey dim_codes = tmpl.DimCodesOf(key);
     if (fast) {
@@ -318,7 +324,7 @@ Status SOlapEngine::CountFromIndex(QueryContext& ctx, SequenceGroup& group,
       continue;
     }
     for (Sid s : list) {
-      ++stats_.sequences_scanned;
+      ++ctx.stats->sequences_scanned;
       switch (restriction) {
         case CellRestriction::kLeftMaxMatchedGo:
         case CellRestriction::kLeftMaxDataGo:

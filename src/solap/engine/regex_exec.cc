@@ -52,7 +52,10 @@ Status SOlapEngine::RunRegex(QueryContext& ctx) {
     PatternKey dim_codes(n_dims);
     const Sid n = static_cast<Sid>(group.num_sequences());
     for (Sid s = 0; s < n; ++s) {
-      ++stats_.sequences_scanned;
+      if ((s & 0xFF) == 0) {
+        SOLAP_RETURN_NOT_OK(CheckStop(ctx.stop, "regex scan"));
+      }
+      ++ctx.stats->sequences_scanned;
       seen.clear();
       bound.ForEachMatch(group.Symbols(view, s), [&](uint32_t start,
                                                      uint32_t end,

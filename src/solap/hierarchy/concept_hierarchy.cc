@@ -27,6 +27,7 @@ Status ConceptHierarchy::SetParent(int level, const std::string& child,
   if (level < 0 || level + 1 >= static_cast<int>(level_names_.size())) {
     return Status::OutOfRange("no level above level " + std::to_string(level));
   }
+  std::lock_guard<std::mutex> lock(mu_);
   parents_[level][child] = parent;
   // Invalidate compiled mappings at and above level+1: parenthood changed.
   for (size_t l = level + 1; l < base_to_level_.size(); ++l) {
@@ -38,6 +39,12 @@ Status ConceptHierarchy::SetParent(int level, const std::string& child,
 Code ConceptHierarchy::MapBaseCode(const Dictionary& base_dict, int level,
                                    Code base_code) {
   if (level == 0) return base_code;
+  std::lock_guard<std::mutex> lock(mu_);
+  return MapBaseCodeLocked(base_dict, level, base_code);
+}
+
+Code ConceptHierarchy::MapBaseCodeLocked(const Dictionary& base_dict,
+                                         int level, Code base_code) {
   std::vector<Code>& compiled = base_to_level_[level];
   if (base_code < compiled.size()) return compiled[base_code];
   // Extend the compiled mapping up to the dictionary's current size.
@@ -58,12 +65,14 @@ Code ConceptHierarchy::MapBaseCode(const Dictionary& base_dict, int level,
 std::string ConceptHierarchy::LabelOf(const Dictionary& base_dict, int level,
                                       Code code) const {
   if (level == 0) return base_dict.ValueOf(code);
+  std::lock_guard<std::mutex> lock(mu_);
   return level_dicts_[level]->ValueOf(code);
 }
 
 std::vector<Code> ConceptHierarchy::BaseCodesOf(int level,
                                                 Code parent_code) const {
   std::vector<Code> out;
+  std::lock_guard<std::mutex> lock(mu_);
   const std::vector<Code>& compiled = base_to_level_[level];
   for (size_t c = 0; c < compiled.size(); ++c) {
     if (compiled[c] == parent_code) out.push_back(static_cast<Code>(c));
@@ -75,9 +84,13 @@ std::vector<Code> ConceptHierarchy::LevelToLevel(const Dictionary& base_dict,
                                                  int from_level,
                                                  int to_level) {
   std::vector<Code> table;
+  std::lock_guard<std::mutex> lock(mu_);
   for (Code base = 0; base < base_dict.size(); ++base) {
-    Code from = MapBaseCode(base_dict, from_level, base);
-    Code to = MapBaseCode(base_dict, to_level, base);
+    Code from = from_level == 0
+                    ? base
+                    : MapBaseCodeLocked(base_dict, from_level, base);
+    Code to = to_level == 0 ? base
+                            : MapBaseCodeLocked(base_dict, to_level, base);
     if (from >= table.size()) table.resize(from + 1, kNullCode);
     table[from] = to;
   }

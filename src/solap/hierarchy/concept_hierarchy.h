@@ -5,6 +5,7 @@
 #define SOLAP_HIERARCHY_CONCEPT_HIERARCHY_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -67,12 +68,18 @@ class ConceptHierarchy {
                                  int to_level);
 
  private:
+  Code MapBaseCodeLocked(const Dictionary& base_dict, int level,
+                         Code base_code);
+
   std::vector<std::string> level_names_;
   // parents_[l]: child value name at level l -> parent value name at l+1.
   std::vector<std::unordered_map<std::string, std::string>> parents_;
   // Compiled: base_to_level_[l][base_code] = code at level l (l >= 1).
   std::vector<std::vector<Code>> base_to_level_;
   std::vector<std::unique_ptr<Dictionary>> level_dicts_;
+  // Guards lazy compilation (and the level dictionaries it appends to):
+  // concurrent queries may trigger MapBaseCode on the same hierarchy.
+  mutable std::mutex mu_;
 };
 
 /// Calendar abstraction levels available on every timestamp attribute.

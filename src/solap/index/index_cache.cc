@@ -10,23 +10,31 @@ std::string KeyOf(const IndexShape& shape, const std::string& sig) {
 
 }  // namespace
 
-std::shared_ptr<InvertedIndex> GroupIndexCache::Find(
+std::shared_ptr<InvertedIndex> GroupIndexCache::FindLocked(
     const IndexShape& shape, const std::string& constraint_sig) const {
   auto it = by_key_.find(KeyOf(shape, constraint_sig));
   return it == by_key_.end() ? nullptr : entries_[it->second];
 }
 
+std::shared_ptr<InvertedIndex> GroupIndexCache::Find(
+    const IndexShape& shape, const std::string& constraint_sig) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return FindLocked(shape, constraint_sig);
+}
+
 std::shared_ptr<InvertedIndex> GroupIndexCache::FindUsable(
     const IndexShape& shape, const std::string& constraint_sig) const {
-  if (auto exact = Find(shape, constraint_sig)) return exact;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (auto exact = FindLocked(shape, constraint_sig)) return exact;
   if (!constraint_sig.empty()) {
-    if (auto complete = Find(shape, "")) return complete;
+    if (auto complete = FindLocked(shape, "")) return complete;
   }
   return nullptr;
 }
 
 void GroupIndexCache::Insert(std::shared_ptr<InvertedIndex> index) {
   std::string key = KeyOf(index->shape(), index->constraint_sig());
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = by_key_.find(key);
   if (it != by_key_.end()) {
     entries_[it->second] = std::move(index);
@@ -36,13 +44,20 @@ void GroupIndexCache::Insert(std::shared_ptr<InvertedIndex> index) {
   entries_.push_back(std::move(index));
 }
 
+std::vector<std::shared_ptr<InvertedIndex>> GroupIndexCache::entries() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return entries_;
+}
+
 size_t GroupIndexCache::TotalBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   size_t bytes = 0;
   for (const auto& e : entries_) bytes += e->ByteSize();
   return bytes;
 }
 
 void GroupIndexCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   entries_.clear();
   by_key_.clear();
 }

@@ -2,10 +2,17 @@
 // store of the paper's architecture (Fig. 6). Indices created as
 // by-products of answering one query are reused by follow-up queries in the
 // same iterative session (paper §4.2.2).
+//
+// Thread-safe for the service layer: lookups (the common case — iterative
+// sessions hit cached indices far more often than they build) take a
+// shared lock; cache-populating inserts take the exclusive lock. Cached
+// InvertedIndex objects are immutable once inserted, so the shared_ptrs a
+// reader obtains stay valid with no lock held.
 #ifndef SOLAP_INDEX_INDEX_CACHE_H_
 #define SOLAP_INDEX_INDEX_CACHE_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,15 +42,18 @@ class GroupIndexCache {
 
   void Insert(std::shared_ptr<InvertedIndex> index);
 
-  /// All cached indices (inspection, derivation searches, eviction).
-  const std::vector<std::shared_ptr<InvertedIndex>>& entries() const {
-    return entries_;
-  }
+  /// Snapshot of all cached indices (inspection, derivation searches,
+  /// eviction). Returned by value: the cache may be concurrently extended.
+  std::vector<std::shared_ptr<InvertedIndex>> entries() const;
 
   size_t TotalBytes() const;
   void Clear();
 
  private:
+  std::shared_ptr<InvertedIndex> FindLocked(
+      const IndexShape& shape, const std::string& constraint_sig) const;
+
+  mutable std::shared_mutex mu_;
   std::vector<std::shared_ptr<InvertedIndex>> entries_;
   // shape canonical + "|" + constraint sig -> entry position.
   std::unordered_map<std::string, size_t> by_key_;

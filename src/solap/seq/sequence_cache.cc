@@ -4,13 +4,35 @@ namespace solap {
 
 std::shared_ptr<SequenceGroupSet> SequenceCache::Lookup(
     const SequenceSpec& spec) const {
-  auto it = map_.find(spec.CanonicalString());
+  const std::string key = spec.CanonicalString();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
   return it == map_.end() ? nullptr : it->second;
 }
 
 void SequenceCache::Insert(const SequenceSpec& spec,
                            std::shared_ptr<SequenceGroupSet> set) {
-  map_[spec.CanonicalString()] = std::move(set);
+  const std::string key = spec.CanonicalString();
+  std::lock_guard<std::mutex> lock(mu_);
+  map_[key] = std::move(set);
+}
+
+std::shared_ptr<SequenceGroupSet> SequenceCache::InsertIfAbsent(
+    const SequenceSpec& spec, std::shared_ptr<SequenceGroupSet> set) {
+  const std::string key = spec.CanonicalString();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = map_.emplace(key, std::move(set));
+  return it->second;
+}
+
+void SequenceCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+}
+
+size_t SequenceCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
 }
 
 }  // namespace solap

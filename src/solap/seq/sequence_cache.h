@@ -1,10 +1,14 @@
 // Sequence cache (paper Fig. 6): memoizes the output of the sequence query
 // engine so iterative queries sharing the same formation clauses skip
-// steps 1-4 entirely.
+// steps 1-4 entirely. Thread-safe: concurrent queries may look up and
+// populate the cache; InsertIfAbsent keeps one canonical set per spec so
+// racing builders converge on the same groups (and index caches keyed by
+// group-set identity stay shared).
 #ifndef SOLAP_SEQ_SEQUENCE_CACHE_H_
 #define SOLAP_SEQ_SEQUENCE_CACHE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -23,13 +27,20 @@ class SequenceCache {
   void Insert(const SequenceSpec& spec,
               std::shared_ptr<SequenceGroupSet> set);
 
+  /// Stores `set` under `spec` unless another thread won the race, and
+  /// returns the canonical entry either way. Queries use this so every
+  /// concurrent builder of the same formation ends up sharing one set.
+  std::shared_ptr<SequenceGroupSet> InsertIfAbsent(
+      const SequenceSpec& spec, std::shared_ptr<SequenceGroupSet> set);
+
   /// Drops every entry (used when the event table is mutated in a way that
   /// invalidates previously formed sequences).
-  void Clear() { map_.clear(); }
+  void Clear();
 
-  size_t size() const { return map_.size(); }
+  size_t size() const;
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<SequenceGroupSet>> map_;
 };
 

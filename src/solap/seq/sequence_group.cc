@@ -10,6 +10,10 @@ Sid SequenceGroup::AddSequence(std::span<const uint32_t> items) {
 
 const std::vector<Code>& SequenceGroup::ViewFor(const DimensionBinding& dim) {
   const std::string key = dim.ref().ToString();
+  // The whole lookup-compute-insert runs under the view lock: concurrent
+  // queries binding the same (attr, level) then share one materialization.
+  // References handed out earlier stay valid (unordered_map node stability).
+  std::lock_guard<std::mutex> lock(*views_mu_);
   auto it = views_.find(key);
   if (it != views_.end()) return it->second;
 

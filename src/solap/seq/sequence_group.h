@@ -9,6 +9,7 @@
 #define SOLAP_SEQ_SEQUENCE_GROUP_H_
 
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -53,7 +54,9 @@ class SequenceGroup {
   Sid AddSequence(std::span<const uint32_t> items);
 
   /// Symbol view for `dim`: flat per-position codes aligned with the
-  /// group's offsets. Computed once per (attr, level) and cached.
+  /// group's offsets. Computed once per (attr, level) and cached; safe to
+  /// call from concurrent queries (the returned reference stays valid —
+  /// views are never dropped while queries run).
   const std::vector<Code>& ViewFor(const DimensionBinding& dim);
 
   /// Symbols of sequence `s` within a view returned by ViewFor.
@@ -72,6 +75,10 @@ class SequenceGroup {
   std::vector<uint32_t> offsets_{0};
   std::vector<uint32_t> data_;  // row-ids or base codes
   std::unordered_map<std::string, std::vector<Code>> views_;
+  // Guards lazy view materialization under concurrent queries. Held in a
+  // shared_ptr so groups stay movable/copyable (the lock is per-identity,
+  // and groups are never copied while queries run).
+  std::shared_ptr<std::mutex> views_mu_ = std::make_shared<std::mutex>();
 };
 
 /// \brief The full result of sequence formation: all groups plus the

@@ -1,0 +1,222 @@
+#include "solap/service/query_service.h"
+
+#include <utility>
+
+namespace solap {
+
+namespace {
+
+double MsBetween(std::chrono::steady_clock::time_point a,
+                 std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+QueryService::QueryService(SOlapEngine* engine, ServiceOptions options)
+    : engine_(engine),
+      options_(options),
+      sessions_(engine->hierarchies(), options.sessions),
+      submitted_(metrics_.counter("queries_submitted")),
+      ok_(metrics_.counter("queries_ok")),
+      errors_(metrics_.counter("queries_error")),
+      shed_(metrics_.counter("queries_shed")),
+      timeouts_(metrics_.counter("queries_timeout")),
+      cancelled_(metrics_.counter("queries_cancelled")),
+      repo_hits_(metrics_.counter("repository_hits")),
+      index_hits_(metrics_.counter("index_cache_hits")),
+      seqs_scanned_(metrics_.counter("sequences_scanned")),
+      queue_depth_(metrics_.histogram("queue_depth")),
+      wait_ms_(metrics_.histogram("queue_wait_ms")),
+      exec_cb_(metrics_.histogram("exec_ms_cb")),
+      exec_ii_(metrics_.histogram("exec_ms_ii")),
+      exec_auto_(metrics_.histogram("exec_ms_auto")),
+      pool_(options.num_threads) {}
+
+QueryService::~QueryService() { Shutdown(); }
+
+QueryService::Ticket QueryService::Submit(const CuboidSpec& spec,
+                                          SubmitOptions opts) {
+  submitted_->Inc();
+  auto canceller = std::make_shared<StopSource>();
+  auto promise = std::make_shared<std::promise<QueryResponse>>();
+  Ticket ticket{promise->get_future(), canceller};
+
+  auto shed = [&](std::string why) {
+    shed_->Inc();
+    QueryResponse resp;
+    resp.status = Status::ResourceExhausted(std::move(why));
+    promise->set_value(std::move(resp));
+  };
+
+  if (shutdown_.load(std::memory_order_acquire)) {
+    shed("query service is shut down");
+    return ticket;
+  }
+  // Admission control: pending counts queued + executing queries. The
+  // increment reserves a slot before the capacity check so that racing
+  // submitters cannot all slip under the bound.
+  size_t depth = pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (options_.max_queue_depth > 0 && depth >= options_.max_queue_depth) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    shed("query queue is full (" + std::to_string(depth) + " pending)");
+    return ticket;
+  }
+  // Recorded in plain units: the "ms" columns of the rendering read as
+  // queries pending at admission time.
+  queue_depth_->ObserveMs(static_cast<double>(depth));
+
+  std::chrono::milliseconds timeout =
+      opts.timeout.count() > 0 ? opts.timeout : options_.default_timeout;
+  canceller->SetTimeout(timeout);
+
+  const auto submitted_at = std::chrono::steady_clock::now();
+  bool queued = pool_.Submit([this, spec, opts, stop = canceller->token(),
+                              submitted_at, promise]() mutable {
+    Execute(spec, opts, std::move(stop), submitted_at, std::move(promise));
+  });
+  if (!queued) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    shed("query service is shut down");
+  }
+  return ticket;
+}
+
+QueryResponse QueryService::Run(const CuboidSpec& spec, SubmitOptions opts) {
+  return Submit(spec, opts).response.get();
+}
+
+void QueryService::Execute(
+    const CuboidSpec& spec, SubmitOptions opts, StopToken stop,
+    std::chrono::steady_clock::time_point submitted,
+    std::shared_ptr<std::promise<QueryResponse>> promise) {
+  QueryResponse resp;
+  const auto started = std::chrono::steady_clock::now();
+  resp.wait_ms = MsBetween(submitted, started);
+  wait_ms_->ObserveMs(resp.wait_ms);
+
+  auto finish = [&] {
+    const Status& st = resp.status;
+    if (st.ok()) {
+      ok_->Inc();
+    } else if (st.code() == StatusCode::kDeadlineExceeded) {
+      timeouts_->Inc();
+    } else if (st.code() == StatusCode::kCancelled) {
+      cancelled_->Inc();
+    } else {
+      errors_->Inc();
+    }
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    promise->set_value(std::move(resp));
+  };
+
+  if (shutdown_.load(std::memory_order_acquire)) {
+    resp.status = Status::Cancelled("query service shut down before start");
+    finish();
+    return;
+  }
+  // A query whose deadline passed while queued is failed without touching
+  // the engine — under overload this sheds work instead of burning the
+  // pool on answers nobody is waiting for.
+  resp.status = stop.Check("query");
+  if (!resp.status.ok()) {
+    finish();
+    return;
+  }
+
+  const bool flight = options_.single_flight;
+  const std::string key = flight ? spec.CanonicalString() : std::string();
+  // Duplicates of an in-flight spec wait for the executor, then run the
+  // engine themselves and land on the freshly cached cuboid — the same
+  // miss-then-hits accounting a sequential client would see.
+  const bool holder = flight ? EnterFlight(key) : false;
+
+  ExecControl control;
+  control.stop = &stop;
+  control.stats_out = &resp.stats;
+  const auto exec_start = std::chrono::steady_clock::now();
+  auto result = engine_->Execute(spec, opts.strategy, control);
+  resp.exec_ms = MsBetween(exec_start, std::chrono::steady_clock::now());
+
+  if (holder) FinishFlight(key);
+
+  switch (opts.strategy) {
+    case ExecStrategy::kCounterBased:
+      exec_cb_->ObserveMs(resp.exec_ms);
+      break;
+    case ExecStrategy::kInvertedIndex:
+      exec_ii_->ObserveMs(resp.exec_ms);
+      break;
+    case ExecStrategy::kAuto:
+      exec_auto_->ObserveMs(resp.exec_ms);
+      break;
+  }
+  repo_hits_->Inc(resp.stats.repository_hits);
+  index_hits_->Inc(resp.stats.index_cache_hits);
+  seqs_scanned_->Inc(resp.stats.sequences_scanned);
+
+  if (result.ok()) {
+    resp.cuboid = *std::move(result);
+  } else {
+    resp.status = result.status();
+  }
+  finish();
+}
+
+bool QueryService::EnterFlight(const std::string& key) {
+  std::shared_ptr<FlightGate> gate;
+  {
+    std::lock_guard<std::mutex> lock(flights_mu_);
+    auto it = flights_.find(key);
+    if (it == flights_.end()) {
+      flights_.emplace(key, std::make_shared<FlightGate>());
+      return true;
+    }
+    gate = it->second;
+  }
+  std::unique_lock<std::mutex> glock(gate->mu);
+  gate->cv.wait(glock, [&] { return gate->done; });
+  return false;
+}
+
+void QueryService::FinishFlight(const std::string& key) {
+  std::shared_ptr<FlightGate> gate;
+  {
+    std::lock_guard<std::mutex> lock(flights_mu_);
+    auto it = flights_.find(key);
+    gate = std::move(it->second);
+    flights_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> glock(gate->mu);
+    gate->done = true;
+  }
+  gate->cv.notify_all();
+}
+
+SessionId QueryService::OpenSession(CuboidSpec initial) {
+  return sessions_.Open(std::move(initial));
+}
+
+Result<QueryService::Ticket> QueryService::SubmitSessionOp(
+    SessionId id, const SessionOp& op, SubmitOptions opts) {
+  SOLAP_ASSIGN_OR_RETURN(CuboidSpec spec, sessions_.Apply(id, op));
+  return Submit(spec, opts);
+}
+
+Result<QueryService::Ticket> QueryService::SubmitSessionCurrent(
+    SessionId id, SubmitOptions opts) {
+  SOLAP_ASSIGN_OR_RETURN(CuboidSpec spec, sessions_.Current(id));
+  return Submit(spec, opts);
+}
+
+void QueryService::CloseSession(SessionId id) { sessions_.Close(id); }
+
+void QueryService::Shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  // Drains the queue: tasks still queued observe shutdown_ at start and
+  // resolve their promises with kCancelled without executing.
+  pool_.Shutdown();
+}
+
+}  // namespace solap

@@ -1,0 +1,174 @@
+// The concurrent S-OLAP query service: turns one SOlapEngine into a
+// multi-client endpoint. Queries are admitted against a bounded queue
+// (overload sheds with ResourceExhausted rather than queueing unboundedly),
+// executed on a fixed-size thread pool under per-query deadlines with
+// cooperative cancellation, and measured into a MetricsRegistry. Client
+// sessions (service/session.h) carry iterative query state so consecutive
+// specs hit the engine's cuboid repository and index caches.
+//
+// Lock hierarchy (acquire strictly downward; see DESIGN.md "Service
+// layer"): service single-flight map -> pool queue -> engine stats/cache
+// maps -> repository / sequence cache / group index caches -> group view
+// mutex -> hierarchy mutex. No callback ever re-enters the service, so the
+// hierarchy is acyclic by construction.
+#ifndef SOLAP_SERVICE_QUERY_SERVICE_H_
+#define SOLAP_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "solap/common/metrics.h"
+#include "solap/common/stop.h"
+#include "solap/engine/engine.h"
+#include "solap/service/session.h"
+#include "solap/service/thread_pool.h"
+
+namespace solap {
+
+/// Tuning knobs of the query service.
+struct ServiceOptions {
+  size_t num_threads = 4;
+  /// Admission bound: queries submitted while this many are already
+  /// pending (queued or executing) are shed with ResourceExhausted.
+  size_t max_queue_depth = 64;
+  /// Deadline applied to queries that do not set their own (0 = none).
+  std::chrono::milliseconds default_timeout{0};
+  /// Identical specs submitted concurrently execute once; the duplicates
+  /// wait and are then served from the cuboid repository.
+  bool single_flight = true;
+  SessionManagerOptions sessions;
+};
+
+/// Per-submission overrides.
+struct SubmitOptions {
+  ExecStrategy strategy = ExecStrategy::kAuto;
+  /// Overrides ServiceOptions::default_timeout when positive.
+  std::chrono::milliseconds timeout{0};
+};
+
+/// Everything the service knows about one answered query.
+struct QueryResponse {
+  Status status = Status::OK();
+  std::shared_ptr<const SCuboid> cuboid;  // nullptr unless status.ok()
+  /// This query's own counters (not the engine totals).
+  ScanStats stats;
+  double wait_ms = 0;  // admission to start of execution
+  double exec_ms = 0;  // execution only
+};
+
+/// \brief Concurrent query endpoint over one SOlapEngine.
+///
+/// Thread-safe; Submit may be called from any thread. Destruction (or
+/// Shutdown) stops admitting, cancels queued-but-unstarted queries and
+/// joins the workers — every future obtained from Submit is fulfilled.
+class QueryService {
+ public:
+  /// `engine` must outlive the service and not receive mutating admin
+  /// calls (AppendRawSequences / NotifyTableAppend) while queries run.
+  QueryService(SOlapEngine* engine, ServiceOptions options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// A submitted query: the eventual response plus a cancel handle.
+  struct Ticket {
+    std::future<QueryResponse> response;
+    /// Trips the query's stop token; the executor notices at its next
+    /// cancellation poll and the response resolves with kCancelled.
+    std::shared_ptr<StopSource> canceller;
+  };
+
+  /// Queues `spec` for execution. Sheds immediately (ResourceExhausted
+  /// response, future already ready) when the service is saturated or
+  /// shutting down.
+  Ticket Submit(const CuboidSpec& spec, SubmitOptions opts = {});
+
+  /// Blocking convenience: Submit + wait.
+  QueryResponse Run(const CuboidSpec& spec, SubmitOptions opts = {});
+
+  // -- Sessions --------------------------------------------------------------
+
+  /// Opens an iterative session starting from `initial`.
+  SessionId OpenSession(CuboidSpec initial);
+  /// Applies `op` to the session (atomically under the session lock) and
+  /// queues the session's new current spec.
+  Result<Ticket> SubmitSessionOp(SessionId id, const SessionOp& op,
+                                 SubmitOptions opts = {});
+  /// Re-queues the session's current spec (a repository hit when the
+  /// session already ran it — the paper's repeated-query case).
+  Result<Ticket> SubmitSessionCurrent(SessionId id, SubmitOptions opts = {});
+  void CloseSession(SessionId id);
+  SessionManager& sessions() { return sessions_; }
+
+  // -- Introspection ---------------------------------------------------------
+
+  MetricsRegistry& metrics() { return metrics_; }
+  /// Queries admitted but not finished (queued or executing).
+  size_t PendingQueries() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+  size_t num_threads() const { return pool_.num_threads(); }
+
+  /// Stops admitting, fails queued-but-unstarted queries with kCancelled,
+  /// waits for executing queries to finish. Idempotent.
+  void Shutdown();
+
+ private:
+  /// Synchronizes duplicate in-flight specs (single-flight): the first
+  /// submitter executes, duplicates wait on the gate and then read the
+  /// repository.
+  struct FlightGate {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+
+  void Execute(const CuboidSpec& spec, SubmitOptions opts, StopToken stop,
+               std::chrono::steady_clock::time_point submitted,
+               std::shared_ptr<std::promise<QueryResponse>> promise);
+  /// Blocks while another thread executes the same spec. Returns true if
+  /// this caller is the designated executor (must call FinishFlight).
+  bool EnterFlight(const std::string& key);
+  void FinishFlight(const std::string& key);
+
+  SOlapEngine* engine_;
+  ServiceOptions options_;
+  MetricsRegistry metrics_;
+  SessionManager sessions_;
+
+  std::atomic<size_t> pending_{0};
+  std::atomic<bool> shutdown_{false};
+
+  std::mutex flights_mu_;
+  std::unordered_map<std::string, std::shared_ptr<FlightGate>> flights_;
+
+  // Cached metric handles (hot path looks them up once).
+  Counter* submitted_;
+  Counter* ok_;
+  Counter* errors_;
+  Counter* shed_;
+  Counter* timeouts_;
+  Counter* cancelled_;
+  Counter* repo_hits_;
+  Counter* index_hits_;
+  Counter* seqs_scanned_;
+  Histogram* queue_depth_;
+  Histogram* wait_ms_;
+  Histogram* exec_cb_;
+  Histogram* exec_ii_;
+  Histogram* exec_auto_;
+
+  // Declared last: workers must stop before members they use are torn down.
+  ThreadPool pool_;
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,128 @@
+#include "solap/service/session.h"
+
+#include <utility>
+
+#include "solap/engine/operations.h"
+
+namespace solap {
+
+SessionManager::SessionManager(const HierarchyRegistry* hierarchies,
+                               SessionManagerOptions options, Clock clock)
+    : hierarchies_(hierarchies),
+      options_(options),
+      clock_(clock != nullptr
+                 ? std::move(clock)
+                 : [] { return std::chrono::steady_clock::now(); }) {}
+
+SessionId SessionManager::Open(CuboidSpec initial) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ExpireStaleLocked();
+  while (options_.max_sessions > 0 &&
+         sessions_.size() >= options_.max_sessions) {
+    SessionId victim = lru_.back();
+    lru_.pop_back();
+    sessions_.erase(victim);
+  }
+  SessionId id = next_id_++;
+  lru_.push_front(id);
+  sessions_.emplace(
+      id, Session{std::move(initial), clock_(), lru_.begin()});
+  return id;
+}
+
+Result<CuboidSpec> SessionManager::Apply(SessionId id, const SessionOp& op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ExpireStaleLocked();
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session " + std::to_string(id) +
+                            " (closed or expired)");
+  }
+  SOLAP_ASSIGN_OR_RETURN(CuboidSpec next, ApplyOp(it->second.spec, op));
+  it->second.spec = next;
+  TouchLocked(it->second);
+  return next;
+}
+
+Result<CuboidSpec> SessionManager::Current(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ExpireStaleLocked();
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session " + std::to_string(id) +
+                            " (closed or expired)");
+  }
+  TouchLocked(it->second);
+  return it->second.spec;
+}
+
+void SessionManager::Close(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  sessions_.erase(it);
+}
+
+size_t SessionManager::NumSessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+void SessionManager::ExpireStaleLocked() {
+  if (options_.ttl.count() <= 0) return;
+  const auto now = clock_();
+  while (!lru_.empty()) {
+    auto it = sessions_.find(lru_.back());
+    if (now - it->second.last_touch < options_.ttl) break;
+    sessions_.erase(it);
+    lru_.pop_back();
+  }
+}
+
+void SessionManager::TouchLocked(Session& s) {
+  s.last_touch = clock_();
+  lru_.splice(lru_.begin(), lru_, s.lru_pos);
+}
+
+Result<CuboidSpec> SessionManager::ApplyOp(const CuboidSpec& spec,
+                                           const SessionOp& op) {
+  if (op.op == "append") {
+    return ops::Append(spec, op.symbol, op.ref);
+  }
+  if (op.op == "prepend") {
+    return ops::Prepend(spec, op.symbol, op.ref);
+  }
+  if (op.op == "detail") {
+    return ops::DeTail(spec);
+  }
+  if (op.op == "dehead") {
+    return ops::DeHead(spec);
+  }
+  if (op.op == "prollup") {
+    if (!op.level.empty()) return ops::PRollUpTo(spec, op.symbol, op.level);
+    if (hierarchies_ == nullptr) {
+      return Status::InvalidArgument(
+          "one-step prollup needs a hierarchy registry");
+    }
+    return ops::PRollUp(spec, op.symbol, *hierarchies_);
+  }
+  if (op.op == "pdrilldown") {
+    if (!op.level.empty()) {
+      return ops::PDrillDownTo(spec, op.symbol, op.level);
+    }
+    if (hierarchies_ == nullptr) {
+      return Status::InvalidArgument(
+          "one-step pdrilldown needs a hierarchy registry");
+    }
+    return ops::PDrillDown(spec, op.symbol, *hierarchies_);
+  }
+  if (op.op == "slice") {
+    return ops::SlicePattern(spec, op.symbol, op.labels, op.level);
+  }
+  return Status::InvalidArgument(
+      "unknown session operation '" + op.op +
+      "' (append|prepend|detail|dehead|prollup|pdrilldown|slice)");
+}
+
+}  // namespace solap

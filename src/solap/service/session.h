@@ -1,0 +1,107 @@
+// Client sessions for the query service. A session is the service-side
+// embodiment of the paper's iterative query model (§3.3, §5.2): a client
+// holds a current CuboidSpec and refines it step by step with the S-OLAP
+// operations (APPEND, PREPEND, DE-TAIL, DE-HEAD, P-ROLL-UP, P-DRILL-DOWN,
+// slice). Keeping the spec server-side is what makes the engine's index
+// caches pay off — consecutive specs of one session differ by one
+// operation, exactly the reuse pattern the II strategy exploits.
+#ifndef SOLAP_SERVICE_SESSION_H_
+#define SOLAP_SERVICE_SESSION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "solap/common/status.h"
+#include "solap/cube/cuboid_spec.h"
+#include "solap/hierarchy/concept_hierarchy.h"
+
+namespace solap {
+
+using SessionId = uint64_t;
+
+/// One iterative step, named after the paper's operations.
+struct SessionOp {
+  /// append | prepend | detail | dehead | prollup | pdrilldown | slice.
+  std::string op;
+  /// Pattern symbol the operation targets (append/prepend: the new symbol).
+  std::string symbol;
+  /// Domain of a newly appended/prepended symbol (existing symbols: empty).
+  LevelRef ref;
+  /// Explicit level for prollup/pdrilldown/slice ("" = one step / current).
+  std::string level;
+  /// Slice labels.
+  std::vector<std::string> labels;
+};
+
+/// Tuning knobs of the session table.
+struct SessionManagerOptions {
+  /// Oldest session is evicted when a new Open would exceed this.
+  size_t max_sessions = 64;
+  /// Sessions idle longer than this are expired lazily (0 = never).
+  std::chrono::milliseconds ttl{std::chrono::minutes(30)};
+};
+
+/// \brief Table of live sessions with LRU capacity eviction and TTL expiry.
+///
+/// Thread-safe: all public calls lock an internal mutex (session state is
+/// tiny — a spec and a timestamp — so the critical sections are short).
+/// Expiry is lazy: stale sessions are collected at the next public call,
+/// so no background reaper thread is needed.
+class SessionManager {
+ public:
+  using Clock = std::function<std::chrono::steady_clock::time_point()>;
+
+  /// `hierarchies` drives the one-step P-ROLL-UP / P-DRILL-DOWN forms.
+  /// `clock` is injectable for TTL tests; defaults to steady_clock::now.
+  explicit SessionManager(const HierarchyRegistry* hierarchies,
+                          SessionManagerOptions options = {},
+                          Clock clock = nullptr);
+
+  /// Opens a session whose first query is `initial`. Evicts the least
+  /// recently used session when at capacity.
+  SessionId Open(CuboidSpec initial);
+
+  /// Applies one iterative operation to the session's current spec and
+  /// returns the new current spec. The spec is only replaced when the
+  /// operation succeeds, so a failed step leaves the session intact.
+  Result<CuboidSpec> Apply(SessionId id, const SessionOp& op);
+
+  /// The session's current spec (refreshes recency).
+  Result<CuboidSpec> Current(SessionId id);
+
+  /// Closes the session; unknown ids are a no-op (idempotent).
+  void Close(SessionId id);
+
+  size_t NumSessions() const;
+
+ private:
+  struct Session {
+    CuboidSpec spec;
+    std::chrono::steady_clock::time_point last_touch;
+    std::list<SessionId>::iterator lru_pos;
+  };
+
+  // All callees below require mu_ to be held.
+  void ExpireStaleLocked();
+  void TouchLocked(Session& s);
+  Result<CuboidSpec> ApplyOp(const CuboidSpec& spec, const SessionOp& op);
+
+  const HierarchyRegistry* hierarchies_;
+  SessionManagerOptions options_;
+  Clock clock_;
+
+  mutable std::mutex mu_;
+  SessionId next_id_ = 1;
+  std::unordered_map<SessionId, Session> sessions_;
+  std::list<SessionId> lru_;  // front = most recently used
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_SERVICE_SESSION_H_

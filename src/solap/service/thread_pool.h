@@ -1,0 +1,56 @@
+// Fixed-size worker pool for the query service: a bounded crew of threads
+// draining a FIFO task queue. Deliberately minimal — admission control,
+// deadlines and metrics live in QueryService, which composes this pool
+// rather than burying policy inside it.
+#ifndef SOLAP_SERVICE_THREAD_POOL_H_
+#define SOLAP_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace solap {
+
+/// \brief Fixed-size thread pool with a FIFO work queue.
+///
+/// Tasks submitted after Shutdown() are rejected (Submit returns false);
+/// tasks already queued at Shutdown() are drained before the workers exit,
+/// so a graceful stop never drops accepted work.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution by some worker. Returns false if the
+  /// pool is shutting down (the task is not run).
+  bool Submit(std::function<void()> task);
+
+  /// Stops accepting work, drains the queue and joins all workers.
+  /// Idempotent; also called by the destructor.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Tasks accepted but not yet started (approximate once returned).
+  size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_SERVICE_THREAD_POOL_H_

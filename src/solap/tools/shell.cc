@@ -38,6 +38,9 @@ constexpr const char* kHelp = R"(commands:
   top [n]                            re-show the current cuboid
   export <path.csv>                  write the current cuboid as CSV
   parents | children                 S-cube lattice neighbors
+  serve start [threads [depth]]      start the concurrent query service
+  serve stop | serve status          stop / inspect the service
+  metrics                            service counters and latencies
   strategy cb|ii|auto                construction strategy
   stats                              engine counters
   help | quit)";
@@ -122,9 +125,18 @@ Status ShellSession::Dispatch(const std::string& raw) {
   if (c == "hierarchy") return CmdHierarchy(args);
   if (c == "map") return CmdMap(args);
   if (c == "strategy") return CmdStrategy(args);
+  if (c == "serve") return CmdServe(args);
+  if (c == "metrics") {
+    if (service_ == nullptr) {
+      return Status::InvalidArgument(
+          "no service running; start one with 'serve start'");
+    }
+    out_ << service_->metrics().ToString();
+    return Status::OK();
+  }
   if (c == "stats") {
     SOLAP_RETURN_NOT_OK(RequireEngine());
-    out_ << engine_->stats().ToString()
+    out_ << engine_->StatsSnapshot().ToString()
          << " index_cache_bytes=" << engine_->IndexCacheBytes() << "\n";
     return Status::OK();
   }
@@ -204,6 +216,7 @@ Status ShellSession::CmdLoad(const std::string& args) {
     return Status::InvalidArgument("load csv <path> | load snapshot <path>");
   }
   raw_groups_.reset();
+  service_.reset();  // pool threads reference the old engine
   engine_ = std::make_unique<SOlapEngine>(table_.get(), hierarchies_.get());
   out_ << "loaded " << table_->num_rows() << " events\n";
   return Status::OK();
@@ -228,6 +241,7 @@ Status ShellSession::CmdGenerate(const std::string& args) {
   }
   size_t n = w.size() > 1 ? std::strtoul(w[1].c_str(), nullptr, 10) : 0;
   std::string kind = ToLower(w[0]);
+  service_.reset();  // pool threads reference the old engine
   if (kind == "transit") {
     TransitParams p;
     if (n) p.num_passengers = n;
@@ -306,6 +320,51 @@ Status ShellSession::CmdStrategy(const std::string& args) {
   return Status::OK();
 }
 
+Status ShellSession::CmdServe(const std::string& args) {
+  std::vector<std::string> w = Words(args);
+  std::string sub = w.empty() ? "" : ToLower(w[0]);
+  if (sub == "start") {
+    SOLAP_RETURN_NOT_OK(RequireEngine());
+    if (service_ != nullptr) {
+      return Status::InvalidArgument(
+          "service already running; 'serve stop' first");
+    }
+    ServiceOptions opts;
+    if (w.size() > 1) {
+      opts.num_threads = std::strtoul(w[1].c_str(), nullptr, 10);
+      if (opts.num_threads == 0) {
+        return Status::InvalidArgument("serve start [threads [depth]]");
+      }
+    }
+    if (w.size() > 2) {
+      opts.max_queue_depth = std::strtoul(w[2].c_str(), nullptr, 10);
+    }
+    service_ = std::make_unique<QueryService>(engine_.get(), opts);
+    out_ << "service started: " << service_->num_threads()
+         << " threads, queue depth " << opts.max_queue_depth << "\n";
+    return Status::OK();
+  }
+  if (sub == "stop") {
+    if (service_ == nullptr) {
+      return Status::InvalidArgument("no service running");
+    }
+    service_.reset();
+    out_ << "service stopped\n";
+    return Status::OK();
+  }
+  if (sub == "status") {
+    if (service_ == nullptr) {
+      out_ << "service: not running\n";
+    } else {
+      out_ << "service: running, " << service_->num_threads()
+           << " threads, " << service_->PendingQueries() << " pending, "
+           << service_->sessions().NumSessions() << " sessions\n";
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument("serve start [threads [depth]] | stop | status");
+}
+
 Status ShellSession::RequireEngine() const {
   if (engine_ == nullptr) {
     return Status::InvalidArgument(
@@ -324,8 +383,18 @@ Status ShellSession::RunQuery(const std::string& text) {
 Status ShellSession::ExecuteCurrent() {
   SOLAP_RETURN_NOT_OK(RequireEngine());
   Timer t;
-  SOLAP_ASSIGN_OR_RETURN(current_cuboid_,
-                         engine_->Execute(*current_spec_, strategy_));
+  if (service_ != nullptr) {
+    // Through the service: admission control, deadlines and metrics apply
+    // to interactive queries exactly as they would to remote clients.
+    SubmitOptions opts;
+    opts.strategy = strategy_;
+    QueryResponse resp = service_->Run(*current_spec_, opts);
+    SOLAP_RETURN_NOT_OK(resp.status);
+    current_cuboid_ = resp.cuboid;
+  } else {
+    SOLAP_ASSIGN_OR_RETURN(current_cuboid_,
+                           engine_->Execute(*current_spec_, strategy_));
+  }
   out_ << current_cuboid_->num_cells() << " cells in " << t.ElapsedMs()
        << " ms\n"
        << current_cuboid_->ToTable(show_limit_);

@@ -16,6 +16,7 @@
 
 #include "solap/common/status.h"
 #include "solap/engine/engine.h"
+#include "solap/service/query_service.h"
 
 namespace solap {
 
@@ -33,6 +34,8 @@ namespace solap {
 ///   append/prepend <sym> [attr level] | detail | dehead
 ///   rollup <sym> | drilldown <sym> | slice <sym> <label> | top [n]
 ///   parents | children                      S-cube lattice neighbors
+///   serve start|stop|status                 concurrent query service
+///   metrics                                 service counters/latencies
 ///   strategy cb|ii|auto | stats | show [n] | quit
 class ShellSession {
  public:
@@ -57,6 +60,7 @@ class ShellSession {
   Status CmdHierarchy(const std::string& args);
   Status CmdMap(const std::string& args);
   Status CmdStrategy(const std::string& args);
+  Status CmdServe(const std::string& args);
   Status RunQuery(const std::string& text);
   Status RunOp(const std::string& op, const std::string& args);
   Status ShowLattice(bool parents);
@@ -72,6 +76,9 @@ class ShellSession {
   std::shared_ptr<SequenceGroupSet> raw_groups_;
   std::shared_ptr<HierarchyRegistry> hierarchies_;
   std::unique_ptr<SOlapEngine> engine_;
+  // Owns pool threads that reference engine_; must be reset before the
+  // engine is replaced (CmdLoad / CmdGenerate) or destroyed.
+  std::unique_ptr<QueryService> service_;
   ExecStrategy strategy_ = ExecStrategy::kAuto;
 
   std::optional<CuboidSpec> current_spec_;

@@ -1,0 +1,394 @@
+// Unit tests of the service layer: thread pool, stop tokens, metrics,
+// session manager (LRU + TTL with an injected clock), and the query
+// service's admission control, deadlines, cancellation, single-flight
+// dedup and shell integration.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "solap/common/metrics.h"
+#include "solap/common/stop.h"
+#include "solap/gen/synthetic.h"
+#include "solap/service/query_service.h"
+#include "solap/service/session.h"
+#include "solap/service/thread_pool.h"
+#include "solap/tools/shell.h"
+
+namespace solap {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));
+    }
+  }  // destructor drains
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, RejectsAfterShutdownButDrainsQueued) {
+  std::atomic<int> ran{0};
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  ASSERT_TRUE(pool.Submit([&] {
+    while (!release.load()) std::this_thread::yield();
+    ran.fetch_add(1);
+  }));
+  ASSERT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));  // queued behind
+  release.store(true);
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 2);  // graceful: accepted work is never dropped
+  EXPECT_FALSE(pool.Submit([&] { ran.fetch_add(1); }));
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+// ----------------------------------------------------------------- StopToken
+
+TEST(StopTest, DefaultTokenNeverTrips) {
+  StopToken token;
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_TRUE(token.Check("work").ok());
+  EXPECT_TRUE(CheckStop(nullptr, "work").ok());
+}
+
+TEST(StopTest, RequestStopTripsAsCancelled) {
+  StopSource source;
+  StopToken token = source.token();
+  EXPECT_TRUE(token.Check("work").ok());
+  source.RequestStop();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.Check("work").code(), StatusCode::kCancelled);
+}
+
+TEST(StopTest, PastDeadlineTripsAsDeadlineExceeded) {
+  StopSource source;
+  source.SetDeadline(steady_clock::now() - milliseconds(1));
+  StopToken token = source.token();
+  EXPECT_TRUE(token.deadline_expired());
+  EXPECT_EQ(token.Check("work").code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(StopTest, NonPositiveTimeoutMeansNoDeadline) {
+  StopSource source;
+  source.SetTimeout(milliseconds(0));
+  EXPECT_FALSE(source.token().deadline_expired());
+}
+
+// ------------------------------------------------------------------- Metrics
+
+TEST(MetricsTest, CountersAndHistograms) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("queries");
+  c->Inc();
+  c->Inc(4);
+  EXPECT_EQ(c->Value(), 5u);
+  EXPECT_EQ(reg.counter("queries"), c);  // stable get-or-create
+
+  Histogram* h = reg.histogram("latency_ms");
+  h->ObserveMs(1.0);
+  h->ObserveMs(2.0);
+  h->ObserveMs(100.0);
+  Histogram::Snapshot s = h->TakeSnapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_NEAR(s.sum_ms, 103.0, 1.0);
+  EXPECT_GT(s.p99_ms, s.p50_ms * 0.99);
+
+  std::string text = reg.ToString();
+  EXPECT_NE(text.find("queries"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms"), std::string::npos);
+}
+
+// ------------------------------------------------------------ SessionManager
+
+CuboidSpec XYSpec() {
+  CuboidSpec spec;
+  spec.symbols = {"X", "Y"};
+  spec.dims = {PatternDim{"X", {SyntheticData::kAttr, "symbol"}, {}, ""},
+               PatternDim{"Y", {SyntheticData::kAttr, "symbol"}, {}, ""}};
+  return spec;
+}
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest() : data_(GenerateSynthetic(SmallParams())) {}
+
+  static SyntheticParams SmallParams() {
+    SyntheticParams p;
+    p.num_sequences = 200;
+    p.num_symbols = 20;
+    return p;
+  }
+
+  SyntheticData data_;
+};
+
+TEST_F(SessionTest, OpsTransformTheCurrentSpec) {
+  SessionManager mgr(data_.hierarchies.get());
+  SessionId id = mgr.Open(XYSpec());
+
+  SessionOp append{"append", "Z", {SyntheticData::kAttr, "symbol"}, "", {}};
+  auto appended = mgr.Apply(id, append);
+  ASSERT_TRUE(appended.ok()) << appended.status().ToString();
+  EXPECT_EQ(appended->symbols.size(), 3u);
+
+  auto detailed = mgr.Apply(id, SessionOp{"detail", "", {}, "", {}});
+  ASSERT_TRUE(detailed.ok());
+  EXPECT_EQ(detailed->symbols.size(), 2u);
+
+  auto rolled = mgr.Apply(id, SessionOp{"prollup", "X", {}, "", {}});
+  ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+  EXPECT_EQ(rolled->dims[0].ref.level, SyntheticData::kLevelGroup);
+
+  auto current = mgr.Current(id);
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current->CanonicalString(), rolled->CanonicalString());
+}
+
+TEST_F(SessionTest, FailedOpLeavesSessionIntact) {
+  SessionManager mgr(data_.hierarchies.get());
+  SessionId id = mgr.Open(XYSpec());
+  EXPECT_FALSE(mgr.Apply(id, SessionOp{"frobnicate", "", {}, "", {}}).ok());
+  auto current = mgr.Current(id);
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current->CanonicalString(), XYSpec().CanonicalString());
+}
+
+TEST_F(SessionTest, CloseAndUnknownIdsReportNotFound) {
+  SessionManager mgr(data_.hierarchies.get());
+  SessionId id = mgr.Open(XYSpec());
+  mgr.Close(id);
+  mgr.Close(id);  // idempotent
+  EXPECT_EQ(mgr.Current(id).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(mgr.NumSessions(), 0u);
+}
+
+TEST_F(SessionTest, LruEvictionAtCapacity) {
+  SessionManagerOptions opts;
+  opts.max_sessions = 2;
+  SessionManager mgr(data_.hierarchies.get(), opts);
+  SessionId a = mgr.Open(XYSpec());
+  SessionId b = mgr.Open(XYSpec());
+  ASSERT_TRUE(mgr.Current(a).ok());  // refresh a; b is now LRU
+  SessionId c = mgr.Open(XYSpec());
+  EXPECT_EQ(mgr.NumSessions(), 2u);
+  EXPECT_TRUE(mgr.Current(a).ok());
+  EXPECT_EQ(mgr.Current(b).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(mgr.Current(c).ok());
+}
+
+TEST_F(SessionTest, TtlExpiryWithInjectedClock) {
+  auto now = std::make_shared<steady_clock::time_point>(steady_clock::now());
+  SessionManagerOptions opts;
+  opts.ttl = milliseconds(1000);
+  SessionManager mgr(data_.hierarchies.get(), opts, [now] { return *now; });
+
+  SessionId stale = mgr.Open(XYSpec());
+  *now += milliseconds(600);
+  SessionId fresh = mgr.Open(XYSpec());
+  *now += milliseconds(600);  // stale idle 1200ms, fresh idle 600ms
+  EXPECT_EQ(mgr.Current(stale).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(mgr.Current(fresh).ok());
+  EXPECT_EQ(mgr.NumSessions(), 1u);
+}
+
+// -------------------------------------------------------------- QueryService
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest() : data_(GenerateSynthetic(Params())) {}
+
+  static SyntheticParams Params() {
+    SyntheticParams p;
+    p.num_sequences = 20000;  // CB scan takes several ms: room to interrupt
+    p.num_symbols = 50;
+    return p;
+  }
+
+  SubmitOptions Cb() {
+    SubmitOptions o;
+    o.strategy = ExecStrategy::kCounterBased;
+    return o;
+  }
+
+  SyntheticData data_;
+};
+
+TEST_F(ServiceTest, RunMatchesDirectEngineExecution) {
+  SOlapEngine direct(data_.groups, data_.hierarchies.get());
+  auto expected = direct.Execute(XYSpec(), ExecStrategy::kCounterBased);
+  ASSERT_TRUE(expected.ok());
+
+  SOlapEngine engine(data_.groups, data_.hierarchies.get());
+  QueryService service(&engine);
+  QueryResponse resp = service.Run(XYSpec(), Cb());
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  ASSERT_NE(resp.cuboid, nullptr);
+  ASSERT_EQ(resp.cuboid->num_cells(), (*expected)->num_cells());
+  for (const auto& [key, cell] : (*expected)->cells()) {
+    EXPECT_EQ(resp.cuboid->CellAt(key).count, cell.count);
+  }
+  EXPECT_GT(resp.stats.sequences_scanned, 0u);
+  EXPECT_EQ(service.metrics().counter("queries_ok")->Value(), 1u);
+}
+
+TEST_F(ServiceTest, RepeatedQueryHitsTheRepository) {
+  SOlapEngine engine(data_.groups, data_.hierarchies.get());
+  QueryService service(&engine);
+  ASSERT_TRUE(service.Run(XYSpec(), Cb()).status.ok());
+  QueryResponse again = service.Run(XYSpec(), Cb());
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_EQ(again.stats.repository_hits, 1u);
+  EXPECT_EQ(service.metrics().counter("repository_hits")->Value(), 1u);
+}
+
+TEST_F(ServiceTest, QueueFullShedsWithResourceExhausted) {
+  SOlapEngine engine(data_.groups, data_.hierarchies.get());
+  ServiceOptions opts;
+  opts.num_threads = 1;
+  opts.max_queue_depth = 1;
+  QueryService service(&engine, opts);
+
+  // The first query occupies the only admission slot for several ms.
+  QueryService::Ticket blocker = service.Submit(XYSpec(), Cb());
+  QueryResponse shed = service.Run(XYSpec(), Cb());
+  EXPECT_EQ(shed.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(service.metrics().counter("queries_shed")->Value(), 1u);
+  EXPECT_TRUE(blocker.response.get().status.ok());
+}
+
+TEST_F(ServiceTest, DeadlineInterruptsAScanInProgress) {
+  SOlapEngine engine(data_.groups, data_.hierarchies.get());
+  ServiceOptions opts;
+  opts.num_threads = 1;
+  QueryService service(&engine, opts);
+
+  SubmitOptions timed = Cb();
+  timed.timeout = milliseconds(1);  // far below the multi-ms CB scan
+  QueryResponse resp = service.Run(XYSpec(), timed);
+  EXPECT_EQ(resp.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(resp.cuboid, nullptr);
+  EXPECT_EQ(service.metrics().counter("queries_timeout")->Value(), 1u);
+}
+
+TEST_F(ServiceTest, QueuedQueryCanBeCancelled) {
+  SOlapEngine engine(data_.groups, data_.hierarchies.get());
+  ServiceOptions opts;
+  opts.num_threads = 1;
+  QueryService service(&engine, opts);
+
+  QueryService::Ticket blocker = service.Submit(XYSpec(), Cb());
+  QueryService::Ticket victim = service.Submit(XYSpec(), Cb());
+  victim.canceller->RequestStop();
+  QueryResponse resp = victim.response.get();
+  EXPECT_EQ(resp.status.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(blocker.response.get().status.ok());
+  EXPECT_EQ(service.metrics().counter("queries_cancelled")->Value(), 1u);
+}
+
+TEST_F(ServiceTest, ShutdownFailsQueuedQueriesButFulfillsEveryFuture) {
+  SOlapEngine engine(data_.groups, data_.hierarchies.get());
+  ServiceOptions opts;
+  opts.num_threads = 1;
+  QueryService service(&engine, opts);
+
+  std::vector<QueryService::Ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    tickets.push_back(service.Submit(XYSpec(), Cb()));
+  }
+  service.Shutdown();
+  int resolved = 0;
+  for (auto& t : tickets) {
+    QueryResponse resp = t.response.get();  // must not hang
+    ++resolved;
+    EXPECT_TRUE(resp.status.ok() ||
+                resp.status.code() == StatusCode::kCancelled)
+        << resp.status.ToString();
+  }
+  EXPECT_EQ(resolved, 4);
+  // Post-shutdown submissions shed immediately.
+  QueryResponse late = service.Run(XYSpec(), Cb());
+  EXPECT_EQ(late.status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ServiceTest, SessionOpsExecuteThroughTheService) {
+  SOlapEngine engine(data_.groups, data_.hierarchies.get());
+  QueryService service(&engine);
+  SessionId id = service.OpenSession(XYSpec());
+
+  auto first = service.SubmitSessionCurrent(id, Cb());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->response.get().status.ok());
+
+  SessionOp rollup{"prollup", "X", {}, "", {}};
+  auto second = service.SubmitSessionOp(id, rollup, Cb());
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  QueryResponse resp = second->response.get();
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_GT(resp.cuboid->num_cells(), 0u);
+
+  service.CloseSession(id);
+  EXPECT_EQ(service.SubmitSessionCurrent(id).status().code(),
+            StatusCode::kNotFound);
+}
+
+// --------------------------------------------------------------------- Shell
+
+TEST(ShellServiceTest, ServeCommandsDriveTheService) {
+  std::ostringstream out;
+  ShellSession shell(out);
+  EXPECT_TRUE(shell.ExecLine("generate synthetic 500"));
+  EXPECT_TRUE(shell.ExecLine("serve start 2"));
+  EXPECT_NE(out.str().find("service started: 2 threads"),
+            std::string::npos);
+
+  EXPECT_TRUE(shell.ExecLine(
+      "select COUNT(*) FROM S CLUSTER BY x AT x SEQUENCE BY t CUBOID BY "
+      "SUBSTRING (X, Y) WITH X AS symbol AT symbol, Y AS symbol AT symbol "
+      "LEFT-MAXIMALITY;"));
+  EXPECT_TRUE(shell.ExecLine("serve status"));
+  EXPECT_NE(out.str().find("service: running"), std::string::npos);
+
+  out.str("");
+  EXPECT_TRUE(shell.ExecLine("metrics"));
+  EXPECT_NE(out.str().find("queries_ok"), std::string::npos);
+  EXPECT_NE(out.str().find("queue_wait_ms"), std::string::npos);
+
+  EXPECT_TRUE(shell.ExecLine("serve stop"));
+  out.str("");
+  EXPECT_TRUE(shell.ExecLine("metrics"));  // error printed, session survives
+  EXPECT_NE(out.str().find("error"), std::string::npos);
+}
+
+TEST(ShellServiceTest, GenerateResetsARunningService) {
+  std::ostringstream out;
+  ShellSession shell(out);
+  EXPECT_TRUE(shell.ExecLine("generate synthetic 500"));
+  EXPECT_TRUE(shell.ExecLine("serve start 2"));
+  // Regenerating replaces the engine; the service must not survive it.
+  EXPECT_TRUE(shell.ExecLine("generate synthetic 500"));
+  EXPECT_TRUE(shell.ExecLine("serve status"));
+  EXPECT_NE(out.str().find("service: not running"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace solap

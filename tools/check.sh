@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Full verification: the tier-1 build + test pass, then the same tests
+# under ASan/UBSan, then the service tests under TSan (the concurrency
+# surface: engine thread-safety, thread pool, query service, sessions).
+#
+# Usage: tools/check.sh [--tier1-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+
+# Build only the executables ctest will run (registered test names match
+# their target names), not benches/examples — sanitizer builds are slow.
+build_tests() {  # build_tests <dir> [filter-regex]
+  local dir="$1" filter="${2:-}" targets
+  targets=$(ctest --test-dir "$dir" -N ${filter:+-R "$filter"} |
+    sed -n 's/^ *Test #[0-9]*: //p')
+  # shellcheck disable=SC2086
+  cmake --build "$dir" -j"$JOBS" --target $targets >/dev/null
+}
+
+run_ctest() {
+  ctest --test-dir "$1" --output-on-failure ${2:+-R "$2"}
+}
+
+echo "== tier-1: default build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS" >/dev/null
+run_ctest build
+
+if [[ "${1:-}" == "--tier1-only" ]]; then
+  exit 0
+fi
+
+echo
+echo "== ASan + UBSan: full test suite =="
+cmake -B build-asan -S . -DSOLAP_SANITIZE=address >/dev/null
+build_tests build-asan
+run_ctest build-asan
+
+echo
+echo "== TSan: service + engine concurrency tests =="
+TSAN_FILTER="service_test|service_stress_test|engine_test"
+cmake -B build-tsan -S . -DSOLAP_SANITIZE=thread >/dev/null
+build_tests build-tsan "$TSAN_FILTER"
+run_ctest build-tsan "$TSAN_FILTER"
+
+echo
+echo "all checks passed"
