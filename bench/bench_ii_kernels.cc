@@ -1,0 +1,311 @@
+// Perf-regression harness for the II query path (DESIGN.md "II execution").
+//
+// Part 1 — kernel microbenches: times each intersection kernel (linear /
+// galloping / bitmap / adaptive dispatch) on synthetic sorted-sid lists
+// covering the regimes the cost heuristic distinguishes: balanced pairs,
+// skewed pairs, dense-list probes. The adaptive dispatcher must never lose
+// to the scalar linear merge.
+//
+// Part 2 — query A/B timings: a QuerySet-A iterative session and a
+// QuerySet-B roll-up, each run CB vs scalar-II vs adaptive-II on fresh
+// engines, reproducing the paper's §5.2/§5.3 comparisons with the new
+// kernels in play.
+//
+// Flags:
+//   --quick           smaller data + fewer reps (the CI smoke mode)
+//   --json=PATH       write all measurements as JSON (BENCH_ii.json)
+//   --check=PATH      compare against a thresholds file (bench/
+//                     thresholds.json); exit 1 when any benchmark runs
+//                     slower than 2x its recorded baseline, or when a
+//                     kernel loses to the scalar baseline / the required
+//                     II speedup disappears.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "solap/common/timer.h"
+#include "solap/gen/synthetic.h"
+#include "solap/index/bitmap.h"
+#include "solap/index/intersect.h"
+
+namespace solap {
+namespace bench {
+namespace {
+
+struct Entry {
+  std::string name;
+  double ms = 0;
+  // Optional context: >0 means "this many times faster than the named
+  // reference" (reference stored as its own entry).
+  double speedup = 0;
+};
+
+std::vector<Sid> RandomSorted(size_t n, size_t universe, std::mt19937& rng) {
+  // Sample without replacement by stepping: keeps lists sorted and unique.
+  std::vector<Sid> out;
+  out.reserve(n);
+  double p = static_cast<double>(n) / static_cast<double>(universe);
+  std::uniform_real_distribution<> coin(0, 1);
+  for (size_t s = 0; s < universe && out.size() < n; ++s) {
+    if (coin(rng) < p) out.push_back(static_cast<Sid>(s));
+  }
+  return out;
+}
+
+using KernelFn = void (*)(std::span<const Sid>, std::span<const Sid>,
+                          std::vector<Sid>&);
+
+double TimeKernel(const std::vector<Sid>& a, const std::vector<Sid>& b,
+                  size_t reps, KernelFn fn) {
+  std::vector<Sid> out;
+  out.reserve(std::min(a.size(), b.size()));
+  volatile size_t sink = 0;
+  Timer t;
+  for (size_t r = 0; r < reps; ++r) {
+    fn(a, b, out);
+    sink = sink + out.size();
+  }
+  (void)sink;
+  return t.ElapsedMs() / static_cast<double>(reps);
+}
+
+void AdaptiveNoBitmap(std::span<const Sid> a, std::span<const Sid> b,
+                      std::vector<Sid>& out) {
+  IntersectAdaptive(a, b, nullptr, out);
+}
+
+// Times the three list regimes. Appends one entry per (scenario, kernel).
+void RunMicrobenches(bool quick, std::vector<Entry>* entries) {
+  std::mt19937 rng(8);
+  const size_t scale = quick ? 4 : 1;
+  const size_t reps = (quick ? 200 : 2000);
+  const size_t universe = 1 << 18;
+
+  struct Scenario {
+    const char* name;
+    size_t a_n, b_n;
+  };
+  const Scenario scenarios[] = {
+      {"balanced", universe / 8 / scale, universe / 8 / scale},
+      {"skewed_64x", universe / 256 / scale, universe / 4 / scale},
+      {"needle_4096x", 64, universe / 2 / scale},
+  };
+  std::printf("-- intersection kernels (%zu reps, universe %zu) --\n", reps,
+              universe);
+  std::printf("%-14s | %12s %12s %12s %12s\n", "scenario", "linear(ms)",
+              "gallop(ms)", "bitmap(ms)", "adaptive(ms)");
+  for (const Scenario& sc : scenarios) {
+    std::vector<Sid> a = RandomSorted(sc.a_n, universe, rng);
+    std::vector<Sid> b = RandomSorted(sc.b_n, universe, rng);
+    const double linear_ms = TimeKernel(a, b, reps, IntersectLinear);
+    const double gallop_ms = TimeKernel(a, b, reps, IntersectGalloping);
+    Bitmap bm = Bitmap::FromSids(b, universe);
+    std::vector<Sid> out;
+    Timer t;
+    for (size_t r = 0; r < reps; ++r) IntersectBitmap(a, bm, out);
+    const double bitmap_ms = t.ElapsedMs() / static_cast<double>(reps);
+    const double adaptive_ms = TimeKernel(a, b, reps, AdaptiveNoBitmap);
+    std::printf("%-14s | %12.4f %12.4f %12.4f %12.4f\n", sc.name, linear_ms,
+                gallop_ms, bitmap_ms, adaptive_ms);
+    const std::string base = std::string("kernel/") + sc.name;
+    entries->push_back({base + "/linear", linear_ms, 0});
+    entries->push_back({base + "/galloping", gallop_ms, linear_ms / gallop_ms});
+    entries->push_back({base + "/bitmap", bitmap_ms, linear_ms / bitmap_ms});
+    entries->push_back({base + "/adaptive", adaptive_ms,
+                        linear_ms / adaptive_ms});
+  }
+}
+
+EngineOptions WithKernels(bool adaptive) {
+  EngineOptions o;
+  o.default_strategy = ExecStrategy::kInvertedIndex;
+  o.adaptive_join_kernels = adaptive;
+  return o;
+}
+
+// QuerySet-A iterative session (paper §5.2) and a QuerySet-B roll-up
+// (§5.3), each CB vs scalar-II vs adaptive-II on fresh engines.
+void RunQuerysets(bool quick, std::vector<Entry>* entries) {
+  SyntheticParams p;
+  p.num_sequences = quick ? 6000 : 50000;
+  p.num_symbols = 30;
+  p.mean_length = 10;
+  p.num_groups = 4;
+  SyntheticData data = GenerateSynthetic(p);
+  const LevelRef sym{SyntheticData::kAttr, "symbol"};
+  const size_t L = quick ? 3 : 5;
+
+  CuboidSpec qa1;
+  qa1.symbols = {"X", "Y"};
+  qa1.dims = {PatternDim{"X", sym, {}, ""}, PatternDim{"Y", sym, {}, ""}};
+
+  SOlapEngine cb_engine(data.groups, data.hierarchies.get());
+  SOlapEngine ii_scalar(data.groups, data.hierarchies.get(),
+                        WithKernels(false));
+  SOlapEngine ii_adaptive(data.groups, data.hierarchies.get(),
+                          WithKernels(true));
+  auto cb = RunQaSession(cb_engine, ExecStrategy::kCounterBased, qa1, L, sym);
+  auto iis = RunQaSession(ii_scalar, ExecStrategy::kInvertedIndex, qa1, L,
+                          sym);
+  auto iia = RunQaSession(ii_adaptive, ExecStrategy::kInvertedIndex, qa1, L,
+                          sym);
+  std::printf("\n-- queryset A (L=%zu, n=%u) --\n", L, p.num_sequences);
+  std::printf("%-6s | %12s %14s %15s | %10s\n", "query", "CB(ms)",
+              "II-scalar(ms)", "II-adaptive(ms)", "II-speedup");
+  for (size_t i = 0; i < cb.size() && i < iia.size(); ++i) {
+    const double speedup = iia[i].runtime_ms > 0
+                               ? cb[i].runtime_ms / iia[i].runtime_ms
+                               : 0;
+    std::printf("%-6s | %12.2f %14.2f %15.2f | %9.2fx\n",
+                cb[i].label.c_str(), cb[i].runtime_ms, iis[i].runtime_ms,
+                iia[i].runtime_ms, speedup);
+    const std::string base = "qa/" + cb[i].label;
+    entries->push_back({base + "/cb", cb[i].runtime_ms, 0});
+    entries->push_back({base + "/ii_scalar", iis[i].runtime_ms, 0});
+    entries->push_back({base + "/ii", iia[i].runtime_ms, speedup});
+  }
+
+  // QuerySet B: fine-level query warms the cache, the coarse follow-up is
+  // answered by P-ROLL-UP list merging (II) vs a fresh scan (CB).
+  CuboidSpec fine = qa1;
+  CuboidSpec coarse = qa1;
+  coarse.dims[0].ref = {SyntheticData::kAttr, "group"};
+  coarse.dims[1].ref = {SyntheticData::kAttr, "group"};
+  SOlapEngine cb2(data.groups, data.hierarchies.get());
+  SOlapEngine ii2(data.groups, data.hierarchies.get(), WithKernels(true));
+  RunQuery(ii2, fine, ExecStrategy::kInvertedIndex, "QB-warm");
+  Measurement qb_cb =
+      RunQuery(cb2, coarse, ExecStrategy::kCounterBased, "QB-rollup");
+  Measurement qb_ii =
+      RunQuery(ii2, coarse, ExecStrategy::kInvertedIndex, "QB-rollup");
+  const double qb_speedup =
+      qb_ii.runtime_ms > 0 ? qb_cb.runtime_ms / qb_ii.runtime_ms : 0;
+  std::printf("\n-- queryset B roll-up --\n");
+  std::printf("CB %.2f ms, II (P-ROLL-UP) %.2f ms, speedup %.2fx\n",
+              qb_cb.runtime_ms, qb_ii.runtime_ms, qb_speedup);
+  entries->push_back({"qb/rollup/cb", qb_cb.runtime_ms, 0});
+  entries->push_back({"qb/rollup/ii", qb_ii.runtime_ms, qb_speedup});
+}
+
+void WriteJson(const std::string& path, const std::vector<Entry>& entries,
+               bool quick) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"bench_ii_kernels\",\n  \"mode\": \""
+      << (quick ? "quick" : "full") << "\",\n  \"entries\": [\n";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    out << "    {\"name\": \"" << entries[i].name << "\", \"ms\": "
+        << entries[i].ms;
+    if (entries[i].speedup > 0) {
+      out << ", \"speedup\": " << entries[i].speedup;
+    }
+    out << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("\nwrote %zu entries to %s\n", entries.size(), path.c_str());
+}
+
+// Ad-hoc reader for bench/thresholds.json: every `"name": number` pair is
+// a baseline in ms. Good enough for a file we also generate.
+bool LoadThresholds(const std::string& path,
+                    std::vector<std::pair<std::string, double>>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t q1 = line.find('"');
+    if (q1 == std::string::npos) continue;
+    size_t q2 = line.find('"', q1 + 1);
+    if (q2 == std::string::npos) continue;
+    size_t colon = line.find(':', q2);
+    if (colon == std::string::npos) continue;
+    double v = std::strtod(line.c_str() + colon + 1, nullptr);
+    if (v > 0) out->emplace_back(line.substr(q1 + 1, q2 - q1 - 1), v);
+  }
+  return !out->empty();
+}
+
+// Regression gate for CI: no benchmark slower than 2x its baseline, the
+// adaptive dispatcher never loses to the scalar merge by more than 20%,
+// and at least one queryset II query keeps a >=2x CB speedup.
+int Check(const std::string& path, const std::vector<Entry>& entries) {
+  std::vector<std::pair<std::string, double>> thresholds;
+  if (!LoadThresholds(path, &thresholds)) {
+    std::fprintf(stderr, "cannot read thresholds from %s\n", path.c_str());
+    return 1;
+  }
+  int failures = 0;
+  for (const auto& [name, baseline_ms] : thresholds) {
+    for (const Entry& e : entries) {
+      if (e.name != name) continue;
+      if (e.ms > 2.0 * baseline_ms) {
+        std::fprintf(stderr,
+                     "REGRESSION %s: %.4f ms vs baseline %.4f ms (>2x)\n",
+                     name.c_str(), e.ms, baseline_ms);
+        ++failures;
+      }
+    }
+  }
+  for (const Entry& e : entries) {
+    if (e.name.find("/adaptive") == std::string::npos) continue;
+    if (e.speedup > 0 && e.speedup < 0.8) {
+      std::fprintf(stderr,
+                   "REGRESSION %s: adaptive is %.2fx of linear (<0.8x)\n",
+                   e.name.c_str(), e.speedup);
+      ++failures;
+    }
+  }
+  double best = 0;
+  for (const Entry& e : entries) {
+    if (e.name.rfind("qa/", 0) == 0 || e.name.rfind("qb/", 0) == 0) {
+      best = std::max(best, e.speedup);
+    }
+  }
+  if (best < 2.0) {
+    std::fprintf(stderr, "REGRESSION: best II-vs-CB speedup %.2fx < 2x\n",
+                 best);
+    ++failures;
+  }
+  if (failures == 0) std::printf("perf check passed (best II %.1fx)\n", best);
+  return failures == 0 ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  const bool quick = FlagValue(argc, argv, "quick", "") == "1" ||
+                     std::count_if(argv + 1, argv + argc, [](const char* a) {
+                       return std::strcmp(a, "--quick") == 0;
+                     }) > 0;
+  const std::string json = FlagValue(argc, argv, "json", "");
+  const std::string check = FlagValue(argc, argv, "check", "");
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg != "--quick" && arg.rfind("--json=", 0) != 0 &&
+        arg.rfind("--check=", 0) != 0) {
+      std::fprintf(stderr,
+                   "unknown argument: %s\n"
+                   "usage: bench_ii_kernels [--quick] [--json=PATH] "
+                   "[--check=THRESHOLDS]\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<Entry> entries;
+  RunMicrobenches(quick, &entries);
+  RunQuerysets(quick, &entries);
+  if (!json.empty()) WriteJson(json, entries, quick);
+  if (!check.empty()) return Check(check, entries);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace solap
+
+int main(int argc, char** argv) { return solap::bench::Main(argc, argv); }

@@ -1,0 +1,205 @@
+// Small-vector with inline storage for the short code vectors that key
+// every hot hash map in the system (pattern keys, cell keys).
+//
+// Pattern templates are short (the paper: users "seldom pose S-OLAP
+// queries with long pattern templates"), so almost every PatternKey and
+// CellKey fits in a handful of codes. Storing them inline removes one
+// heap allocation per key built, copied or hashed — the dominant
+// allocation churn of index joins and cuboid folds before this type
+// existed. Vectors longer than the inline capacity spill to the heap and
+// behave like std::vector.
+#ifndef SOLAP_COMMON_SMALL_VEC_H_
+#define SOLAP_COMMON_SMALL_VEC_H_
+
+#include <algorithm>
+#include <compare>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+namespace solap {
+
+/// \brief A std::vector-compatible sequence with N elements of inline
+/// storage. Restricted to trivially copyable element types so growth and
+/// moves are memcpy's.
+template <typename T, size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is specialized for trivially copyable elements");
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using size_type = size_t;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() = default;
+
+  explicit SmallVec(size_t n, T value = T()) {
+    resize(n);
+    std::fill(begin(), end(), value);
+  }
+
+  SmallVec(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+
+  template <typename It>
+  SmallVec(It first, It last) {
+    assign(first, last);
+  }
+
+  /// Bridge from any vector-like range of T (e.g. std::vector<T>).
+  template <typename R>
+    requires requires(const R& r) {
+      { r.data() } -> std::convertible_to<const T*>;
+      { r.size() } -> std::convertible_to<size_t>;
+    }
+  SmallVec(const R& range) {  // NOLINT(google-explicit-constructor)
+    assign(range.data(), range.data() + range.size());
+  }
+
+  SmallVec(const SmallVec& other) { assign(other.begin(), other.end()); }
+
+  SmallVec(SmallVec&& other) noexcept {
+    if (other.on_heap()) {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_;
+      other.capacity_ = N;
+      other.size_ = 0;
+    } else {
+      assign(other.begin(), other.end());
+      other.size_ = 0;
+    }
+  }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this == &other) return *this;
+    if (other.on_heap()) {
+      if (on_heap()) delete[] data_;
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_;
+      other.capacity_ = N;
+      other.size_ = 0;
+    } else {
+      assign(other.begin(), other.end());
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  ~SmallVec() {
+    if (on_heap()) delete[] data_;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  const_iterator cbegin() const { return data_; }
+  const_iterator cend() const { return data_ + size_; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  void resize(size_t n) {
+    reserve(n);
+    if (n > size_) std::fill(data_ + size_, data_ + n, T());
+    size_ = n;
+  }
+
+  void push_back(T value) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    data_[size_++] = value;
+  }
+
+  void pop_back() { --size_; }
+
+  template <typename It>
+  void assign(It first, It last) {
+    size_t n = static_cast<size_t>(std::distance(first, last));
+    reserve(n);
+    std::copy(first, last, data_);
+    size_ = n;
+  }
+
+  template <typename It>
+  iterator insert(const_iterator pos, It first, It last) {
+    size_t at = static_cast<size_t>(pos - data_);
+    size_t n = static_cast<size_t>(std::distance(first, last));
+    reserve(size_ + n);
+    std::memmove(data_ + at + n, data_ + at, (size_ - at) * sizeof(T));
+    std::copy(first, last, data_ + at);
+    size_ += n;
+    return data_ + at;
+  }
+
+  iterator insert(const_iterator pos, T value) {
+    return insert(pos, &value, &value + 1);
+  }
+
+  iterator erase(const_iterator first, const_iterator last) {
+    size_t at = static_cast<size_t>(first - data_);
+    size_t n = static_cast<size_t>(last - first);
+    std::memmove(data_ + at, data_ + at + n, (size_ - at - n) * sizeof(T));
+    size_ -= n;
+    return data_ + at;
+  }
+
+  iterator erase(const_iterator pos) { return erase(pos, pos + 1); }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+  friend auto operator<=>(const SmallVec& a, const SmallVec& b) {
+    return std::lexicographical_compare_three_way(a.begin(), a.end(),
+                                                  b.begin(), b.end());
+  }
+
+ private:
+  bool on_heap() const { return data_ != inline_; }
+
+  void Grow(size_t n) {
+    size_t cap = std::max(n, capacity_ * 2);
+    T* heap = new T[cap];
+    std::memcpy(heap, data_, size_ * sizeof(T));
+    if (on_heap()) delete[] data_;
+    data_ = heap;
+    capacity_ = cap;
+  }
+
+  T* data_ = inline_;
+  size_t size_ = 0;
+  size_t capacity_ = N;
+  T inline_[N];
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_COMMON_SMALL_VEC_H_

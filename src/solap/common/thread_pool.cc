@@ -1,4 +1,4 @@
-#include "solap/service/thread_pool.h"
+#include "solap/common/thread_pool.h"
 
 #include <algorithm>
 #include <utility>
@@ -40,6 +40,30 @@ void ThreadPool::Shutdown() {
 size_t ThreadPool::QueueDepth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+void TaskBatch::Submit(std::function<void()> task) {
+  if (pool_ == nullptr) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_;
+  }
+  std::function<void()> wrapped = [this, task = std::move(task)] {
+    task();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--outstanding_ == 0) cv_.notify_all();
+  };
+  if (!pool_->Submit(wrapped)) {
+    wrapped();  // pool shutting down: run inline, retiring the reservation
+  }
+}
+
+void TaskBatch::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return outstanding_ == 0; });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "solap/common/small_vec.h"
+
 namespace solap {
 
 /// Row position inside an EventTable.
@@ -18,16 +20,23 @@ using Code = uint32_t;
 /// Sentinel for "no code" (e.g. NULL dimension value).
 inline constexpr Code kNullCode = static_cast<Code>(-1);
 
-/// A concrete pattern: one code per pattern-template position.
-using PatternKey = std::vector<Code>;
+/// Inline capacity of pattern/cell keys: templates are short (the paper's
+/// queries top out at size-six patterns), so keys almost never spill.
+inline constexpr size_t kInlineKeyCodes = 8;
+
+/// A concrete pattern: one code per pattern-template position. Inline
+/// storage (common/small_vec.h) keeps key construction allocation-free on
+/// the index-join and cuboid-fold hot paths.
+using PatternKey = SmallVec<Code, kInlineKeyCodes>;
 /// Coordinates of a cuboid cell: global-dimension codes ++ pattern-dimension
 /// codes.
-using CellKey = std::vector<Code>;
+using CellKey = PatternKey;
 
 /// FNV-1a style hash for code vectors; used to key hash maps on
-/// PatternKey / CellKey.
+/// PatternKey / CellKey (and plain std::vector<Code>).
 struct CodeVecHash {
-  size_t operator()(const std::vector<Code>& v) const {
+  template <typename Vec>
+  size_t operator()(const Vec& v) const {
     size_t h = 1469598103934665603ull;
     for (Code c : v) {
       h ^= static_cast<size_t>(c) + 0x9e3779b97f4a7c15ull;

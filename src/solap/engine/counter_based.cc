@@ -1,9 +1,10 @@
 // Counter-based S-cuboid construction (paper §4.2.1, Fig. 7): scan every
 // sequence of every selected group, enumerate the template's occurrences,
 // and fold assignments into cuboid cells. Groups larger than a few
-// thousand sequences can be partitioned across threads (EngineOptions::
-// cb_threads); each thread folds into a private cuboid and the partials
-// are merged — COUNT/SUM/AVG/MIN/MAX all merge losslessly.
+// thousand sequences are partitioned across the engine's shared compute
+// pool (EngineOptions::cb_threads / exec_threads); each partition folds
+// into a private cuboid and the partials are merged in partition order —
+// COUNT/SUM/AVG/MIN/MAX all merge losslessly.
 #include <thread>
 #include <unordered_set>
 
@@ -12,6 +13,9 @@
 namespace solap {
 
 Status SOlapEngine::RunCounterBased(QueryContext& ctx) {
+  ThreadPool* pool = ComputePool();
+  const size_t hw =
+      std::max<size_t>(std::thread::hardware_concurrency(), 1);
   for (size_t gi : ctx.selected_groups) {
     SequenceGroup& group = ctx.groups->groups()[gi];
     SOLAP_ASSIGN_OR_RETURN(
@@ -19,32 +23,41 @@ Status SOlapEngine::RunCounterBased(QueryContext& ctx) {
         BoundPattern::Bind(&ctx.tmpl, &group, *ctx.groups, hierarchies_,
                            ctx.spec->predicate, ctx.spec->placeholders));
     const Sid n = static_cast<Sid>(group.num_sequences());
-    const size_t threads =
-        std::min<size_t>(options_.cb_threads, n / 1024 + 1);
-    if (threads <= 1) {
+    // Partition count: explicit cb_threads is clamped to the hardware
+    // (spawning more scanners than cores only adds merge work), 0 means
+    // "use the whole pool", and small groups stay sequential — a
+    // partition under ~1024 sequences is not worth a dispatch.
+    size_t threads = options_.cb_threads == 0
+                         ? (pool != nullptr ? pool->num_threads() : 1)
+                         : std::min<size_t>(options_.cb_threads, hw);
+    threads = std::min<size_t>(threads, n / 1024 + 1);
+    if (threads <= 1 || pool == nullptr) {
       SOLAP_RETURN_NOT_OK(
           CounterScanRange(ctx, group, bp, 0, n, ctx.cuboid, ctx.stats));
       continue;
     }
-    // Partition the group; threads only touch their private cuboid/stats
-    // (symbol views and slice codes were materialized by Bind above, so
-    // the shared state is read-only during the scan).
+    // Partition the group over the shared pool; tasks only touch their
+    // private cuboid/stats (symbol views and slice codes were materialized
+    // by Bind above, so the shared state is read-only during the scan).
     std::vector<SCuboid> partials(
         threads, SCuboid(ctx.cuboid->dims(), ctx.cuboid->agg()));
     std::vector<ScanStats> partial_stats(threads);
     std::vector<Status> results(threads);
-    std::vector<std::thread> workers;
-    const Sid chunk = (n + static_cast<Sid>(threads) - 1) /
-                      static_cast<Sid>(threads);
-    for (size_t t = 0; t < threads; ++t) {
-      Sid begin = static_cast<Sid>(t) * chunk;
-      Sid end = std::min<Sid>(begin + chunk, n);
-      workers.emplace_back([&, t, begin, end] {
-        results[t] = CounterScanRange(ctx, group, bp, begin, end,
-                                      &partials[t], &partial_stats[t]);
-      });
+    {
+      TaskBatch batch(pool);
+      const Sid chunk = (n + static_cast<Sid>(threads) - 1) /
+                        static_cast<Sid>(threads);
+      for (size_t t = 0; t < threads; ++t) {
+        Sid begin = static_cast<Sid>(t) * chunk;
+        Sid end = std::min<Sid>(begin + chunk, n);
+        batch.Submit([this, &ctx, &group, &bp, &partials, &partial_stats,
+                      &results, t, begin, end] {
+          results[t] = CounterScanRange(ctx, group, bp, begin, end,
+                                        &partials[t], &partial_stats[t]);
+        });
+      }
+      batch.Wait();
     }
-    for (std::thread& w : workers) w.join();
     for (size_t t = 0; t < threads; ++t) {
       SOLAP_RETURN_NOT_OK(results[t]);
       *ctx.stats += partial_stats[t];

@@ -1,6 +1,7 @@
 #include "solap/engine/engine.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "solap/engine/optimizer.h"
 #include "solap/index/build_index.h"
@@ -347,6 +348,32 @@ const GroupIndexCache* SOlapEngine::FindIndexCache(
   std::lock_guard<std::mutex> lock(index_caches_mu_);
   auto it = index_caches_.find(key);
   return it == index_caches_.end() ? nullptr : &it->second;
+}
+
+ThreadPool* SOlapEngine::ComputePool() {
+  std::lock_guard<std::mutex> lock(compute_pool_mu_);
+  if (!compute_pool_created_) {
+    compute_pool_created_ = true;
+    const size_t hw =
+        std::max<size_t>(std::thread::hardware_concurrency(), 1);
+    size_t n = options_.exec_threads;
+    if (n == 0) n = hw;
+    // CB partitioning shares this pool: an explicit cb_threads > 1 must
+    // still get workers even when exec_threads was left at its default
+    // (clamped to the hardware — see RunCounterBased).
+    n = std::max(n, std::min<size_t>(options_.cb_threads, hw));
+    if (n > 1) compute_pool_ = std::make_unique<ThreadPool>(n);
+  }
+  return compute_pool_.get();
+}
+
+JoinExecOptions SOlapEngine::JoinExec() {
+  JoinExecOptions exec;
+  exec.bitmap_threshold = options_.bitmap_join_threshold;
+  exec.adaptive_kernels = options_.adaptive_join_kernels;
+  exec.pool = ComputePool();
+  exec.parallel_min_lists = options_.parallel_min_lists;
+  return exec;
 }
 
 }  // namespace solap

@@ -15,10 +15,12 @@
 #include "solap/common/stats.h"
 #include "solap/common/status.h"
 #include "solap/common/stop.h"
+#include "solap/common/thread_pool.h"
 #include "solap/cube/cuboid.h"
 #include "solap/cube/cuboid_repository.h"
 #include "solap/cube/cuboid_spec.h"
 #include "solap/index/index_cache.h"
+#include "solap/index/index_ops.h"
 #include "solap/pattern/matcher.h"
 #include "solap/pattern/regex.h"
 #include "solap/seq/sequence_cache.h"
@@ -51,6 +53,19 @@ struct EngineOptions {
   /// Counter-based scans partition each group across this many threads
   /// (per-thread cuboids merged at the end). 1 = sequential.
   size_t cb_threads = 1;
+  /// Workers in the engine's shared compute pool, used by CB scan
+  /// partitions and parallel II joins/merges. 0 = hardware concurrency;
+  /// 1 = no pool, everything runs on the calling thread. The pool is
+  /// created lazily on first use and is distinct from any service-layer
+  /// pool, so a service worker blocking in a join can never starve it.
+  size_t exec_threads = 1;
+  /// Per-pair intersection kernel selection (galloping / bitmap probes,
+  /// index/intersect.h). false = scalar linear merges everywhere — the
+  /// A/B baseline for bench_ii_kernels.
+  bool adaptive_join_kernels = true;
+  /// Joins/merges with fewer lists than this stay serial even when a pool
+  /// exists (fan-out overhead would dominate).
+  size_t parallel_min_lists = 64;
 };
 
 /// Per-execution control block: cooperative cancellation plus a sink for
@@ -237,6 +252,14 @@ class SOlapEngine {
 
   GroupIndexCache& CacheFor(const SequenceGroupSet& set, size_t group_idx);
 
+  /// The engine's lazily-created compute pool, or nullptr when
+  /// options_.exec_threads resolves to a single thread. Thread-safe.
+  ThreadPool* ComputePool();
+
+  /// Join/merge execution knobs derived from options_ (includes the
+  /// compute pool when one is configured).
+  JoinExecOptions JoinExec();
+
   /// Folds one execution's counters into the engine totals.
   void MergeStats(const ScanStats& delta) {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -255,6 +278,10 @@ class SOlapEngine {
   // internally (references stay valid across inserts).
   std::unordered_map<std::string, GroupIndexCache> index_caches_;
   mutable std::mutex index_caches_mu_;
+  // Shared intra-query compute pool (see EngineOptions::exec_threads).
+  std::unique_ptr<ThreadPool> compute_pool_;
+  bool compute_pool_created_ = false;
+  std::mutex compute_pool_mu_;
   ScanStats stats_;
   mutable std::mutex stats_mu_;
 };

@@ -139,7 +139,8 @@ Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
       SOLAP_ASSIGN_OR_RETURN(
           std::shared_ptr<InvertedIndex> merged,
           RollUpMerge(*rollup_src, maps, target, filtered ? &tmpl : nullptr,
-                      filtered ? &bp.fixed_codes() : nullptr, stats));
+                      filtered ? &bp.fixed_codes() : nullptr, stats,
+                      ComputePool()));
       if (filtered) {
         merged->set_constraint_sig(full_sig);
         merged->set_complete(false);
@@ -286,14 +287,14 @@ Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
       SOLAP_ASSIGN_OR_RETURN(std::shared_ptr<InvertedIndex> l2,
                              get_l2(k - 1));
       SOLAP_ASSIGN_OR_RETURN(
-          current, JoinExtendRight(*current, *l2, tmpl, 0, bp, stats,
-                                   options_.bitmap_join_threshold));
+          current,
+          JoinExtendRight(*current, *l2, tmpl, 0, bp, stats, JoinExec()));
     } else {
       const size_t off = m - k - 1;
       SOLAP_ASSIGN_OR_RETURN(std::shared_ptr<InvertedIndex> l2, get_l2(off));
       SOLAP_ASSIGN_OR_RETURN(
-          current, JoinExtendLeft(*current, *l2, tmpl, off, bp, stats,
-                                  options_.bitmap_join_threshold));
+          current,
+          JoinExtendLeft(*current, *l2, tmpl, off, bp, stats, JoinExec()));
     }
     ++k;
     if (options_.enable_index_cache) cache.Insert(current);

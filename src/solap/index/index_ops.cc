@@ -1,32 +1,22 @@
 #include "solap/index/index_ops.h"
 
 #include <algorithm>
+#include <limits>
+#include <memory>
 #include <unordered_set>
+#include <utility>
 
 #include "solap/index/bitmap.h"
+#include "solap/index/intersect.h"
 
 namespace solap {
-
-namespace {
-
-// First position of the dim of `pos` restricted to window [offset, ...).
-// Returns pos itself if no earlier in-window occurrence exists.
-size_t FirstInWindow(const PatternTemplate& tmpl, size_t offset, size_t pos) {
-  int d = tmpl.dim_of(pos);
-  for (size_t p = offset; p < pos; ++p) {
-    if (tmpl.dim_of(p) == d) return p;
-  }
-  return pos;
-}
-
-}  // namespace
 
 bool WindowHasConstraints(const PatternTemplate& tmpl, size_t offset,
                           size_t len,
                           const std::vector<std::vector<Code>>& fixed_codes) {
   for (size_t j = 0; j < len; ++j) {
     size_t pos = offset + j;
-    if (FirstInWindow(tmpl, offset, pos) != pos) return true;
+    if (tmpl.FirstPositionInWindow(offset, pos) != pos) return true;
     if (!fixed_codes[tmpl.dim_of(pos)].empty()) return true;
   }
   return false;
@@ -39,7 +29,7 @@ std::string WindowConstraintSig(
   std::string sig;
   for (size_t j = 0; j < len; ++j) {
     size_t pos = offset + j;
-    size_t first = FirstInWindow(tmpl, offset, pos);
+    size_t first = tmpl.FirstPositionInWindow(offset, pos);
     sig += "p" + std::to_string(first - offset);
     const std::vector<Code>& allowed = fixed_codes[tmpl.dim_of(pos)];
     if (!allowed.empty() && first == pos) {
@@ -57,7 +47,7 @@ bool WindowConsistent(const PatternTemplate& tmpl, size_t offset,
                       const std::vector<std::vector<Code>>& fixed_codes) {
   for (size_t j = 0; j < key.size(); ++j) {
     size_t pos = offset + j;
-    size_t first = FirstInWindow(tmpl, offset, pos);
+    size_t first = tmpl.FirstPositionInWindow(offset, pos);
     if (first != pos) {
       if (key[j] != key[first - offset]) return false;
       continue;
@@ -98,12 +88,27 @@ bool ContainsWindow(const BoundPattern& bp, Sid s, const PatternKey& key,
 
 namespace {
 
+// One partition's output: surviving (key, list) pairs in processing order
+// plus the partition's private counters. Keeping results in a vector (not
+// a map) lets the merge phase replay the exact serial insertion order.
+struct JoinShardOut {
+  std::vector<std::pair<PatternKey, std::vector<Sid>>> lists;
+  ScanStats stats;
+};
+
 // Shared implementation of both join directions. `grow_right` selects which
 // operand contributes the new position.
+//
+// Phases: (1) bucket L2 lists by the shared-position code and bitmap-encode
+// the dense ones once; (2) partition the window-consistent base lists
+// across the pool, each shard intersecting with per-pair kernel selection
+// into reusable scratch buffers; (3) merge shard outputs in shard order —
+// output keys embed their base key, so shards never collide and the merged
+// map's insertion order equals the serial path's.
 Result<std::shared_ptr<InvertedIndex>> JoinExtendImpl(
     const InvertedIndex& base, const InvertedIndex& l2,
     const PatternTemplate& tmpl, size_t offset, const BoundPattern& bp,
-    bool grow_right, ScanStats* stats, size_t bitmap_threshold) {
+    bool grow_right, ScanStats* stats, const JoinExecOptions& exec) {
   if (l2.shape().size() != 2) {
     return Status::InvalidArgument("join extension requires a size-2 index, "
                                    "got size " +
@@ -115,68 +120,127 @@ Result<std::shared_ptr<InvertedIndex>> JoinExtendImpl(
                              ? base.shape().ExtendedRight(l2.shape().positions[1])
                              : base.shape().ExtendedLeft(l2.shape().positions[0]);
   out_shape.kind = base.shape().kind;
+  const size_t base_win_offset = grow_right ? offset : offset + 1;
 
-  // Bucket the L2 lists by the code on the shared position.
-  std::unordered_map<Code, std::vector<std::pair<Code, const std::vector<Sid>*>>>
-      by_shared;
+  // Base lists that survive the window pre-filter, in map order (the
+  // serial processing order, which the merge phase reproduces).
+  using BaseEntry = const std::pair<const PatternKey, std::vector<Sid>>;
+  std::vector<BaseEntry*> base_entries;
+  base_entries.reserve(base.num_lists());
+  std::unordered_set<Code> live_shared;
+  for (const auto& entry : base.lists()) {
+    if (!WindowConsistent(tmpl, base_win_offset, entry.first,
+                          bp.fixed_codes())) {
+      continue;
+    }
+    base_entries.push_back(&entry);
+    live_shared.insert(grow_right ? entry.first.back() : entry.first.front());
+  }
+
+  // Bucket the L2 lists by the code on the shared position; bitmap-encode
+  // the dense ones once (only for buckets some base list will actually
+  // probe). The §6 bitmap extension turns those intersections into
+  // membership probes over the (usually shorter) base lists.
+  struct L2Entry {
+    Code grown;
+    const std::vector<Sid>* list;
+    const Bitmap* bitmap = nullptr;  // set when the list is bitmap-encoded
+  };
+  std::unordered_map<Code, std::vector<L2Entry>> by_shared;
+  std::vector<std::unique_ptr<Bitmap>> bitmaps;
+  const size_t universe = bp.group().num_sequences();
+  const size_t density_cut =
+      exec.adaptive_kernels && universe >= 256
+          ? universe / kBitmapDensityDiv
+          : std::numeric_limits<size_t>::max();
   for (const auto& [key2, list2] : l2.lists()) {
     Code shared = grow_right ? key2[0] : key2[1];
     Code grown = grow_right ? key2[1] : key2[0];
-    by_shared[shared].emplace_back(grown, &list2);
+    L2Entry e{grown, &list2, nullptr};
+    const bool explicit_cut =
+        exec.bitmap_threshold != 0 && list2.size() > exec.bitmap_threshold;
+    if ((explicit_cut || list2.size() >= density_cut) &&
+        live_shared.contains(shared)) {
+      bitmaps.push_back(
+          std::make_unique<Bitmap>(Bitmap::FromSids(list2, universe)));
+      e.bitmap = bitmaps.back().get();
+    }
+    by_shared[shared].push_back(e);
   }
 
   auto out = std::make_shared<InvertedIndex>(out_shape, /*complete=*/false);
-  const size_t base_win_offset = grow_right ? offset : offset + 1;
-  // Lazily-built bitmap encodings of long L2 lists (see bitmap_threshold).
-  std::unordered_map<const std::vector<Sid>*, Bitmap> bitmaps;
-  PatternKey out_key(out_len);
-  for (const auto& [key, list] : base.lists()) {
-    // Skip base lists inconsistent with their window (cheap pre-filter).
-    if (!WindowConsistent(tmpl, base_win_offset, key, bp.fixed_codes())) {
-      continue;
-    }
-    Code shared = grow_right ? key.back() : key.front();
-    auto it = by_shared.find(shared);
-    if (it == by_shared.end()) continue;
-    for (const auto& [grown, list2] : it->second) {
-      if (grow_right) {
-        std::copy(key.begin(), key.end(), out_key.begin());
-        out_key.back() = grown;
-      } else {
-        out_key.front() = grown;
-        std::copy(key.begin(), key.end(), out_key.begin() + 1);
-      }
-      if (!WindowConsistent(tmpl, offset, out_key, bp.fixed_codes())) continue;
-      std::vector<Sid> candidates;
-      if (bitmap_threshold != 0 && list2->size() > bitmap_threshold) {
-        // §6 bitmap extension: encode the long L2 list once; intersection
-        // becomes membership probes over the base list.
-        auto [it2, inserted] = bitmaps.try_emplace(list2);
-        if (inserted) {
-          it2->second =
-              Bitmap::FromSids(*list2, bp.group().num_sequences());
+  const bool scalar_only = !exec.adaptive_kernels;
+
+  // Intersect+verify every (base list, L2 entry) pair of one partition.
+  auto run_shard = [&](size_t begin, size_t end, JoinShardOut& shard) {
+    PatternKey out_key(out_len);
+    std::vector<Sid> candidates, verified;  // reused across pairs
+    for (size_t i = begin; i < end; ++i) {
+      const PatternKey& key = base_entries[i]->first;
+      const std::vector<Sid>& list = base_entries[i]->second;
+      Code shared = grow_right ? key.back() : key.front();
+      auto it = by_shared.find(shared);
+      if (it == by_shared.end()) continue;
+      for (const L2Entry& l2e : it->second) {
+        if (grow_right) {
+          std::copy(key.begin(), key.end(), out_key.begin());
+          out_key.back() = l2e.grown;
+        } else {
+          out_key.front() = l2e.grown;
+          std::copy(key.begin(), key.end(), out_key.begin() + 1);
         }
-        const Bitmap& bm = it2->second;
-        for (Sid s : list) {
-          if (bm.Get(s)) candidates.push_back(s);
+        if (!WindowConsistent(tmpl, offset, out_key, bp.fixed_codes())) {
+          continue;
         }
-      } else {
-        candidates = IntersectSorted(list, *list2);
-      }
-      if (stats != nullptr) ++stats->list_intersections;
-      if (candidates.empty()) continue;
-      // "Scan the database to eliminate invalid entries" (Fig. 15 line 9).
-      std::vector<Sid> verified;
-      verified.reserve(candidates.size());
-      for (Sid s : candidates) {
-        if (ContainsWindow(bp, s, out_key, offset)) verified.push_back(s);
-      }
-      if (stats != nullptr) stats->sequences_scanned += candidates.size();
-      if (!verified.empty()) {
-        out->lists().emplace(out_key, std::move(verified));
+        if (scalar_only) {
+          IntersectLinear(list, *l2e.list, candidates);
+        } else {
+          IntersectAdaptive(list, *l2e.list, l2e.bitmap, candidates);
+        }
+        ++shard.stats.list_intersections;
+        if (candidates.empty()) continue;
+        // "Scan the database to eliminate invalid entries" (Fig. 15 l. 9).
+        verified.clear();
+        for (Sid s : candidates) {
+          if (ContainsWindow(bp, s, out_key, offset)) verified.push_back(s);
+        }
+        shard.stats.sequences_scanned += candidates.size();
+        if (!verified.empty()) {
+          shard.lists.emplace_back(
+              out_key, std::vector<Sid>(verified.begin(), verified.end()));
+        }
       }
     }
+  };
+
+  const size_t n = base_entries.size();
+  const size_t workers =
+      exec.pool != nullptr && n >= exec.parallel_min_lists
+          ? std::min(exec.pool->num_threads(), n)
+          : 1;
+  std::vector<JoinShardOut> shards(std::max<size_t>(workers, 1));
+  if (workers <= 1) {
+    run_shard(0, n, shards[0]);
+  } else {
+    TaskBatch batch(exec.pool);
+    const size_t chunk = (n + workers - 1) / workers;
+    for (size_t w = 0; w < workers; ++w) {
+      const size_t begin = w * chunk;
+      const size_t end = std::min(begin + chunk, n);
+      if (begin >= end) break;
+      batch.Submit([&run_shard, &shards, w, begin, end] {
+        run_shard(begin, end, shards[w]);
+      });
+    }
+    batch.Wait();
   }
+  for (JoinShardOut& shard : shards) {
+    for (auto& [key, list] : shard.lists) {
+      out->lists().emplace(std::move(key), std::move(list));
+    }
+    if (stats != nullptr) *stats += shard.stats;
+  }
+
   out->set_constraint_sig(
       WindowConstraintSig(tmpl, offset, out_len, bp.fixed_codes()));
   // The join result is complete only if no template constraint filtered the
@@ -195,23 +259,24 @@ Result<std::shared_ptr<InvertedIndex>> JoinExtendImpl(
 Result<std::shared_ptr<InvertedIndex>> JoinExtendRight(
     const InvertedIndex& left, const InvertedIndex& l2,
     const PatternTemplate& tmpl, size_t offset, const BoundPattern& bp,
-    ScanStats* stats, size_t bitmap_threshold) {
+    ScanStats* stats, const JoinExecOptions& exec) {
   return JoinExtendImpl(left, l2, tmpl, offset, bp, /*grow_right=*/true,
-                        stats, bitmap_threshold);
+                        stats, exec);
 }
 
 Result<std::shared_ptr<InvertedIndex>> JoinExtendLeft(
     const InvertedIndex& right, const InvertedIndex& l2,
     const PatternTemplate& tmpl, size_t offset, const BoundPattern& bp,
-    ScanStats* stats, size_t bitmap_threshold) {
+    ScanStats* stats, const JoinExecOptions& exec) {
   return JoinExtendImpl(right, l2, tmpl, offset, bp, /*grow_right=*/false,
-                        stats, bitmap_threshold);
+                        stats, exec);
 }
 
 Result<std::shared_ptr<InvertedIndex>> RollUpMerge(
     const InvertedIndex& fine, const std::vector<std::vector<Code>>& maps,
     IndexShape coarse_shape, const PatternTemplate* tmpl,
-    const std::vector<std::vector<Code>>* fixed_codes, ScanStats* stats) {
+    const std::vector<std::vector<Code>>* fixed_codes, ScanStats* stats,
+    ThreadPool* pool) {
   if (!fine.complete()) {
     return Status::InvalidArgument(
         "P-ROLL-UP list merging requires a complete index; template-filtered "
@@ -224,26 +289,83 @@ Result<std::shared_ptr<InvertedIndex>> RollUpMerge(
   auto out = std::make_shared<InvertedIndex>(std::move(coarse_shape),
                                              /*complete=*/true);
   // Append every fine list to its coarse target, then sort + dedup each
-  // target once — much cheaper than pairwise sorted unions.
+  // target once — much cheaper than pairwise sorted unions. The key
+  // mapping and the per-list sort+dedup are embarrassingly parallel; only
+  // the append phase is serial, in the fine map's iteration order, so the
+  // output's insertion order matches a serial merge exactly.
+  using FineEntry = const std::pair<const PatternKey, std::vector<Sid>>;
+  std::vector<FineEntry*> entries;
+  entries.reserve(fine.num_lists());
+  for (const auto& entry : fine.lists()) entries.push_back(&entry);
+  const size_t n = entries.size();
+
+  // Phase 1 (parallel): map every fine key to its coarse key and apply the
+  // slice filter.
+  std::vector<PatternKey> coarse_keys(n);
+  std::vector<uint8_t> keep(n, 1);
+  auto map_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const PatternKey& key = entries[i]->first;
+      PatternKey& ck = coarse_keys[i];
+      ck = key;
+      for (size_t p = 0; p < key.size(); ++p) {
+        const std::vector<Code>& map = maps[p];
+        if (!map.empty() && key[p] < map.size()) ck[p] = map[key[p]];
+      }
+      if (tmpl != nullptr && fixed_codes != nullptr &&
+          !WindowConsistent(*tmpl, 0, ck, *fixed_codes)) {
+        keep[i] = 0;  // outside the sliced subcube
+      }
+    }
+  };
+
+  const size_t workers =
+      pool != nullptr && n >= 64 ? std::min(pool->num_threads(), n) : 1;
+  if (workers <= 1) {
+    map_range(0, n);
+  } else {
+    TaskBatch batch(pool);
+    const size_t chunk = (n + workers - 1) / workers;
+    for (size_t begin = 0; begin < n; begin += chunk) {
+      const size_t end = std::min(begin + chunk, n);
+      batch.Submit([&map_range, begin, end] { map_range(begin, end); });
+    }
+    batch.Wait();
+  }
+
+  // Phase 2 (serial): append in fine-map order.
   out->lists().reserve(fine.num_lists() / 4 + 1);
-  PatternKey coarse_key;
-  for (const auto& [key, list] : fine.lists()) {
-    coarse_key = key;
-    for (size_t i = 0; i < key.size(); ++i) {
-      const std::vector<Code>& map = maps[i];
-      if (!map.empty() && key[i] < map.size()) coarse_key[i] = map[key[i]];
-    }
-    if (tmpl != nullptr && fixed_codes != nullptr &&
-        !WindowConsistent(*tmpl, 0, coarse_key, *fixed_codes)) {
-      continue;  // outside the sliced subcube
-    }
-    std::vector<Sid>& target = out->lists()[coarse_key];
+  for (size_t i = 0; i < n; ++i) {
+    if (!keep[i]) continue;
+    const std::vector<Sid>& list = entries[i]->second;
+    std::vector<Sid>& target = out->lists()[coarse_keys[i]];
     target.insert(target.end(), list.begin(), list.end());
   }
-  for (auto& [key, list] : out->lists()) {
-    std::sort(list.begin(), list.end());
-    list.erase(std::unique(list.begin(), list.end()), list.end());
+
+  // Phase 3 (parallel): sort + dedup each merged list independently.
+  std::vector<std::vector<Sid>*> targets;
+  targets.reserve(out->num_lists());
+  for (auto& [key, list] : out->lists()) targets.push_back(&list);
+  auto finish_range = [&targets](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      std::vector<Sid>& list = *targets[i];
+      std::sort(list.begin(), list.end());
+      list.erase(std::unique(list.begin(), list.end()), list.end());
+    }
+  };
+  const size_t t = targets.size();
+  if (workers <= 1 || t < 64) {
+    finish_range(0, t);
+  } else {
+    TaskBatch batch(pool);
+    const size_t chunk = (t + workers - 1) / workers;
+    for (size_t begin = 0; begin < t; begin += chunk) {
+      const size_t end = std::min(begin + chunk, t);
+      batch.Submit([&finish_range, begin, end] { finish_range(begin, end); });
+    }
+    batch.Wait();
   }
+
   if (stats != nullptr) {
     stats->lists_built += out->num_lists();
     stats->index_bytes_built += out->ByteSize();

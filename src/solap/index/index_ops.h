@@ -10,10 +10,38 @@
 
 #include "solap/common/stats.h"
 #include "solap/common/status.h"
+#include "solap/common/thread_pool.h"
 #include "solap/index/inverted_index.h"
 #include "solap/pattern/matcher.h"
 
 namespace solap {
+
+/// Execution knobs shared by the index-join operators (see
+/// DESIGN.md "II execution").
+struct JoinExecOptions {
+  /// §6 bitmap extension: an L2 list longer than this is bitmap-encoded
+  /// once per join and intersections against it become membership probes.
+  /// 0 = no explicit cutoff; with `adaptive_kernels` the density heuristic
+  /// still encodes lists covering at least 1/kBitmapDensityDiv of the
+  /// group's sid space.
+  size_t bitmap_threshold = 0;
+  /// Per-pair kernel selection (galloping for skewed pairs, bitmap probes
+  /// for dense L2 lists). false = the scalar linear-merge baseline
+  /// everywhere — benchmarks A/B against this.
+  bool adaptive_kernels = true;
+  /// Joins and merges partition their list work across this pool
+  /// (nullptr = serial). Partition merge order is deterministic, so
+  /// results are identical to the serial path.
+  ThreadPool* pool = nullptr;
+  /// Joins with fewer base lists than this stay serial — fan-out overhead
+  /// would dominate.
+  size_t parallel_min_lists = 64;
+};
+
+/// Density divisor of the bitmap heuristic: an L2 list with
+/// size >= num_sequences / kBitmapDensityDiv is dense enough that probing
+/// beats merging once the encoding is amortized across list pairs.
+inline constexpr size_t kBitmapDensityDiv = 8;
 
 /// True if template window [offset, offset+len) carries constraints that
 /// filter the instantiation space: a repeated symbol with both occurrences
@@ -47,21 +75,22 @@ bool ContainsWindow(const BoundPattern& bp, Sid s, const PatternKey& key,
 /// scanning the data sequences ("eliminate invalid entries"). Result keys
 /// are filtered to instantiations consistent with the grown window.
 ///
-/// `bitmap_threshold` enables the paper's §6 bitmap idea: an L2 list
-/// longer than the threshold is encoded once as a bitmap and intersections
-/// against it become membership probes over the (usually shorter) base
-/// lists. 0 disables bitmaps (pure sorted-list merging).
+/// Intersections pick their kernel per list pair (index/intersect.h), L2
+/// lists past `exec.bitmap_threshold` (or the density heuristic) are
+/// bitmap-encoded once, and base lists are partitioned across `exec.pool`
+/// with a deterministic merge — the parallel result is identical to the
+/// serial one.
 Result<std::shared_ptr<InvertedIndex>> JoinExtendRight(
     const InvertedIndex& left, const InvertedIndex& l2,
     const PatternTemplate& tmpl, size_t offset, const BoundPattern& bp,
-    ScanStats* stats, size_t bitmap_threshold = 0);
+    ScanStats* stats, const JoinExecOptions& exec = {});
 
 /// Mirror image for PREPEND: `right` covers [offset+1, offset+1+k), `l2`
 /// covers [offset, offset+2); the result covers [offset, offset+1+k).
 Result<std::shared_ptr<InvertedIndex>> JoinExtendLeft(
     const InvertedIndex& right, const InvertedIndex& l2,
     const PatternTemplate& tmpl, size_t offset, const BoundPattern& bp,
-    ScanStats* stats, size_t bitmap_threshold = 0);
+    ScanStats* stats, const JoinExecOptions& exec = {});
 
 /// P-ROLL-UP list merging: unions fine-level lists whose keys coincide
 /// after mapping each position through `maps` (empty vector = identity for
@@ -71,10 +100,15 @@ Result<std::shared_ptr<InvertedIndex>> JoinExtendLeft(
 /// given, only lists whose mapped key is consistent with the template are
 /// merged — a sliced P-ROLL-UP then merges just its subcube; the result is
 /// template-filtered and the caller must mark it incomplete.
+///
+/// With a pool, key mapping and the final per-list sort+dedup are
+/// partitioned across workers; the append phase keys the output in the
+/// serial order, so the result is identical to a serial merge.
 Result<std::shared_ptr<InvertedIndex>> RollUpMerge(
     const InvertedIndex& fine, const std::vector<std::vector<Code>>& maps,
     IndexShape coarse_shape, const PatternTemplate* tmpl,
-    const std::vector<std::vector<Code>>* fixed_codes, ScanStats* stats);
+    const std::vector<std::vector<Code>>* fixed_codes, ScanStats* stats,
+    ThreadPool* pool = nullptr);
 
 /// P-DRILL-DOWN list refinement: splits each coarse list into fine-level
 /// lists by re-scanning its member sequences. `bp_fine` must be bound to

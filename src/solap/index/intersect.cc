@@ -1,0 +1,82 @@
+#include "solap/index/intersect.h"
+
+#include <algorithm>
+
+namespace solap {
+
+void IntersectLinear(std::span<const Sid> a, std::span<const Sid> b,
+                     std::vector<Sid>& out) {
+  out.clear();
+  const Sid* pa = a.data();
+  const Sid* ea = pa + a.size();
+  const Sid* pb = b.data();
+  const Sid* eb = pb + b.size();
+  while (pa != ea && pb != eb) {
+    if (*pa < *pb) {
+      ++pa;
+    } else if (*pb < *pa) {
+      ++pb;
+    } else {
+      out.push_back(*pa);
+      ++pa;
+      ++pb;
+    }
+  }
+}
+
+namespace {
+
+// First index in [lo, n) with v[i] >= x, by exponential probing from `lo`
+// then binary search inside the bracketed range.
+size_t GallopLowerBound(std::span<const Sid> v, size_t lo, Sid x) {
+  const size_t n = v.size();
+  size_t bound = 1;
+  while (lo + bound < n && v[lo + bound] < x) bound <<= 1;
+  size_t hi = std::min(lo + bound, n);
+  lo = lo + bound / 2;
+  return static_cast<size_t>(
+      std::lower_bound(v.begin() + lo, v.begin() + hi, x) - v.begin());
+}
+
+}  // namespace
+
+void IntersectGalloping(std::span<const Sid> a, std::span<const Sid> b,
+                        std::vector<Sid>& out) {
+  out.clear();
+  std::span<const Sid> small = a.size() <= b.size() ? a : b;
+  std::span<const Sid> large = a.size() <= b.size() ? b : a;
+  size_t lo = 0;
+  for (Sid x : small) {
+    lo = GallopLowerBound(large, lo, x);
+    if (lo == large.size()) return;
+    if (large[lo] == x) {
+      out.push_back(x);
+      ++lo;
+    }
+  }
+}
+
+void IntersectBitmap(std::span<const Sid> probe, const Bitmap& bm,
+                     std::vector<Sid>& out) {
+  out.clear();
+  for (Sid s : probe) {
+    if (bm.Get(s)) out.push_back(s);
+  }
+}
+
+void IntersectAdaptive(std::span<const Sid> a, std::span<const Sid> b,
+                       const Bitmap* b_bitmap, std::vector<Sid>& out) {
+  switch (ChooseIntersectKernel(a.size(), b.size(), b_bitmap != nullptr)) {
+    case IntersectKernel::kBitmap:
+      IntersectBitmap(a, *b_bitmap, out);
+      return;
+    case IntersectKernel::kGalloping:
+      IntersectGalloping(a, b, out);
+      return;
+    case IntersectKernel::kLinear:
+      IntersectLinear(a, b, out);
+      return;
+  }
+}
+
+}  // namespace solap

@@ -1,0 +1,69 @@
+// Posting-list intersection kernels for inverted-index joins.
+//
+// The II strategy's wall-clock lives in intersecting sorted sid lists
+// (paper §4.2.2, Fig. 15 line 9's L_k ⋈ L_2 step). One kernel does not fit
+// all list pairs: balanced pairs want a linear merge, skewed pairs want
+// galloping (exponential + binary search, cf. Lemire & Boytsov's SIMD
+// intersection study in PAPERS.md), and dense lists reused across many
+// pairs want a one-time bitmap encoding so each intersection becomes
+// membership probes. ChooseIntersectKernel picks per pair from list sizes;
+// callers pass reusable output buffers so the kernels allocate nothing in
+// steady state.
+#ifndef SOLAP_INDEX_INTERSECT_H_
+#define SOLAP_INDEX_INTERSECT_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "solap/common/types.h"
+#include "solap/index/bitmap.h"
+
+namespace solap {
+
+/// Size ratio (larger/smaller) above which galloping beats a linear merge:
+/// the merge reads |a|+|b| elements, galloping ~|small|·log(|large|/|small|).
+inline constexpr size_t kGallopSizeRatio = 16;
+
+/// Which kernel an intersection ran with (also the cost model's output).
+enum class IntersectKernel { kLinear, kGalloping, kBitmap };
+
+/// Cost heuristic: kBitmap when a bitmap of the larger list is already
+/// built, kGalloping when the pair is skewed past kGallopSizeRatio,
+/// kLinear otherwise.
+inline IntersectKernel ChooseIntersectKernel(size_t a_size, size_t b_size,
+                                             bool bitmap_available) {
+  if (bitmap_available) return IntersectKernel::kBitmap;
+  const size_t small = a_size < b_size ? a_size : b_size;
+  const size_t large = a_size < b_size ? b_size : a_size;
+  if (small == 0 || large / small >= kGallopSizeRatio) {
+    return IntersectKernel::kGalloping;
+  }
+  return IntersectKernel::kLinear;
+}
+
+/// out = a ∩ b by linear merge (the scalar baseline). `out` is cleared
+/// first; its capacity is reused across calls.
+void IntersectLinear(std::span<const Sid> a, std::span<const Sid> b,
+                     std::vector<Sid>& out);
+
+/// out = a ∩ b by galloping search: each element of the smaller list is
+/// located in the larger by exponential probing from a moving frontier,
+/// then binary search. O(|small| · log(|large|/|small|)).
+void IntersectGalloping(std::span<const Sid> a, std::span<const Sid> b,
+                        std::vector<Sid>& out);
+
+/// out = {s ∈ probe : bm.Get(s)} — intersection against a bitmap-encoded
+/// list. O(|probe|) regardless of the encoded list's length.
+void IntersectBitmap(std::span<const Sid> probe, const Bitmap& bm,
+                     std::vector<Sid>& out);
+
+/// Dispatches to the kernel ChooseIntersectKernel selects. `b_bitmap` is
+/// the optional bitmap encoding of `b` (density-triggered, built once by
+/// the join and shared across pairs).
+void IntersectAdaptive(std::span<const Sid> a, std::span<const Sid> b,
+                       const Bitmap* b_bitmap, std::vector<Sid>& out);
+
+}  // namespace solap
+
+#endif  // SOLAP_INDEX_INTERSECT_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "solap/index/intersect.h"
+
 namespace solap {
 
 std::string IndexShape::CanonicalString() const {
@@ -45,8 +47,7 @@ std::vector<Sid> IntersectSorted(const std::vector<Sid>& a,
                                  const std::vector<Sid>& b) {
   std::vector<Sid> out;
   out.reserve(std::min(a.size(), b.size()));
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
+  IntersectAdaptive(a, b, /*b_bitmap=*/nullptr, out);
   return out;
 }
 

@@ -48,6 +48,11 @@ Result<PatternTemplate> PatternTemplate::Make(PatternKind kind,
     t.dim_of_[pos] = d;
     if (t.first_pos_[d] < 0) t.first_pos_[d] = static_cast<int>(pos);
   }
+  t.positions_of_dim_.resize(t.dims_.size());
+  for (size_t pos = 0; pos < t.dim_of_.size(); ++pos) {
+    t.positions_of_dim_[t.dim_of_[pos]].push_back(
+        static_cast<uint32_t>(pos));
+  }
   for (size_t i = 0; i < t.dims_.size(); ++i) {
     if (t.first_pos_[i] < 0) {
       return Status::InvalidArgument("pattern dimension '" +

@@ -3,6 +3,8 @@
 #ifndef SOLAP_PATTERN_PATTERN_TEMPLATE_H_
 #define SOLAP_PATTERN_PATTERN_TEMPLATE_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -78,6 +80,21 @@ class PatternTemplate {
   const std::vector<PatternDim>& dims() const { return dims_; }
   /// First template position where dimension `d` occurs.
   int first_position_of(size_t d) const { return first_pos_[d]; }
+  /// All template positions of dimension `d`, ascending.
+  const std::vector<uint32_t>& positions_of(size_t d) const {
+    return positions_of_dim_[d];
+  }
+
+  /// First position in window [offset, pos) sharing `pos`'s dimension, or
+  /// `pos` itself when none exists. Precomputed per-dimension position
+  /// lists make this O(log m) instead of the O(m) rescan the window
+  /// consistency checks previously paid per position per key.
+  size_t FirstPositionInWindow(size_t offset, size_t pos) const {
+    const std::vector<uint32_t>& occ = positions_of_dim_[dim_of_[pos]];
+    auto it = std::lower_bound(occ.begin(), occ.end(),
+                               static_cast<uint32_t>(offset));
+    return *it < pos ? *it : pos;  // occ contains pos, so it != end()
+  }
 
   /// True if any dimension occurs at more than one position.
   bool HasRepeatedSymbols() const;
@@ -104,6 +121,7 @@ class PatternTemplate {
   std::vector<PatternDim> dims_;
   std::vector<int> dim_of_;
   std::vector<int> first_pos_;
+  std::vector<std::vector<uint32_t>> positions_of_dim_;  // per dim, ascending
 };
 
 }  // namespace solap

@@ -27,7 +27,7 @@
 #include "solap/common/stop.h"
 #include "solap/engine/engine.h"
 #include "solap/service/session.h"
-#include "solap/service/thread_pool.h"
+#include "solap/common/thread_pool.h"
 
 namespace solap {
 

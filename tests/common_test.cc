@@ -100,9 +100,13 @@ TEST(StatsTest, AccumulatesAndPrints) {
 
 TEST(TypesTest, CodeVecHashDiscriminates) {
   CodeVecHash h;
-  EXPECT_NE(h({1, 2}), h({2, 1}));
-  EXPECT_EQ(h({1, 2}), h({1, 2}));
-  EXPECT_NE(h({}), h({0}));
+  EXPECT_NE(h(PatternKey{1, 2}), h(PatternKey{2, 1}));
+  EXPECT_EQ(h(PatternKey{1, 2}), h(PatternKey{1, 2}));
+  EXPECT_NE(h(PatternKey{}), h(PatternKey{0}));
+  // The hash reads elements through data()/size(), so a std::vector with
+  // the same contents hashes identically to a PatternKey — heap-spilled
+  // and inline keys interoperate in the same map.
+  EXPECT_EQ(h(PatternKey{3, 1, 4, 1, 5}), h(std::vector<Code>{3, 1, 4, 1, 5}));
 }
 
 TEST(TimerTest, MeasuresElapsed) {

@@ -1,0 +1,133 @@
+// Unit tests for the posting-list intersection kernels (index/intersect.h):
+// every kernel must agree with the scalar linear merge on empty, disjoint,
+// subset, interleaved and skewed inputs, and the cost heuristic must cut
+// over at its documented thresholds.
+#include "solap/index/intersect.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "solap/index/bitmap.h"
+
+namespace solap {
+namespace {
+
+std::vector<Sid> Reference(const std::vector<Sid>& a,
+                           const std::vector<Sid>& b) {
+  std::vector<Sid> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+// Runs every kernel (linear, galloping, bitmap in both probe directions,
+// adaptive) on (a, b) and checks each against std::set_intersection.
+void CheckAllKernels(const std::vector<Sid>& a, const std::vector<Sid>& b,
+                     size_t universe) {
+  const std::vector<Sid> expect = Reference(a, b);
+  std::vector<Sid> out;
+
+  IntersectLinear(a, b, out);
+  EXPECT_EQ(out, expect) << "linear";
+  IntersectLinear(b, a, out);
+  EXPECT_EQ(out, expect) << "linear swapped";
+
+  IntersectGalloping(a, b, out);
+  EXPECT_EQ(out, expect) << "galloping";
+  IntersectGalloping(b, a, out);
+  EXPECT_EQ(out, expect) << "galloping swapped";
+
+  Bitmap bm_b = Bitmap::FromSids(b, universe);
+  IntersectBitmap(a, bm_b, out);
+  EXPECT_EQ(out, expect) << "bitmap(b)";
+  Bitmap bm_a = Bitmap::FromSids(a, universe);
+  IntersectBitmap(b, bm_a, out);
+  EXPECT_EQ(out, expect) << "bitmap(a)";
+
+  IntersectAdaptive(a, b, nullptr, out);
+  EXPECT_EQ(out, expect) << "adaptive";
+  IntersectAdaptive(a, b, &bm_b, out);
+  EXPECT_EQ(out, expect) << "adaptive+bitmap";
+}
+
+TEST(IntersectKernels, EmptyInputs) {
+  CheckAllKernels({}, {}, 16);
+  CheckAllKernels({}, {1, 5, 9}, 16);
+  CheckAllKernels({3, 4}, {}, 16);
+}
+
+TEST(IntersectKernels, Disjoint) {
+  CheckAllKernels({0, 2, 4, 6}, {1, 3, 5, 7}, 16);
+  CheckAllKernels({0, 1, 2}, {10, 11, 12}, 16);
+}
+
+TEST(IntersectKernels, SubsetAndEqual) {
+  CheckAllKernels({2, 5, 8}, {0, 2, 3, 5, 7, 8, 9}, 16);
+  CheckAllKernels({1, 2, 3}, {1, 2, 3}, 16);
+  CheckAllKernels({7}, {0, 1, 2, 3, 4, 5, 6, 7}, 16);
+}
+
+TEST(IntersectKernels, SkewedPair) {
+  // Heavily skewed sizes — the galloping sweet spot; also exercises the
+  // exponential probe overshooting the end of the large list.
+  std::vector<Sid> large;
+  for (Sid s = 0; s < 4096; s += 3) large.push_back(s);
+  std::vector<Sid> small = {0, 3, 4, 3000, 4093, 4095};
+  CheckAllKernels(small, large, 4096);
+}
+
+TEST(IntersectKernels, RandomizedAgainstReference) {
+  std::mt19937 rng(20080612);  // SIGMOD'08 vintage
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t universe = 1 + rng() % 2000;
+    auto make = [&](double density) {
+      std::vector<Sid> v;
+      for (Sid s = 0; s < universe; ++s) {
+        if (std::uniform_real_distribution<>(0, 1)(rng) < density) {
+          v.push_back(s);
+        }
+      }
+      return v;
+    };
+    const double da = std::uniform_real_distribution<>(0.001, 0.9)(rng);
+    const double db = std::uniform_real_distribution<>(0.001, 0.9)(rng);
+    CheckAllKernels(make(da), make(db), universe);
+  }
+}
+
+TEST(IntersectKernels, OutputBufferIsReused) {
+  std::vector<Sid> out = {99, 98, 97};  // stale content must be discarded
+  IntersectLinear(std::vector<Sid>{1, 2}, std::vector<Sid>{2, 3}, out);
+  EXPECT_EQ(out, (std::vector<Sid>{2}));
+  IntersectGalloping(std::vector<Sid>{1, 2}, std::vector<Sid>{}, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IntersectHeuristic, PicksLinearForBalancedPairs) {
+  EXPECT_EQ(ChooseIntersectKernel(100, 100, false),
+            IntersectKernel::kLinear);
+  EXPECT_EQ(ChooseIntersectKernel(100, 100 * kGallopSizeRatio - 1, false),
+            IntersectKernel::kLinear);
+}
+
+TEST(IntersectHeuristic, PicksGallopingPastTheSizeRatio) {
+  EXPECT_EQ(ChooseIntersectKernel(100, 100 * kGallopSizeRatio, false),
+            IntersectKernel::kGalloping);
+  EXPECT_EQ(ChooseIntersectKernel(100 * kGallopSizeRatio, 100, false),
+            IntersectKernel::kGalloping);
+  // An empty side short-circuits to galloping (returns immediately).
+  EXPECT_EQ(ChooseIntersectKernel(0, 50, false),
+            IntersectKernel::kGalloping);
+}
+
+TEST(IntersectHeuristic, BitmapWinsWhenAvailable) {
+  EXPECT_EQ(ChooseIntersectKernel(100, 100, true), IntersectKernel::kBitmap);
+  EXPECT_EQ(ChooseIntersectKernel(1, 100000, true),
+            IntersectKernel::kBitmap);
+}
+
+}  // namespace
+}  // namespace solap

@@ -14,7 +14,7 @@
 #include "solap/gen/synthetic.h"
 #include "solap/service/query_service.h"
 #include "solap/service/session.h"
-#include "solap/service/thread_pool.h"
+#include "solap/common/thread_pool.h"
 #include "solap/tools/shell.h"
 
 namespace solap {

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Builds and runs the II perf harness, emitting BENCH_ii.json at the repo
+# root (the checked-in copy EXPERIMENTS.md references). Pass --quick for
+# the small CI configuration; any extra flags are forwarded to the bench.
+#
+# Usage: tools/bench_ii.sh [--quick] [extra bench flags...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_ii_kernels >/dev/null
+
+"$BUILD_DIR/bench/bench_ii_kernels" --json=BENCH_ii.json "$@"

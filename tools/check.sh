@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Full verification: the tier-1 build + test pass, then the same tests
-# under ASan/UBSan, then the service tests under TSan (the concurrency
-# surface: engine thread-safety, thread pool, query service, sessions).
+# Full verification: the tier-1 build + test pass, a perf smoke run of the
+# II kernel harness against its recorded baselines, then the same tests
+# under ASan/UBSan, then the service/engine/parallel-II tests under TSan
+# (the concurrency surface: engine thread-safety, thread pool, query
+# service, sessions, intra-query join/scan partitioning).
 #
 # Usage: tools/check.sh [--tier1-only]
 set -euo pipefail
@@ -13,8 +15,10 @@ JOBS="$(nproc)"
 # their target names), not benches/examples — sanitizer builds are slow.
 build_tests() {  # build_tests <dir> [filter-regex]
   local dir="$1" filter="${2:-}" targets
+  # Note the \+: ctest right-aligns test numbers, so "Test  #1:" carries
+  # two spaces once there are ten or more tests.
   targets=$(ctest --test-dir "$dir" -N ${filter:+-R "$filter"} |
-    sed -n 's/^ *Test #[0-9]*: //p')
+    sed -n 's/^ *Test \+#[0-9]*: //p')
   # shellcheck disable=SC2086
   cmake --build "$dir" -j"$JOBS" --target $targets >/dev/null
 }
@@ -33,6 +37,11 @@ if [[ "${1:-}" == "--tier1-only" ]]; then
 fi
 
 echo
+echo "== perf smoke: II kernels vs bench/thresholds.json =="
+cmake --build build -j"$JOBS" --target bench_ii_kernels >/dev/null
+build/bench/bench_ii_kernels --quick --check=bench/thresholds.json
+
+echo
 echo "== ASan + UBSan: full test suite =="
 cmake -B build-asan -S . -DSOLAP_SANITIZE=address >/dev/null
 build_tests build-asan
@@ -40,7 +49,7 @@ run_ctest build-asan
 
 echo
 echo "== TSan: service + engine concurrency tests =="
-TSAN_FILTER="service_test|service_stress_test|engine_test"
+TSAN_FILTER="service_test|service_stress_test|engine_test|parallel_ii_test|intersect_test"
 cmake -B build-tsan -S . -DSOLAP_SANITIZE=thread >/dev/null
 build_tests build-tsan "$TSAN_FILTER"
 run_ctest build-tsan "$TSAN_FILTER"
