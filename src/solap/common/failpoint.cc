@@ -1,0 +1,215 @@
+#include "solap/common/failpoint.h"
+
+// The whole translation unit compiles away in default builds; tools/check.sh
+// asserts that libsolap.a carries no failpoint symbol without the option.
+#ifdef SOLAP_FAILPOINTS
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace solap {
+
+namespace {
+
+// How many failpoints are armed across the process. Evaluate() reads this
+// before touching any lock, so un-armed builds-with-failpoints still run
+// hot paths at full speed.
+std::atomic<int> g_armed_count{0};
+
+// splitmix64: decorrelates (seed, name hash, hit ordinal) into an
+// independent uniform draw per evaluation. Deterministic by construction —
+// no global RNG state, so concurrent evaluations of other failpoints never
+// perturb this one's fire pattern.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Status MakeStatus(StatusCode code, const std::string& msg) {
+  switch (code) {
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(msg);
+    case StatusCode::kNotFound:
+      return Status::NotFound(msg);
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(msg);
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(msg);
+    case StatusCode::kParseError:
+      return Status::ParseError(msg);
+    case StatusCode::kNotImplemented:
+      return Status::NotImplemented(msg);
+    case StatusCode::kCancelled:
+      return Status::Cancelled(msg);
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(msg);
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(msg);
+    case StatusCode::kInternal:
+    case StatusCode::kOk:
+      break;
+  }
+  return Status::Internal(msg);
+}
+
+}  // namespace
+
+struct FailpointRegistry::State {
+  FailpointConfig config;
+  uint64_t name_hash = 0;
+  bool armed = false;
+  std::atomic<uint64_t> evaluations{0};
+  std::atomic<uint64_t> fires{0};
+  std::atomic<bool> exhausted{false};  // one_shot already fired
+};
+
+struct FailpointRegistry::Impl {
+  mutable std::shared_mutex mu;
+  // unique_ptr values: State addresses stay stable across rehashes, so
+  // Evaluate can drop the shared lock before sleeping/throwing.
+  std::unordered_map<std::string, std::unique_ptr<State>> points;
+};
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* reg = new FailpointRegistry();
+  return *reg;
+}
+
+FailpointRegistry::Impl* FailpointRegistry::impl() {
+  static Impl* impl = new Impl();
+  return impl;
+}
+
+void FailpointRegistry::Arm(const std::string& name, FailpointConfig config) {
+  Impl* i = impl();
+  std::unique_lock<std::shared_mutex> lock(i->mu);
+  auto& slot = i->points[name];
+  if (slot == nullptr) slot = std::make_unique<State>();
+  if (!slot->armed) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  slot->config = std::move(config);
+  slot->name_hash = HashName(name);
+  slot->armed = true;
+  slot->exhausted.store(false, std::memory_order_relaxed);
+  // Restart the hit ordinal: re-arming with the same seed must replay the
+  // same fire pattern, and counters must not leak across test cases.
+  slot->evaluations.store(0, std::memory_order_relaxed);
+  slot->fires.store(0, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::Disarm(const std::string& name) {
+  Impl* i = impl();
+  std::unique_lock<std::shared_mutex> lock(i->mu);
+  auto it = i->points.find(name);
+  if (it != i->points.end() && it->second->armed) {
+    it->second->armed = false;
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::DisarmAll() {
+  Impl* i = impl();
+  std::unique_lock<std::shared_mutex> lock(i->mu);
+  for (auto& [name, state] : i->points) {
+    if (state->armed) {
+      state->armed = false;
+      g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+uint64_t FailpointRegistry::Evaluations(const std::string& name) const {
+  Impl* i = const_cast<FailpointRegistry*>(this)->impl();
+  std::shared_lock<std::shared_mutex> lock(i->mu);
+  auto it = i->points.find(name);
+  return it == i->points.end()
+             ? 0
+             : it->second->evaluations.load(std::memory_order_relaxed);
+}
+
+uint64_t FailpointRegistry::Fires(const std::string& name) const {
+  Impl* i = const_cast<FailpointRegistry*>(this)->impl();
+  std::shared_lock<std::shared_mutex> lock(i->mu);
+  auto it = i->points.find(name);
+  return it == i->points.end()
+             ? 0
+             : it->second->fires.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> FailpointRegistry::ArmedNames() const {
+  Impl* i = const_cast<FailpointRegistry*>(this)->impl();
+  std::shared_lock<std::shared_mutex> lock(i->mu);
+  std::vector<std::string> out;
+  for (const auto& [name, state] : i->points) {
+    if (state->armed) out.push_back(name);
+  }
+  return out;
+}
+
+Status FailpointRegistry::Evaluate(const char* name) {
+  Impl* i = impl();
+  State* state = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(i->mu);
+    auto it = i->points.find(name);
+    if (it == i->points.end() || !it->second->armed) return Status::OK();
+    state = it->second.get();
+  }
+  // The config is only mutated under the exclusive lock while armed stays
+  // true for the test's duration; chaos tests arm everything up front.
+  const FailpointConfig& cfg = state->config;
+  const uint64_t hit = state->evaluations.fetch_add(1, std::memory_order_relaxed);
+
+  bool fire;
+  if (cfg.every_nth > 0) {
+    fire = (hit + 1) % cfg.every_nth == 0;
+  } else if (cfg.probability >= 1.0) {
+    fire = true;
+  } else if (cfg.probability <= 0.0) {
+    fire = false;
+  } else {
+    const uint64_t draw = Mix64(cfg.seed ^ state->name_hash ^ hit);
+    fire = static_cast<double>(draw >> 11) * 0x1.0p-53 < cfg.probability;
+  }
+  if (!fire) return Status::OK();
+  if (cfg.one_shot && state->exhausted.exchange(true)) return Status::OK();
+  state->fires.fetch_add(1, std::memory_order_relaxed);
+
+  switch (cfg.action) {
+    case FailpointConfig::Action::kThrowBadAlloc:
+      throw std::bad_alloc();
+    case FailpointConfig::Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(cfg.delay_ms));
+      return Status::OK();
+    case FailpointConfig::Action::kReturnError:
+      break;
+  }
+  std::string msg = "failpoint '" + std::string(name) + "' fired";
+  if (!cfg.message.empty()) msg += ": " + cfg.message;
+  return MakeStatus(cfg.code, msg);
+}
+
+Status FailpointEval(const char* name) {
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) return Status::OK();
+  return FailpointRegistry::Global().Evaluate(name);
+}
+
+}  // namespace solap
+
+#endif  // SOLAP_FAILPOINTS

@@ -1,0 +1,122 @@
+// Fault-injection points for robustness testing (tests/fault_injection_test,
+// tests/chaos_test). A failpoint is a named site in the code — IO calls,
+// allocation-heavy index operations, pool boundaries — that tests can arm to
+// return an error, throw std::bad_alloc or inject a delay, with deterministic
+// per-hit decisions so a chaos run is exactly reproducible from its seed.
+//
+// The framework is compiled out entirely unless the build defines
+// SOLAP_FAILPOINTS (cmake -DSOLAP_FAILPOINTS=ON): the macros expand to
+// nothing, failpoint.cc contributes no symbols, and production code pays
+// zero cost. tools/check.sh verifies both properties.
+//
+// Armed sites in this codebase (grep for SOLAP_FAILPOINT to confirm):
+//   io.snapshot.open / write / sync / rename / read   storage/io.cc
+//   csv.read                                          storage/csv.cc
+//   index.build                                       index/build_index.cc
+//   index.join / join.scratch                         index/index_ops.cc
+//   index.rollup / index.refine / index.extend_scan   index/index_ops.cc
+//   engine.formation                                  engine/engine.cc
+//   service.submit                                    service/query_service.cc
+//   mem.charge                                        common/mem_budget.cc
+#ifndef SOLAP_COMMON_FAILPOINT_H_
+#define SOLAP_COMMON_FAILPOINT_H_
+
+#include "solap/common/status.h"
+
+#ifdef SOLAP_FAILPOINTS
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace solap {
+
+/// \brief What an armed failpoint does when its trigger condition fires.
+struct FailpointConfig {
+  enum class Action {
+    /// Evaluate() returns Status(code, message).
+    kReturnError,
+    /// Evaluate() throws std::bad_alloc — exercises the engine's
+    /// query-boundary exception handling. Only arm at sites reached from a
+    /// catching frame (engine execution); a throw escaping into a thread
+    /// pool worker would std::terminate, exactly like a real allocation
+    /// failure there would.
+    kThrowBadAlloc,
+    /// Evaluate() sleeps delay_ms, then returns OK — exposes timeout and
+    /// cancellation races without failing the operation.
+    kDelay,
+  };
+
+  Action action = Action::kReturnError;
+  /// Error code for kReturnError (kInternal models transient IO faults,
+  /// kResourceExhausted models budget pressure).
+  StatusCode code = StatusCode::kInternal;
+  /// Appended to the generated "failpoint '<name>' fired" message.
+  std::string message;
+  /// Chance that one evaluation fires, decided deterministically from
+  /// (seed, per-failpoint hit ordinal) — two runs with the same seed and
+  /// the same per-site evaluation order fire identically. 1.0 = always.
+  double probability = 1.0;
+  uint64_t seed = 0;
+  /// When > 0, overrides probability: fire on every Nth evaluation.
+  uint64_t every_nth = 0;
+  /// Fire at most once, then behave as disarmed (stays registered so hit
+  /// counters keep counting).
+  bool one_shot = false;
+  uint32_t delay_ms = 0;
+};
+
+/// \brief Process-wide registry of named failpoints.
+///
+/// Thread-safe: Arm/Disarm take an exclusive lock; Evaluate takes a shared
+/// lock only when at least one failpoint is armed (a relaxed atomic guards
+/// the common nothing-armed case).
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Global();
+
+  void Arm(const std::string& name, FailpointConfig config);
+  void Disarm(const std::string& name);
+  void DisarmAll();
+
+  /// Total evaluations of `name` since it was last armed (0 if never).
+  /// Arm() restarts both counters and the hit ordinal, so re-arming with
+  /// the same seed replays the same fire pattern.
+  uint64_t Evaluations(const std::string& name) const;
+  /// Times `name` actually fired its action since it was last armed.
+  uint64_t Fires(const std::string& name) const;
+  std::vector<std::string> ArmedNames() const;
+
+  /// Called by the SOLAP_FAILPOINT macros. May throw std::bad_alloc or
+  /// sleep, per the armed config.
+  Status Evaluate(const char* name);
+
+ private:
+  FailpointRegistry() = default;
+  struct State;
+  struct Impl;
+  Impl* impl();  // lazily built, leaked at exit (no static-destruction order)
+};
+
+/// Macro target: fast no-op when nothing is armed anywhere.
+Status FailpointEval(const char* name);
+
+}  // namespace solap
+
+/// Evaluates failpoint `name`, returning its error from the enclosing
+/// function when it fires (the enclosing function must return Status or
+/// Result<T>).
+#define SOLAP_FAILPOINT(name) SOLAP_RETURN_NOT_OK(::solap::FailpointEval(name))
+/// Expression form for call sites that handle the Status themselves.
+#define SOLAP_FAILPOINT_CHECK(name) ::solap::FailpointEval(name)
+
+#else  // !SOLAP_FAILPOINTS
+
+#define SOLAP_FAILPOINT(name) \
+  do {                        \
+  } while (0)
+#define SOLAP_FAILPOINT_CHECK(name) ::solap::Status::OK()
+
+#endif  // SOLAP_FAILPOINTS
+
+#endif  // SOLAP_COMMON_FAILPOINT_H_

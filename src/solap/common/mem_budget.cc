@@ -1,0 +1,48 @@
+#include "solap/common/mem_budget.h"
+
+#include "solap/common/failpoint.h"
+
+namespace solap {
+
+Status MemoryGovernor::TryCharge(size_t bytes, const char* what) {
+  {
+    // Chaos tests arm this to simulate budget pressure without tuning real
+    // sizes; a fired charge counts as a reject like a genuine one.
+    Status injected = SOLAP_FAILPOINT_CHECK("mem.charge");
+    if (!injected.ok()) {
+      rejects_.fetch_add(1, std::memory_order_relaxed);
+      return injected;
+    }
+  }
+  const size_t budget = budget_.load(std::memory_order_relaxed);
+  if (budget == 0) {
+    used_.fetch_add(bytes, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  size_t cur = used_.load(std::memory_order_relaxed);
+  while (true) {
+    if (bytes > budget || cur > budget - bytes) {
+      rejects_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          std::string(what) + " needs " + std::to_string(bytes) +
+          " bytes but only " + std::to_string(budget - std::min(cur, budget)) +
+          " of the " + std::to_string(budget) + "-byte memory budget remain");
+    }
+    if (used_.compare_exchange_weak(cur, cur + bytes,
+                                    std::memory_order_relaxed)) {
+      return Status::OK();
+    }
+  }
+}
+
+void MemoryGovernor::Release(size_t bytes) {
+  size_t cur = used_.load(std::memory_order_relaxed);
+  while (true) {
+    const size_t next = bytes > cur ? 0 : cur - bytes;
+    if (used_.compare_exchange_weak(cur, next, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace solap

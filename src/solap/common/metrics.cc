@@ -61,6 +61,13 @@ Counter* MetricsRegistry::counter(const std::string& name) {
   return slot.get();
 }
 
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
 Histogram* MetricsRegistry::histogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
@@ -74,6 +81,9 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   for (const auto& [name, c] : counters_) {
     out.counters.emplace_back(name, c->Value());
   }
+  for (const auto& [name, g] : gauges_) {
+    out.gauges.emplace_back(name, g->Value());
+  }
   for (const auto& [name, h] : histograms_) {
     out.histograms.emplace_back(name, h->TakeSnapshot());
   }
@@ -85,6 +95,11 @@ std::string MetricsRegistry::ToString() const {
   std::string out;
   char buf[256];
   for (const auto& [name, value] : s.counters) {
+    std::snprintf(buf, sizeof(buf), "%-32s %12llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, value] : s.gauges) {
     std::snprintf(buf, sizeof(buf), "%-32s %12llu\n", name.c_str(),
                   static_cast<unsigned long long>(value));
     out += buf;

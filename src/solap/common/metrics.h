@@ -29,6 +29,20 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+/// \brief Point-in-time value (resident bytes, budget sizes): set, not
+/// accumulated. Refreshed on read paths (QueryService::RefreshResourceMetrics)
+/// rather than on every mutation of the underlying quantity.
+class Gauge {
+ public:
+  void Set(uint64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
 /// \brief Latency histogram over power-of-two microsecond buckets.
 ///
 /// Bucket i counts observations in [2^(i-1), 2^i) microseconds (bucket 0:
@@ -66,10 +80,12 @@ class Histogram {
 class MetricsRegistry {
  public:
   Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
   Histogram* histogram(const std::string& name);
 
   struct Snapshot {
     std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, uint64_t>> gauges;
     std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
   };
   Snapshot TakeSnapshot() const;
@@ -80,6 +96,7 @@ class MetricsRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 

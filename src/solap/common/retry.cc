@@ -1,0 +1,30 @@
+#include "solap/common/retry.h"
+
+#include <thread>
+
+namespace solap {
+
+bool IsTransientIoError(const Status& s) {
+  return s.code() == StatusCode::kInternal;
+}
+
+Status RetryIo(const RetryPolicy& policy, const std::function<Status()>& op,
+               std::atomic<uint64_t>* retries) {
+  const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  std::chrono::milliseconds backoff = policy.initial_backoff;
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      if (retries != nullptr) {
+        retries->fetch_add(1, std::memory_order_relaxed);
+      }
+      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, policy.max_backoff);
+    }
+    last = op();
+    if (last.ok() || !IsTransientIoError(last)) return last;
+  }
+  return last;
+}
+
+}  // namespace solap

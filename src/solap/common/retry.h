@@ -1,0 +1,40 @@
+// Bounded-exponential-backoff retry for transient IO (snapshot save/load).
+// Only kInternal is treated as transient — NotFound, ParseError and the
+// rest describe the request or the file content, not the medium, and
+// retrying them would just repeat the same answer slower.
+#ifndef SOLAP_COMMON_RETRY_H_
+#define SOLAP_COMMON_RETRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "solap/common/status.h"
+
+namespace solap {
+
+/// \brief Attempt/backoff bounds for RetryIo.
+struct RetryPolicy {
+  /// Total tries, including the first (1 = no retrying).
+  int max_attempts = 3;
+  /// Sleep before retry k is initial_backoff * 2^(k-1), capped at
+  /// max_backoff — bounded so a dying disk fails in bounded time.
+  std::chrono::milliseconds initial_backoff{1};
+  std::chrono::milliseconds max_backoff{50};
+};
+
+/// True if `s` is worth retrying (transient medium fault, not a permanent
+/// property of the request or the data).
+bool IsTransientIoError(const Status& s);
+
+/// Runs `op` up to policy.max_attempts times, sleeping bounded-exponential
+/// backoff between transient failures. Every retry (not the first attempt)
+/// increments `*retries` when given. Returns the first success or the last
+/// failure.
+Status RetryIo(const RetryPolicy& policy, const std::function<Status()>& op,
+               std::atomic<uint64_t>* retries = nullptr);
+
+}  // namespace solap
+
+#endif  // SOLAP_COMMON_RETRY_H_

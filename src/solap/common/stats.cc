@@ -9,7 +9,8 @@ std::string ScanStats::ToString() const {
   os << "scanned=" << sequences_scanned << " lists=" << lists_built
      << " intersections=" << list_intersections
      << " index_bytes=" << index_bytes_built << " repo_hits=" << repository_hits
-     << " index_hits=" << index_cache_hits;
+     << " index_hits=" << index_cache_hits
+     << " degraded=" << degraded_queries;
   return os.str();
 }
 

@@ -27,6 +27,9 @@ struct ScanStats {
   uint64_t repository_hits = 0;
   /// Number of index-cache hits (joins avoided entirely).
   uint64_t index_cache_hits = 0;
+  /// Queries whose II execution failed transiently (budget reject, injected
+  /// fault, bad_alloc) and were re-answered via the CB path.
+  uint64_t degraded_queries = 0;
 
   void Clear() { *this = ScanStats{}; }
 
@@ -37,6 +40,7 @@ struct ScanStats {
     index_bytes_built += o.index_bytes_built;
     repository_hits += o.repository_hits;
     index_cache_hits += o.index_cache_hits;
+    degraded_queries += o.degraded_queries;
     return *this;
   }
 

@@ -15,13 +15,20 @@ void CuboidRepository::Insert(const std::string& spec_key,
                               std::shared_ptr<const SCuboid> cuboid) {
   if (capacity_bytes_ == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
+  const size_t bytes = cuboid->ByteSize();
+  // A rejected charge skips caching but never fails the query — the caller
+  // already holds the computed cuboid.
+  if (governor_ != nullptr &&
+      !governor_->TryCharge(bytes, "cuboid repository").ok()) {
+    return;
+  }
   auto it = map_.find(spec_key);
   if (it != map_.end()) {
     bytes_used_ -= it->second->bytes;
+    if (governor_ != nullptr) governor_->Release(it->second->bytes);
     lru_.erase(it->second);
     map_.erase(it);
   }
-  size_t bytes = cuboid->ByteSize();
   lru_.push_front(Entry{spec_key, std::move(cuboid), bytes});
   map_[spec_key] = lru_.begin();
   bytes_used_ += bytes;
@@ -32,6 +39,7 @@ void CuboidRepository::EvictIfNeeded() {
   while (bytes_used_ > capacity_bytes_ && lru_.size() > 1) {
     const Entry& victim = lru_.back();
     bytes_used_ -= victim.bytes;
+    if (governor_ != nullptr) governor_->Release(victim.bytes);
     map_.erase(victim.key);
     lru_.pop_back();
   }
@@ -39,9 +47,14 @@ void CuboidRepository::EvictIfNeeded() {
 
 void CuboidRepository::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (governor_ != nullptr) governor_->Release(bytes_used_);
   lru_.clear();
   map_.clear();
   bytes_used_ = 0;
+}
+
+CuboidRepository::~CuboidRepository() {
+  if (governor_ != nullptr) governor_->Release(bytes_used_);
 }
 
 }  // namespace solap

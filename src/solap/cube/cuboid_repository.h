@@ -15,6 +15,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "solap/common/mem_budget.h"
 #include "solap/cube/cuboid.h"
 
 namespace solap {
@@ -26,6 +27,13 @@ class CuboidRepository {
   /// caching entirely.
   explicit CuboidRepository(size_t capacity_bytes)
       : capacity_bytes_(capacity_bytes) {}
+  ~CuboidRepository();
+
+  /// Attaches the engine-wide byte-budget accountant: inserts charge it and
+  /// are silently skipped when rejected (the query keeps its cuboid, it
+  /// just isn't cached); evictions and Clear refund it. Set once at engine
+  /// construction, before any use.
+  void set_governor(MemoryGovernor* governor) { governor_ = governor; }
 
   /// Cached cuboid for `spec_key`, or nullptr. A hit refreshes recency.
   std::shared_ptr<const SCuboid> Lookup(const std::string& spec_key);
@@ -55,6 +63,7 @@ class CuboidRepository {
   void EvictIfNeeded();  // requires mu_ held
 
   mutable std::mutex mu_;
+  MemoryGovernor* governor_ = nullptr;
   size_t capacity_bytes_;
   size_t bytes_used_ = 0;
   std::list<Entry> lru_;  // front = most recent

@@ -5,6 +5,7 @@
 // pool (EngineOptions::cb_threads / exec_threads); each partition folds
 // into a private cuboid and the partials are merged in partition order —
 // COUNT/SUM/AVG/MIN/MAX all merge losslessly.
+#include <new>
 #include <thread>
 #include <unordered_set>
 
@@ -52,8 +53,15 @@ Status SOlapEngine::RunCounterBased(QueryContext& ctx) {
         Sid end = std::min<Sid>(begin + chunk, n);
         batch.Submit([this, &ctx, &group, &bp, &partials, &partial_stats,
                       &results, t, begin, end] {
-          results[t] = CounterScanRange(ctx, group, bp, begin, end,
-                                        &partials[t], &partial_stats[t]);
+          // bad_alloc escaping a pool worker would terminate the process;
+          // turn it into a Status the query boundary can report.
+          try {
+            results[t] = CounterScanRange(ctx, group, bp, begin, end,
+                                          &partials[t], &partial_stats[t]);
+          } catch (const std::bad_alloc&) {
+            results[t] = Status::ResourceExhausted(
+                "counter-based scan partition ran out of memory");
+          }
         });
       }
       batch.Wait();

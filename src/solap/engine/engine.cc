@@ -1,8 +1,10 @@
 #include "solap/engine/engine.h"
 
 #include <algorithm>
+#include <new>
 #include <thread>
 
+#include "solap/common/failpoint.h"
 #include "solap/engine/optimizer.h"
 #include "solap/index/build_index.h"
 #include "solap/index/index_ops.h"
@@ -16,7 +18,11 @@ SOlapEngine::SOlapEngine(const EventTable* table,
     : table_(table),
       hierarchies_(hierarchies),
       options_(options),
-      repository_(options.repository_capacity_bytes) {}
+      governor_(options.memory_budget_bytes),
+      repository_(options.repository_capacity_bytes) {
+  sequence_cache_.set_governor(&governor_);
+  repository_.set_governor(&governor_);
+}
 
 SOlapEngine::SOlapEngine(std::shared_ptr<SequenceGroupSet> raw_groups,
                          const HierarchyRegistry* hierarchies,
@@ -24,7 +30,11 @@ SOlapEngine::SOlapEngine(std::shared_ptr<SequenceGroupSet> raw_groups,
     : raw_groups_(std::move(raw_groups)),
       hierarchies_(hierarchies),
       options_(options),
-      repository_(options.repository_capacity_bytes) {}
+      governor_(options.memory_budget_bytes),
+      repository_(options.repository_capacity_bytes) {
+  sequence_cache_.set_governor(&governor_);
+  repository_.set_governor(&governor_);
+}
 
 Result<std::shared_ptr<const SCuboid>> SOlapEngine::Execute(
     const CuboidSpec& spec) {
@@ -74,7 +84,33 @@ Result<std::shared_ptr<const SCuboid>> SOlapEngine::Execute(
   return result;
 }
 
+namespace {
+
+// An II failure worth re-answering through the CB path: transient faults
+// (kInternal) and memory pressure (kResourceExhausted). User errors,
+// cancellation and deadlines are final — rerunning could not change them
+// (and a timed-out query must not burn a second, slower pass).
+bool DegradableToCb(StatusCode code) {
+  return code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kInternal;
+}
+
+}  // namespace
+
 Result<std::shared_ptr<const SCuboid>> SOlapEngine::ExecuteWithStats(
+    const CuboidSpec& spec, ExecStrategy strategy, const ExecControl& control,
+    ScanStats* stats) {
+  // The query boundary: allocation failure anywhere in execution surfaces
+  // as a per-query ResourceExhausted instead of killing the process.
+  try {
+    return ExecuteGuarded(spec, strategy, control, stats);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted(
+        "query aborted: memory exhausted during execution");
+  }
+}
+
+Result<std::shared_ptr<const SCuboid>> SOlapEngine::ExecuteGuarded(
     const CuboidSpec& spec, ExecStrategy strategy, const ExecControl& control,
     ScanStats* stats) {
   if (strategy == ExecStrategy::kAuto && !spec.is_regex()) {
@@ -97,7 +133,29 @@ Result<std::shared_ptr<const SCuboid>> SOlapEngine::ExecuteWithStats(
   } else if (strategy == ExecStrategy::kCounterBased) {
     SOLAP_RETURN_NOT_OK(RunCounterBased(ctx));
   } else {
-    SOLAP_RETURN_NOT_OK(RunInvertedIndex(ctx));
+    // II with graceful degradation: a transient failure (injected fault,
+    // budget reject, allocation failure inside index build/join) falls
+    // back to the CB scan, which needs no auxiliary structures and
+    // produces the bit-identical cuboid (both strategies fold the same
+    // assignments; see DESIGN.md "Robustness & fault model").
+    Status ii = Status::OK();
+    try {
+      ii = RunInvertedIndex(ctx);
+    } catch (const std::bad_alloc&) {
+      ii = Status::ResourceExhausted(
+          "inverted-index execution ran out of memory");
+    }
+    if (!ii.ok()) {
+      if (!DegradableToCb(ii.code())) return ii;
+      ++stats->degraded_queries;
+      // The failed II run may have folded cells already — restart from a
+      // fresh cuboid and context.
+      cuboid = std::make_shared<SCuboid>(MakeDimDescriptors(spec), spec.agg);
+      SOLAP_ASSIGN_OR_RETURN(ctx, Prepare(spec, cuboid.get()));
+      ctx.stats = stats;
+      ctx.stop = control.stop;
+      SOLAP_RETURN_NOT_OK(RunCounterBased(ctx));
+    }
   }
   if (spec.iceberg_min_count.has_value()) {
     cuboid->ApplyIceberg(*spec.iceberg_min_count);
@@ -152,6 +210,7 @@ Result<std::shared_ptr<SequenceGroupSet>> SOlapEngine::GetGroups(
     const SequenceSpec& s) {
   if (raw_groups_ != nullptr) return raw_groups_;
   if (auto cached = sequence_cache_.Lookup(s)) return cached;
+  SOLAP_FAILPOINT("engine.formation");
   SequenceQueryEngine sqe(hierarchies_);
   SOLAP_ASSIGN_OR_RETURN(std::shared_ptr<SequenceGroupSet> set,
                          sqe.Build(*table_, s));
@@ -252,12 +311,16 @@ Status SOlapEngine::PrecomputeIndex(const CuboidSpec& spec, size_t m,
     GroupIndexCache& cache = CacheFor(*groups, gi);
     if (cache.Find(shape, "") != nullptr) continue;
     auto built = BuildIndex(&groups->groups()[gi], *groups, hierarchies_,
-                            shape, &local);
+                            shape, &local, &governor_);
     if (!built.ok()) {
       MergeStats(local);
       return built.status();
     }
-    cache.Insert(*std::move(built));
+    Status inserted = cache.Insert(*std::move(built));
+    if (!inserted.ok()) {
+      MergeStats(local);
+      return inserted;
+    }
   }
   MergeStats(local);
   return Status::OK();
@@ -272,12 +335,16 @@ Status SOlapEngine::MaterializeIndex(const SequenceSpec& formation,
     GroupIndexCache& cache = CacheFor(*groups, gi);
     if (cache.Find(shape, "") != nullptr) continue;
     auto built = BuildIndex(&groups->groups()[gi], *groups, hierarchies_,
-                            shape, &local);
+                            shape, &local, &governor_);
     if (!built.ok()) {
       MergeStats(local);
       return built.status();
     }
-    cache.Insert(*std::move(built));
+    Status inserted = cache.Insert(*std::move(built));
+    if (!inserted.ok()) {
+      MergeStats(local);
+      return inserted;
+    }
   }
   MergeStats(local);
   return Status::OK();
@@ -337,7 +404,9 @@ GroupIndexCache& SOlapEngine::CacheFor(const SequenceGroupSet& set,
   // unordered_map references are stable across inserts, so the returned
   // cache outlives the lock; the cache itself synchronizes internally.
   std::lock_guard<std::mutex> lock(index_caches_mu_);
-  return index_caches_[key];
+  GroupIndexCache& cache = index_caches_[key];
+  cache.set_governor(&governor_);
+  return cache;
 }
 
 const GroupIndexCache* SOlapEngine::FindIndexCache(
@@ -373,6 +442,7 @@ JoinExecOptions SOlapEngine::JoinExec() {
   exec.adaptive_kernels = options_.adaptive_join_kernels;
   exec.pool = ComputePool();
   exec.parallel_min_lists = options_.parallel_min_lists;
+  exec.governor = &governor_;
   return exec;
 }
 

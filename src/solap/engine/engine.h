@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "solap/common/mem_budget.h"
 #include "solap/common/stats.h"
 #include "solap/common/status.h"
 #include "solap/common/stop.h"
@@ -66,6 +67,13 @@ struct EngineOptions {
   /// Joins/merges with fewer lists than this stay serial even when a pool
   /// exists (fan-out overhead would dominate).
   size_t parallel_min_lists = 64;
+  /// Single byte budget covering everything the engine keeps resident or
+  /// allocates in bulk: cached inverted indices, formed sequence groups,
+  /// the cuboid repository, and transient II join scratch. When a charge
+  /// would exceed it the operation gets ResourceExhausted and the engine
+  /// reacts gracefully — caches skip the entry, II queries degrade to the
+  /// CB path. 0 = unlimited (usage is still tracked for metrics).
+  size_t memory_budget_bytes = 0;
 };
 
 /// Per-execution control block: cooperative cancellation plus a sink for
@@ -170,6 +178,9 @@ class SOlapEngine {
   const CuboidRepository& repository() const { return repository_; }
   /// Bytes of inverted indices currently cached across all groups.
   size_t IndexCacheBytes() const;
+  /// The engine-wide memory budget accountant (resident caches + join
+  /// scratch). Thread-safe for reads; the budget is fixed at construction.
+  const MemoryGovernor& governor() const { return governor_; }
 
   const HierarchyRegistry* hierarchies() const { return hierarchies_; }
 
@@ -205,6 +216,11 @@ class SOlapEngine {
   };
 
   Result<std::shared_ptr<const SCuboid>> ExecuteWithStats(
+      const CuboidSpec& spec, ExecStrategy strategy,
+      const ExecControl& control, ScanStats* stats);
+  /// ExecuteWithStats body; bad_alloc escaping it is caught at the query
+  /// boundary (ExecuteWithStats) and mapped to ResourceExhausted.
+  Result<std::shared_ptr<const SCuboid>> ExecuteGuarded(
       const CuboidSpec& spec, ExecStrategy strategy,
       const ExecControl& control, ScanStats* stats);
   Result<QueryContext> Prepare(const CuboidSpec& spec, SCuboid* cuboid);
@@ -271,6 +287,9 @@ class SOlapEngine {
   const HierarchyRegistry* hierarchies_;
   EngineOptions options_;
 
+  // Declared before every cache that charges it: caches refund their
+  // charges on destruction, so the governor must be torn down last.
+  MemoryGovernor governor_;
   SequenceCache sequence_cache_;
   CuboidRepository repository_;
   // Index caches keyed by (group set, group ordinal). The map itself is

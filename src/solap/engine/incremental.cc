@@ -36,12 +36,16 @@ Status SOlapEngine::AppendRawSequences(
   ScanStats local;
   for (auto& entry : keep) {
     Status extended = AppendToIndex(entry.get(), &group, *raw_groups_,
-                                    hierarchies_, old_count, &local);
+                                    hierarchies_, old_count, &local,
+                                    &governor_);
     if (!extended.ok()) {
       MergeStats(local);
       return extended;
     }
-    cache.Insert(std::move(entry));
+    // A budget reject here only costs the cached index — the group data
+    // itself was already extended above, so the update stands.
+    Status cached = cache.Insert(std::move(entry));
+    if (!cached.ok()) break;
   }
   MergeStats(local);
   // Every materialized cuboid over this data is stale.

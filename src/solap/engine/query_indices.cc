@@ -73,8 +73,8 @@ Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
     }
     SOLAP_ASSIGN_OR_RETURN(
         std::shared_ptr<InvertedIndex> built,
-        BuildIndex(&group, set, hierarchies_, shape, stats));
-    if (options_.enable_index_cache) cache.Insert(built);
+        BuildIndex(&group, set, hierarchies_, shape, stats, &governor_));
+    if (options_.enable_index_cache) SOLAP_RETURN_NOT_OK(cache.Insert(built));
     return built;
   };
 
@@ -145,7 +145,7 @@ Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
         merged->set_constraint_sig(full_sig);
         merged->set_complete(false);
       }
-      cache.Insert(merged);
+      SOLAP_RETURN_NOT_OK(cache.Insert(merged));
       return merged;
     }
     if (drill_src != nullptr) {
@@ -184,7 +184,7 @@ Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
         refined->set_constraint_sig(full_sig);
         refined->set_complete(false);
       }
-      cache.Insert(refined);
+      SOLAP_RETURN_NOT_OK(cache.Insert(refined));
       return refined;
     }
   }
@@ -196,8 +196,8 @@ Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
     shape.positions = {target.positions[0]};
     SOLAP_ASSIGN_OR_RETURN(
         std::shared_ptr<InvertedIndex> built,
-        BuildIndex(&group, set, hierarchies_, shape, stats));
-    if (options_.enable_index_cache) cache.Insert(built);
+        BuildIndex(&group, set, hierarchies_, shape, stats, &governor_));
+    if (options_.enable_index_cache) SOLAP_RETURN_NOT_OK(cache.Insert(built));
     return built;
   }
 
@@ -297,7 +297,7 @@ Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
           JoinExtendLeft(*current, *l2, tmpl, off, bp, stats, JoinExec()));
     }
     ++k;
-    if (options_.enable_index_cache) cache.Insert(current);
+    if (options_.enable_index_cache) SOLAP_RETURN_NOT_OK(cache.Insert(current));
   }
   return current;
 }

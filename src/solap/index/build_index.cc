@@ -2,12 +2,15 @@
 
 #include <unordered_set>
 
+#include "solap/common/failpoint.h"
+
 namespace solap {
 
 Status AppendToIndex(InvertedIndex* index, SequenceGroup* group,
                      const SequenceGroupSet& set,
                      const HierarchyRegistry* hierarchies, Sid from_sid,
-                     ScanStats* stats) {
+                     ScanStats* stats, MemoryGovernor* governor) {
+  SOLAP_FAILPOINT("index.build");
   const IndexShape& shape = index->shape();
   const size_t m = shape.size();
   if (m == 0) {
@@ -35,7 +38,20 @@ Status AppendToIndex(InvertedIndex* index, SequenceGroup* group,
   std::unordered_set<PatternKey, CodeVecHash> seen;  // per-sequence dedup
   PatternKey key(m);
 
+  // Abort the scan early when the index under construction can no longer
+  // fit in the remaining budget; the cache-insert TryCharge is the
+  // authoritative check, this one just bounds peak usage during the build.
+  const bool budgeted = governor != nullptr && governor->budget() != 0;
+
   for (Sid s = from_sid; s < num_seq; ++s) {
+    if (budgeted && ((s - from_sid) & 0x3FF) == 0x3FF) {
+      // Probe-charge the index built so far: a failure aborts the scan
+      // (counting a budget reject), a success is released immediately —
+      // the cache insert makes the lasting reservation.
+      const size_t bytes = index->ByteSize();
+      SOLAP_RETURN_NOT_OK(governor->TryCharge(bytes, "index build"));
+      governor->Release(bytes);
+    }
     const uint32_t base = offsets[s];
     const uint32_t len = offsets[s + 1] - base;
     if (len < m) continue;
@@ -69,10 +85,10 @@ Status AppendToIndex(InvertedIndex* index, SequenceGroup* group,
 Result<std::shared_ptr<InvertedIndex>> BuildIndex(
     SequenceGroup* group, const SequenceGroupSet& set,
     const HierarchyRegistry* hierarchies, const IndexShape& shape,
-    ScanStats* stats) {
+    ScanStats* stats, MemoryGovernor* governor) {
   auto index = std::make_shared<InvertedIndex>(shape, /*complete=*/true);
   SOLAP_RETURN_NOT_OK(
-      AppendToIndex(index.get(), group, set, hierarchies, 0, stats));
+      AppendToIndex(index.get(), group, set, hierarchies, 0, stats, governor));
   if (stats != nullptr) {
     stats->lists_built += index->num_lists();
     stats->index_bytes_built += index->ByteSize();

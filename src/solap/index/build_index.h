@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "solap/common/mem_budget.h"
 #include "solap/common/stats.h"
 #include "solap/common/status.h"
 #include "solap/index/inverted_index.h"
@@ -17,10 +18,14 @@ namespace solap {
 /// containing it. The result is a *complete* index: it carries no template
 /// filtering, so later queries with any symbol structure — and P-ROLL-UP
 /// merges — can be derived from it.
+/// When `governor` is non-null and carries a finite budget, construction
+/// periodically checks that the index under build still fits in the
+/// remaining headroom and aborts with ResourceExhausted otherwise (the
+/// engine then degrades the query to the counter-based path).
 Result<std::shared_ptr<InvertedIndex>> BuildIndex(
     SequenceGroup* group, const SequenceGroupSet& set,
     const HierarchyRegistry* hierarchies, const IndexShape& shape,
-    ScanStats* stats);
+    ScanStats* stats, MemoryGovernor* governor = nullptr);
 
 /// Extends `index` with the contents of sequences [from_sid, end of group) —
 /// the incremental-update path (paper §6): when a new batch of sequences is
@@ -29,7 +34,7 @@ Result<std::shared_ptr<InvertedIndex>> BuildIndex(
 Status AppendToIndex(InvertedIndex* index, SequenceGroup* group,
                      const SequenceGroupSet& set,
                      const HierarchyRegistry* hierarchies, Sid from_sid,
-                     ScanStats* stats);
+                     ScanStats* stats, MemoryGovernor* governor = nullptr);
 
 }  // namespace solap
 

@@ -32,16 +32,33 @@ std::shared_ptr<InvertedIndex> GroupIndexCache::FindUsable(
   return nullptr;
 }
 
-void GroupIndexCache::Insert(std::shared_ptr<InvertedIndex> index) {
+Status GroupIndexCache::Insert(std::shared_ptr<InvertedIndex> index) {
   std::string key = KeyOf(index->shape(), index->constraint_sig());
+  const size_t bytes = index->ByteSize();
   std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = by_key_.find(key);
+  // Replacing an entry nets out against its existing charge; only the
+  // growth is a new reservation.
+  const size_t old_bytes = it != by_key_.end() ? entry_bytes_[it->second] : 0;
+  if (governor_ != nullptr) {
+    if (bytes > old_bytes) {
+      SOLAP_RETURN_NOT_OK(
+          governor_->TryCharge(bytes - old_bytes, "index cache"));
+      charged_bytes_ += bytes - old_bytes;
+    } else {
+      governor_->Release(old_bytes - bytes);
+      charged_bytes_ -= old_bytes - bytes;
+    }
+  }
   if (it != by_key_.end()) {
     entries_[it->second] = std::move(index);
-    return;
+    entry_bytes_[it->second] = bytes;
+    return Status::OK();
   }
   by_key_.emplace(std::move(key), entries_.size());
   entries_.push_back(std::move(index));
+  entry_bytes_.push_back(bytes);
+  return Status::OK();
 }
 
 std::vector<std::shared_ptr<InvertedIndex>> GroupIndexCache::entries() const {
@@ -58,8 +75,15 @@ size_t GroupIndexCache::TotalBytes() const {
 
 void GroupIndexCache::Clear() {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  if (governor_ != nullptr) governor_->Release(charged_bytes_);
+  charged_bytes_ = 0;
   entries_.clear();
+  entry_bytes_.clear();
   by_key_.clear();
+}
+
+GroupIndexCache::~GroupIndexCache() {
+  if (governor_ != nullptr) governor_->Release(charged_bytes_);
 }
 
 }  // namespace solap

@@ -17,6 +17,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "solap/common/mem_budget.h"
+#include "solap/common/status.h"
 #include "solap/index/inverted_index.h"
 
 namespace solap {
@@ -40,7 +42,15 @@ class GroupIndexCache {
   std::shared_ptr<InvertedIndex> FindUsable(
       const IndexShape& shape, const std::string& constraint_sig) const;
 
-  void Insert(std::shared_ptr<InvertedIndex> index);
+  /// Caches `index`, charging its ByteSize() to the governor (if set).
+  /// Returns ResourceExhausted without inserting when the charge is
+  /// rejected — callers either propagate (degrading the query) or continue
+  /// uncached.
+  Status Insert(std::shared_ptr<InvertedIndex> index);
+
+  /// Attaches the byte-budget accountant charged by Insert and credited by
+  /// Clear/destruction. Set once at engine construction, before any use.
+  void set_governor(MemoryGovernor* governor) { governor_ = governor; }
 
   /// Snapshot of all cached indices (inspection, derivation searches,
   /// eviction). Returned by value: the cache may be concurrently extended.
@@ -49,12 +59,18 @@ class GroupIndexCache {
   size_t TotalBytes() const;
   void Clear();
 
+  ~GroupIndexCache();
+
  private:
   std::shared_ptr<InvertedIndex> FindLocked(
       const IndexShape& shape, const std::string& constraint_sig) const;
 
   mutable std::shared_mutex mu_;
+  MemoryGovernor* governor_ = nullptr;
+  size_t charged_bytes_ = 0;  // total currently charged to governor_
   std::vector<std::shared_ptr<InvertedIndex>> entries_;
+  // Governor charge of the matching entries_ slot (refunded on replace).
+  std::vector<size_t> entry_bytes_;
   // shape canonical + "|" + constraint sig -> entry position.
   std::unordered_map<std::string, size_t> by_key_;
 };

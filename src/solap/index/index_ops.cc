@@ -1,11 +1,14 @@
 #include "solap/index/index_ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <memory>
+#include <new>
 #include <unordered_set>
 #include <utility>
 
+#include "solap/common/failpoint.h"
 #include "solap/index/bitmap.h"
 #include "solap/index/intersect.h"
 
@@ -94,6 +97,20 @@ namespace {
 struct JoinShardOut {
   std::vector<std::pair<PatternKey, std::vector<Sid>>> lists;
   ScanStats stats;
+  // bad_alloc inside a pool worker would escape the task and terminate the
+  // process; shards capture it here and the join fails with a Status the
+  // engine can degrade on.
+  Status status;
+};
+
+// Transient reservation against the engine budget, released when the join
+// scope unwinds (including via exceptions).
+struct ScratchCharge {
+  MemoryGovernor* governor = nullptr;
+  size_t bytes = 0;
+  ~ScratchCharge() {
+    if (governor != nullptr) governor->Release(bytes);
+  }
 };
 
 // Shared implementation of both join directions. `grow_right` selects which
@@ -113,6 +130,21 @@ Result<std::shared_ptr<InvertedIndex>> JoinExtendImpl(
     return Status::InvalidArgument("join extension requires a size-2 index, "
                                    "got size " +
                                    std::to_string(l2.shape().size()));
+  }
+  SOLAP_FAILPOINT("index.join");
+  // Reserve the join's working set — bitmap encodings, shard outputs, and
+  // the result index are all proportional to the inputs — against the
+  // engine budget for the duration of the join. A rejected reservation
+  // fails the join with ResourceExhausted and the engine re-executes the
+  // query on the counter-based path.
+  ScratchCharge scratch;
+  if (exec.governor != nullptr) {
+    SOLAP_FAILPOINT("join.scratch");
+    const size_t estimate = base.ByteSize() + l2.ByteSize();
+    SOLAP_RETURN_NOT_OK(
+        exec.governor->TryCharge(estimate, "II join scratch"));
+    scratch.governor = exec.governor;
+    scratch.bytes = estimate;
   }
   const size_t k = base.shape().size();
   const size_t out_len = k + 1;
@@ -172,7 +204,7 @@ Result<std::shared_ptr<InvertedIndex>> JoinExtendImpl(
   const bool scalar_only = !exec.adaptive_kernels;
 
   // Intersect+verify every (base list, L2 entry) pair of one partition.
-  auto run_shard = [&](size_t begin, size_t end, JoinShardOut& shard) {
+  auto shard_range = [&](size_t begin, size_t end, JoinShardOut& shard) {
     PatternKey out_key(out_len);
     std::vector<Sid> candidates, verified;  // reused across pairs
     for (size_t i = begin; i < end; ++i) {
@@ -212,6 +244,14 @@ Result<std::shared_ptr<InvertedIndex>> JoinExtendImpl(
       }
     }
   };
+  auto run_shard = [&](size_t begin, size_t end, JoinShardOut& shard) {
+    try {
+      shard_range(begin, end, shard);
+    } catch (const std::bad_alloc&) {
+      shard.status =
+          Status::ResourceExhausted("II join shard ran out of memory");
+    }
+  };
 
   const size_t n = base_entries.size();
   const size_t workers =
@@ -235,6 +275,7 @@ Result<std::shared_ptr<InvertedIndex>> JoinExtendImpl(
     batch.Wait();
   }
   for (JoinShardOut& shard : shards) {
+    SOLAP_RETURN_NOT_OK(shard.status);
     for (auto& [key, list] : shard.lists) {
       out->lists().emplace(std::move(key), std::move(list));
     }
@@ -286,6 +327,7 @@ Result<std::shared_ptr<InvertedIndex>> RollUpMerge(
       coarse_shape.size() != fine.shape().size()) {
     return Status::InvalidArgument("roll-up maps must cover every position");
   }
+  SOLAP_FAILPOINT("index.rollup");
   auto out = std::make_shared<InvertedIndex>(std::move(coarse_shape),
                                              /*complete=*/true);
   // Append every fine list to its coarse target, then sort + dedup each
@@ -303,19 +345,25 @@ Result<std::shared_ptr<InvertedIndex>> RollUpMerge(
   // slice filter.
   std::vector<PatternKey> coarse_keys(n);
   std::vector<uint8_t> keep(n, 1);
+  // Workers allocate (key copies); bad_alloc must not escape into the pool.
+  std::atomic<bool> shard_oom{false};
   auto map_range = [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const PatternKey& key = entries[i]->first;
-      PatternKey& ck = coarse_keys[i];
-      ck = key;
-      for (size_t p = 0; p < key.size(); ++p) {
-        const std::vector<Code>& map = maps[p];
-        if (!map.empty() && key[p] < map.size()) ck[p] = map[key[p]];
+    try {
+      for (size_t i = begin; i < end; ++i) {
+        const PatternKey& key = entries[i]->first;
+        PatternKey& ck = coarse_keys[i];
+        ck = key;
+        for (size_t p = 0; p < key.size(); ++p) {
+          const std::vector<Code>& map = maps[p];
+          if (!map.empty() && key[p] < map.size()) ck[p] = map[key[p]];
+        }
+        if (tmpl != nullptr && fixed_codes != nullptr &&
+            !WindowConsistent(*tmpl, 0, ck, *fixed_codes)) {
+          keep[i] = 0;  // outside the sliced subcube
+        }
       }
-      if (tmpl != nullptr && fixed_codes != nullptr &&
-          !WindowConsistent(*tmpl, 0, ck, *fixed_codes)) {
-        keep[i] = 0;  // outside the sliced subcube
-      }
+    } catch (const std::bad_alloc&) {
+      shard_oom.store(true, std::memory_order_relaxed);
     }
   };
 
@@ -331,6 +379,9 @@ Result<std::shared_ptr<InvertedIndex>> RollUpMerge(
       batch.Submit([&map_range, begin, end] { map_range(begin, end); });
     }
     batch.Wait();
+  }
+  if (shard_oom.load(std::memory_order_relaxed)) {
+    return Status::ResourceExhausted("P-ROLL-UP merge ran out of memory");
   }
 
   // Phase 2 (serial): append in fine-map order.
@@ -384,6 +435,7 @@ Result<std::shared_ptr<InvertedIndex>> DrillDownRefine(
     return Status::InvalidArgument(
         "drill-down refinement requires matching index / template lengths");
   }
+  SOLAP_FAILPOINT("index.refine");
   auto out = std::make_shared<InvertedIndex>(std::move(fine_shape),
                                              coarse.complete());
   auto map_up = [&](size_t i, Code c) -> Code {
@@ -431,6 +483,7 @@ Result<std::shared_ptr<InvertedIndex>> DrillDownRefine(
 Result<std::shared_ptr<InvertedIndex>> ExtendByScan(
     const InvertedIndex& base, const PatternTemplate& tmpl, size_t offset,
     bool grow_right, const BoundPattern& bp, ScanStats* stats) {
+  SOLAP_FAILPOINT("index.extend_scan");
   const size_t k = base.shape().size();
   const size_t out_len = k + 1;
   // Template positions covered by base / by the result.

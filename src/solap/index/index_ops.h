@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "solap/common/mem_budget.h"
 #include "solap/common/stats.h"
 #include "solap/common/status.h"
 #include "solap/common/thread_pool.h"
@@ -36,6 +37,11 @@ struct JoinExecOptions {
   /// Joins with fewer base lists than this stay serial — fan-out overhead
   /// would dominate.
   size_t parallel_min_lists = 64;
+  /// Engine-wide memory budget. Joins transiently charge an estimate of
+  /// their scratch (bitmap encodings + output lists) before fanning out and
+  /// release it after the merge; a rejected charge fails the join with
+  /// ResourceExhausted, which the engine degrades to the CB path.
+  MemoryGovernor* governor = nullptr;
 };
 
 /// Density divisor of the bitmap heuristic: an L2 list with

@@ -13,21 +13,57 @@ std::shared_ptr<SequenceGroupSet> SequenceCache::Lookup(
 void SequenceCache::Insert(const SequenceSpec& spec,
                            std::shared_ptr<SequenceGroupSet> set) {
   const std::string key = spec.CanonicalString();
+  const size_t bytes = set->ApproxBytes();
   std::lock_guard<std::mutex> lock(mu_);
+  if (governor_ != nullptr) {
+    auto it = charges_.find(key);
+    const size_t old_bytes = it != charges_.end() ? it->second : 0;
+    governor_->Release(old_bytes);
+    charged_bytes_ -= old_bytes;
+    charges_.erase(key);
+    if (!governor_->TryCharge(bytes, "sequence cache").ok()) {
+      map_.erase(key);
+      return;  // over budget: drop rather than cache
+    }
+    charges_[key] = bytes;
+    charged_bytes_ += bytes;
+  }
   map_[key] = std::move(set);
 }
 
 std::shared_ptr<SequenceGroupSet> SequenceCache::InsertIfAbsent(
     const SequenceSpec& spec, std::shared_ptr<SequenceGroupSet> set) {
   const std::string key = spec.CanonicalString();
+  const size_t bytes = set->ApproxBytes();
   std::lock_guard<std::mutex> lock(mu_);
+  auto existing = map_.find(key);
+  if (existing != map_.end()) return existing->second;
+  // A rejected charge returns the freshly built set uncached: the query
+  // proceeds on it, and the next identical formation rebuilds. Group-set
+  // identity (which keys the per-group index caches) then differs between
+  // those queries, which only costs index reuse — never correctness.
+  if (governor_ != nullptr &&
+      !governor_->TryCharge(bytes, "sequence cache").ok()) {
+    return set;
+  }
+  if (governor_ != nullptr) {
+    charges_[key] = bytes;
+    charged_bytes_ += bytes;
+  }
   auto [it, inserted] = map_.emplace(key, std::move(set));
   return it->second;
 }
 
 void SequenceCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (governor_ != nullptr) governor_->Release(charged_bytes_);
+  charged_bytes_ = 0;
+  charges_.clear();
   map_.clear();
+}
+
+SequenceCache::~SequenceCache() {
+  if (governor_ != nullptr) governor_->Release(charged_bytes_);
 }
 
 size_t SequenceCache::size() const {

@@ -12,6 +12,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "solap/common/mem_budget.h"
 #include "solap/seq/sequence_group.h"
 #include "solap/seq/sequence_query_engine.h"
 
@@ -39,9 +40,21 @@ class SequenceCache {
 
   size_t size() const;
 
+  /// Attaches the engine-wide byte-budget accountant: caching a set charges
+  /// its ApproxBytes(); a rejected charge hands the set back uncached (the
+  /// query proceeds, the next identical formation rebuilds). Set once at
+  /// engine construction, before any use.
+  void set_governor(MemoryGovernor* governor) { governor_ = governor; }
+
+  ~SequenceCache();
+
  private:
   mutable std::mutex mu_;
+  MemoryGovernor* governor_ = nullptr;
+  size_t charged_bytes_ = 0;
   std::unordered_map<std::string, std::shared_ptr<SequenceGroupSet>> map_;
+  // Governor charge per cached key (refunded on replace/Clear).
+  std::unordered_map<std::string, size_t> charges_;
 };
 
 }  // namespace solap

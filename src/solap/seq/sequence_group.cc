@@ -46,6 +46,16 @@ size_t SequenceGroupSet::total_sequences() const {
   return n;
 }
 
+size_t SequenceGroupSet::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const SequenceGroup& g : groups_) {
+    bytes += g.offsets().size() * sizeof(uint32_t);
+    bytes += g.total_events() * sizeof(uint32_t);
+    bytes += g.key().size() * sizeof(Code);
+  }
+  return bytes;
+}
+
 std::vector<std::string> SequenceGroupSet::KeyLabels(
     const CellKey& key) const {
   std::vector<std::string> out;

@@ -116,6 +116,12 @@ class SequenceGroupSet {
 
   size_t total_sequences() const;
 
+  /// Approximate resident footprint of the formed groups (offset and data
+  /// arrays; lazily materialized views are excluded as they come and go).
+  /// Charged to the engine's MemoryGovernor when the set enters the
+  /// sequence cache.
+  size_t ApproxBytes() const;
+
   /// Human-readable labels of a group key, one per global dimension.
   std::vector<std::string> KeyLabels(const CellKey& key) const;
 

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "solap/common/failpoint.h"
+#include "solap/storage/io.h"
+
 namespace solap {
 
 namespace {
@@ -26,6 +29,11 @@ QueryService::QueryService(SOlapEngine* engine, ServiceOptions options)
       repo_hits_(metrics_.counter("repository_hits")),
       index_hits_(metrics_.counter("index_cache_hits")),
       seqs_scanned_(metrics_.counter("sequences_scanned")),
+      degraded_(metrics_.counter("degraded_queries")),
+      mem_used_(metrics_.gauge("mem_used_bytes")),
+      mem_budget_(metrics_.gauge("mem_budget_bytes")),
+      mem_rejects_(metrics_.gauge("mem_budget_rejects")),
+      io_retries_(metrics_.gauge("io_retries")),
       queue_depth_(metrics_.histogram("queue_depth")),
       wait_ms_(metrics_.histogram("queue_wait_ms")),
       exec_cb_(metrics_.histogram("exec_ms_cb")),
@@ -51,6 +59,13 @@ QueryService::Ticket QueryService::Submit(const CuboidSpec& spec,
 
   if (shutdown_.load(std::memory_order_acquire)) {
     shed("query service is shut down");
+    return ticket;
+  }
+  // Chaos hook: an armed "service.submit" failpoint sheds the query at
+  // admission, exercising the same path as a saturated queue.
+  if (Status injected = SOLAP_FAILPOINT_CHECK("service.submit");
+      !injected.ok()) {
+    shed(injected.message());
     return ticket;
   }
   // Admission control: pending counts queued + executing queries. The
@@ -154,6 +169,7 @@ void QueryService::Execute(
   repo_hits_->Inc(resp.stats.repository_hits);
   index_hits_->Inc(resp.stats.index_cache_hits);
   seqs_scanned_->Inc(resp.stats.sequences_scanned);
+  degraded_->Inc(resp.stats.degraded_queries);
 
   if (result.ok()) {
     resp.cuboid = *std::move(result);
@@ -211,6 +227,14 @@ Result<QueryService::Ticket> QueryService::SubmitSessionCurrent(
 }
 
 void QueryService::CloseSession(SessionId id) { sessions_.Close(id); }
+
+void QueryService::RefreshResourceMetrics() {
+  const MemoryGovernor& governor = engine_->governor();
+  mem_used_->Set(governor.used());
+  mem_budget_->Set(governor.budget());
+  mem_rejects_->Set(governor.rejects());
+  io_retries_->Set(SnapshotIoRetries());
+}
 
 void QueryService::Shutdown() {
   shutdown_.store(true, std::memory_order_release);

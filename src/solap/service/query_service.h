@@ -110,6 +110,10 @@ class QueryService {
   // -- Introspection ---------------------------------------------------------
 
   MetricsRegistry& metrics() { return metrics_; }
+  /// Refreshes the resource gauges — governor usage/budget/rejects and the
+  /// process-wide snapshot-IO retry count — from their live sources.
+  /// Gauges are pull-based: call this before rendering metrics.
+  void RefreshResourceMetrics();
   /// Queries admitted but not finished (queued or executing).
   size_t PendingQueries() const {
     return pending_.load(std::memory_order_relaxed);
@@ -159,6 +163,11 @@ class QueryService {
   Counter* repo_hits_;
   Counter* index_hits_;
   Counter* seqs_scanned_;
+  Counter* degraded_;
+  Gauge* mem_used_;
+  Gauge* mem_budget_;
+  Gauge* mem_rejects_;
+  Gauge* io_retries_;
   Histogram* queue_depth_;
   Histogram* wait_ms_;
   Histogram* exec_cb_;

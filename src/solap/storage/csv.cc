@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "solap/common/failpoint.h"
 #include "solap/hierarchy/concept_hierarchy.h"
 
 namespace solap {
@@ -128,6 +129,7 @@ Status AppendCsv(EventTable* table, std::istream& in,
   std::vector<Value> row(schema.num_fields());
   while (std::getline(in, line)) {
     ++line_no;
+    SOLAP_FAILPOINT("csv.read");
     if (line.empty() || line == "\r") continue;
     std::vector<std::string> fields = SplitRecord(line, options.delimiter);
     if (fields.size() < mapping.size()) {
@@ -143,6 +145,14 @@ Status AppendCsv(EventTable* table, std::istream& in,
           ParseField(schema.field(mapping[i]), fields[i], line_no));
     }
     SOLAP_RETURN_NOT_OK(table->AppendRow(row));
+  }
+  // getline ends the loop on EOF *and* on a failed read; only the former is
+  // a complete file. badbit means the stream broke mid-read — report it
+  // rather than silently returning the rows parsed so far as a full table.
+  if (in.bad()) {
+    return Status::Internal("CSV input failed after line " +
+                            std::to_string(line_no) +
+                            " (read error, table is incomplete)");
   }
   return Status::OK();
 }

@@ -1,12 +1,46 @@
 #include "solap/storage/io.h"
 
 #include <array>
+#include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "solap/common/failpoint.h"
+
 namespace solap {
+
+namespace {
+
+// Snapshot retries performed process-wide (the retry-enabled Save/Load
+// overloads count here; surfaced as the service's `io_retries` gauge).
+std::atomic<uint64_t> g_io_retries{0};
+
+// Durability barrier between writing the tmp file and renaming it over the
+// destination: without the fsync, a crash after the rename could publish a
+// file whose blocks never reached the disk.
+Status SyncFile(const std::string& path) {
+  SOLAP_FAILPOINT("io.snapshot.sync");
+#if defined(__unix__) || defined(__APPLE__)
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::Internal("cannot reopen '" + path + "' to sync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::Internal("fsync failed for '" + path + "'");
+#else
+  (void)path;
+#endif
+  return Status::OK();
+}
+
+}  // namespace
 
 namespace {
 
@@ -38,13 +72,48 @@ class Writer {
     Raw(v.data(), v.size() * sizeof(T));
   }
 
+  // Atomic publish: the snapshot is written to `<path>.tmp`, fsynced, and
+  // renamed into place. A crash or failure at any step leaves either the
+  // old destination file or a stale .tmp — never a torn destination (the
+  // pre-existing snapshot is the recovery point).
   Status Flush(const std::string& path) {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::NotFound("cannot create '" + path + "'");
-    uint32_t crc = Crc32(buf_.data(), buf_.size());
-    out.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
-    out.write(reinterpret_cast<const char*>(&crc), 4);
-    if (!out.good()) return Status::Internal("write failed for '" + path + "'");
+    SOLAP_FAILPOINT("io.snapshot.open");
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) return Status::NotFound("cannot create '" + tmp + "'");
+      uint32_t crc = Crc32(buf_.data(), buf_.size());
+      // The write failpoint sits between two half-writes so a fired fault
+      // leaves a genuinely torn tmp file on disk, as a crash mid-write
+      // would — fault tests assert the destination survives it.
+      const size_t half = buf_.size() / 2;
+      out.write(buf_.data(), static_cast<std::streamsize>(half));
+      Status torn = SOLAP_FAILPOINT_CHECK("io.snapshot.write");
+      if (!torn.ok()) return torn;
+      out.write(buf_.data() + half,
+                static_cast<std::streamsize>(buf_.size() - half));
+      out.write(reinterpret_cast<const char*>(&crc), 4);
+      out.flush();
+      if (!out.good()) {
+        out.close();
+        std::remove(tmp.c_str());
+        return Status::Internal("write failed for '" + tmp + "'");
+      }
+    }
+    Status synced = SyncFile(tmp);
+    if (!synced.ok()) {
+      std::remove(tmp.c_str());
+      return synced;
+    }
+    Status renamed = SOLAP_FAILPOINT_CHECK("io.snapshot.rename");
+    if (renamed.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+      renamed = Status::Internal("cannot rename '" + tmp + "' to '" + path +
+                                 "'");
+    }
+    if (!renamed.ok()) {
+      std::remove(tmp.c_str());
+      return renamed;
+    }
     return Status::OK();
   }
 
@@ -55,6 +124,7 @@ class Writer {
 class Reader {
  public:
   static Result<Reader> Open(const std::string& path) {
+    SOLAP_FAILPOINT("io.snapshot.read");
     std::ifstream in(path, std::ios::binary);
     if (!in) return Status::NotFound("cannot open '" + path + "'");
     std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
@@ -106,8 +176,15 @@ class Reader {
     SOLAP_RETURN_NOT_OK(Raw(&v, 8));
     return v;
   }
+  // Length prefixes are validated against the bytes actually remaining
+  // BEFORE allocating (and without `n * sizeof(T)` overflow), so a corrupt
+  // or adversarial length field is a clean ParseError, never a multi-GB
+  // allocation attempt.
   Result<std::string> Str() {
     SOLAP_ASSIGN_OR_RETURN(uint32_t n, U32());
+    if (n > buf_.size() - pos_) {
+      return Status::ParseError("snapshot string exceeds file size");
+    }
     std::string s(n, '\0');
     SOLAP_RETURN_NOT_OK(Raw(s.data(), n));
     return s;
@@ -115,7 +192,7 @@ class Reader {
   template <typename T>
   Result<std::vector<T>> Vec() {
     SOLAP_ASSIGN_OR_RETURN(uint64_t n, U64());
-    if (n * sizeof(T) > buf_.size() - pos_) {
+    if (n > (buf_.size() - pos_) / sizeof(T)) {
       return Status::ParseError("snapshot vector exceeds file size");
     }
     std::vector<T> v(n);
@@ -276,6 +353,31 @@ Status SaveTable(const EventTable& table, const std::string& path) {
 
 Result<std::shared_ptr<EventTable>> LoadTable(const std::string& path) {
   return TableIo::Load(path);
+}
+
+Status SaveTable(const EventTable& table, const std::string& path,
+                 const RetryPolicy& retry) {
+  return RetryIo(
+      retry, [&] { return TableIo::Save(table, path); }, &g_io_retries);
+}
+
+Result<std::shared_ptr<EventTable>> LoadTable(const std::string& path,
+                                              const RetryPolicy& retry) {
+  Result<std::shared_ptr<EventTable>> result =
+      Status::Internal("snapshot load never ran");
+  Status st = RetryIo(
+      retry,
+      [&] {
+        result = TableIo::Load(path);
+        return result.status();
+      },
+      &g_io_retries);
+  if (!st.ok()) return st;
+  return result;
+}
+
+uint64_t SnapshotIoRetries() {
+  return g_io_retries.load(std::memory_order_relaxed);
 }
 
 Status SaveIndex(const InvertedIndex& index, const std::string& path) {

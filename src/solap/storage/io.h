@@ -9,21 +9,36 @@
 #ifndef SOLAP_STORAGE_IO_H_
 #define SOLAP_STORAGE_IO_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
+#include "solap/common/retry.h"
 #include "solap/common/status.h"
 #include "solap/index/inverted_index.h"
 #include "solap/storage/event_table.h"
 
 namespace solap {
 
-/// Writes a snapshot of `table` to `path` (atomic-ish: fails cleanly, never
-/// half-applies to an existing table object).
+/// Writes a snapshot of `table` to `path`. Atomic: the bytes go to
+/// `<path>.tmp` which is fsynced and renamed into place, so a failure or
+/// crash at any point leaves the previous snapshot untouched.
 Status SaveTable(const EventTable& table, const std::string& path);
 
 /// Loads a table snapshot; verifies magic, version and checksum.
 Result<std::shared_ptr<EventTable>> LoadTable(const std::string& path);
+
+/// Retry-enabled variants: transient (kInternal) failures are retried with
+/// bounded exponential backoff per `retry`; each retry counts into the
+/// process-wide SnapshotIoRetries() total (the service's `io_retries`
+/// metric). Permanent errors (NotFound, ParseError) return immediately.
+Status SaveTable(const EventTable& table, const std::string& path,
+                 const RetryPolicy& retry);
+Result<std::shared_ptr<EventTable>> LoadTable(const std::string& path,
+                                              const RetryPolicy& retry);
+
+/// Snapshot IO retries performed process-wide since start.
+uint64_t SnapshotIoRetries();
 
 /// Writes one inverted index (shape + completeness + lists) to `path`.
 Status SaveIndex(const InvertedIndex& index, const std::string& path);

@@ -131,6 +131,7 @@ Status ShellSession::Dispatch(const std::string& raw) {
       return Status::InvalidArgument(
           "no service running; start one with 'serve start'");
     }
+    service_->RefreshResourceMetrics();
     out_ << service_->metrics().ToString();
     return Status::OK();
   }
@@ -210,7 +211,7 @@ Status ShellSession::CmdLoad(const std::string& args) {
     }
     SOLAP_ASSIGN_OR_RETURN(table_, LoadCsvFile(*schema_, Trim(path)));
   } else if (ToLower(what) == "snapshot") {
-    SOLAP_ASSIGN_OR_RETURN(table_, LoadTable(Trim(path)));
+    SOLAP_ASSIGN_OR_RETURN(table_, LoadTable(Trim(path), RetryPolicy{}));
     schema_ = table_->schema();
   } else {
     return Status::InvalidArgument("load csv <path> | load snapshot <path>");
@@ -228,7 +229,7 @@ Status ShellSession::CmdSave(const std::string& args) {
     return Status::InvalidArgument(
         "save snapshot <path> (requires a loaded table)");
   }
-  SOLAP_RETURN_NOT_OK(SaveTable(*table_, Trim(path)));
+  SOLAP_RETURN_NOT_OK(SaveTable(*table_, Trim(path), RetryPolicy{}));
   out_ << "saved " << table_->num_rows() << " events\n";
   return Status::OK();
 }

@@ -351,6 +351,72 @@ TEST_F(ServiceTest, SessionOpsExecuteThroughTheService) {
             StatusCode::kNotFound);
 }
 
+// ------------------------------------------------------- Memory & degradation
+
+TEST_F(ServiceTest, TinyBudgetDegradesIiToCbWithIdenticalResults) {
+  // Fault-free reference: the same spec on an unconstrained engine.
+  SOlapEngine reference(data_.groups, data_.hierarchies.get());
+  auto expected = reference.Execute(XYSpec(), ExecStrategy::kCounterBased);
+  ASSERT_TRUE(expected.ok());
+
+  EngineOptions constrained;
+  constrained.memory_budget_bytes = 4096;  // far below any index over 20k seqs
+  SOlapEngine engine(data_.groups, data_.hierarchies.get(), constrained);
+  QueryService service(&engine);
+
+  SubmitOptions ii;
+  ii.strategy = ExecStrategy::kInvertedIndex;
+  QueryResponse resp = service.Run(XYSpec(), ii);
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  ASSERT_NE(resp.cuboid, nullptr);
+
+  // The query degraded to the CB path (II could not fit its index in the
+  // budget) and the answer is bit-identical to the reference.
+  EXPECT_GE(resp.stats.degraded_queries, 1u);
+  EXPECT_GE(engine.governor().rejects(), 1u);
+  ASSERT_EQ(resp.cuboid->num_cells(), (*expected)->num_cells());
+  for (const auto& [key, cell] : (*expected)->cells()) {
+    EXPECT_EQ(resp.cuboid->CellAt(key).count, cell.count);
+  }
+  EXPECT_EQ(service.metrics().counter("degraded_queries")->Value(),
+            resp.stats.degraded_queries);
+}
+
+TEST_F(ServiceTest, ResourceMetricsSurfaceGovernorAndIoState) {
+  EngineOptions constrained;
+  constrained.memory_budget_bytes = 4096;
+  SOlapEngine engine(data_.groups, data_.hierarchies.get(), constrained);
+  QueryService service(&engine);
+
+  SubmitOptions ii;
+  ii.strategy = ExecStrategy::kInvertedIndex;
+  ASSERT_TRUE(service.Run(XYSpec(), ii).status.ok());
+
+  service.RefreshResourceMetrics();
+  EXPECT_EQ(service.metrics().gauge("mem_budget_bytes")->Value(), 4096u);
+  EXPECT_GE(service.metrics().gauge("mem_budget_rejects")->Value(), 1u);
+  EXPECT_GE(service.metrics().counter("degraded_queries")->Value(), 1u);
+
+  const std::string text = service.metrics().ToString();
+  for (const char* name : {"mem_used_bytes", "mem_budget_bytes",
+                           "mem_budget_rejects", "io_retries",
+                           "degraded_queries"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+}
+
+TEST_F(ServiceTest, UnlimitedBudgetTracksUsageWithoutRejecting) {
+  SOlapEngine engine(data_.groups, data_.hierarchies.get());
+  SubmitOptions ii;
+  ii.strategy = ExecStrategy::kInvertedIndex;
+  QueryService service(&engine);
+  QueryResponse resp = service.Run(XYSpec(), ii);
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_EQ(resp.stats.degraded_queries, 0u);
+  EXPECT_EQ(engine.governor().rejects(), 0u);
+  EXPECT_GT(engine.governor().used(), 0u);  // cached index bytes are charged
+}
+
 // --------------------------------------------------------------------- Shell
 
 TEST(ShellServiceTest, ServeCommandsDriveTheService) {

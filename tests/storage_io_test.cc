@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -181,6 +182,150 @@ TEST_F(SnapshotTest, RejectsWrongKindAndGarbage) {
     f << "junkjunkjunkjunk";
   }
   EXPECT_FALSE(LoadTable(path_).ok());
+}
+
+TEST_F(SnapshotTest, TruncatedSnapshotRejected) {
+  auto table = testing::Fig8Table();
+  ASSERT_TRUE(SaveTable(*table, path_).ok());
+  std::string bytes;
+  {
+    std::ifstream f(path_, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(f),
+                 std::istreambuf_iterator<char>());
+  }
+  for (size_t keep : {bytes.size() / 2, size_t{10}, size_t{0}}) {
+    std::ofstream f(path_, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(keep));
+    f.close();
+    auto loaded = LoadTable(path_);
+    ASSERT_FALSE(loaded.ok()) << "accepted a " << keep << "-byte prefix";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  }
+}
+
+TEST_F(SnapshotTest, VersionMismatchRejected) {
+  auto table = testing::Fig8Table();
+  ASSERT_TRUE(SaveTable(*table, path_).ok());
+  std::string bytes;
+  {
+    std::ifstream f(path_, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(f),
+                 std::istreambuf_iterator<char>());
+  }
+  // Patch the version word (offset 4) to a future version and re-seal the
+  // checksum so only the version check can reject it.
+  const uint32_t future = 99;
+  std::memcpy(bytes.data() + 4, &future, 4);
+  const uint32_t crc =
+      Crc32(bytes.data(), bytes.size() - 4);
+  std::memcpy(bytes.data() + bytes.size() - 4, &crc, 4);
+  {
+    std::ofstream f(path_, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto loaded = LoadTable(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, HugeLengthPrefixRejectedWithoutAllocating) {
+  // A snapshot whose vector-length word claims ~2^61 elements (chosen so
+  // the naive `n * sizeof(T)` size check would overflow and pass) must be
+  // rejected by parsing, not by attempting the allocation.
+  std::string bytes;
+  auto put = [&bytes](const void* p, size_t n) {
+    bytes.append(static_cast<const char*>(p), n);
+  };
+  auto u32 = [&](uint32_t v) { put(&v, 4); };
+  auto u64 = [&](uint64_t v) { put(&v, 8); };
+  auto u8 = [&](uint8_t v) { put(&v, 1); };
+  put("SOLP", 4);
+  u32(1);                                              // version
+  u8('T');                                             // kind: table
+  u32(1);                                              // one field
+  u32(1);                                              // name length
+  put("v", 1);
+  u8(static_cast<uint8_t>(ValueType::kInt64));
+  u8(static_cast<uint8_t>(FieldRole::kDimension));
+  u64(4);                                              // claimed row count
+  u64(0x2000000000000001ull);                          // poisoned vec length
+  const uint32_t crc = Crc32(bytes.data(), bytes.size());
+  put(&crc, 4);
+  {
+    std::ofstream f(path_, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto loaded = LoadTable(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+
+  // Same poison on a string length prefix.
+  bytes.resize(bytes.size() - 4);  // drop CRC
+  // Rewind past veclen(8) + nrows(8) + role(1) + type(1) + name(1) +
+  // namelen(4): back to where the field-name length word starts.
+  bytes.resize(bytes.size() - 23);
+  u32(0xFFFFFFFFu);  // 4 GiB name
+  const uint32_t crc2 = Crc32(bytes.data(), bytes.size());
+  put(&crc2, 4);
+  {
+    std::ofstream f(path_, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto loaded2 = LoadTable(path_);
+  ASSERT_FALSE(loaded2.ok());
+  EXPECT_EQ(loaded2.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(SnapshotTest, SaveLeavesNoTmpResidue) {
+  auto table = testing::Fig8Table();
+  ASSERT_TRUE(SaveTable(*table, path_).ok());
+  ASSERT_TRUE(SaveTable(*table, path_).ok());  // overwrite goes via rename too
+  std::ifstream tmp(path_ + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good()) << "atomic save left '" << path_ << ".tmp' behind";
+}
+
+TEST_F(SnapshotTest, RetryOverloadsPassThrough) {
+  auto table = testing::Fig8Table();
+  RetryPolicy retry;
+  ASSERT_TRUE(SaveTable(*table, path_, retry).ok());
+  auto loaded = LoadTable(path_, retry);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->num_rows(), table->num_rows());
+  // NotFound is not transient: a missing file fails once, without retrying.
+  const uint64_t retries_before = SnapshotIoRetries();
+  EXPECT_FALSE(LoadTable("/nonexistent/file.bin", retry).ok());
+  EXPECT_EQ(SnapshotIoRetries(), retries_before);
+}
+
+namespace {
+
+// Streambuf that serves `prefix` and then breaks the stream with an
+// exception, as a failing disk or pipe would mid-read.
+class FlakyBuf : public std::streambuf {
+ public:
+  explicit FlakyBuf(std::string prefix) : data_(std::move(prefix)) {
+    setg(data_.data(), data_.data(), data_.data() + data_.size());
+  }
+
+ protected:
+  int_type underflow() override { throw std::ios_base::failure("disk died"); }
+
+ private:
+  std::string data_;
+};
+
+}  // namespace
+
+TEST(CsvTest, MidStreamReadErrorIsInternalNotSilentTruncation) {
+  FlakyBuf buf(
+      "time,card-id,location,action,amount\n"
+      "1000,688,Pentagon,in,0\n"
+      "1010,688,Wheaton,out,-2.5\n");
+  std::istream in(&buf);
+  auto table = LoadCsv(TransitSchema(), in);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInternal);
+  EXPECT_NE(table.status().message().find("incomplete"), std::string::npos);
 }
 
 TEST(Crc32Test, KnownVector) {

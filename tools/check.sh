@@ -55,4 +55,30 @@ build_tests build-tsan "$TSAN_FILTER"
 run_ctest build-tsan "$TSAN_FILTER"
 
 echo
+echo "== failpoints: compiled out of the default build =="
+# The fault-injection framework must contribute nothing unless opted into.
+# (Filter out archive member headers — failpoint.cc.o itself is always a
+# member, it just must define no symbols.)
+if nm build/src/libsolap.a 2>/dev/null | grep -v '\.o:$' |
+  grep -qi failpoint; then
+  echo "FAIL: default libsolap.a contains failpoint symbols" >&2
+  exit 1
+fi
+echo "ok: no failpoint symbol in default libsolap.a"
+
+echo
+echo "== failpoints + ASan: fault-injection + chaos suites =="
+FP_FILTER="fault_injection_test|chaos_test"
+cmake -B build-fp -S . -DSOLAP_FAILPOINTS=ON -DSOLAP_SANITIZE=address >/dev/null
+build_tests build-fp "$FP_FILTER"
+run_ctest build-fp "$FP_FILTER"
+
+echo
+echo "== failpoints + TSan: chaos suite =="
+cmake -B build-fp-tsan -S . -DSOLAP_FAILPOINTS=ON -DSOLAP_SANITIZE=thread \
+  >/dev/null
+build_tests build-fp-tsan "chaos_test"
+run_ctest build-fp-tsan "chaos_test"
+
+echo
 echo "all checks passed"
