@@ -7,11 +7,6 @@ namespace solap {
 
 namespace {
 
-// Upper bound of bucket i in microseconds: 2^i (bucket 0 covers < 1us).
-double BucketUpperUs(size_t i) {
-  return static_cast<double>(uint64_t{1} << i);
-}
-
 size_t BucketOf(double us) {
   if (us < 1.0) return 0;
   size_t b = static_cast<size_t>(std::log2(us)) + 1;
@@ -29,7 +24,7 @@ void Histogram::ObserveUs(double us) {
 
 Histogram::Snapshot Histogram::TakeSnapshot() const {
   Snapshot s;
-  uint64_t buckets[kNumBuckets];
+  std::array<uint64_t, kNumBuckets>& buckets = s.buckets;
   for (size_t i = 0; i < kNumBuckets; ++i) {
     buckets[i] = buckets_[i].load(std::memory_order_relaxed);
     s.count += buckets[i];
@@ -110,6 +105,51 @@ std::string MetricsRegistry::ToString() const {
                   "p99=%.3fms\n",
                   name.c_str(), static_cast<unsigned long long>(h.count),
                   h.mean_ms, h.p50_ms, h.p95_ms, h.p99_ms);
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheus() const {
+  Snapshot s = TakeSnapshot();
+  std::string out;
+  char buf[256];
+  auto emit_scalar = [&](const std::string& name, const char* type,
+                         uint64_t value) {
+    std::snprintf(buf, sizeof(buf), "# TYPE solap_%s %s\nsolap_%s %llu\n",
+                  name.c_str(), type, name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  };
+  for (const auto& [name, value] : s.counters) {
+    emit_scalar(name, "counter", value);
+  }
+  for (const auto& [name, value] : s.gauges) {
+    emit_scalar(name, "gauge", value);
+  }
+  for (const auto& [name, h] : s.histograms) {
+    std::snprintf(buf, sizeof(buf), "# TYPE solap_%s histogram\n",
+                  name.c_str());
+    out += buf;
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      cumulative += h.buckets[i];
+      if (i + 1 == Histogram::kNumBuckets) {
+        std::snprintf(buf, sizeof(buf),
+                      "solap_%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+                      static_cast<unsigned long long>(cumulative));
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "solap_%s_bucket{le=\"%.6g\"} %llu\n", name.c_str(),
+                      Histogram::BucketUpperUs(i) / 1000.0,
+                      static_cast<unsigned long long>(cumulative));
+      }
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "solap_%s_sum %.6f\nsolap_%s_count %llu\n", name.c_str(),
+                  h.sum_ms, name.c_str(),
+                  static_cast<unsigned long long>(h.count));
     out += buf;
   }
   return out;

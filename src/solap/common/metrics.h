@@ -7,6 +7,7 @@
 #ifndef SOLAP_COMMON_METRICS_H_
 #define SOLAP_COMMON_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -53,6 +54,12 @@ class Histogram {
  public:
   static constexpr size_t kNumBuckets = 28;  // up to ~134s
 
+  /// Upper bound of bucket `i` in microseconds: 2^i (bucket 0 covers
+  /// < 1us; the last bucket is rendered as +Inf in Prometheus output).
+  static double BucketUpperUs(size_t i) {
+    return static_cast<double>(uint64_t{1} << i);
+  }
+
   void ObserveMs(double ms) { ObserveUs(ms * 1000.0); }
   void ObserveUs(double us);
 
@@ -63,6 +70,9 @@ class Histogram {
     double p50_ms = 0;
     double p95_ms = 0;
     double p99_ms = 0;
+    /// Per-bucket observation counts (not cumulative); bucket i counts
+    /// observations in [2^(i-1), 2^i) us.
+    std::array<uint64_t, kNumBuckets> buckets = {};
   };
   Snapshot TakeSnapshot() const;
 
@@ -92,6 +102,12 @@ class MetricsRegistry {
 
   /// Aligned text rendering of a full snapshot (shell `metrics` command).
   std::string ToString() const;
+
+  /// Prometheus text exposition (version 0.0.4) of a full snapshot, every
+  /// name prefixed `solap_` (shell `metrics --prometheus`). Histograms are
+  /// rendered with cumulative `_bucket{le="..."}` series in milliseconds
+  /// plus `_sum` / `_count`.
+  std::string ToPrometheus() const;
 
  private:
   mutable std::mutex mu_;

@@ -7,7 +7,9 @@ namespace solap {
 std::string ScanStats::ToString() const {
   std::ostringstream os;
   os << "scanned=" << sequences_scanned << " lists=" << lists_built
-     << " intersections=" << list_intersections
+     << " intersections=" << list_intersections << " (linear="
+     << intersections_linear << " gallop=" << intersections_galloping
+     << " bitmap=" << intersections_bitmap << ")"
      << " index_bytes=" << index_bytes_built << " repo_hits=" << repository_hits
      << " index_hits=" << index_cache_hits
      << " degraded=" << degraded_queries;

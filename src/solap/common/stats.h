@@ -21,6 +21,12 @@ struct ScanStats {
   uint64_t lists_built = 0;
   /// Number of list-intersection operations performed by index joins.
   uint64_t list_intersections = 0;
+  /// Breakdown of `list_intersections` by the kernel chosen per pair
+  /// (index/intersect.h): linear merge / galloping / bitmap probes. The
+  /// scalar baseline (adaptive_join_kernels = false) counts as linear.
+  uint64_t intersections_linear = 0;
+  uint64_t intersections_galloping = 0;
+  uint64_t intersections_bitmap = 0;
   /// Bytes of inverted-index storage created (sid entries + keys).
   uint64_t index_bytes_built = 0;
   /// Number of cuboid-repository hits (queries answered from cache).
@@ -37,6 +43,9 @@ struct ScanStats {
     sequences_scanned += o.sequences_scanned;
     lists_built += o.lists_built;
     list_intersections += o.list_intersections;
+    intersections_linear += o.intersections_linear;
+    intersections_galloping += o.intersections_galloping;
+    intersections_bitmap += o.intersections_bitmap;
     index_bytes_built += o.index_bytes_built;
     repository_hits += o.repository_hits;
     index_cache_hits += o.index_cache_hits;

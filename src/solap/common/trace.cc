@@ -1,0 +1,245 @@
+#include "solap/common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace solap {
+
+namespace {
+
+// The innermost open TraceSpan of this thread: implicit parent for
+// single-argument TraceSpan construction. One frame suffices because a
+// thread executes at most one traced query at a time; a frame belonging
+// to a different context (stale or foreign) is simply not matched.
+struct TlsFrame {
+  TraceContext* ctx = nullptr;
+  int span = -1;
+};
+thread_local TlsFrame tls_frame;
+
+// Minimal JSON string escaping (quotes, backslash, control characters).
+void AppendJsonEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+uint32_t TraceContext::TidOrdinalLocked(std::thread::id id) {
+  auto [it, inserted] =
+      tids_.emplace(id, static_cast<uint32_t>(tids_.size()));
+  (void)inserted;
+  return it->second;
+}
+
+int TraceContext::BeginSpan(const char* name, int parent) {
+  const uint64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  Span s;
+  s.name = name;
+  s.parent = parent;
+  s.start_ns = now;
+  s.tid = TidOrdinalLocked(std::this_thread::get_id());
+  spans_.push_back(std::move(s));
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+void TraceContext::EndSpan(int id) {
+  const uint64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  Span& s = spans_[static_cast<size_t>(id)];
+  if (!s.open) return;
+  s.open = false;
+  s.dur_ns = now >= s.start_ns ? now - s.start_ns : 0;
+}
+
+void TraceContext::AddCounter(int id, const char* key, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  spans_[static_cast<size_t>(id)].counters.emplace_back(key, value);
+}
+
+void TraceContext::AddNote(int id, const char* key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  spans_[static_cast<size_t>(id)].notes.emplace_back(key, std::move(value));
+}
+
+int TraceContext::AddTimedSpan(const char* name,
+                               std::chrono::steady_clock::time_point start,
+                               std::chrono::steady_clock::time_point end,
+                               int parent) {
+  auto rel = [this](std::chrono::steady_clock::time_point t) -> uint64_t {
+    if (t <= epoch_) return 0;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch_)
+            .count());
+  };
+  const uint64_t s_ns = rel(start);
+  const uint64_t e_ns = std::max(rel(end), s_ns);
+  std::lock_guard<std::mutex> lock(mu_);
+  Span s;
+  s.name = name;
+  s.parent = parent;
+  s.start_ns = s_ns;
+  s.dur_ns = e_ns - s_ns;
+  s.open = false;
+  s.tid = TidOrdinalLocked(std::this_thread::get_id());
+  spans_.push_back(std::move(s));
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+std::vector<TraceContext::Span> TraceContext::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+double TraceContext::TotalMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t latest = 0;
+  for (const Span& s : spans_) {
+    latest = std::max(latest, s.start_ns + s.dur_ns);
+  }
+  return static_cast<double>(latest) / 1e6;
+}
+
+std::string TraceContext::ToString() const {
+  const std::vector<Span> spans = Snapshot();
+  const size_t n = spans.size();
+  // Children in recording order, and each span's direct-children time for
+  // the self-time column.
+  std::vector<std::vector<size_t>> children(n);
+  std::vector<uint64_t> child_ns(n, 0);
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < n; ++i) {
+    const int p = spans[i].parent;
+    if (p >= 0 && static_cast<size_t>(p) < n) {
+      children[static_cast<size_t>(p)].push_back(i);
+      child_ns[static_cast<size_t>(p)] += spans[i].dur_ns;
+    } else {
+      roots.push_back(i);
+    }
+  }
+  std::string out;
+  char buf[160];
+  auto render = [&](auto&& self, size_t i, int depth) -> void {
+    const Span& s = spans[i];
+    const double wall = static_cast<double>(s.dur_ns) / 1e6;
+    // Concurrent children (pool shards) can sum past the parent's wall
+    // time; self-time floors at zero rather than going negative.
+    const double self_ms =
+        s.dur_ns > child_ns[i]
+            ? static_cast<double>(s.dur_ns - child_ns[i]) / 1e6
+            : 0.0;
+    std::string label(static_cast<size_t>(depth) * 2, ' ');
+    label += s.name;
+    std::snprintf(buf, sizeof(buf), "%-36s %10.3f ms  self %8.3f ms",
+                  label.c_str(), wall, self_ms);
+    out += buf;
+    for (const auto& [k, v] : s.counters) {
+      std::snprintf(buf, sizeof(buf), "  %s=%llu", k.c_str(),
+                    static_cast<unsigned long long>(v));
+      out += buf;
+    }
+    for (const auto& [k, v] : s.notes) {
+      out += "  " + k + "=" + v;
+    }
+    out += "\n";
+    for (size_t c : children[i]) self(self, c, depth + 1);
+  };
+  for (size_t r : roots) render(render, r, 0);
+  return out;
+}
+
+std::string TraceContext::ToChromeJson() const {
+  const std::vector<Span> spans = Snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[128];
+  bool first = true;
+  for (const Span& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(out, s.name);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"solap\",\"ph\":\"X\",\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"pid\":1,\"tid\":%u",
+                  static_cast<double>(s.start_ns) / 1e3,
+                  static_cast<double>(s.dur_ns) / 1e3, s.tid);
+    out += buf;
+    if (!s.counters.empty() || !s.notes.empty()) {
+      out += ",\"args\":{";
+      bool farg = true;
+      for (const auto& [k, v] : s.counters) {
+        if (!farg) out += ",";
+        farg = false;
+        out += "\"";
+        AppendJsonEscaped(out, k);
+        std::snprintf(buf, sizeof(buf), "\":%llu",
+                      static_cast<unsigned long long>(v));
+        out += buf;
+      }
+      for (const auto& [k, v] : s.notes) {
+        if (!farg) out += ",";
+        farg = false;
+        out += "\"";
+        AppendJsonEscaped(out, k);
+        out += "\":\"";
+        AppendJsonEscaped(out, v);
+        out += "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void TraceSpan::Open(TraceContext* ctx, const char* name, int parent) {
+  ctx_ = ctx;
+  id_ = ctx->BeginSpan(name, parent);
+  prev_ctx_ = tls_frame.ctx;
+  prev_span_ = tls_frame.span;
+  tls_frame.ctx = ctx;
+  tls_frame.span = id_;
+}
+
+TraceSpan::TraceSpan(TraceContext* ctx, const char* name) {
+  if (ctx == nullptr) return;
+  Open(ctx, name, tls_frame.ctx == ctx ? tls_frame.span : -1);
+}
+
+TraceSpan::TraceSpan(TraceContext* ctx, const char* name, int parent) {
+  if (ctx == nullptr) return;
+  Open(ctx, name, parent);
+}
+
+void TraceSpan::End() {
+  if (ctx_ == nullptr) return;
+  ctx_->EndSpan(id_);
+  tls_frame.ctx = prev_ctx_;
+  tls_frame.span = prev_span_;
+  ctx_ = nullptr;
+  id_ = -1;
+}
+
+TraceSpan::~TraceSpan() { End(); }
+
+}  // namespace solap

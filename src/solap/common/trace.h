@@ -1,0 +1,147 @@
+// Structured per-query tracing: a TraceContext records a tree of named,
+// steady-clock-timed spans with attached counters and notes, threaded
+// through parse -> optimize -> strategy execution and the service layer.
+//
+// Tracing is opt-in per query: every instrumentation site takes a
+// `TraceContext*` that is nullptr in normal operation, so a disabled span
+// costs one pointer test. An enabled span costs two steady_clock reads
+// plus one short mutex-guarded append at construction and destruction.
+//
+// Spans nest implicitly on the recording thread (a thread-local frame
+// tracks the innermost open span per context); work fanned out to pool
+// threads passes the parent span id explicitly, so shard spans hang under
+// the span that spawned them. Renderings: ToString() (the EXPLAIN ANALYZE
+// tree, with per-span wall and self times) and ToChromeJson() (Chrome
+// trace_event JSON for chrome://tracing / Perfetto flame graphs). See
+// docs/OBSERVABILITY.md for the span naming scheme.
+#ifndef SOLAP_COMMON_TRACE_H_
+#define SOLAP_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace solap {
+
+/// \brief One query's span tree. Thread-safe: spans may be opened and
+/// closed from any thread (pool shards record concurrently).
+class TraceContext {
+ public:
+  /// One recorded span. Times are nanoseconds since the context's epoch
+  /// (its construction), so renderings are origin-zeroed.
+  struct Span {
+    std::string name;
+    int parent = -1;       // index into spans(), -1 = root-level
+    uint64_t start_ns = 0;
+    uint64_t dur_ns = 0;   // 0 while still open
+    uint32_t tid = 0;      // per-context ordinal of the recording thread
+    bool open = true;
+    /// Attached numeric facts ("sequences", "intersections", ...).
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    /// Attached string facts ("strategy=ii", "kernel mix", ...).
+    std::vector<std::pair<std::string, std::string>> notes;
+  };
+
+  TraceContext() : epoch_(std::chrono::steady_clock::now()) {}
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  /// Opens a span; returns its id. parent = -1 makes a root-level span.
+  int BeginSpan(const char* name, int parent);
+  /// Closes `id` (records its duration). Idempotent.
+  void EndSpan(int id);
+
+  void AddCounter(int id, const char* key, uint64_t value);
+  void AddNote(int id, const char* key, std::string value);
+
+  /// Records a retroactive span from explicit time points — used for
+  /// intervals not scoped on one thread (service queue wait). Returns the
+  /// span id; the span is already closed.
+  int AddTimedSpan(const char* name,
+                   std::chrono::steady_clock::time_point start,
+                   std::chrono::steady_clock::time_point end, int parent);
+
+  /// Consistent copy of the recorded spans (open spans have dur_ns = 0).
+  std::vector<Span> Snapshot() const;
+
+  /// Wall time covered by the trace: the latest span end (ms).
+  double TotalMs() const;
+
+  /// The EXPLAIN ANALYZE rendering: an indented tree, one line per span,
+  /// with wall ms, self ms (wall minus direct children) and the span's
+  /// counters and notes. Deterministic apart from the timing numbers.
+  std::string ToString() const;
+
+  /// Chrome trace_event JSON ("X" complete events, microsecond
+  /// timestamps); loads in chrome://tracing and ui.perfetto.dev. Counters
+  /// and notes become the event's "args".
+  std::string ToChromeJson() const;
+
+ private:
+  uint64_t NowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+  uint32_t TidOrdinalLocked(std::thread::id id);
+
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::unordered_map<std::thread::id, uint32_t> tids_;
+};
+
+/// \brief RAII span handle. Inactive (zero-cost beyond a null test) when
+/// constructed with a null context.
+///
+/// The single-argument form nests under the innermost TraceSpan currently
+/// open on this thread for the same context; the explicit-parent form is
+/// for pool tasks, which run on threads with no open frame.
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  TraceSpan(TraceContext* ctx, const char* name);
+  /// Explicit parent (a TraceSpan::id() captured before the fan-out).
+  TraceSpan(TraceContext* ctx, const char* name, int parent);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a numeric fact to this span. No-op when inactive.
+  void Count(const char* key, uint64_t value) {
+    if (ctx_ != nullptr) ctx_->AddCounter(id_, key, value);
+  }
+  /// Attaches a string fact to this span. No-op when inactive.
+  void Note(const char* key, std::string value) {
+    if (ctx_ != nullptr) ctx_->AddNote(id_, key, std::move(value));
+  }
+
+  /// Closes the span now instead of at scope exit (for spans covering a
+  /// prefix of a scope). Idempotent; no-op when inactive.
+  void End();
+
+  bool active() const { return ctx_ != nullptr; }
+  /// This span's id, for parenting fan-out work; -1 when inactive.
+  int id() const { return id_; }
+
+ private:
+  void Open(TraceContext* ctx, const char* name, int parent);
+
+  TraceContext* ctx_ = nullptr;
+  int id_ = -1;
+  // Saved thread-local frame, restored on destruction.
+  TraceContext* prev_ctx_ = nullptr;
+  int prev_span_ = -1;
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_COMMON_TRACE_H_

@@ -19,11 +19,14 @@ Status SOlapEngine::RunCounterBased(QueryContext& ctx) {
       std::max<size_t>(std::thread::hardware_concurrency(), 1);
   for (size_t gi : ctx.selected_groups) {
     SequenceGroup& group = ctx.groups->groups()[gi];
+    TraceSpan group_span(ctx.trace, "cb.group");
+    group_span.Count("group", gi);
     SOLAP_ASSIGN_OR_RETURN(
         BoundPattern bp,
         BoundPattern::Bind(&ctx.tmpl, &group, *ctx.groups, hierarchies_,
                            ctx.spec->predicate, ctx.spec->placeholders));
     const Sid n = static_cast<Sid>(group.num_sequences());
+    group_span.Count("sequences", n);
     // Partition count: explicit cb_threads is clamped to the hardware
     // (spawning more scanners than cores only adds merge work), 0 means
     // "use the whole pool", and small groups stay sequential — a
@@ -32,6 +35,7 @@ Status SOlapEngine::RunCounterBased(QueryContext& ctx) {
                          ? (pool != nullptr ? pool->num_threads() : 1)
                          : std::min<size_t>(options_.cb_threads, hw);
     threads = std::min<size_t>(threads, n / 1024 + 1);
+    group_span.Count("threads", threads);
     if (threads <= 1 || pool == nullptr) {
       SOLAP_RETURN_NOT_OK(
           CounterScanRange(ctx, group, bp, 0, n, ctx.cuboid, ctx.stats));
@@ -48,11 +52,16 @@ Status SOlapEngine::RunCounterBased(QueryContext& ctx) {
       TaskBatch batch(pool);
       const Sid chunk = (n + static_cast<Sid>(threads) - 1) /
                         static_cast<Sid>(threads);
+      const int parent_span = group_span.id();
       for (size_t t = 0; t < threads; ++t) {
         Sid begin = static_cast<Sid>(t) * chunk;
         Sid end = std::min<Sid>(begin + chunk, n);
         batch.Submit([this, &ctx, &group, &bp, &partials, &partial_stats,
-                      &results, t, begin, end] {
+                      &results, t, begin, end, parent_span] {
+          // Pool threads have no open frame; parent the shard explicitly.
+          TraceSpan shard_span(ctx.trace, "cb.shard", parent_span);
+          shard_span.Count("begin", begin);
+          shard_span.Count("end", end);
           // bad_alloc escaping a pool worker would terminate the process;
           // turn it into a Status the query boundary can report.
           try {

@@ -113,24 +113,44 @@ Result<std::shared_ptr<const SCuboid>> SOlapEngine::ExecuteWithStats(
 Result<std::shared_ptr<const SCuboid>> SOlapEngine::ExecuteGuarded(
     const CuboidSpec& spec, ExecStrategy strategy, const ExecControl& control,
     ScanStats* stats) {
+  TraceContext* trace = control.trace;
   if (strategy == ExecStrategy::kAuto && !spec.is_regex()) {
+    TraceSpan span(trace, "optimize");
     StrategyOptimizer optimizer(this);
     SOLAP_ASSIGN_OR_RETURN(StrategyChoice choice, optimizer.Choose(spec));
     strategy = choice.strategy;
+    span.Note("strategy", StrategyName(strategy));
+    span.Note("reason", choice.reason);
+    span.Count("cb_cost", static_cast<uint64_t>(choice.cb_cost));
+    span.Count("ii_cost", static_cast<uint64_t>(choice.ii_cost));
   }
   const std::string key = spec.CanonicalString();
-  if (auto hit = repository_.Lookup(key)) {
-    ++stats->repository_hits;
-    return hit;
+  {
+    TraceSpan span(trace, "repo.lookup");
+    if (auto hit = repository_.Lookup(key)) {
+      ++stats->repository_hits;
+      span.Note("result", "hit");
+      return hit;
+    }
+    span.Note("result", "miss");
   }
   SOLAP_RETURN_NOT_OK(CheckStop(control.stop, "query execution"));
   auto cuboid = std::make_shared<SCuboid>(MakeDimDescriptors(spec), spec.agg);
+  TraceSpan prep_span(trace, "prepare");
   SOLAP_ASSIGN_OR_RETURN(QueryContext ctx, Prepare(spec, cuboid.get()));
+  if (prep_span.active()) {
+    prep_span.Count("groups", ctx.groups->groups().size());
+    prep_span.Count("selected_groups", ctx.selected_groups.size());
+  }
+  prep_span.End();
   ctx.stats = stats;
   ctx.stop = control.stop;
+  ctx.trace = trace;
   if (spec.is_regex()) {
+    TraceSpan span(trace, "exec.regex");
     SOLAP_RETURN_NOT_OK(RunRegex(ctx));
   } else if (strategy == ExecStrategy::kCounterBased) {
+    TraceSpan span(trace, "exec.cb");
     SOLAP_RETURN_NOT_OK(RunCounterBased(ctx));
   } else {
     // II with graceful degradation: a transient failure (injected fault,
@@ -139,30 +159,39 @@ Result<std::shared_ptr<const SCuboid>> SOlapEngine::ExecuteGuarded(
     // produces the bit-identical cuboid (both strategies fold the same
     // assignments; see DESIGN.md "Robustness & fault model").
     Status ii = Status::OK();
-    try {
-      ii = RunInvertedIndex(ctx);
-    } catch (const std::bad_alloc&) {
-      ii = Status::ResourceExhausted(
-          "inverted-index execution ran out of memory");
+    {
+      TraceSpan span(trace, "exec.ii");
+      try {
+        ii = RunInvertedIndex(ctx);
+      } catch (const std::bad_alloc&) {
+        ii = Status::ResourceExhausted(
+            "inverted-index execution ran out of memory");
+      }
+      if (!ii.ok()) span.Note("error", ii.message());
     }
     if (!ii.ok()) {
       if (!DegradableToCb(ii.code())) return ii;
       ++stats->degraded_queries;
+      TraceSpan span(trace, "exec.degrade_cb");
+      span.Note("cause", ii.message());
       // The failed II run may have folded cells already — restart from a
       // fresh cuboid and context.
       cuboid = std::make_shared<SCuboid>(MakeDimDescriptors(spec), spec.agg);
       SOLAP_ASSIGN_OR_RETURN(ctx, Prepare(spec, cuboid.get()));
       ctx.stats = stats;
       ctx.stop = control.stop;
+      ctx.trace = trace;
       SOLAP_RETURN_NOT_OK(RunCounterBased(ctx));
     }
   }
+  TraceSpan fin_span(trace, "finalize");
   if (spec.iceberg_min_count.has_value()) {
     cuboid->ApplyIceberg(*spec.iceberg_min_count);
   }
   SOLAP_RETURN_NOT_OK(
       LabelCells(cuboid.get(), *ctx.groups, hierarchies_, spec.dims));
   repository_.Insert(key, cuboid);
+  fin_span.Count("cells", cuboid->cells().size());
   return std::shared_ptr<const SCuboid>(cuboid);
 }
 

@@ -17,6 +17,7 @@
 #include "solap/common/status.h"
 #include "solap/common/stop.h"
 #include "solap/common/thread_pool.h"
+#include "solap/common/trace.h"
 #include "solap/cube/cuboid.h"
 #include "solap/cube/cuboid_repository.h"
 #include "solap/cube/cuboid_spec.h"
@@ -38,6 +39,16 @@ enum class ExecStrategy {
   /// query optimizer" future work; see engine/optimizer.h).
   kAuto,
 };
+
+/// Stable lowercase name of a strategy, used by EXPLAIN output and spans.
+inline const char* StrategyName(ExecStrategy s) {
+  switch (s) {
+    case ExecStrategy::kCounterBased: return "counter-based";
+    case ExecStrategy::kInvertedIndex: return "inverted-index";
+    case ExecStrategy::kAuto: return "auto";
+  }
+  return "?";
+}
 
 /// Tuning knobs of the engine.
 struct EngineOptions {
@@ -84,6 +95,9 @@ struct ExecControl {
   const StopToken* stop = nullptr;
   /// If set, receives exactly this execution's counters.
   ScanStats* stats_out = nullptr;
+  /// If set, the execution records its span tree here (EXPLAIN ANALYZE,
+  /// service trace sampling). nullptr = tracing off, near-zero overhead.
+  TraceContext* trace = nullptr;
 };
 
 /// \brief The S-OLAP system facade.
@@ -213,6 +227,8 @@ class SOlapEngine {
     ScanStats* stats = nullptr;
     /// Cancellation/deadline token, nullptr when uncontrolled.
     const StopToken* stop = nullptr;
+    /// Span sink of this execution, nullptr when tracing is off.
+    TraceContext* trace = nullptr;
   };
 
   Result<std::shared_ptr<const SCuboid>> ExecuteWithStats(
@@ -256,7 +272,8 @@ class SOlapEngine {
   Result<std::shared_ptr<InvertedIndex>> ObtainIndex(
       GroupIndexCache& cache, SequenceGroup& group,
       const SequenceGroupSet& set, const PatternTemplate& tmpl,
-      const BoundPattern& bp, ScanStats* stats, const StopToken* stop);
+      const BoundPattern& bp, ScanStats* stats, const StopToken* stop,
+      TraceContext* trace);
   /// Counting step shared by both strategies' index path (Fig. 15 l. 10-11).
   Status CountFromIndex(QueryContext& ctx, SequenceGroup& group,
                         const BoundPattern& bp, const InvertedIndex& index);

@@ -63,12 +63,19 @@ Result<StrategyChoice> StrategyOptimizer::Choose(const CuboidSpec& spec) {
     double build_cost = 0;   // sequences scanned to obtain the final index
     double count_base = n;   // entries the counting step would walk
     bool found = false;
+    GroupPlan gp;
+    gp.group_index = gi;
+    gp.num_sequences = group.num_sequences();
+    gp.cb_cost = n;
+    gp.ii_source = "cold BuildIndex scan";
     if (cache != nullptr) {
       // 1. A complete index of exactly the target shape.
       if (auto exact = cache->Find(target, "")) {
         build_cost = 0;
         count_base = static_cast<double>(exact->total_entries());
         reason = "exact cached index";
+        gp.ii_source = reason;
+        gp.reused_index = target.CanonicalString();
         found = true;
       }
       // 2. Same-shape indices at other levels: merge (free) or refine
@@ -99,6 +106,8 @@ Result<StrategyChoice> StrategyOptimizer::Choose(const CuboidSpec& spec) {
             build_cost = 0;  // pure list merging
             count_base = static_cast<double>(entry->total_entries());
             reason = "P-ROLL-UP merge from cached finer index";
+            gp.ii_source = reason;
+            gp.reused_index = entry->shape().CanonicalString();
             found = true;
             break;
           }
@@ -111,6 +120,8 @@ Result<StrategyChoice> StrategyOptimizer::Choose(const CuboidSpec& spec) {
                 n, static_cast<double>(entry->total_entries()));
             count_base = build_cost;
             reason = "P-DRILL-DOWN refinement of cached coarser index";
+            gp.ii_source = reason;
+            gp.reused_index = entry->shape().CanonicalString();
             found = true;
             break;
           }
@@ -152,6 +163,9 @@ Result<StrategyChoice> StrategyOptimizer::Choose(const CuboidSpec& spec) {
           }
           count_base = std::min(n, usable);
           reason = "extend cached prefix/suffix index";
+          gp.ii_source = usable < n ? "scan-extend cached prefix/suffix"
+                                    : "join-extend cached prefix/suffix";
+          gp.reused_index = base->shape().CanonicalString();
           found = true;
           break;
         }
@@ -167,7 +181,9 @@ Result<StrategyChoice> StrategyOptimizer::Choose(const CuboidSpec& spec) {
       build_cost = n;
       count_base = n;
     }
-    choice.ii_cost += build_cost + (needs_count_scan ? count_base : 0);
+    gp.ii_cost = build_cost + (needs_count_scan ? count_base : 0);
+    choice.ii_cost += gp.ii_cost;
+    choice.groups.push_back(std::move(gp));
   }
 
   choice.strategy = choice.ii_cost <= choice.cb_cost

@@ -12,13 +12,30 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "solap/engine/engine.h"
 
 namespace solap {
 
+/// Per-group detail of the verdict: what the II strategy would do for one
+/// selected sequence group and what each side is estimated to cost.
+/// EXPLAIN renders one line per entry.
+struct GroupPlan {
+  size_t group_index = 0;
+  uint64_t num_sequences = 0;
+  /// Estimated sequences touched by each strategy in this group.
+  double cb_cost = 0;
+  double ii_cost = 0;
+  /// How II would obtain the group's index ("exact cached index",
+  /// "cold BuildIndex scan", ...).
+  std::string ii_source;
+  /// Canonical shape of the cached index II would reuse; empty when cold.
+  std::string reused_index;
+};
+
 /// The optimizer's verdict for one query, with its reasoning — exposed so
-/// that tests and the ablation benchmark can audit decisions.
+/// that tests, EXPLAIN and the ablation benchmark can audit decisions.
 struct StrategyChoice {
   ExecStrategy strategy = ExecStrategy::kCounterBased;
   /// Estimated sequences touched by each strategy.
@@ -27,6 +44,8 @@ struct StrategyChoice {
   /// Human-readable explanation ("exact index cached", "selective slice
   /// reuses prefix", "cold unselective query favors one scan", ...).
   std::string reason;
+  /// One entry per selected group, in selection order (EXPLAIN detail).
+  std::vector<GroupPlan> groups;
 };
 
 /// \brief Chooses CB vs II for `spec` against the engine's current cache

@@ -26,6 +26,8 @@ int LevelIndexOf(const HierarchyRegistry* reg, const LevelRef& ref) {
 Status SOlapEngine::RunInvertedIndex(QueryContext& ctx) {
   for (size_t gi : ctx.selected_groups) {
     SequenceGroup& group = ctx.groups->groups()[gi];
+    TraceSpan group_span(ctx.trace, "ii.group");
+    group_span.Count("group", gi);
     // One binding with the matching predicate (for counting) and one
     // without (for index construction: lists are containment-only).
     SOLAP_ASSIGN_OR_RETURN(
@@ -40,16 +42,54 @@ Status SOlapEngine::RunInvertedIndex(QueryContext& ctx) {
     SOLAP_ASSIGN_OR_RETURN(
         std::shared_ptr<InvertedIndex> index,
         ObtainIndex(cache, group, *ctx.groups, ctx.tmpl, bp_index, ctx.stats,
-                    ctx.stop));
+                    ctx.stop, ctx.trace));
+    TraceSpan count_span(ctx.trace, "ii.count");
+    count_span.Count("index_lists", index->lists().size());
+    count_span.Count("index_entries", index->total_entries());
     SOLAP_RETURN_NOT_OK(CountFromIndex(ctx, group, bp, *index));
   }
   return Status::OK();
 }
 
+namespace {
+
+// Attaches the work counted between two ScanStats snapshots to `span`,
+// including the per-kernel intersection mix of a join step (zero-valued
+// facts are skipped to keep renderings short).
+void AttachStatsDelta(TraceSpan& span, const ScanStats& before,
+                      const ScanStats& after) {
+  if (!span.active()) return;
+  auto emit = [&](const char* key, uint64_t b, uint64_t a) {
+    if (a > b) span.Count(key, a - b);
+  };
+  emit("sequences_scanned", before.sequences_scanned, after.sequences_scanned);
+  emit("lists_built", before.lists_built, after.lists_built);
+  emit("index_bytes", before.index_bytes_built, after.index_bytes_built);
+  emit("intersections", before.list_intersections, after.list_intersections);
+  emit("linear", before.intersections_linear, after.intersections_linear);
+  emit("galloping", before.intersections_galloping,
+       after.intersections_galloping);
+  emit("bitmap", before.intersections_bitmap, after.intersections_bitmap);
+  // The dominant kernel of this step, named explicitly so EXPLAIN ANALYZE
+  // readers need not compare the mix counters.
+  const uint64_t lin = after.intersections_linear - before.intersections_linear;
+  const uint64_t gal =
+      after.intersections_galloping - before.intersections_galloping;
+  const uint64_t bmp = after.intersections_bitmap - before.intersections_bitmap;
+  if (lin + gal + bmp > 0) {
+    const char* kernel = lin >= gal && lin >= bmp ? "linear"
+                         : gal >= bmp            ? "galloping"
+                                                 : "bitmap";
+    span.Note("kernel", kernel);
+  }
+}
+
+}  // namespace
+
 Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
     GroupIndexCache& cache, SequenceGroup& group, const SequenceGroupSet& set,
     const PatternTemplate& tmpl, const BoundPattern& bp, ScanStats* stats,
-    const StopToken* stop) {
+    const StopToken* stop, TraceContext* trace) {
   const size_t m = tmpl.num_positions();
   IndexShape target;
   target.kind = tmpl.kind();
@@ -71,9 +111,13 @@ Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
         return hit;
       }
     }
+    TraceSpan span(trace, "ii.build_index");
+    const ScanStats before = span.active() ? *stats : ScanStats{};
+    span.Note("shape", shape.CanonicalString());
     SOLAP_ASSIGN_OR_RETURN(
         std::shared_ptr<InvertedIndex> built,
         BuildIndex(&group, set, hierarchies_, shape, stats, &governor_));
+    AttachStatsDelta(span, before, *stats);
     if (options_.enable_index_cache) SOLAP_RETURN_NOT_OK(cache.Insert(built));
     return built;
   };
@@ -136,11 +180,15 @@ Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
       // Restricted templates merge only their consistent subcube; the
       // result is then filtered (carries the constraint signature).
       const bool filtered = !full_sig.empty();
+      TraceSpan span(trace, "ii.rollup_merge");
+      const ScanStats before = span.active() ? *stats : ScanStats{};
+      span.Note("source", rollup_src->shape().CanonicalString());
       SOLAP_ASSIGN_OR_RETURN(
           std::shared_ptr<InvertedIndex> merged,
           RollUpMerge(*rollup_src, maps, target, filtered ? &tmpl : nullptr,
                       filtered ? &bp.fixed_codes() : nullptr, stats,
                       ComputePool()));
+      AttachStatsDelta(span, before, *stats);
       if (filtered) {
         merged->set_constraint_sig(full_sig);
         merged->set_complete(false);
@@ -174,10 +222,14 @@ Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
               (!map.empty() && c < map.size()) ? map[c] : c);
         }
       }
+      TraceSpan span(trace, "ii.drilldown_refine");
+      const ScanStats before = span.active() ? *stats : ScanStats{};
+      span.Note("source", drill_src->shape().CanonicalString());
       SOLAP_ASSIGN_OR_RETURN(
           std::shared_ptr<InvertedIndex> refined,
           DrillDownRefine(*drill_src, maps, bp, target,
                           any_fixed ? &coarse_fixed : nullptr, stats));
+      AttachStatsDelta(span, before, *stats);
       // The refinement enumerated occurrences through the template, so the
       // result carries the template's constraint signature.
       if (!full_sig.empty()) {
@@ -194,9 +246,13 @@ Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
     IndexShape shape;
     shape.kind = tmpl.kind();
     shape.positions = {target.positions[0]};
+    TraceSpan span(trace, "ii.build_index");
+    const ScanStats before = span.active() ? *stats : ScanStats{};
+    span.Note("shape", shape.CanonicalString());
     SOLAP_ASSIGN_OR_RETURN(
         std::shared_ptr<InvertedIndex> built,
         BuildIndex(&group, set, hierarchies_, shape, stats, &governor_));
+    AttachStatsDelta(span, before, *stats);
     if (options_.enable_index_cache) SOLAP_RETURN_NOT_OK(cache.Insert(built));
     return built;
   }
@@ -280,21 +336,36 @@ Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
     }
     const bool selective = usable_entries < group.num_sequences();
     if (selective && !l2_cached) {
+      TraceSpan span(trace, "ii.extend_scan");
+      const ScanStats before = span.active() ? *stats : ScanStats{};
+      span.Count("step", k);
+      span.Count("base_entries", usable_entries);
       SOLAP_ASSIGN_OR_RETURN(
           current, ExtendByScan(*current, tmpl, grow_right ? 0 : m - k - 1,
                                 grow_right, bp, stats));
+      AttachStatsDelta(span, before, *stats);
     } else if (grow_right) {
       SOLAP_ASSIGN_OR_RETURN(std::shared_ptr<InvertedIndex> l2,
                              get_l2(k - 1));
+      TraceSpan span(trace, "ii.join_extend");
+      const ScanStats before = span.active() ? *stats : ScanStats{};
+      span.Count("step", k);
+      span.Note("direction", "right");
       SOLAP_ASSIGN_OR_RETURN(
           current,
           JoinExtendRight(*current, *l2, tmpl, 0, bp, stats, JoinExec()));
+      AttachStatsDelta(span, before, *stats);
     } else {
       const size_t off = m - k - 1;
       SOLAP_ASSIGN_OR_RETURN(std::shared_ptr<InvertedIndex> l2, get_l2(off));
+      TraceSpan span(trace, "ii.join_extend");
+      const ScanStats before = span.active() ? *stats : ScanStats{};
+      span.Count("step", k);
+      span.Note("direction", "left");
       SOLAP_ASSIGN_OR_RETURN(
           current,
           JoinExtendLeft(*current, *l2, tmpl, off, bp, stats, JoinExec()));
+      AttachStatsDelta(span, before, *stats);
     }
     ++k;
     if (options_.enable_index_cache) SOLAP_RETURN_NOT_OK(cache.Insert(current));

@@ -224,10 +224,25 @@ Result<std::shared_ptr<InvertedIndex>> JoinExtendImpl(
         if (!WindowConsistent(tmpl, offset, out_key, bp.fixed_codes())) {
           continue;
         }
-        if (scalar_only) {
-          IntersectLinear(list, *l2e.list, candidates);
-        } else {
-          IntersectAdaptive(list, *l2e.list, l2e.bitmap, candidates);
+        // Dispatch mirrors IntersectAdaptive, hoisted so the chosen kernel
+        // is counted — EXPLAIN ANALYZE reports the per-join kernel mix.
+        const IntersectKernel kernel =
+            scalar_only ? IntersectKernel::kLinear
+                        : ChooseIntersectKernel(list.size(), l2e.list->size(),
+                                                l2e.bitmap != nullptr);
+        switch (kernel) {
+          case IntersectKernel::kBitmap:
+            IntersectBitmap(list, *l2e.bitmap, candidates);
+            ++shard.stats.intersections_bitmap;
+            break;
+          case IntersectKernel::kGalloping:
+            IntersectGalloping(list, *l2e.list, candidates);
+            ++shard.stats.intersections_galloping;
+            break;
+          case IntersectKernel::kLinear:
+            IntersectLinear(list, *l2e.list, candidates);
+            ++shard.stats.intersections_linear;
+            break;
         }
         ++shard.stats.list_intersections;
         if (candidates.empty()) continue;

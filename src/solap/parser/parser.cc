@@ -174,10 +174,9 @@ Result<AggKind> ParseAggName(const std::string& name) {
   return Status::ParseError("unknown aggregate function '" + name + "'");
 }
 
-}  // namespace
-
-Result<CuboidSpec> ParseQuery(const std::string& query) {
-  SOLAP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(query));
+// Parses the query proper from a token stream (the EXPLAIN prefix, when
+// present, was already consumed by ParseStatement).
+Result<CuboidSpec> ParseQueryTokens(std::vector<Token> tokens) {
   Parser p(std::move(tokens));
   CuboidSpec spec;
 
@@ -324,6 +323,36 @@ Result<CuboidSpec> ParseQuery(const std::string& query) {
         std::to_string(tmpl.num_positions()) + " positions");
   }
   return spec;
+}
+
+}  // namespace
+
+Result<CuboidSpec> ParseQuery(const std::string& query) {
+  SOLAP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(query));
+  return ParseQueryTokens(std::move(tokens));
+}
+
+Result<Statement> ParseStatement(const std::string& query) {
+  SOLAP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(query));
+  Statement stmt;
+  size_t skip = 0;
+  auto is_kw = [&](size_t i, const char* kw) {
+    return i < tokens.size() && tokens[i].type == TokenType::kIdent &&
+           EqualsIgnoreCase(tokens[i].text, kw);
+  };
+  if (is_kw(0, "EXPLAIN")) {
+    stmt.explain = ExplainMode::kPlan;
+    skip = 1;
+    if (is_kw(1, "ANALYZE")) {
+      stmt.explain = ExplainMode::kAnalyze;
+      skip = 2;
+    }
+  }
+  tokens.erase(
+      tokens.begin(),
+      tokens.begin() + static_cast<std::vector<Token>::difference_type>(skip));
+  SOLAP_ASSIGN_OR_RETURN(stmt.spec, ParseQueryTokens(std::move(tokens)));
+  return stmt;
 }
 
 Result<ExprPtr> ParseExpression(const std::string& text) {

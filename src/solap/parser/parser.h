@@ -31,6 +31,27 @@ namespace solap {
 /// Parses a full S-cuboid specification query.
 Result<CuboidSpec> ParseQuery(const std::string& query);
 
+/// How a statement asks to be run (grammar extension:
+/// `[EXPLAIN [ANALYZE]] query`).
+enum class ExplainMode {
+  /// Execute normally.
+  kNone,
+  /// EXPLAIN: print the optimizer's plan without executing.
+  kPlan,
+  /// EXPLAIN ANALYZE: execute and render the recorded span tree.
+  kAnalyze,
+};
+
+/// A possibly EXPLAIN-wrapped query.
+struct Statement {
+  ExplainMode explain = ExplainMode::kNone;
+  CuboidSpec spec;
+};
+
+/// Parses `[EXPLAIN [ANALYZE]] query`; plain queries parse with
+/// `explain == kNone`, identical to ParseQuery.
+Result<Statement> ParseStatement(const std::string& query);
+
 /// Parses a standalone boolean expression (useful for building WHERE
 /// clauses and matching predicates programmatically from text).
 Result<ExprPtr> ParseExpression(const std::string& text);

@@ -45,6 +45,7 @@ QueryService::~QueryService() { Shutdown(); }
 
 QueryService::Ticket QueryService::Submit(const CuboidSpec& spec,
                                           SubmitOptions opts) {
+  const auto admit_start = std::chrono::steady_clock::now();
   submitted_->Inc();
   auto canceller = std::make_shared<StopSource>();
   auto promise = std::make_shared<std::promise<QueryResponse>>();
@@ -85,10 +86,25 @@ QueryService::Ticket QueryService::Submit(const CuboidSpec& spec,
       opts.timeout.count() > 0 ? opts.timeout : options_.default_timeout;
   canceller->SetTimeout(timeout);
 
+  // Trace sampling decision happens at admission so a sampled context's
+  // epoch precedes the queue wait it measures. Explicit sinks win.
+  std::shared_ptr<TraceContext> sampled;
+  if (opts.trace == nullptr && options_.trace_sample_every > 0) {
+    const uint64_t seq = submit_seq_.fetch_add(1, std::memory_order_relaxed);
+    if (seq % options_.trace_sample_every == 0) {
+      sampled = std::make_shared<TraceContext>();
+    }
+  }
+  if (opts.trace != nullptr) {
+    opts.trace->AddTimedSpan("service.admission", admit_start,
+                             std::chrono::steady_clock::now(), -1);
+  }
+
   const auto submitted_at = std::chrono::steady_clock::now();
   bool queued = pool_.Submit([this, spec, opts, stop = canceller->token(),
-                              submitted_at, promise]() mutable {
-    Execute(spec, opts, std::move(stop), submitted_at, std::move(promise));
+                              submitted_at, promise, sampled]() mutable {
+    Execute(spec, opts, std::move(stop), submitted_at, std::move(promise),
+            std::move(sampled));
   });
   if (!queued) {
     pending_.fetch_sub(1, std::memory_order_acq_rel);
@@ -104,11 +120,16 @@ QueryResponse QueryService::Run(const CuboidSpec& spec, SubmitOptions opts) {
 void QueryService::Execute(
     const CuboidSpec& spec, SubmitOptions opts, StopToken stop,
     std::chrono::steady_clock::time_point submitted,
-    std::shared_ptr<std::promise<QueryResponse>> promise) {
+    std::shared_ptr<std::promise<QueryResponse>> promise,
+    std::shared_ptr<TraceContext> sampled) {
   QueryResponse resp;
   const auto started = std::chrono::steady_clock::now();
   resp.wait_ms = MsBetween(submitted, started);
   wait_ms_->ObserveMs(resp.wait_ms);
+  TraceContext* trace = opts.trace != nullptr ? opts.trace : sampled.get();
+  if (trace != nullptr) {
+    trace->AddTimedSpan("service.queue_wait", submitted, started, -1);
+  }
 
   auto finish = [&] {
     const Status& st = resp.status;
@@ -149,11 +170,22 @@ void QueryService::Execute(
   ExecControl control;
   control.stop = &stop;
   control.stats_out = &resp.stats;
+  control.trace = trace;
   const auto exec_start = std::chrono::steady_clock::now();
-  auto result = engine_->Execute(spec, opts.strategy, control);
+  Result<std::shared_ptr<const SCuboid>> result = [&] {
+    // Engine spans (optimize, exec.cb/ii, ...) open on this thread while
+    // the frame is live, so they nest under service.execute.
+    TraceSpan exec_span(trace, "service.execute");
+    exec_span.Note("strategy", StrategyName(opts.strategy));
+    return engine_->Execute(spec, opts.strategy, control);
+  }();
   resp.exec_ms = MsBetween(exec_start, std::chrono::steady_clock::now());
 
   if (holder) FinishFlight(key);
+  if (sampled != nullptr) {
+    std::lock_guard<std::mutex> lock(sampled_mu_);
+    sampled_trace_ = std::move(sampled);
+  }
 
   switch (opts.strategy) {
     case ExecStrategy::kCounterBased:
@@ -216,13 +248,17 @@ SessionId QueryService::OpenSession(CuboidSpec initial) {
 
 Result<QueryService::Ticket> QueryService::SubmitSessionOp(
     SessionId id, const SessionOp& op, SubmitOptions opts) {
+  TraceSpan span(opts.trace, "service.session_op");
   SOLAP_ASSIGN_OR_RETURN(CuboidSpec spec, sessions_.Apply(id, op));
+  span.End();
   return Submit(spec, opts);
 }
 
 Result<QueryService::Ticket> QueryService::SubmitSessionCurrent(
     SessionId id, SubmitOptions opts) {
+  TraceSpan span(opts.trace, "service.session_op");
   SOLAP_ASSIGN_OR_RETURN(CuboidSpec spec, sessions_.Current(id));
+  span.End();
   return Submit(spec, opts);
 }
 

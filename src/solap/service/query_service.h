@@ -42,6 +42,10 @@ struct ServiceOptions {
   /// Identical specs submitted concurrently execute once; the duplicates
   /// wait and are then served from the cuboid repository.
   bool single_flight = true;
+  /// Trace sampling: every Nth submission records a span tree retrievable
+  /// via LastSampledTrace(). 0 (the default) disables sampling — the hot
+  /// path then never touches the tracing machinery.
+  size_t trace_sample_every = 0;
   SessionManagerOptions sessions;
 };
 
@@ -50,6 +54,9 @@ struct SubmitOptions {
   ExecStrategy strategy = ExecStrategy::kAuto;
   /// Overrides ServiceOptions::default_timeout when positive.
   std::chrono::milliseconds timeout{0};
+  /// Caller-owned span sink (EXPLAIN ANALYZE). Must outlive the response
+  /// future. Takes precedence over service-level sampling.
+  TraceContext* trace = nullptr;
 };
 
 /// Everything the service knows about one answered query.
@@ -110,6 +117,12 @@ class QueryService {
   // -- Introspection ---------------------------------------------------------
 
   MetricsRegistry& metrics() { return metrics_; }
+  /// The most recently completed sampled trace (ServiceOptions::
+  /// trace_sample_every), or nullptr when sampling is off / none finished.
+  std::shared_ptr<const TraceContext> LastSampledTrace() const {
+    std::lock_guard<std::mutex> lock(sampled_mu_);
+    return sampled_trace_;
+  }
   /// Refreshes the resource gauges — governor usage/budget/rejects and the
   /// process-wide snapshot-IO retry count — from their live sources.
   /// Gauges are pull-based: call this before rendering metrics.
@@ -134,9 +147,13 @@ class QueryService {
     bool done = false;
   };
 
+  /// `sampled` is the service-owned trace of an every-Nth sampled query
+  /// (null when the caller supplied its own sink or sampling is off);
+  /// it is published via LastSampledTrace() when the query finishes.
   void Execute(const CuboidSpec& spec, SubmitOptions opts, StopToken stop,
                std::chrono::steady_clock::time_point submitted,
-               std::shared_ptr<std::promise<QueryResponse>> promise);
+               std::shared_ptr<std::promise<QueryResponse>> promise,
+               std::shared_ptr<TraceContext> sampled);
   /// Blocks while another thread executes the same spec. Returns true if
   /// this caller is the designated executor (must call FinishFlight).
   bool EnterFlight(const std::string& key);
@@ -149,6 +166,11 @@ class QueryService {
 
   std::atomic<size_t> pending_{0};
   std::atomic<bool> shutdown_{false};
+
+  // Trace sampling (ServiceOptions::trace_sample_every).
+  std::atomic<uint64_t> submit_seq_{0};
+  mutable std::mutex sampled_mu_;
+  std::shared_ptr<const TraceContext> sampled_trace_;
 
   std::mutex flights_mu_;
   std::unordered_map<std::string, std::shared_ptr<FlightGate>> flights_;

@@ -1,5 +1,7 @@
 #include "solap/tools/shell.h"
 
+#include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -9,6 +11,7 @@
 #include "solap/common/timer.h"
 #include "solap/cube/lattice.h"
 #include "solap/engine/operations.h"
+#include "solap/engine/optimizer.h"
 #include "solap/gen/clickstream.h"
 #include "solap/gen/synthetic.h"
 #include "solap/gen/transit.h"
@@ -31,6 +34,9 @@ constexpr const char* kHelp = R"(commands:
   hierarchy <attr> <lvl0,lvl1,...>   declare abstraction levels
   map <attr> <child> <parent>        child value rolls up to parent value
   select ... ;                       S-cuboid query (may span lines)
+  explain select ... ;               optimizer plan only (no execution)
+  explain analyze select ... ;       execute and show the span tree
+                                     (--trace-out=<file> dumps Chrome JSON)
   append <sym> [attr level] | prepend <sym> [attr level]
   detail | dehead                    DE-TAIL / DE-HEAD
   rollup <sym> | drilldown <sym>     P-ROLL-UP / P-DRILL-DOWN
@@ -40,7 +46,7 @@ constexpr const char* kHelp = R"(commands:
   parents | children                 S-cube lattice neighbors
   serve start [threads [depth]]      start the concurrent query service
   serve stop | serve status          stop / inspect the service
-  metrics                            service counters and latencies
+  metrics [--prometheus]             service counters and latencies
   strategy cb|ii|auto                construction strategy
   stats                              engine counters
   help | quit)";
@@ -111,7 +117,7 @@ Status ShellSession::Dispatch(const std::string& raw) {
     out_ << kHelp << "\n";
     return Status::OK();
   }
-  if (c == "select") {
+  if (c == "select" || c == "explain") {
     if (!line.empty() && line.back() == ';') {
       return RunQuery(line.substr(0, line.size() - 1));
     }
@@ -131,8 +137,13 @@ Status ShellSession::Dispatch(const std::string& raw) {
       return Status::InvalidArgument(
           "no service running; start one with 'serve start'");
     }
+    std::string fmt = Trim(args);
+    if (!fmt.empty() && fmt != "--prometheus") {
+      return Status::InvalidArgument("metrics [--prometheus]");
+    }
     service_->RefreshResourceMetrics();
-    out_ << service_->metrics().ToString();
+    out_ << (fmt == "--prometheus" ? service_->metrics().ToPrometheus()
+                                   : service_->metrics().ToString());
     return Status::OK();
   }
   if (c == "stats") {
@@ -376,9 +387,102 @@ Status ShellSession::RequireEngine() const {
 
 Status ShellSession::RunQuery(const std::string& text) {
   SOLAP_RETURN_NOT_OK(RequireEngine());
-  SOLAP_ASSIGN_OR_RETURN(CuboidSpec spec, ParseQuery(text));
-  current_spec_ = std::move(spec);
-  return ExecuteCurrent();
+  // `--trace-out=<file>` is a shell option of EXPLAIN ANALYZE; strip it
+  // before the text reaches the parser.
+  std::string query;
+  std::string trace_out;
+  {
+    std::istringstream is(text);
+    std::string w;
+    while (is >> w) {
+      constexpr const char kTraceOut[] = "--trace-out=";
+      if (w.rfind(kTraceOut, 0) == 0) {
+        trace_out = w.substr(sizeof(kTraceOut) - 1);
+      } else {
+        if (!query.empty()) query += ' ';
+        query += w;
+      }
+    }
+  }
+  // Constructed before parsing so the context's epoch precedes the parse
+  // span (unused unless the statement is EXPLAIN ANALYZE; construction is
+  // one clock read).
+  TraceContext trace;
+  const auto parse_start = std::chrono::steady_clock::now();
+  SOLAP_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(query));
+  const auto parse_end = std::chrono::steady_clock::now();
+  if (!trace_out.empty() && stmt.explain != ExplainMode::kAnalyze) {
+    return Status::InvalidArgument("--trace-out requires EXPLAIN ANALYZE");
+  }
+  if (stmt.explain == ExplainMode::kPlan) {
+    return ExplainPlan(stmt.spec);
+  }
+  current_spec_ = std::move(stmt.spec);
+  if (stmt.explain == ExplainMode::kNone) return ExecuteCurrent();
+  trace.AddTimedSpan("parse", parse_start, parse_end, -1);
+  return ExecuteAnalyze(&trace, trace_out);
+}
+
+Status ShellSession::ExplainPlan(const CuboidSpec& spec) {
+  out_ << "EXPLAIN\n";
+  if (spec.is_regex()) {
+    out_ << "  strategy: counter-based (regex templates always scan)\n";
+    return Status::OK();
+  }
+  StrategyOptimizer optimizer(engine_.get());
+  SOLAP_ASSIGN_OR_RETURN(StrategyChoice choice, optimizer.Choose(spec));
+  const bool forced = strategy_ != ExecStrategy::kAuto;
+  const ExecStrategy effective = forced ? strategy_ : choice.strategy;
+  out_ << "  strategy: " << StrategyName(effective);
+  if (forced) {
+    out_ << " (forced by 'strategy'; optimizer prefers "
+         << StrategyName(choice.strategy) << ")";
+  } else {
+    out_ << " (auto)";
+  }
+  out_ << "\n  reason: " << choice.reason << "\n"
+       << "  cost estimate (sequences touched): cb=" << choice.cb_cost
+       << " ii=" << choice.ii_cost << "\n";
+  for (const GroupPlan& g : choice.groups) {
+    out_ << "  group " << g.group_index << ": " << g.num_sequences
+         << " sequences, cb=" << g.cb_cost << " ii=" << g.ii_cost
+         << ", ii source: " << g.ii_source;
+    if (!g.reused_index.empty()) out_ << ", reuses " << g.reused_index;
+    out_ << "\n";
+  }
+  return Status::OK();
+}
+
+Status ShellSession::ExecuteAnalyze(TraceContext* trace,
+                                    const std::string& trace_out) {
+  if (service_ != nullptr) {
+    SubmitOptions opts;
+    opts.strategy = strategy_;
+    opts.trace = trace;
+    QueryResponse resp = service_->Run(*current_spec_, opts);
+    SOLAP_RETURN_NOT_OK(resp.status);
+    current_cuboid_ = resp.cuboid;
+  } else {
+    TraceSpan root(trace, "query");
+    root.Note("strategy", StrategyName(strategy_));
+    ExecControl control;
+    control.trace = trace;
+    SOLAP_ASSIGN_OR_RETURN(
+        current_cuboid_, engine_->Execute(*current_spec_, strategy_, control));
+    root.End();
+  }
+  char total[32];
+  std::snprintf(total, sizeof(total), "%.3f", trace->TotalMs());
+  out_ << "EXPLAIN ANALYZE  total " << total << " ms, "
+       << current_cuboid_->num_cells() << " cells\n"
+       << trace->ToString();
+  if (!trace_out.empty()) {
+    std::ofstream f(trace_out);
+    if (!f) return Status::NotFound("cannot create '" + trace_out + "'");
+    f << trace->ToChromeJson();
+    out_ << "chrome trace written to " << trace_out << "\n";
+  }
+  return Status::OK();
 }
 
 Status ShellSession::ExecuteCurrent() {

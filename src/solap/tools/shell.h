@@ -66,6 +66,11 @@ class ShellSession {
   Status ShowLattice(bool parents);
   Status RequireEngine() const;
   Status ExecuteCurrent();
+  /// EXPLAIN: renders the optimizer's verdict for `spec` without executing.
+  Status ExplainPlan(const CuboidSpec& spec);
+  /// EXPLAIN ANALYZE: executes current_spec_ recording into `trace`, prints
+  /// the span tree, and optionally writes Chrome trace JSON to `trace_out`.
+  Status ExecuteAnalyze(TraceContext* trace, const std::string& trace_out);
 
   std::ostream& out_;
   bool done_ = false;

@@ -1,0 +1,191 @@
+// EXPLAIN / EXPLAIN ANALYZE: statement parsing, the optimizer-plan
+// rendering, and the span-tree output (golden structure, timing fields
+// tolerated by construction — only names and invariants are asserted).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "solap/parser/parser.h"
+#include "solap/tools/shell.h"
+
+namespace solap {
+namespace {
+
+// Runs a scripted session; returns everything the shell printed.
+std::string RunScript(const std::string& script) {
+  std::ostringstream out;
+  ShellSession session(out);
+  std::istringstream in(script);
+  session.Run(in);
+  return out.str();
+}
+
+constexpr const char kQa[] = R"(
+select COUNT(*) FROM Event
+  CLUSTER BY session-id AT session-id
+  SEQUENCE BY request-time ASCENDING
+  CUBOID BY SUBSTRING (X, Y)
+    WITH X AS page AT page-category, Y AS page AT page-category
+    LEFT-MAXIMALITY;
+)";
+
+TEST(ParseStatementTest, PlainQueryHasNoExplainMode) {
+  auto stmt = ParseStatement(
+      "SELECT COUNT(*) FROM E CLUSTER BY a AT a SEQUENCE BY t CUBOID BY "
+      "SUBSTRING (X) WITH X AS p AT p LEFT-MAXIMALITY");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->explain, ExplainMode::kNone);
+  EXPECT_EQ(stmt->spec.symbols.size(), 1u);
+}
+
+TEST(ParseStatementTest, ExplainAndExplainAnalyzePrefixes) {
+  const std::string body =
+      "SELECT COUNT(*) FROM E CLUSTER BY a AT a SEQUENCE BY t CUBOID BY "
+      "SUBSTRING (X) WITH X AS p AT p LEFT-MAXIMALITY";
+  auto plan = ParseStatement("EXPLAIN " + body);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->explain, ExplainMode::kPlan);
+  auto analyze = ParseStatement("explain analyze " + body);  // case folds
+  ASSERT_TRUE(analyze.ok()) << analyze.status().ToString();
+  EXPECT_EQ(analyze->explain, ExplainMode::kAnalyze);
+  EXPECT_EQ(analyze->spec.CanonicalString(), plan->spec.CanonicalString());
+}
+
+TEST(ParseStatementTest, ExplainWithoutQueryIsAnError) {
+  EXPECT_FALSE(ParseStatement("EXPLAIN").ok());
+  EXPECT_FALSE(ParseStatement("EXPLAIN ANALYZE").ok());
+}
+
+TEST(ExplainTest, PlanRendersOptimizerVerdictWithoutExecuting) {
+  std::string out = RunScript(std::string("generate clickstream 300\n") +
+                              "explain " + (kQa + 1) + "stats\nquit\n");
+  EXPECT_NE(out.find("EXPLAIN\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("strategy: "), std::string::npos);
+  EXPECT_NE(out.find("reason: "), std::string::npos);
+  EXPECT_NE(out.find("cost estimate (sequences touched): cb="),
+            std::string::npos);
+  EXPECT_NE(out.find("group 0: "), std::string::npos);
+  EXPECT_NE(out.find("ii source: "), std::string::npos);
+  // No execution happened: nothing was scanned and no cuboid was printed.
+  EXPECT_NE(out.find("scanned=0"), std::string::npos) << out;
+  EXPECT_EQ(out.find(" cells in "), std::string::npos);
+  EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+}
+
+TEST(ExplainTest, PlanReportsCachedIndexReuse) {
+  // Run Qa once with the II strategy (caches the exact index), then
+  // EXPLAIN the identical query: the plan must name the cached index.
+  std::string out = RunScript(std::string("generate clickstream 300\n") +
+                              "strategy ii\n" + (kQa + 1) + "explain " +
+                              (kQa + 1) + "quit\n");
+  EXPECT_NE(out.find("exact cached index"), std::string::npos) << out;
+  EXPECT_NE(out.find("reuses "), std::string::npos) << out;
+  EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+}
+
+// Extracts "total <ms> ms" from the EXPLAIN ANALYZE header.
+double TotalMsOf(const std::string& out) {
+  size_t pos = out.find("EXPLAIN ANALYZE  total ");
+  if (pos == std::string::npos) return -1;
+  return std::strtod(out.c_str() + pos + 23, nullptr);
+}
+
+// Sums every "self <ms> ms" column of the span-tree rendering.
+double SumSelfTimes(const std::string& out) {
+  double sum = 0;
+  size_t pos = 0;
+  while ((pos = out.find(" self ", pos)) != std::string::npos) {
+    pos += 6;
+    sum += std::strtod(out.c_str() + pos, nullptr);
+  }
+  return sum;
+}
+
+TEST(ExplainTest, AnalyzeRendersSpanTreeWithSelfTimesNearTotal) {
+  std::string out = RunScript(std::string("generate clickstream 2000\n") +
+                              "explain analyze " + (kQa + 1) + "quit\n");
+  EXPECT_NE(out.find("EXPLAIN ANALYZE  total "), std::string::npos) << out;
+  for (const char* span :
+       {"parse", "query", "optimize", "repo.lookup", "prepare", "finalize"}) {
+    EXPECT_NE(out.find(span), std::string::npos) << "missing span " << span
+                                                 << " in:\n" << out;
+  }
+  EXPECT_NE(out.find(" cells\n"), std::string::npos);
+  EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+  // Serial execution telescopes: the self times of all spans sum to the
+  // root durations, which cover the total up to inter-span gaps (< 10%).
+  const double total = TotalMsOf(out);
+  const double self_sum = SumSelfTimes(out);
+  ASSERT_GT(total, 0);
+  EXPECT_NEAR(self_sum, total, 0.10 * total) << out;
+}
+
+TEST(ExplainTest, AnalyzeNamesJoinKernelsOnGrownIndexes) {
+  // Qa caches the size-2 [page-category, page-category] index; the
+  // 3-symbol follow-up then grows it with a JoinExtend step whose span
+  // must name the intersection kernel.
+  constexpr const char kQa3[] = R"(
+explain analyze select COUNT(*) FROM Event
+  CLUSTER BY session-id AT session-id
+  SEQUENCE BY request-time ASCENDING
+  CUBOID BY SUBSTRING (X, Y, Z)
+    WITH X AS page AT page-category, Y AS page AT page-category,
+         Z AS page AT page-category
+    LEFT-MAXIMALITY;
+)";
+  std::string out = RunScript(std::string("generate clickstream 500\n") +
+                              "strategy ii\n" + (kQa + 1) + (kQa3 + 1) +
+                              "quit\n");
+  EXPECT_NE(out.find("exec.ii"), std::string::npos) << out;
+  EXPECT_NE(out.find("ii.group"), std::string::npos) << out;
+  EXPECT_NE(out.find("ii.join_extend"), std::string::npos) << out;
+  EXPECT_NE(out.find("ii.count"), std::string::npos) << out;
+  EXPECT_NE(out.find("kernel="), std::string::npos) << out;
+  EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+}
+
+TEST(ExplainTest, AnalyzeThroughServiceRecordsServiceSpans) {
+  std::string out = RunScript(std::string("generate clickstream 300\n") +
+                              "serve start 2\n" + "explain analyze " +
+                              (kQa + 1) + "serve stop\nquit\n");
+  EXPECT_NE(out.find("service.admission"), std::string::npos) << out;
+  EXPECT_NE(out.find("service.queue_wait"), std::string::npos) << out;
+  EXPECT_NE(out.find("service.execute"), std::string::npos) << out;
+  EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+}
+
+TEST(ExplainTest, AnalyzeWritesChromeTraceJson) {
+  const std::string path = ::testing::TempDir() + "solap_trace_test.json";
+  std::string out = RunScript(std::string("generate clickstream 300\n") +
+                              "explain analyze --trace-out=" + path + " " +
+                              (kQa + 1) + "quit\n");
+  EXPECT_NE(out.find("chrome trace written to " + path), std::string::npos)
+      << out;
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"query\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ExplainTest, TraceOutRequiresAnalyze) {
+  std::string out = RunScript(std::string("generate clickstream 100\n") +
+                              "select --trace-out=/tmp/x.json COUNT(*) "
+                              "FROM Event CLUSTER BY session-id AT session-id "
+                              "SEQUENCE BY request-time CUBOID BY SUBSTRING "
+                              "(X) WITH X AS page AT page-category "
+                              "LEFT-MAXIMALITY;\nquit\n");
+  EXPECT_NE(out.find("--trace-out requires EXPLAIN ANALYZE"),
+            std::string::npos)
+      << out;
+}
+
+}  // namespace
+}  // namespace solap

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Full verification: the tier-1 build + test pass, a perf smoke run of the
-# II kernel harness against its recorded baselines, then the same tests
+# Full verification: the tier-1 build + test pass, a doc-lint pass
+# (metric catalog in docs/OBSERVABILITY.md must match the registered
+# metric names), a perf smoke run of the II kernel harness against its
+# recorded baselines, then the same tests
 # under ASan/UBSan, then the service/engine/parallel-II tests under TSan
 # (the concurrency surface: engine thread-safety, thread pool, query
 # service, sessions, intra-query join/scan partitioning).
@@ -35,6 +37,10 @@ run_ctest build
 if [[ "${1:-}" == "--tier1-only" ]]; then
   exit 0
 fi
+
+echo
+echo "== doc-lint: metric catalog in sync with docs/OBSERVABILITY.md =="
+tools/doc_lint.sh
 
 echo
 echo "== perf smoke: II kernels vs bench/thresholds.json =="

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Keeps docs/OBSERVABILITY.md's metric catalog in exact sync with the
+# metric names the code registers (MetricsRegistry::counter/gauge/
+# histogram calls under src/). Fails if a registered metric is missing
+# from the doc, or the doc names a metric the code no longer registers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOC=docs/OBSERVABILITY.md
+[[ -f "$DOC" ]] || { echo "doc-lint: $DOC missing" >&2; exit 1; }
+
+# Registration sites look like:  metrics_.counter("queries_ok")
+code_names=$(grep -rhoE '\.(counter|gauge|histogram)\("[a-z0-9_]+"\)' src/ |
+  sed -E 's/.*\("([a-z0-9_]+)"\)/\1/' | sort -u)
+[[ -n "$code_names" ]] || { echo "doc-lint: no registrations found under src/" >&2; exit 1; }
+
+# The metric catalog section lists each metric as a backticked table
+# entry: | `name` | ... (other sections table span names the same way,
+# so only the catalog section is scanned).
+doc_names=$(sed -n '/^## 1\. Metric catalog/,/^## 2\./p' "$DOC" |
+  grep -oE '^\| `[a-z0-9_]+` \|' |
+  sed -E 's/^\| `([a-z0-9_]+)` \|/\1/' | sort -u)
+
+fail=0
+missing_in_doc=$(comm -23 <(echo "$code_names") <(echo "$doc_names"))
+if [[ -n "$missing_in_doc" ]]; then
+  echo "doc-lint: metrics registered in src/ but undocumented in $DOC:" >&2
+  echo "$missing_in_doc" | sed 's/^/  /' >&2
+  fail=1
+fi
+stale_in_doc=$(comm -13 <(echo "$code_names") <(echo "$doc_names"))
+if [[ -n "$stale_in_doc" ]]; then
+  echo "doc-lint: metrics documented in $DOC but not registered in src/:" >&2
+  echo "$stale_in_doc" | sed 's/^/  /' >&2
+  fail=1
+fi
+
+if [[ "$fail" -ne 0 ]]; then exit 1; fi
+echo "ok: $(echo "$code_names" | wc -l) metric names in sync with $DOC"
