@@ -1,18 +1,41 @@
-// Service throughput experiment: queries-per-second of the concurrent
-// query service at 1/2/4/8 worker threads over a mixed CB/II batch with
-// repeated specs (repeats exercise single-flight dedup and the cuboid
-// repository, mirroring several clients exploring the same S-cube).
+// Service throughput experiment, in three layers:
 //
-// Each thread count gets a fresh engine so caches start cold and the runs
-// are comparable. Scaling tops out at the machine's core count — on a
+//   1. In-process scaling: queries-per-second of the concurrent query
+//      service at 1/2/4/8 worker threads over a mixed CB/II batch with
+//      repeated specs (repeats exercise single-flight dedup and the cuboid
+//      repository, mirroring several clients exploring the same S-cube).
+//   2. Closed-loop HTTP: N keep-alive clients over a loopback socket, each
+//      issuing its next /query as soon as the previous answer lands —
+//      measures end-to-end qps and client-observed latency percentiles
+//      through the network front-end.
+//   3. Open-loop HTTP: requests issued on a fixed schedule regardless of
+//      completions, including a saturation run against a deliberately tiny
+//      admission queue — shows the 429 shed behavior under overload.
+//
+// Results (client-side p50/p95/p99 plus the server's net_request_ms
+// histogram) are written to BENCH_service.json.
+//
+// Each section gets a fresh engine so caches start cold and the runs are
+// comparable. Scaling tops out at the machine's core count — on a
 // single-core host every configuration is serialized and qps stays flat.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "solap/engine/operations.h"
 #include "solap/gen/synthetic.h"
+#include "solap/net/query_routes.h"
+#include "solap/net/server.h"
 #include "solap/service/query_service.h"
 
 namespace solap {
@@ -106,6 +129,251 @@ RunResult RunAtThreads(const SyntheticData& data, const Workload& w,
   return r;
 }
 
+// ------------------------------------------------------- loopback clients
+
+// Three spec shapes at different hierarchy levels so the HTTP sections mix
+// repository hits with real executions, like clients exploring an S-cube.
+const char* kHttpQueries[] = {
+    "SELECT COUNT(*) FROM S CLUSTER BY x AT x SEQUENCE BY t "
+    "CUBOID BY SUBSTRING (X, Y) WITH X AS symbol AT symbol, "
+    "Y AS symbol AT symbol LEFT-MAXIMALITY",
+    "SELECT COUNT(*) FROM S CLUSTER BY x AT x SEQUENCE BY t "
+    "CUBOID BY SUBSTRING (X, Y) WITH X AS symbol AT group, "
+    "Y AS symbol AT group LEFT-MAXIMALITY",
+    "SELECT COUNT(*) FROM S CLUSTER BY x AT x SEQUENCE BY t "
+    "CUBOID BY SUBSTRING (X, Y) WITH X AS symbol AT supergroup, "
+    "Y AS symbol AT supergroup LEFT-MAXIMALITY",
+};
+constexpr size_t kNumHttpQueries = 3;
+
+/// A blocking keep-alive HTTP client over one loopback connection.
+class HttpClient {
+ public:
+  ~HttpClient() { Close(); }
+
+  bool Connect(uint16_t port) {
+    Close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Close();
+      return false;
+    }
+    timeval tv{30, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    return true;
+  }
+
+  /// POSTs `body` to /query; returns the HTTP status, or 0 on a torn
+  /// connection (the caller may reconnect).
+  int Query(const std::string& body) {
+    const std::string req =
+        "POST /query HTTP/1.1\r\nHost: b\r\nX-Solap-Limit: 1\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+    size_t off = 0;
+    while (off < req.size()) {
+      ssize_t n = ::send(fd_, req.data() + off, req.size() - off,
+                         MSG_NOSIGNAL);
+      if (n <= 0) return 0;
+      off += static_cast<size_t>(n);
+    }
+    // Read one Content-Length-framed response.
+    size_t head_end;
+    while ((head_end = buf_.find("\r\n\r\n")) == std::string::npos) {
+      if (!Fill()) return 0;
+    }
+    const std::string head = buf_.substr(0, head_end);
+    if (head.compare(0, 5, "HTTP/") != 0 || head.size() < 12) return 0;
+    int status = std::atoi(head.c_str() + 9);
+    size_t cl = head.find("ontent-Length:");
+    size_t body_len =
+        cl == std::string::npos
+            ? 0
+            : static_cast<size_t>(std::atoll(head.c_str() + cl + 14));
+    while (buf_.size() < head_end + 4 + body_len) {
+      if (!Fill()) return 0;
+    }
+    buf_.erase(0, head_end + 4 + body_len);
+    return status;
+  }
+
+ private:
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    buf_.clear();
+  }
+  bool Fill() {
+    char chunk[8192];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buf_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+struct HttpStats {
+  uint64_t n200 = 0;
+  uint64_t n429 = 0;
+  uint64_t other = 0;  // torn connections and unexpected statuses
+  std::vector<double> latencies_ms;
+  double wall_ms = 0;
+
+  double Qps() const {
+    double total = static_cast<double>(n200 + n429 + other);
+    return wall_ms > 0 ? total / (wall_ms / 1000.0) : 0;
+  }
+  double Percentile(double p) const {
+    if (latencies_ms.empty()) return 0;
+    std::vector<double> sorted = latencies_ms;
+    std::sort(sorted.begin(), sorted.end());
+    size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+    return sorted[std::min(idx, sorted.size() - 1)];
+  }
+  void Merge(const HttpStats& o) {
+    n200 += o.n200;
+    n429 += o.n429;
+    other += o.other;
+    latencies_ms.insert(latencies_ms.end(), o.latencies_ms.begin(),
+                        o.latencies_ms.end());
+  }
+};
+
+void RecordOutcome(int status, double ms, HttpStats* stats) {
+  if (status == 200) {
+    ++stats->n200;
+  } else if (status == 429) {
+    ++stats->n429;
+  } else {
+    ++stats->other;
+  }
+  stats->latencies_ms.push_back(ms);
+}
+
+/// One service + HTTP server; sections borrow it so each run starts with a
+/// fresh engine (cold repository).
+struct HttpBench {
+  explicit HttpBench(const SyntheticData& data, size_t threads,
+                     size_t queue_depth)
+      : engine(data.groups, data.hierarchies.get()) {
+    ServiceOptions sopts;
+    sopts.num_threads = threads;
+    sopts.max_queue_depth = queue_depth;
+    service = std::make_unique<QueryService>(&engine, sopts);
+    net::HttpServerOptions hopts;
+    hopts.num_workers = std::max<size_t>(threads * 2, 4);
+    server = std::make_unique<net::HttpServer>(
+        net::BuildSolapRouter(service.get()), hopts, &service->metrics());
+    Status st = server->Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   st.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  ~HttpBench() { server->Stop(); }
+
+  SOlapEngine engine;
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<net::HttpServer> server;
+};
+
+/// Closed loop: each client drives its own keep-alive connection as fast
+/// as responses come back.
+HttpStats RunClosedLoop(uint16_t port, size_t clients,
+                        size_t requests_per_client) {
+  std::vector<HttpStats> per_client(clients);
+  std::vector<std::thread> threads;
+  Timer wall;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      HttpClient client;
+      if (!client.Connect(port)) return;
+      for (size_t q = 0; q < requests_per_client; ++q) {
+        const std::string body =
+            kHttpQueries[(c + q) % kNumHttpQueries];
+        Timer t;
+        int status = client.Query(body);
+        RecordOutcome(status, t.ElapsedMs(), &per_client[c]);
+        if (status == 0 && !client.Connect(port)) return;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  HttpStats merged;
+  for (const HttpStats& s : per_client) merged.Merge(s);
+  merged.wall_ms = wall.ElapsedMs();
+  return merged;
+}
+
+/// Open loop: `total` one-shot requests on a fixed schedule of
+/// `rate_qps`, spread across a small issuer pool. Under overload the
+/// issuers fall behind their schedule (classic open-loop backlog), which
+/// is exactly when the service's 429 shedding should kick in.
+HttpStats RunOpenLoop(uint16_t port, double rate_qps, size_t total) {
+  constexpr size_t kIssuers = 16;
+  std::vector<HttpStats> per_issuer(kIssuers);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto interval =
+      std::chrono::duration<double>(rate_qps > 0 ? 1.0 / rate_qps : 0);
+  std::vector<std::thread> threads;
+  Timer wall;
+  for (size_t i = 0; i < kIssuers; ++i) {
+    threads.emplace_back([&, i] {
+      for (size_t k = i; k < total; k += kIssuers) {
+        std::this_thread::sleep_until(
+            t0 + std::chrono::duration_cast<
+                     std::chrono::steady_clock::duration>(
+                     interval * static_cast<double>(k)));
+        HttpClient client;
+        if (!client.Connect(port)) {
+          ++per_issuer[i].other;
+          continue;
+        }
+        const std::string body = kHttpQueries[k % kNumHttpQueries];
+        Timer t;
+        int status = client.Query(body);
+        RecordOutcome(status, t.ElapsedMs(), &per_issuer[i]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  HttpStats merged;
+  for (const HttpStats& s : per_issuer) merged.Merge(s);
+  merged.wall_ms = wall.ElapsedMs();
+  return merged;
+}
+
+void PrintHttpRow(const char* label, const HttpStats& s) {
+  std::printf("%-14s | %8.1f %8llu %8llu %8llu | %8.2f %8.2f %8.2f\n",
+              label, s.Qps(), static_cast<unsigned long long>(s.n200),
+              static_cast<unsigned long long>(s.n429),
+              static_cast<unsigned long long>(s.other), s.Percentile(0.50),
+              s.Percentile(0.95), s.Percentile(0.99));
+}
+
+std::string HttpStatsJson(const HttpStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"qps\": %.1f, \"http_200\": %llu, \"http_429\": %llu, "
+                "\"other\": %llu, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+                "\"p99_ms\": %.3f",
+                s.Qps(), static_cast<unsigned long long>(s.n200),
+                static_cast<unsigned long long>(s.n429),
+                static_cast<unsigned long long>(s.other), s.Percentile(0.50),
+                s.Percentile(0.95), s.Percentile(0.99));
+  return buf;
+}
+
 int Run(int argc, char** argv) {
   size_t d = static_cast<size_t>(std::strtoull(
       bench::FlagValue(argc, argv, "d", "20000").c_str(), nullptr, 10));
@@ -115,13 +383,21 @@ int Run(int argc, char** argv) {
       bench::FlagValue(argc, argv, "repeat", "2").c_str(), nullptr, 10));
   std::vector<size_t> thread_list = bench::ParseSizeList(
       bench::FlagValue(argc, argv, "threads", "1,2,4,8"));
+  std::vector<size_t> client_list = bench::ParseSizeList(
+      bench::FlagValue(argc, argv, "clients", "1,2,4"));
+  size_t requests = static_cast<size_t>(std::strtoull(
+      bench::FlagValue(argc, argv, "requests", "100").c_str(), nullptr, 10));
+  double rate = std::strtod(
+      bench::FlagValue(argc, argv, "rate", "400").c_str(), nullptr);
+  const std::string json =
+      bench::FlagValue(argc, argv, "json", "BENCH_service.json");
 
   SyntheticParams p;
   p.num_sequences = d;
   SyntheticData data = GenerateSynthetic(p);
   Workload w = BuildWorkload(data, num_queries, repeat);
 
-  std::printf("== Service throughput: %zu queries (%zu distinct x %zu), "
+  std::printf("== 1. In-process scaling: %zu queries (%zu distinct x %zu), "
               "D=%zu, %u hardware threads ==\n\n",
               w.specs.size(), num_queries, repeat, d,
               std::thread::hardware_concurrency());
@@ -130,6 +406,7 @@ int Run(int argc, char** argv) {
   std::printf("%.*s\n", 66,
               "------------------------------------------------------------"
               "------");
+  std::string inprocess_json;
   double base_qps = 0;
   for (size_t threads : thread_list) {
     RunResult r = RunAtThreads(data, w, threads);
@@ -138,6 +415,91 @@ int Run(int argc, char** argv) {
                 r.wall_ms, r.qps, r.qps / base_qps,
                 static_cast<unsigned long long>(r.repo_hits),
                 static_cast<unsigned long long>(r.shed));
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"threads\": %zu, \"wall_ms\": %.1f, \"qps\": %.1f}",
+                  threads, r.wall_ms, r.qps);
+    inprocess_json += (inprocess_json.empty() ? "" : ",\n");
+    inprocess_json += buf;
+  }
+
+  const char* header =
+      "%-14s | %8s %8s %8s %8s | %8s %8s %8s\n";
+  const char* rule =
+      "--------------------------------------------------------------------"
+      "--------\n";
+
+  std::printf("\n== 2. Closed-loop HTTP over loopback: %zu requests/client "
+              "==\n\n", requests);
+  std::printf(header, "clients", "qps", "200", "429", "other", "p50ms",
+              "p95ms", "p99ms");
+  std::printf("%s", rule);
+  std::string closed_json;
+  for (size_t clients : client_list) {
+    HttpBench bench(data, /*threads=*/4, /*queue_depth=*/64);
+    HttpStats s = RunClosedLoop(bench.server->port(), clients, requests);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%zu", clients);
+    PrintHttpRow(label, s);
+    closed_json += (closed_json.empty() ? "" : ",\n");
+    closed_json += "    {\"clients\": " + std::to_string(clients) + ", " +
+                   HttpStatsJson(s) + "}";
+  }
+
+  std::printf("\n== 3. Open-loop HTTP: scheduled arrivals ==\n\n");
+  std::printf(header, "run", "qps", "200", "429", "other", "p50ms", "p95ms",
+              "p99ms");
+  std::printf("%s", rule);
+  std::string open_json;
+  std::string server_hist_json = "{}";
+  {
+    // Paced run: comfortably below capacity, queue depth 64.
+    HttpBench bench(data, /*threads=*/4, /*queue_depth=*/64);
+    HttpStats s = RunOpenLoop(bench.server->port(), rate,
+                              static_cast<size_t>(rate));
+    PrintHttpRow("paced", s);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.0f", rate);
+    open_json += "    {\"run\": \"paced\", \"target_qps\": ";
+    open_json += buf;
+    open_json += ", " + HttpStatsJson(s) + "}";
+
+    Histogram::Snapshot hist =
+        bench.service->metrics().histogram("net_request_ms")->TakeSnapshot();
+    std::snprintf(buf, sizeof(buf), "%.3f", hist.p50_ms);
+    server_hist_json = "{\"count\": " + std::to_string(hist.count) +
+                       ", \"p50_ms\": " + buf;
+    std::snprintf(buf, sizeof(buf), "%.3f", hist.p95_ms);
+    server_hist_json += std::string(", \"p95_ms\": ") + buf;
+    std::snprintf(buf, sizeof(buf), "%.3f", hist.p99_ms);
+    server_hist_json += std::string(", \"p99_ms\": ") + buf + "}";
+  }
+  {
+    // Saturation run: a single service thread behind a 2-deep queue at 8x
+    // the paced rate — most arrivals must shed as 429, quickly.
+    HttpBench bench(data, /*threads=*/1, /*queue_depth=*/2);
+    HttpStats s = RunOpenLoop(bench.server->port(), rate * 8,
+                              static_cast<size_t>(rate));
+    PrintHttpRow("saturation", s);
+    if (s.n429 == 0) {
+      std::printf("note: saturation run shed nothing — host too fast for "
+                  "rate=%.0f?\n", rate * 8);
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.0f", rate * 8);
+    open_json += ",\n    {\"run\": \"saturation\", \"target_qps\": ";
+    open_json += buf;
+    open_json += ", " + HttpStatsJson(s) + "}";
+  }
+
+  if (!json.empty()) {
+    std::ofstream out(json);
+    out << "{\n  \"bench\": \"bench_service\",\n  \"inprocess\": [\n"
+        << inprocess_json << "\n  ],\n  \"closed_loop\": [\n" << closed_json
+        << "\n  ],\n  \"open_loop\": [\n" << open_json
+        << "\n  ],\n  \"server_net_request_ms\": " << server_hist_json
+        << "\n}\n";
+    std::printf("\nwrote %s\n", json.c_str());
   }
   return 0;
 }

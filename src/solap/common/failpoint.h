@@ -17,6 +17,7 @@
 //   index.rollup / index.refine / index.extend_scan   index/index_ops.cc
 //   engine.formation                                  engine/engine.cc
 //   service.submit                                    service/query_service.cc
+//   net.accept / net.read / net.write                 net/server.cc, net/connection.cc
 //   mem.charge                                        common/mem_budget.cc
 #ifndef SOLAP_COMMON_FAILPOINT_H_
 #define SOLAP_COMMON_FAILPOINT_H_

@@ -25,7 +25,15 @@ enum class StatusCode {
   kCancelled,
   kDeadlineExceeded,
   kResourceExhausted,
+  /// The endpoint exists but is not accepting work right now (draining,
+  /// shutting down). Distinct from kResourceExhausted so callers can tell
+  /// "back off and retry" (overload) from "go elsewhere" (lame duck) —
+  /// the network front-end maps them to 429 vs 503.
+  kUnavailable,
 };
+
+/// The code's canonical name ("NotFound", "ResourceExhausted", ...).
+const char* StatusCodeName(StatusCode code);
 
 /// \brief Outcome of an operation: OK, or an error code plus message.
 ///
@@ -66,6 +74,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,149 @@
+#include "solap/net/connection.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "solap/common/failpoint.h"
+
+namespace solap {
+namespace net {
+
+void LingeringClose(int fd, int timeout_ms, int interrupt_fd) {
+  ::shutdown(fd, SHUT_WR);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  char buf[4096];
+  while (true) {
+    int wait_ms = 0;
+    if (timeout_ms > 0) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - std::chrono::steady_clock::now())
+                      .count();
+      if (left < 0) break;
+      wait_ms = static_cast<int>(left);
+    }
+    struct pollfd fds[2];
+    fds[0] = {fd, POLLIN, 0};
+    nfds_t nfds = 1;
+    if (interrupt_fd >= 0) {
+      fds[1] = {interrupt_fd, POLLIN, 0};
+      nfds = 2;
+    }
+    int rc;
+    do {
+      rc = ::poll(fds, nfds, wait_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc <= 0) break;  // grace period over (or poll error)
+    if (nfds == 2 && fds[1].revents != 0) break;  // server stopping
+    ssize_t n;
+    do {
+      n = ::recv(fd, buf, sizeof(buf), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) break;  // EOF or error: the peer is done
+  }
+  ::close(fd);
+}
+
+Connection::Connection(int fd, HttpParserLimits limits, Counter* bytes_read,
+                       Counter* bytes_written)
+    : fd_(fd),
+      parser_(limits),
+      bytes_read_(bytes_read),
+      bytes_written_(bytes_written) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Connection::ReadOutcome Connection::ReadSome(int timeout_ms, int interrupt_fd,
+                                             std::string* error) {
+  struct pollfd fds[2];
+  fds[0] = {fd_, POLLIN, 0};
+  nfds_t nfds = 1;
+  if (interrupt_fd >= 0) {
+    fds[1] = {interrupt_fd, POLLIN, 0};
+    nfds = 2;
+  }
+  int rc;
+  do {
+    rc = ::poll(fds, nfds, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    *error = std::string("poll: ") + std::strerror(errno);
+    return ReadOutcome::kError;
+  }
+  if (rc == 0) return ReadOutcome::kTimeout;
+  // Drain/stop wakeups take priority over client bytes: the server is
+  // tearing the worker loop down, not serving this connection further.
+  if (nfds == 2 && fds[1].revents != 0) return ReadOutcome::kWakeup;
+
+  // Chaos hook: an armed net.read failpoint models a peer that vanished
+  // mid-request (firewall drop, client crash) without a clean FIN.
+  if (Status injected = SOLAP_FAILPOINT_CHECK("net.read"); !injected.ok()) {
+    *error = injected.message();
+    return ReadOutcome::kError;
+  }
+
+  char buf[16 * 1024];
+  ssize_t n;
+  do {
+    n = ::recv(fd_, buf, sizeof(buf), 0);
+  } while (n < 0 && errno == EINTR);
+  if (n == 0) return ReadOutcome::kClosed;
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadOutcome::kTimeout;
+    *error = std::string("recv: ") + std::strerror(errno);
+    return ReadOutcome::kError;
+  }
+  if (bytes_read_ != nullptr) bytes_read_->Inc(static_cast<uint64_t>(n));
+  parser_.Feed(buf, static_cast<size_t>(n));
+  return ReadOutcome::kData;
+}
+
+Status Connection::WriteAll(std::string_view data) {
+  // Chaos hook: an injected net.write fault tears the connection between
+  // parsing a request and delivering its response — the client-visible
+  // worst case (work done, answer lost).
+  SOLAP_FAILPOINT("net.write");
+
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n;
+    do {
+      // MSG_NOSIGNAL: a peer that already closed must surface as EPIPE,
+      // not kill the process with SIGPIPE.
+      n = ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        struct pollfd pfd = {fd_, POLLOUT, 0};
+        int rc;
+        do {
+          rc = ::poll(&pfd, 1, /*timeout_ms=*/10'000);
+        } while (rc < 0 && errno == EINTR);
+        if (rc <= 0) {
+          return Status::Internal("send: peer not accepting bytes");
+        }
+        continue;
+      }
+      return Status::Internal(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (bytes_written_ != nullptr) bytes_written_->Inc(data.size());
+  return Status::OK();
+}
+
+void Connection::CloseGracefully(int timeout_ms, int interrupt_fd) {
+  if (fd_ < 0) return;
+  LingeringClose(fd_, timeout_ms, interrupt_fd);
+  fd_ = -1;
+}
+
+}  // namespace net
+}  // namespace solap

@@ -1,0 +1,76 @@
+// One accepted client connection: owns the socket fd, the incremental
+// request parser, and byte accounting. All IO is poll-gated and loops over
+// EINTR; the net.read / net.write failpoints sit directly at the socket
+// calls so the chaos suite can tear connections mid-message.
+#ifndef SOLAP_NET_CONNECTION_H_
+#define SOLAP_NET_CONNECTION_H_
+
+#include <string>
+#include <string_view>
+
+#include "solap/common/metrics.h"
+#include "solap/common/status.h"
+#include "solap/net/http.h"
+
+namespace solap {
+namespace net {
+
+/// Half-closes `fd` (FIN to the peer), then discards incoming bytes until
+/// the peer closes, `timeout_ms` elapses (0 = drain only what is already
+/// buffered), or `interrupt_fd` becomes readable; finally closes the fd.
+/// Closing a socket with unread input makes the kernel answer RST, which
+/// can destroy a response still in flight to the peer — this is the
+/// standard "lingering close".
+void LingeringClose(int fd, int timeout_ms, int interrupt_fd = -1);
+
+/// \brief Socket + parser state for one client, used by exactly one server
+/// worker at a time (no internal locking).
+class Connection {
+ public:
+  /// Takes ownership of `fd` (closed on destruction). The counters may be
+  /// null (benchmark clients); when set they accumulate raw socket bytes.
+  Connection(int fd, HttpParserLimits limits, Counter* bytes_read = nullptr,
+             Counter* bytes_written = nullptr);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const { return fd_; }
+
+  enum class ReadOutcome {
+    kData,     ///< at least one byte was fed to the parser
+    kTimeout,  ///< poll() elapsed with nothing to read (keep-alive idle)
+    kClosed,   ///< orderly EOF from the peer
+    kWakeup,   ///< the interrupt fd became readable (server drain/stop)
+    kError,    ///< socket error or injected net.read fault
+  };
+
+  /// Waits up to `timeout_ms` (-1 = forever) for readability, then reads
+  /// once into the parser. `interrupt_fd` (-1 = none) is polled alongside
+  /// the socket so a draining server can break a worker out of its wait.
+  ReadOutcome ReadSome(int timeout_ms, int interrupt_fd, std::string* error);
+
+  /// Writes all of `data`, polling for writability as needed. Fails on
+  /// peer reset or an injected net.write fault.
+  Status WriteAll(std::string_view data);
+
+  /// Server-initiated close after a written response: half-close and drain
+  /// (see LingeringClose) so the response cannot be RST'd away by input we
+  /// never consumed — e.g. the body behind a 413, or pipelined requests
+  /// behind a Connection: close response.
+  void CloseGracefully(int timeout_ms, int interrupt_fd = -1);
+
+  HttpParser& parser() { return parser_; }
+
+ private:
+  int fd_;
+  HttpParser parser_;
+  Counter* bytes_read_;
+  Counter* bytes_written_;
+};
+
+}  // namespace net
+}  // namespace solap
+
+#endif  // SOLAP_NET_CONNECTION_H_

@@ -1,0 +1,222 @@
+#include "solap/net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace solap {
+namespace net {
+
+namespace {
+
+std::string LowerAscii(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view TrimOws(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Finds the end of the header block. Accepts CRLFCRLF and bare LFLF
+/// (lenient parsing per RFC 9112 §2.2). Returns npos when incomplete;
+/// `*head_end` is the offset one past the terminator.
+size_t FindHeadEnd(const std::string& buf, size_t* head_end) {
+  size_t crlf = buf.find("\r\n\r\n");
+  size_t lf = buf.find("\n\n");
+  if (crlf == std::string::npos && lf == std::string::npos) {
+    return std::string::npos;
+  }
+  if (crlf != std::string::npos && (lf == std::string::npos || crlf < lf)) {
+    *head_end = crlf + 4;
+    return crlf;
+  }
+  *head_end = lf + 2;
+  return lf;
+}
+
+/// Splits one header line "Name: value"; returns false on malformed input.
+bool ParseHeaderLine(std::string_view line, std::string* name,
+                     std::string* value) {
+  size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  std::string_view raw_name = line.substr(0, colon);
+  // Field names must not contain whitespace (RFC 9112 §5.1).
+  if (raw_name.find(' ') != std::string_view::npos ||
+      raw_name.find('\t') != std::string_view::npos) {
+    return false;
+  }
+  *name = LowerAscii(raw_name);
+  *value = std::string(TrimOws(line.substr(colon + 1)));
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(
+    const std::string& lower_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lower_name) return &value;
+  }
+  return nullptr;
+}
+
+HttpParser::Outcome HttpParser::Fail(int status, std::string reason) {
+  poisoned_ = true;
+  error_status_ = status;
+  error_ = std::move(reason);
+  return Outcome::kError;
+}
+
+HttpParser::Outcome HttpParser::Next(HttpRequest* out) {
+  if (poisoned_) return Outcome::kError;
+
+  size_t head_end = 0;
+  size_t blank = FindHeadEnd(buffer_, &head_end);
+  if (blank == std::string::npos) {
+    if (buffer_.size() > limits_.max_head_bytes) {
+      return Fail(431, "request head exceeds " +
+                           std::to_string(limits_.max_head_bytes) + " bytes");
+    }
+    return Outcome::kNeedMore;
+  }
+  if (blank > limits_.max_head_bytes) {
+    return Fail(431, "request head exceeds " +
+                         std::to_string(limits_.max_head_bytes) + " bytes");
+  }
+
+  HttpRequest req;
+  // -- Request line ---------------------------------------------------------
+  size_t line_end = buffer_.find('\n');
+  std::string_view line(buffer_.data(), line_end);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  {
+    size_t sp1 = line.find(' ');
+    size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                               : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+        sp1 == 0 || sp2 == sp1 + 1 || sp2 + 1 >= line.size() ||
+        line.find(' ', sp2 + 1) != std::string_view::npos) {
+      return Fail(400, "malformed request line");
+    }
+    req.method = std::string(line.substr(0, sp1));
+    std::string raw_target(line.substr(sp1 + 1, sp2 - sp1 - 1));
+    req.version = std::string(line.substr(sp2 + 1));
+    if (req.version != "HTTP/1.1" && req.version != "HTTP/1.0") {
+      return Fail(400, "unsupported protocol version '" + req.version + "'");
+    }
+    size_t qmark = raw_target.find('?');
+    if (qmark == std::string::npos) {
+      req.target = std::move(raw_target);
+    } else {
+      req.target = raw_target.substr(0, qmark);
+      req.query = raw_target.substr(qmark + 1);
+    }
+    if (req.target.empty() || req.target[0] != '/') {
+      return Fail(400, "request target must be an absolute path");
+    }
+  }
+
+  // -- Headers --------------------------------------------------------------
+  size_t pos = line_end + 1;
+  while (pos < blank) {
+    size_t eol = buffer_.find('\n', pos);
+    std::string_view hline(buffer_.data() + pos, eol - pos);
+    if (!hline.empty() && hline.back() == '\r') hline.remove_suffix(1);
+    pos = eol + 1;
+    if (hline.empty()) break;
+    std::string name, value;
+    if (!ParseHeaderLine(hline, &name, &value)) {
+      return Fail(400, "malformed header line");
+    }
+    req.headers.emplace_back(std::move(name), std::move(value));
+  }
+
+  // -- Body framing ---------------------------------------------------------
+  if (req.FindHeader("transfer-encoding") != nullptr) {
+    return Fail(501, "chunked transfer coding is not supported");
+  }
+  size_t content_length = 0;
+  if (const std::string* cl = req.FindHeader("content-length")) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(cl->c_str(), &end, 10);
+    if (end == cl->c_str() || *end != '\0') {
+      return Fail(400, "malformed Content-Length");
+    }
+    content_length = static_cast<size_t>(v);
+    if (content_length > limits_.max_body_bytes) {
+      return Fail(413, "request body exceeds " +
+                           std::to_string(limits_.max_body_bytes) + " bytes");
+    }
+  }
+  if (buffer_.size() - head_end < content_length) return Outcome::kNeedMore;
+  req.body = buffer_.substr(head_end, content_length);
+  buffer_.erase(0, head_end + content_length);
+
+  // -- Persistence ----------------------------------------------------------
+  req.keep_alive = req.version == "HTTP/1.1";
+  if (const std::string* conn = req.FindHeader("connection")) {
+    std::string v = LowerAscii(*conn);
+    if (v == "close") req.keep_alive = false;
+    if (v == "keep-alive") req.keep_alive = true;
+  }
+
+  *out = std::move(req);
+  return Outcome::kRequest;
+}
+
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& resp) {
+  std::string out;
+  out.reserve(resp.body.size() + 256);
+  out += "HTTP/1.1 ";
+  out += std::to_string(resp.status);
+  out += ' ';
+  out += HttpStatusText(resp.status);
+  out += "\r\n";
+  for (const auto& [name, value] : resp.headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "Content-Type: ";
+  out += resp.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(resp.body.size());
+  out += "\r\nConnection: ";
+  out += resp.keep_alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  out += resp.body;
+  return out;
+}
+
+}  // namespace net
+}  // namespace solap

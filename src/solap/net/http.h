@@ -1,0 +1,98 @@
+// Minimal HTTP/1.1 message layer for the network front-end: an incremental
+// request parser (feed bytes, drain complete requests — the pipelining
+// primitive) and a response serializer. Deliberately small: no chunked
+// transfer coding (501), no multipart, no compression — POST /query and
+// GET /metrics need none of it, and every byte of this parser is code we
+// must harden ourselves (tests/net_test.cc fuzzes the edges).
+#ifndef SOLAP_NET_HTTP_H_
+#define SOLAP_NET_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace solap {
+namespace net {
+
+/// One parsed request. Header names are lower-cased at parse time so
+/// lookups are case-insensitive per RFC 9110 §5.1.
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ... (verbatim, case-sensitive)
+  std::string target;   // path only; the query string is split off
+  std::string query;    // raw query string ("" when absent)
+  std::string version;  // "HTTP/1.0" or "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Connection persistence after this request (1.1 default yes, 1.0
+  /// default no, "Connection:" header overrides either way).
+  bool keep_alive = true;
+
+  /// Value of header `lower_name` (must be passed lower-case), or nullptr.
+  const std::string* FindHeader(const std::string& lower_name) const;
+};
+
+/// Parser guardrails. Oversteps are reported as kError with an HTTP
+/// status the server sends before closing (431 head / 413 body).
+struct HttpParserLimits {
+  size_t max_head_bytes = 16 * 1024;
+  size_t max_body_bytes = 1 * 1024 * 1024;
+};
+
+/// \brief Incremental HTTP/1.1 request parser.
+///
+/// Feed() appends raw socket bytes; Next() extracts complete requests in
+/// arrival order until it reports kNeedMore — several pipelined requests
+/// in one read batch come out as several Next() hits. After kError the
+/// parser is poisoned (the connection must close; byte boundaries are no
+/// longer trustworthy).
+class HttpParser {
+ public:
+  explicit HttpParser(HttpParserLimits limits = {}) : limits_(limits) {}
+
+  enum class Outcome { kNeedMore, kRequest, kError };
+
+  void Feed(const char* data, size_t n) { buffer_.append(data, n); }
+
+  /// Extracts the next complete request into `*out`.
+  Outcome Next(HttpRequest* out);
+
+  /// After kError: the HTTP status (400/413/431/501) and a short reason.
+  int error_status() const { return error_status_; }
+  const std::string& error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed (diagnostics / idle accounting).
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  Outcome Fail(int status, std::string reason);
+
+  HttpParserLimits limits_;
+  std::string buffer_;
+  bool poisoned_ = false;
+  int error_status_ = 0;
+  std::string error_;
+};
+
+/// A response under construction; the handler fills it, the connection
+/// serializes it. Content-Length and Connection headers are emitted by
+/// the serializer from `body` / `keep_alive`.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  bool keep_alive = true;
+  /// Extra headers (e.g. X-Solap-Session, Retry-After).
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+/// Canonical reason phrase for `status` ("OK", "Too Many Requests", ...).
+const char* HttpStatusText(int status);
+
+/// Renders the full wire form: status line, headers, CRLFs, body.
+std::string SerializeResponse(const HttpResponse& resp);
+
+}  // namespace net
+}  // namespace solap
+
+#endif  // SOLAP_NET_HTTP_H_

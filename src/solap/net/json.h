@@ -1,0 +1,27 @@
+// Tiny JSON emission helpers for the network front-end (no external JSON
+// dependency, and the system only ever *writes* JSON — requests are plain
+// S-OLAP query text).
+#ifndef SOLAP_NET_JSON_H_
+#define SOLAP_NET_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace solap {
+namespace net {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters as \uXXXX).
+std::string JsonEscape(std::string_view s);
+
+/// `"s"` with escaping — the quoted JSON string literal for `s`.
+std::string JsonString(std::string_view s);
+
+/// Renders a double the way JSON expects: integral values without a
+/// trailing ".000000", non-finite values as null (JSON has no Inf/NaN).
+std::string JsonNumber(double v);
+
+}  // namespace net
+}  // namespace solap
+
+#endif  // SOLAP_NET_JSON_H_

@@ -1,0 +1,300 @@
+#include "solap/net/query_routes.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "solap/common/trace.h"
+#include "solap/net/json.h"
+#include "solap/parser/parser.h"
+
+namespace solap {
+namespace net {
+
+namespace {
+
+std::vector<std::string> SplitWords(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string w;
+  while (is >> w) out.push_back(w);
+  return out;
+}
+
+std::string TrimCopy(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n;");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n;");
+  return s.substr(b, e - b + 1);
+}
+
+HttpResponse JsonErrorResponse(const Status& status) {
+  HttpResponse resp;
+  resp.status = HttpStatusForError(status);
+  resp.content_type = "application/json";
+  resp.body = "{\"status\":\"error\",\"code\":" +
+              JsonString(StatusCodeName(status.code())) +
+              ",\"message\":" + JsonString(status.message()) + "}\n";
+  if (resp.status == 429 || resp.status == 503) {
+    resp.headers.emplace_back("Retry-After", "1");
+  }
+  return resp;
+}
+
+/// Renders an answered query: top cells (by value, like the shell's table
+/// view), dimension descriptors, latency split, optional session/trace.
+std::string CuboidJson(const QueryResponse& qr, size_t limit,
+                       long long session_id, const std::string& trace_text) {
+  const SCuboid& c = *qr.cuboid;
+  std::string out = "{\"status\":\"ok\"";
+  out += ",\"agg\":" + JsonString(AggKindName(c.agg()));
+  out += ",\"num_cells\":" + std::to_string(c.num_cells());
+  out += ",\"dims\":[";
+  for (size_t d = 0; d < c.dims().size(); ++d) {
+    if (d) out += ',';
+    const DimDescriptor& dim = c.dims()[d];
+    out += "{\"name\":" + JsonString(dim.name) +
+           ",\"level\":" + JsonString(dim.ref.level) +
+           ",\"pattern\":" + (dim.is_pattern ? "true" : "false") + "}";
+  }
+  out += "],\"cells\":[";
+  bool first = true;
+  for (const auto& [key, value] : c.TopCells(limit)) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"key\":[";
+    for (size_t d = 0; d < key.size(); ++d) {
+      if (d) out += ',';
+      out += JsonString(c.LabelOf(d, key[d]));
+    }
+    out += "],\"value\":" + JsonNumber(value) + "}";
+  }
+  out += "]";
+  out += ",\"wait_ms\":" + JsonNumber(qr.wait_ms);
+  out += ",\"exec_ms\":" + JsonNumber(qr.exec_ms);
+  if (session_id >= 0) {
+    out += ",\"session\":" + std::to_string(session_id);
+  }
+  if (!trace_text.empty()) {
+    out += ",\"trace\":" + JsonString(trace_text);
+  }
+  out += "}\n";
+  return out;
+}
+
+/// Parses a session-operation body in the shell's vocabulary:
+///   append <sym> [attr level] | prepend <sym> [attr level]
+///   detail | dehead
+///   rollup <sym> [level] | drilldown <sym> [level]
+///   slice <sym> <label> [label ...]
+Result<SessionOp> ParseSessionOp(const std::string& body) {
+  std::vector<std::string> w = SplitWords(body);
+  if (w.empty()) return Status::InvalidArgument("empty session operation");
+  SessionOp op;
+  const std::string& verb = w[0];
+  if (verb == "append" || verb == "prepend") {
+    if (w.size() != 2 && w.size() != 4) {
+      return Status::InvalidArgument(verb + " <sym> [attr level]");
+    }
+    op.op = verb;
+    op.symbol = w[1];
+    if (w.size() == 4) op.ref = {w[2], w[3]};
+    return op;
+  }
+  if (verb == "detail" || verb == "dehead") {
+    if (w.size() != 1) return Status::InvalidArgument(verb);
+    op.op = verb;
+    return op;
+  }
+  if (verb == "rollup" || verb == "drilldown") {
+    if (w.size() != 2 && w.size() != 3) {
+      return Status::InvalidArgument(verb + " <sym> [level]");
+    }
+    op.op = verb == "rollup" ? "prollup" : "pdrilldown";
+    op.symbol = w[1];
+    if (w.size() == 3) op.level = w[2];
+    return op;
+  }
+  if (verb == "slice") {
+    if (w.size() < 3) return Status::InvalidArgument("slice <sym> <label>...");
+    op.op = "slice";
+    op.symbol = w[1];
+    op.labels.assign(w.begin() + 2, w.end());
+    return op;
+  }
+  return Status::InvalidArgument(
+      "unknown session operation '" + verb +
+      "' (append|prepend|detail|dehead|rollup|drilldown|slice)");
+}
+
+struct RequestParams {
+  SubmitOptions opts;
+  size_t limit = 100;
+  bool trace = false;
+  bool new_session = false;
+  long long session_id = -1;  // -1: stateless
+};
+
+Result<RequestParams> ReadParams(const HttpRequest& req) {
+  RequestParams p;
+  if (const std::string* v = req.FindHeader("x-solap-deadline-ms")) {
+    char* end = nullptr;
+    long long ms = std::strtoll(v->c_str(), &end, 10);
+    if (end == v->c_str() || *end != '\0' || ms < 0) {
+      return Status::InvalidArgument("bad X-Solap-Deadline-Ms '" + *v + "'");
+    }
+    p.opts.timeout = std::chrono::milliseconds(ms);
+  }
+  if (const std::string* v = req.FindHeader("x-solap-strategy")) {
+    if (*v == "cb") {
+      p.opts.strategy = ExecStrategy::kCounterBased;
+    } else if (*v == "ii") {
+      p.opts.strategy = ExecStrategy::kInvertedIndex;
+    } else if (*v == "auto") {
+      p.opts.strategy = ExecStrategy::kAuto;
+    } else {
+      return Status::InvalidArgument("bad X-Solap-Strategy '" + *v +
+                                     "' (cb|ii|auto)");
+    }
+  }
+  if (const std::string* v = req.FindHeader("x-solap-limit")) {
+    char* end = nullptr;
+    long long n = std::strtoll(v->c_str(), &end, 10);
+    if (end == v->c_str() || *end != '\0' || n < 0) {
+      return Status::InvalidArgument("bad X-Solap-Limit '" + *v + "'");
+    }
+    p.limit = static_cast<size_t>(n);
+  }
+  if (const std::string* v = req.FindHeader("x-solap-trace")) {
+    p.trace = (*v == "1" || *v == "true");
+  }
+  if (const std::string* v = req.FindHeader("x-solap-session")) {
+    if (*v == "new") {
+      p.new_session = true;
+    } else {
+      char* end = nullptr;
+      long long id = std::strtoll(v->c_str(), &end, 10);
+      if (end == v->c_str() || *end != '\0' || id <= 0) {
+        return Status::InvalidArgument("bad X-Solap-Session '" + *v +
+                                       "' (new or a session id)");
+      }
+      p.session_id = id;
+    }
+  }
+  return p;
+}
+
+HttpResponse HandleQuery(QueryService* service, const HttpRequest& req) {
+  Result<RequestParams> params = ReadParams(req);
+  if (!params.ok()) return JsonErrorResponse(params.status());
+  RequestParams p = *std::move(params);
+
+  // One span tree per traced request: the net.request root wraps parsing,
+  // queueing and execution, so a client can see where its wall time went
+  // without shell access.
+  TraceContext trace_ctx;
+  TraceSpan request_span(p.trace ? &trace_ctx : nullptr, "net.request");
+  if (p.trace) p.opts.trace = &trace_ctx;
+
+  const std::string body = TrimCopy(req.body);
+  QueryResponse qr;
+  long long responded_session = -1;
+
+  if (p.session_id >= 0) {
+    // Established session: the body is an S-OLAP operation (or empty to
+    // re-run the current spec — the paper's repeated-query case).
+    Result<QueryService::Ticket> ticket = Status::Internal("unreached");
+    if (body.empty()) {
+      ticket = service->SubmitSessionCurrent(
+          static_cast<SessionId>(p.session_id), p.opts);
+    } else {
+      Result<SessionOp> op = ParseSessionOp(body);
+      if (!op.ok()) return JsonErrorResponse(op.status());
+      ticket = service->SubmitSessionOp(static_cast<SessionId>(p.session_id),
+                                        *op, p.opts);
+    }
+    if (!ticket.ok()) return JsonErrorResponse(ticket.status());
+    qr = ticket->response.get();
+    responded_session = p.session_id;
+  } else {
+    Result<Statement> stmt = Status::Internal("unreached");
+    {
+      TraceSpan parse_span(p.opts.trace, "net.parse");
+      stmt = ParseStatement(body);
+    }
+    if (!stmt.ok()) return JsonErrorResponse(stmt.status());
+    if (stmt->explain != ExplainMode::kNone) {
+      return JsonErrorResponse(Status::InvalidArgument(
+          "EXPLAIN is a shell facility; set X-Solap-Trace: 1 for a span "
+          "tree"));
+    }
+    if (p.new_session) {
+      responded_session =
+          static_cast<long long>(service->OpenSession(stmt->spec));
+    }
+    qr = service->Run(stmt->spec, p.opts);
+  }
+
+  if (!qr.status.ok()) return JsonErrorResponse(qr.status);
+
+  request_span.End();
+  HttpResponse resp;
+  resp.content_type = "application/json";
+  resp.body = CuboidJson(qr, p.limit, responded_session,
+                         p.trace ? trace_ctx.ToString() : std::string());
+  if (responded_session >= 0) {
+    resp.headers.emplace_back("X-Solap-Session",
+                              std::to_string(responded_session));
+  }
+  return resp;
+}
+
+}  // namespace
+
+int HttpStatusForError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kAlreadyExists:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    case StatusCode::kUnavailable:
+    case StatusCode::kCancelled:
+      return 503;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    case StatusCode::kNotImplemented:
+      return 501;
+    case StatusCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+Router BuildSolapRouter(QueryService* service) {
+  Router router;
+  router.Handle("POST", "/query", [service](const HttpRequest& req) {
+    return HandleQuery(service, req);
+  });
+  router.Handle("GET", "/metrics", [service](const HttpRequest&) {
+    service->RefreshResourceMetrics();
+    HttpResponse resp;
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = service->metrics().ToPrometheus();
+    return resp;
+  });
+  router.Handle("GET", "/healthz", [](const HttpRequest&) {
+    return TextResponse(200, "ok\n");
+  });
+  return router;
+}
+
+}  // namespace net
+}  // namespace solap

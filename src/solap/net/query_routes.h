@@ -1,0 +1,45 @@
+// The S-OLAP HTTP surface: route handlers mapping QueryService onto three
+// endpoints.
+//
+//   POST /query    S-OLAP query text in the body -> JSON cells out.
+//                  Headers:
+//                    X-Solap-Deadline-Ms: <n>    per-request deadline
+//                    X-Solap-Strategy: cb|ii|auto
+//                    X-Solap-Limit: <n>          cells in the response
+//                                                (default 100, 0 = all)
+//                    X-Solap-Session: new | <id> iterative sessions; with
+//                                                an <id>, the body is a
+//                                                session operation
+//                                                ("rollup Y", "append Z
+//                                                attr level", ...) or
+//                                                empty (re-run current)
+//                    X-Solap-Trace: 1            include the span tree in
+//                                                the JSON response
+//   GET /metrics   Prometheus 0.0.4 text exposition of the service
+//                  registry (every series prefixed solap_).
+//   GET /healthz   Liveness probe ("ok"); the server answers 503 here
+//                  itself once draining.
+//
+// Error mapping (DESIGN.md §8): queue-full kResourceExhausted -> 429,
+// drain kUnavailable -> 503, deadline kDeadlineExceeded -> 504, parse and
+// argument errors -> 400, unknown session -> 404, the rest -> 500.
+#ifndef SOLAP_NET_QUERY_ROUTES_H_
+#define SOLAP_NET_QUERY_ROUTES_H_
+
+#include "solap/net/router.h"
+#include "solap/service/query_service.h"
+
+namespace solap {
+namespace net {
+
+/// HTTP status for a failed QueryResponse / session lookup.
+int HttpStatusForError(const Status& status);
+
+/// Builds the standard route table over `service` (which must outlive the
+/// server using the router).
+Router BuildSolapRouter(QueryService* service);
+
+}  // namespace net
+}  // namespace solap
+
+#endif  // SOLAP_NET_QUERY_ROUTES_H_

@@ -1,0 +1,39 @@
+#include "solap/net/router.h"
+
+namespace solap {
+namespace net {
+
+void Router::Handle(std::string method, std::string path,
+                    HttpHandler handler) {
+  routes_[{std::move(method), std::move(path)}] = std::move(handler);
+}
+
+HttpResponse Router::Dispatch(const HttpRequest& req) const {
+  auto it = routes_.find({req.method, req.target});
+  if (it != routes_.end()) return it->second(req);
+
+  // Same path under another method => 405 with the allowed set.
+  std::string allowed;
+  for (const auto& [key, handler] : routes_) {
+    if (key.second != req.target) continue;
+    if (!allowed.empty()) allowed += ", ";
+    allowed += key.first;
+  }
+  if (!allowed.empty()) {
+    HttpResponse resp = TextResponse(
+        405, "method " + req.method + " not allowed for " + req.target + "\n");
+    resp.headers.emplace_back("Allow", std::move(allowed));
+    return resp;
+  }
+  return TextResponse(404, "no such endpoint: " + req.target + "\n");
+}
+
+HttpResponse TextResponse(int status, std::string body) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = std::move(body);
+  return resp;
+}
+
+}  // namespace net
+}  // namespace solap

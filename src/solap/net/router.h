@@ -1,0 +1,43 @@
+// Exact-path request router for the network front-end. Deliberately not a
+// pattern-matching tree: the S-OLAP surface is three endpoints, and exact
+// match keeps dispatch allocation-free and obviously correct. 404/405
+// composition lives here so handlers only ever see requests they claimed.
+#ifndef SOLAP_NET_ROUTER_H_
+#define SOLAP_NET_ROUTER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "solap/net/http.h"
+
+namespace solap {
+namespace net {
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// \brief Maps (method, exact path) to a handler.
+///
+/// Build once before HttpServer::Start, then treat as immutable — Dispatch
+/// is called concurrently from every server worker with no locking.
+class Router {
+ public:
+  /// Registers `handler` for `method` + `path`. Last registration wins.
+  void Handle(std::string method, std::string path, HttpHandler handler);
+
+  /// Runs the matching handler; composes 404 (unknown path) / 405 (known
+  /// path, wrong method, with an Allow header) when nothing matches.
+  HttpResponse Dispatch(const HttpRequest& req) const;
+
+ private:
+  std::map<std::pair<std::string, std::string>, HttpHandler> routes_;
+};
+
+/// A ready-made plain-text response (error pages, healthz).
+HttpResponse TextResponse(int status, std::string body);
+
+}  // namespace net
+}  // namespace solap
+
+#endif  // SOLAP_NET_ROUTER_H_

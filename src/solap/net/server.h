@@ -1,0 +1,142 @@
+// The HTTP/1.1 front-end server: a poll-based acceptor thread feeding a
+// bounded connection queue drained by a small pool of worker threads, each
+// of which owns one keep-alive connection at a time and services pipelined
+// requests in order. Plain POSIX sockets, no external dependencies.
+//
+// Lifecycle: Start() binds and spawns threads; Drain() flips the server
+// into lame-duck mode (new connections and new requests answer 503 while
+// requests already executing finish normally); Stop() drains, wakes every
+// blocked poll via the self-pipe, joins all threads and closes all fds.
+//
+// Backpressure model (DESIGN.md §8): the server never buffers requests it
+// cannot start. Admission pressure from QueryService surfaces as 429
+// through the /query handler; connection pressure (all workers busy and
+// the handoff queue full) answers 503 at accept time and closes.
+#ifndef SOLAP_NET_SERVER_H_
+#define SOLAP_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "solap/common/metrics.h"
+#include "solap/common/status.h"
+#include "solap/net/connection.h"
+#include "solap/net/router.h"
+
+namespace solap {
+namespace net {
+
+struct HttpServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the outcome from port().
+  uint16_t port = 0;
+  size_t num_workers = 4;
+  /// Accepted connections waiting for a free worker. Overflow answers 503
+  /// at accept time instead of queueing unboundedly.
+  size_t max_queued_connections = 64;
+  /// Keep-alive connections idle longer than this are closed.
+  int idle_timeout_ms = 5000;
+  HttpParserLimits limits;
+};
+
+/// \brief Poll-based HTTP/1.1 server over a Router.
+///
+/// Thread-safe after Start(): Drain/Stop/port/draining may be called from
+/// any thread; the router is shared read-only across workers.
+class HttpServer {
+ public:
+  /// `metrics` may be null (no accounting). `drain_hook`, when set, runs
+  /// once at the start of Drain — the seam that tells QueryService to stop
+  /// admitting (its sheds then surface as 503, not 429).
+  HttpServer(Router router, HttpServerOptions options,
+             MetricsRegistry* metrics = nullptr,
+             std::function<void()> drain_hook = nullptr);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens and spawns the acceptor + workers. Fails (address in
+  /// use, bad address) without leaking fds; the server may not be reused
+  /// after a failed Start.
+  Status Start();
+
+  /// Bound port (resolves port 0 requests); valid after a successful Start.
+  uint16_t port() const { return port_; }
+
+  /// Enters lame-duck mode: everything new answers 503, executing requests
+  /// finish. Idempotent; implied by Stop.
+  void Drain();
+
+  /// Drain + wake all blocked threads + join + close. Idempotent.
+  void Stop();
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Connections currently owned by workers (not yet closed).
+  size_t active_connections() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(int fd);
+  /// Dispatches one parsed request, appending the wire response to `*out`.
+  /// Returns false when this response ends the connection.
+  bool HandleRequest(const HttpRequest& req, std::string* out);
+  void CountResponse(int status);
+  /// Best-effort one-shot response for connections rejected before reaching
+  /// a worker (drain / queue overflow); always closes `fd`.
+  void RejectConnection(int fd, int status, const std::string& reason);
+
+  Router router_;
+  HttpServerOptions options_;
+  std::function<void()> drain_hook_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  uint16_t port_ = 0;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<size_t> active_{0};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> conn_queue_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  // Metric handles (null when no registry was supplied).
+  Counter* accepted_ = nullptr;
+  Counter* rejected_ = nullptr;
+  Counter* closed_ = nullptr;
+  Counter* requests_ = nullptr;
+  Counter* parse_errors_ = nullptr;
+  Counter* bytes_read_ = nullptr;
+  Counter* bytes_written_ = nullptr;
+  Counter* responses_2xx_ = nullptr;
+  Counter* responses_4xx_ = nullptr;
+  Counter* responses_5xx_ = nullptr;
+  Counter* shed_429_ = nullptr;
+  Counter* unavailable_503_ = nullptr;
+  Gauge* active_gauge_ = nullptr;
+  Histogram* request_ms_ = nullptr;
+};
+
+}  // namespace net
+}  // namespace solap
+
+#endif  // SOLAP_NET_SERVER_H_

@@ -1,5 +1,6 @@
 #include "solap/service/query_service.h"
 
+#include <thread>
 #include <utility>
 
 #include "solap/common/failpoint.h"
@@ -51,22 +52,28 @@ QueryService::Ticket QueryService::Submit(const CuboidSpec& spec,
   auto promise = std::make_shared<std::promise<QueryResponse>>();
   Ticket ticket{promise->get_future(), canceller};
 
-  auto shed = [&](std::string why) {
+  auto shed = [&](Status why) {
     shed_->Inc();
     QueryResponse resp;
-    resp.status = Status::ResourceExhausted(std::move(why));
+    resp.status = std::move(why);
     promise->set_value(std::move(resp));
   };
 
   if (shutdown_.load(std::memory_order_acquire)) {
-    shed("query service is shut down");
+    shed(Status::ResourceExhausted("query service is shut down"));
+    return ticket;
+  }
+  // Lame duck (BeginDrain): reject new work with a distinct code so the
+  // network layer can answer 503 instead of the overload 429.
+  if (draining_.load(std::memory_order_acquire)) {
+    shed(Status::Unavailable("query service is draining"));
     return ticket;
   }
   // Chaos hook: an armed "service.submit" failpoint sheds the query at
   // admission, exercising the same path as a saturated queue.
   if (Status injected = SOLAP_FAILPOINT_CHECK("service.submit");
       !injected.ok()) {
-    shed(injected.message());
+    shed(std::move(injected));
     return ticket;
   }
   // Admission control: pending counts queued + executing queries. The
@@ -75,7 +82,8 @@ QueryService::Ticket QueryService::Submit(const CuboidSpec& spec,
   size_t depth = pending_.fetch_add(1, std::memory_order_acq_rel);
   if (options_.max_queue_depth > 0 && depth >= options_.max_queue_depth) {
     pending_.fetch_sub(1, std::memory_order_acq_rel);
-    shed("query queue is full (" + std::to_string(depth) + " pending)");
+    shed(Status::ResourceExhausted("query queue is full (" +
+                                   std::to_string(depth) + " pending)"));
     return ticket;
   }
   // Recorded in plain units: the "ms" columns of the rendering read as
@@ -108,7 +116,7 @@ QueryService::Ticket QueryService::Submit(const CuboidSpec& spec,
   });
   if (!queued) {
     pending_.fetch_sub(1, std::memory_order_acq_rel);
-    shed("query service is shut down");
+    shed(Status::ResourceExhausted("query service is shut down"));
   }
   return ticket;
 }
@@ -270,6 +278,22 @@ void QueryService::RefreshResourceMetrics() {
   mem_budget_->Set(governor.budget());
   mem_rejects_->Set(governor.rejects());
   io_retries_->Set(SnapshotIoRetries());
+}
+
+void QueryService::BeginDrain() {
+  draining_.store(true, std::memory_order_release);
+}
+
+bool QueryService::WaitIdle(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  // pending_ is a plain atomic with no condition variable; polling keeps
+  // the hot Submit/Execute paths free of extra synchronization, and drain
+  // is a once-per-process event where a few ms of latency is irrelevant.
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
 }
 
 void QueryService::Shutdown() {

@@ -133,6 +133,19 @@ class QueryService {
   }
   size_t num_threads() const { return pool_.num_threads(); }
 
+  /// Drain hook for front-ends (net/server.h): stops admitting new queries
+  /// — they shed immediately with kUnavailable (not kResourceExhausted, so
+  /// clients can tell lame-duck from overload) — while queued and executing
+  /// queries run to completion. Idempotent; does not stop the workers.
+  void BeginDrain();
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+  /// Blocks until no query is pending (queued or executing) or `timeout`
+  /// elapses; returns true when idle was reached. Meaningful after
+  /// BeginDrain, when the pending count can only fall.
+  bool WaitIdle(std::chrono::milliseconds timeout);
+
   /// Stops admitting, fails queued-but-unstarted queries with kCancelled,
   /// waits for executing queries to finish. Idempotent.
   void Shutdown();
@@ -166,6 +179,7 @@ class QueryService {
 
   std::atomic<size_t> pending_{0};
   std::atomic<bool> shutdown_{false};
+  std::atomic<bool> draining_{false};
 
   // Trace sampling (ServiceOptions::trace_sample_every).
   std::atomic<uint64_t> submit_seq_{0};

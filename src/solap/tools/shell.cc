@@ -15,6 +15,7 @@
 #include "solap/gen/clickstream.h"
 #include "solap/gen/synthetic.h"
 #include "solap/gen/transit.h"
+#include "solap/net/query_routes.h"
 #include "solap/parser/parser.h"
 #include "solap/storage/csv.h"
 #include "solap/storage/io.h"
@@ -228,6 +229,7 @@ Status ShellSession::CmdLoad(const std::string& args) {
     return Status::InvalidArgument("load csv <path> | load snapshot <path>");
   }
   raw_groups_.reset();
+  http_.reset();     // listener routes into service_
   service_.reset();  // pool threads reference the old engine
   engine_ = std::make_unique<SOlapEngine>(table_.get(), hierarchies_.get());
   out_ << "loaded " << table_->num_rows() << " events\n";
@@ -253,6 +255,7 @@ Status ShellSession::CmdGenerate(const std::string& args) {
   }
   size_t n = w.size() > 1 ? std::strtoul(w[1].c_str(), nullptr, 10) : 0;
   std::string kind = ToLower(w[0]);
+  http_.reset();     // listener routes into service_
   service_.reset();  // pool threads reference the old engine
   if (kind == "transit") {
     TransitParams p;
@@ -335,30 +338,82 @@ Status ShellSession::CmdStrategy(const std::string& args) {
 Status ShellSession::CmdServe(const std::string& args) {
   std::vector<std::string> w = Words(args);
   std::string sub = w.empty() ? "" : ToLower(w[0]);
+  constexpr const char kUsage[] =
+      "serve start [threads [depth]] [--port <p>] | stop | status";
   if (sub == "start") {
     SOLAP_RETURN_NOT_OK(RequireEngine());
     if (service_ != nullptr) {
       return Status::InvalidArgument(
           "service already running; 'serve stop' first");
     }
-    ServiceOptions opts;
-    if (w.size() > 1) {
-      opts.num_threads = std::strtoul(w[1].c_str(), nullptr, 10);
-      if (opts.num_threads == 0) {
-        return Status::InvalidArgument("serve start [threads [depth]]");
+    // `--port <p>` / `--port=<p>` adds an HTTP listener (0 = ephemeral);
+    // positional words remain [threads [depth]].
+    bool with_listener = false;
+    long port = 0;
+    std::vector<std::string> positional;
+    for (size_t i = 1; i < w.size(); ++i) {
+      if (w[i] == "--port" || w[i].rfind("--port=", 0) == 0) {
+        std::string value;
+        if (w[i] == "--port") {
+          if (i + 1 >= w.size()) return Status::InvalidArgument(kUsage);
+          value = w[++i];
+        } else {
+          value = w[i].substr(sizeof("--port=") - 1);
+        }
+        char* end = nullptr;
+        port = std::strtol(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0' || port < 0 ||
+            port > 65535) {
+          return Status::InvalidArgument("bad port '" + value + "'");
+        }
+        with_listener = true;
+      } else {
+        positional.push_back(w[i]);
       }
     }
-    if (w.size() > 2) {
-      opts.max_queue_depth = std::strtoul(w[2].c_str(), nullptr, 10);
+    ServiceOptions opts;
+    if (positional.size() > 0) {
+      opts.num_threads = std::strtoul(positional[0].c_str(), nullptr, 10);
+      if (opts.num_threads == 0) return Status::InvalidArgument(kUsage);
+    }
+    if (positional.size() > 1) {
+      opts.max_queue_depth =
+          std::strtoul(positional[1].c_str(), nullptr, 10);
     }
     service_ = std::make_unique<QueryService>(engine_.get(), opts);
     out_ << "service started: " << service_->num_threads()
          << " threads, queue depth " << opts.max_queue_depth << "\n";
+    if (with_listener) {
+      net::HttpServerOptions hopts;
+      hopts.port = static_cast<uint16_t>(port);
+      hopts.num_workers = opts.num_threads;
+      QueryService* service = service_.get();
+      auto server = std::make_unique<net::HttpServer>(
+          net::BuildSolapRouter(service), hopts, &service->metrics(),
+          /*drain_hook=*/[service] { service->BeginDrain(); });
+      Status started = server->Start();
+      if (!started.ok()) {
+        service_.reset();
+        return started;
+      }
+      http_ = std::move(server);
+      out_ << "listening on " << hopts.bind_address << ":" << http_->port()
+           << " (POST /query, GET /metrics, GET /healthz)\n";
+    }
     return Status::OK();
   }
   if (sub == "stop") {
     if (service_ == nullptr) {
       return Status::InvalidArgument("no service running");
+    }
+    if (http_ != nullptr) {
+      // Orderly drain: stop accepting, let in-flight queries finish, then
+      // tear the listener down before the service it routes into.
+      http_->Drain();
+      service_->WaitIdle(std::chrono::seconds(5));
+      http_->Stop();
+      http_.reset();
+      out_ << "listener stopped\n";
     }
     service_.reset();
     out_ << "service stopped\n";
@@ -371,10 +426,15 @@ Status ShellSession::CmdServe(const std::string& args) {
       out_ << "service: running, " << service_->num_threads()
            << " threads, " << service_->PendingQueries() << " pending, "
            << service_->sessions().NumSessions() << " sessions\n";
+      if (http_ != nullptr) {
+        out_ << "listener: port " << http_->port() << ", "
+             << http_->active_connections() << " active connections"
+             << (http_->draining() ? ", draining" : "") << "\n";
+      }
     }
     return Status::OK();
   }
-  return Status::InvalidArgument("serve start [threads [depth]] | stop | status");
+  return Status::InvalidArgument(kUsage);
 }
 
 Status ShellSession::RequireEngine() const {

@@ -16,6 +16,7 @@
 
 #include "solap/common/status.h"
 #include "solap/engine/engine.h"
+#include "solap/net/server.h"
 #include "solap/service/query_service.h"
 
 namespace solap {
@@ -35,6 +36,7 @@ namespace solap {
 ///   rollup <sym> | drilldown <sym> | slice <sym> <label> | top [n]
 ///   parents | children                      S-cube lattice neighbors
 ///   serve start|stop|status                 concurrent query service
+///     serve start [t [d]] --port <p>        + HTTP listener (0=ephemeral)
 ///   metrics                                 service counters/latencies
 ///   strategy cb|ii|auto | stats | show [n] | quit
 class ShellSession {
@@ -82,8 +84,10 @@ class ShellSession {
   std::shared_ptr<HierarchyRegistry> hierarchies_;
   std::unique_ptr<SOlapEngine> engine_;
   // Owns pool threads that reference engine_; must be reset before the
-  // engine is replaced (CmdLoad / CmdGenerate) or destroyed.
+  // engine is replaced (CmdLoad / CmdGenerate) or destroyed. The HTTP
+  // listener routes into service_, so it must be reset first again.
   std::unique_ptr<QueryService> service_;
+  std::unique_ptr<net::HttpServer> http_;
   ExecStrategy strategy_ = ExecStrategy::kAuto;
 
   std::optional<CuboidSpec> current_spec_;

@@ -10,8 +10,14 @@
 //   - after DisarmAll, the surviving engine still answers correctly.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <thread>
@@ -21,6 +27,8 @@
 #include "solap/common/retry.h"
 #include "solap/engine/engine.h"
 #include "solap/gen/synthetic.h"
+#include "solap/net/query_routes.h"
+#include "solap/net/server.h"
 #include "solap/service/query_service.h"
 #include "solap/storage/io.h"
 #include "paper_fixtures.h"
@@ -110,6 +118,11 @@ void ArmEverything(double p, uint64_t run_seed) {
       p / 2);
   arm("service.submit", Action::kReturnError, StatusCode::kResourceExhausted,
       p / 2);
+  // Network sites: accept/read/write faults tear connections; clients must
+  // see clean errors or EOF, never a hang or a corrupted response.
+  arm("net.accept", Action::kReturnError, StatusCode::kInternal, p / 2);
+  arm("net.read", Action::kReturnError, StatusCode::kInternal, p / 2);
+  arm("net.write", Action::kReturnError, StatusCode::kInternal, p / 2);
   arm("io.snapshot.open", Action::kReturnError, StatusCode::kInternal, p);
   arm("io.snapshot.write", Action::kReturnError, StatusCode::kInternal, p);
   arm("io.snapshot.sync", Action::kReturnError, StatusCode::kInternal, p);
@@ -235,6 +248,107 @@ TEST(ChaosTest, ConcurrentQueriesUnderFullFaultLoadStayCorrect) {
   EXPECT_EQ((*final_load)->num_rows(), snap_table->num_rows());
   std::remove(snap.c_str());
   std::remove((snap + ".tmp").c_str());
+}
+
+// One HTTP exchange over loopback, one request per connection
+// (Connection: close framing keeps the client trivial). Returns the HTTP
+// status code, 0 for a torn connection (EOF/reset before a status line),
+// or -1 when the connect itself failed.
+int HttpExchange(uint16_t port, const std::string& body) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  timeval tv{10, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  const std::string req =
+      "POST /query HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+      "Content-Length: " +
+      std::to_string(body.size()) + "\r\n\r\n" + body;
+  size_t off = 0;
+  while (off < req.size()) {
+    ssize_t n = ::send(fd, req.data() + off, req.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) break;  // torn by an injected write/read fault
+    off += static_cast<size_t>(n);
+  }
+  std::string reply;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    reply.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (reply.compare(0, 5, "HTTP/") != 0 || reply.size() < 12) return 0;
+  return std::atoi(reply.c_str() + 9);
+}
+
+TEST(ChaosTest, HttpTrafficUnderFullFaultLoadDegradesCleanly) {
+  ChaosFixture fx;
+  ArmEverything(0.05, /*run_seed=*/20260809);
+
+  SOlapEngine engine(fx.data.groups, fx.data.hierarchies.get());
+  ServiceOptions sopts;
+  sopts.num_threads = 4;
+  QueryService service(&engine, sopts);
+  net::HttpServerOptions hopts;
+  hopts.num_workers = 4;
+  net::HttpServer server(net::BuildSolapRouter(&service), hopts,
+                         &service.metrics());
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string query =
+      "SELECT COUNT(*) FROM S CLUSTER BY x AT x SEQUENCE BY t "
+      "CUBOID BY SUBSTRING (X, Y) WITH X AS symbol AT symbol, "
+      "Y AS symbol AT symbol LEFT-MAXIMALITY";
+
+  std::atomic<uint64_t> ok{0}, torn{0}, mapped_errors{0}, unexpected{0};
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < 4; ++t) {
+    clients.emplace_back([&] {
+      for (int q = 0; q < 40; ++q) {
+        switch (int status = HttpExchange(server.port(), query)) {
+          case 200:
+            ok.fetch_add(1);
+            break;
+          case -1:  // accept backlog raced a torn accept; still clean
+          case 0:
+            torn.fetch_add(1);
+            break;
+          case 400:
+          case 429:
+          case 500:
+          case 503:
+          case 504:
+            mapped_errors.fetch_add(1);
+            break;
+          default:
+            unexpected.fetch_add(1);
+            ADD_FAILURE() << "unexpected HTTP status " << status;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  uint64_t net_fires = 0;
+  for (const char* point : {"net.accept", "net.read", "net.write"}) {
+    net_fires += FailpointRegistry::Global().Fires(point);
+  }
+  FailpointRegistry::Global().DisarmAll();
+
+  EXPECT_EQ(unexpected.load(), 0u);
+  EXPECT_GT(ok.load(), 0u);  // the fault load must not starve the service
+  EXPECT_GT(net_fires, 0u) << "no network fault fired — p too low?";
+
+  // Faults disarmed: the surviving server answers a clean 200.
+  EXPECT_EQ(HttpExchange(server.port(), query), 200);
+  server.Stop();
 }
 
 TEST(ChaosTest, SameSeedReproducesTheSameFireCounts) {

@@ -1,0 +1,703 @@
+// Tests of the HTTP/1.1 network front-end: the incremental request parser
+// (pipelining, limits, malformed input), the poll-based server (keep-alive
+// reuse, pipelined batches, drain semantics), and the /query surface over a
+// live QueryService (JSON cells, sessions, 429/503/504 backpressure
+// mapping). Socket tests speak raw HTTP through a loopback client so the
+// wire format itself is under test, not a client library's interpretation.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "solap/common/metrics.h"
+#include "solap/engine/engine.h"
+#include "solap/gen/synthetic.h"
+#include "solap/net/http.h"
+#include "solap/net/query_routes.h"
+#include "solap/net/router.h"
+#include "solap/net/server.h"
+#include "solap/service/query_service.h"
+
+namespace solap {
+namespace net {
+namespace {
+
+using std::chrono::milliseconds;
+
+// ---------------------------------------------------------------- HttpParser
+
+HttpParser::Outcome FeedAll(HttpParser* p, const std::string& bytes,
+                            HttpRequest* out) {
+  p->Feed(bytes.data(), bytes.size());
+  return p->Next(out);
+}
+
+TEST(HttpParserTest, ParsesPostWithHeadersAndBody) {
+  HttpParser parser;
+  HttpRequest req;
+  ASSERT_EQ(FeedAll(&parser,
+                    "POST /query?limit=5 HTTP/1.1\r\n"
+                    "Host: localhost\r\n"
+                    "X-Solap-Limit:  7 \r\n"
+                    "Content-Length: 5\r\n"
+                    "\r\n"
+                    "hello",
+                    &req),
+            HttpParser::Outcome::kRequest);
+  EXPECT_EQ(req.method, "POST");
+  EXPECT_EQ(req.target, "/query");
+  EXPECT_EQ(req.query, "limit=5");
+  EXPECT_EQ(req.version, "HTTP/1.1");
+  EXPECT_EQ(req.body, "hello");
+  ASSERT_NE(req.FindHeader("x-solap-limit"), nullptr);
+  EXPECT_EQ(*req.FindHeader("x-solap-limit"), "7");  // OWS trimmed
+  EXPECT_TRUE(req.keep_alive);
+  EXPECT_EQ(parser.Next(&req), HttpParser::Outcome::kNeedMore);
+}
+
+TEST(HttpParserTest, AssemblesARequestFedByteByByte) {
+  const std::string wire =
+      "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  HttpParser parser;
+  HttpRequest req;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    parser.Feed(&wire[i], 1);
+    ASSERT_EQ(parser.Next(&req), HttpParser::Outcome::kNeedMore) << i;
+  }
+  parser.Feed(&wire[wire.size() - 1], 1);
+  ASSERT_EQ(parser.Next(&req), HttpParser::Outcome::kRequest);
+  EXPECT_EQ(req.target, "/healthz");
+}
+
+TEST(HttpParserTest, DrainsPipelinedRequestsInOrder) {
+  HttpParser parser;
+  const std::string wire =
+      "POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc"
+      "GET /b HTTP/1.1\r\n\r\n"
+      "POST /c HTTP/1.1\r\nContent-Length: 2\r\n\r\nxy";
+  parser.Feed(wire.data(), wire.size());
+  HttpRequest req;
+  ASSERT_EQ(parser.Next(&req), HttpParser::Outcome::kRequest);
+  EXPECT_EQ(req.target, "/a");
+  EXPECT_EQ(req.body, "abc");
+  ASSERT_EQ(parser.Next(&req), HttpParser::Outcome::kRequest);
+  EXPECT_EQ(req.target, "/b");
+  ASSERT_EQ(parser.Next(&req), HttpParser::Outcome::kRequest);
+  EXPECT_EQ(req.target, "/c");
+  EXPECT_EQ(req.body, "xy");
+  EXPECT_EQ(parser.Next(&req), HttpParser::Outcome::kNeedMore);
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(HttpParserTest, RejectsMalformedRequestLines) {
+  const char* bad[] = {
+      "GARBAGE\r\n\r\n",                        // one token
+      "GET /x HTTP/1.1 extra\r\n\r\n",          // four tokens
+      "GET /x HTTP/2.0\r\n\r\n",                // unsupported version
+      "GET relative HTTP/1.1\r\n\r\n",          // not an absolute path
+      "GET /x HTTP/1.1\r\nNo colon line\r\n\r\n",
+  };
+  for (const char* wire : bad) {
+    HttpParser parser;
+    HttpRequest req;
+    ASSERT_EQ(FeedAll(&parser, wire, &req), HttpParser::Outcome::kError)
+        << wire;
+    EXPECT_EQ(parser.error_status(), 400) << wire;
+    // Poisoned: further feeds keep reporting the error.
+    EXPECT_EQ(FeedAll(&parser, "GET / HTTP/1.1\r\n\r\n", &req),
+              HttpParser::Outcome::kError);
+  }
+}
+
+TEST(HttpParserTest, RejectsTransferEncodingAsNotImplemented) {
+  HttpParser parser;
+  HttpRequest req;
+  ASSERT_EQ(FeedAll(&parser,
+                    "POST /q HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                    &req),
+            HttpParser::Outcome::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpParserTest, RejectsOversizedBodyBeforeReadingIt) {
+  HttpParserLimits limits;
+  limits.max_body_bytes = 16;
+  HttpParser parser(limits);
+  HttpRequest req;
+  ASSERT_EQ(FeedAll(&parser, "POST /q HTTP/1.1\r\nContent-Length: 17\r\n\r\n",
+                    &req),
+            HttpParser::Outcome::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, RejectsBadContentLength) {
+  HttpParser parser;
+  HttpRequest req;
+  ASSERT_EQ(FeedAll(&parser, "POST /q HTTP/1.1\r\nContent-Length: 12x\r\n\r\n",
+                    &req),
+            HttpParser::Outcome::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, RejectsOversizedHead) {
+  HttpParserLimits limits;
+  limits.max_head_bytes = 64;
+  HttpParser parser(limits);
+  HttpRequest req;
+  const std::string wire =
+      "GET / HTTP/1.1\r\nX-Pad: " + std::string(128, 'a') + "\r\n\r\n";
+  ASSERT_EQ(FeedAll(&parser, wire, &req), HttpParser::Outcome::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParserTest, KeepAliveFollowsVersionAndConnectionHeader) {
+  struct Case {
+    const char* wire;
+    bool keep_alive;
+  } cases[] = {
+      {"GET / HTTP/1.1\r\n\r\n", true},
+      {"GET / HTTP/1.0\r\n\r\n", false},
+      {"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true},
+  };
+  for (const Case& c : cases) {
+    HttpParser parser;
+    HttpRequest req;
+    ASSERT_EQ(FeedAll(&parser, c.wire, &req), HttpParser::Outcome::kRequest)
+        << c.wire;
+    EXPECT_EQ(req.keep_alive, c.keep_alive) << c.wire;
+  }
+}
+
+TEST(HttpSerializeTest, EmitsStatusLineHeadersAndFraming) {
+  HttpResponse resp;
+  resp.status = 429;
+  resp.content_type = "application/json";
+  resp.body = "{}\n";
+  resp.keep_alive = false;
+  resp.headers.emplace_back("Retry-After", "1");
+  const std::string wire = SerializeResponse(resp);
+  EXPECT_NE(wire.find("HTTP/1.1 429 Too Many Requests\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 3\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 7), "\r\n\r\n{}\n");
+}
+
+// --------------------------------------------------------- loopback client
+
+/// A raw-socket HTTP client: sends exactly the bytes it is told to, parses
+/// responses with its own tiny reader so server framing bugs cannot hide.
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    timeval tv{10, 0};  // a hung test should fail, not wedge the suite
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool Send(const std::string& bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                         MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  struct Response {
+    int status = 0;
+    std::map<std::string, std::string> headers;  // lower-cased names
+    std::string body;
+  };
+
+  /// Reads one complete response (Content-Length framing, which the server
+  /// always uses). Returns false on EOF or timeout.
+  bool ReadResponse(Response* out) {
+    size_t head_end;
+    while ((head_end = buf_.find("\r\n\r\n")) == std::string::npos) {
+      if (!Fill()) return false;
+    }
+    const std::string head = buf_.substr(0, head_end);
+    out->headers.clear();
+    size_t line_end = head.find("\r\n");
+    const std::string status_line = head.substr(0, line_end);
+    if (status_line.size() < 12 || status_line.compare(0, 5, "HTTP/") != 0) {
+      return false;
+    }
+    out->status = std::atoi(status_line.c_str() + 9);
+    size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+    while (pos < head.size()) {
+      size_t eol = head.find("\r\n", pos);
+      if (eol == std::string::npos) eol = head.size();
+      std::string line = head.substr(pos, eol - pos);
+      pos = eol + 2;
+      size_t colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      std::string name = line.substr(0, colon);
+      for (char& c : name) c = static_cast<char>(std::tolower(c));
+      size_t vb = line.find_first_not_of(' ', colon + 1);
+      out->headers[name] = vb == std::string::npos ? "" : line.substr(vb);
+    }
+    size_t body_len =
+        static_cast<size_t>(std::atoll(out->headers["content-length"].c_str()));
+    while (buf_.size() < head_end + 4 + body_len) {
+      if (!Fill()) return false;
+    }
+    out->body = buf_.substr(head_end + 4, body_len);
+    buf_.erase(0, head_end + 4 + body_len);
+    return true;
+  }
+
+  /// True once the server has closed its end (EOF after pending data).
+  bool ReadEof() {
+    char c;
+    ssize_t n = ::recv(fd_, &c, 1, 0);
+    return n == 0;
+  }
+
+ private:
+  bool Fill() {
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buf_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+std::string SimpleRequest(const std::string& method, const std::string& target,
+                          const std::string& body = "",
+                          const std::string& extra_headers = "") {
+  std::string req = method + " " + target + " HTTP/1.1\r\nHost: t\r\n" +
+                    extra_headers;
+  if (!body.empty() || method == "POST") {
+    req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  req += "\r\n" + body;
+  return req;
+}
+
+// ---------------------------------------------------------------- HttpServer
+
+Router EchoRouter() {
+  Router router;
+  router.Handle("GET", "/ping", [](const HttpRequest&) {
+    return TextResponse(200, "pong\n");
+  });
+  router.Handle("POST", "/echo", [](const HttpRequest& req) {
+    return TextResponse(200, req.body);
+  });
+  return router;
+}
+
+HttpServerOptions SmallOptions() {
+  HttpServerOptions opts;
+  opts.num_workers = 2;
+  return opts;
+}
+
+TEST(HttpServerTest, ServesOnAnEphemeralPort) {
+  HttpServer server(EchoRouter(), SmallOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(SimpleRequest("GET", "/ping")));
+  TestClient::Response resp;
+  ASSERT_TRUE(client.ReadResponse(&resp));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "pong\n");
+  server.Stop();
+}
+
+TEST(HttpServerTest, KeepAliveServesManyRequestsOnOneConnection) {
+  MetricsRegistry metrics;
+  HttpServer server(EchoRouter(), SmallOptions(), &metrics);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client.Send(SimpleRequest("POST", "/echo",
+                                          "payload " + std::to_string(i))));
+    TestClient::Response resp;
+    ASSERT_TRUE(client.ReadResponse(&resp)) << i;
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body, "payload " + std::to_string(i));
+  }
+  EXPECT_EQ(metrics.counter("net_connections_accepted")->Value(), 1u);
+  EXPECT_EQ(metrics.counter("net_requests")->Value(), 5u);
+  server.Stop();
+}
+
+TEST(HttpServerTest, PipelinedBatchIsAnsweredInOrder) {
+  HttpServer server(EchoRouter(), SmallOptions());
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(SimpleRequest("POST", "/echo", "first") +
+                          SimpleRequest("POST", "/echo", "second") +
+                          SimpleRequest("GET", "/ping")));
+  TestClient::Response resp;
+  ASSERT_TRUE(client.ReadResponse(&resp));
+  EXPECT_EQ(resp.body, "first");
+  ASSERT_TRUE(client.ReadResponse(&resp));
+  EXPECT_EQ(resp.body, "second");
+  ASSERT_TRUE(client.ReadResponse(&resp));
+  EXPECT_EQ(resp.body, "pong\n");
+  server.Stop();
+}
+
+TEST(HttpServerTest, MalformedRequestGets400AndTheConnectionCloses) {
+  MetricsRegistry metrics;
+  HttpServer server(EchoRouter(), SmallOptions(), &metrics);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("NONSENSE\r\n\r\n"));
+  TestClient::Response resp;
+  ASSERT_TRUE(client.ReadResponse(&resp));
+  EXPECT_EQ(resp.status, 400);
+  EXPECT_TRUE(client.ReadEof());
+  EXPECT_EQ(metrics.counter("net_parse_errors")->Value(), 1u);
+  server.Stop();
+}
+
+TEST(HttpServerTest, OversizedBodyGets413) {
+  HttpServerOptions opts = SmallOptions();
+  opts.limits.max_body_bytes = 32;
+  HttpServer server(EchoRouter(), opts);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(SimpleRequest("POST", "/echo",
+                                        std::string(64, 'x'))));
+  TestClient::Response resp;
+  ASSERT_TRUE(client.ReadResponse(&resp));
+  EXPECT_EQ(resp.status, 413);
+  EXPECT_TRUE(client.ReadEof());
+  server.Stop();
+}
+
+TEST(HttpServerTest, UnknownPathAndWrongMethodAreMapped) {
+  HttpServer server(EchoRouter(), SmallOptions());
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(SimpleRequest("GET", "/nope")));
+  TestClient::Response resp;
+  ASSERT_TRUE(client.ReadResponse(&resp));
+  EXPECT_EQ(resp.status, 404);
+  ASSERT_TRUE(client.Send(SimpleRequest("PUT", "/ping")));
+  ASSERT_TRUE(client.ReadResponse(&resp));
+  EXPECT_EQ(resp.status, 405);
+  EXPECT_EQ(resp.headers["allow"], "GET");
+  server.Stop();
+}
+
+TEST(HttpServerTest, DrainRejectsNewWorkWhileInFlightRequestsFinish) {
+  // /slow parks its handler on a gate so drain semantics are tested
+  // deterministically: the request is provably in flight when Drain runs.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+  Router router = EchoRouter();
+  router.Handle("GET", "/slow", [&](const HttpRequest&) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      entered = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    }
+    return TextResponse(200, "slow done\n");
+  });
+
+  MetricsRegistry metrics;
+  HttpServer server(std::move(router), SmallOptions(), &metrics);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient in_flight(server.port());
+  ASSERT_TRUE(in_flight.connected());
+  ASSERT_TRUE(in_flight.Send(SimpleRequest("GET", "/slow")));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered; });
+  }
+
+  server.Drain();
+  EXPECT_TRUE(server.draining());
+
+  // A connection opened after Drain is accepted, but its first request
+  // answers 503 and the server hangs up (with a lingering close, so the
+  // 503 and this EOF are never RST'd away by the unread request).
+  TestClient late(server.port());
+  ASSERT_TRUE(late.connected());
+  ASSERT_TRUE(late.Send(SimpleRequest("GET", "/ping")));
+  TestClient::Response rejected;
+  ASSERT_TRUE(late.ReadResponse(&rejected));
+  EXPECT_EQ(rejected.status, 503);
+  EXPECT_TRUE(late.ReadEof());
+
+  // The in-flight request still completes normally.
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  TestClient::Response finished;
+  ASSERT_TRUE(in_flight.ReadResponse(&finished));
+  EXPECT_EQ(finished.status, 200);
+  EXPECT_EQ(finished.body, "slow done\n");
+  EXPECT_GE(metrics.counter("net_unavailable_503")->Value(), 1u);
+  server.Stop();
+}
+
+TEST(HttpServerTest, StopWakesAParkedIdleConnection) {
+  HttpServer server(EchoRouter(), SmallOptions());
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(SimpleRequest("GET", "/ping")));
+  TestClient::Response resp;
+  ASSERT_TRUE(client.ReadResponse(&resp));
+  // The worker is now parked in poll() waiting for this connection's next
+  // request; Stop must not hang on it.
+  server.Stop();
+  EXPECT_TRUE(client.ReadEof());
+}
+
+// ------------------------------------------------------- /query end-to-end
+
+constexpr const char* kQuery =
+    "SELECT COUNT(*) FROM S CLUSTER BY x AT x SEQUENCE BY t "
+    "CUBOID BY SUBSTRING (X, Y) WITH X AS symbol AT symbol, "
+    "Y AS symbol AT symbol LEFT-MAXIMALITY";
+
+CuboidSpec XYSpec() {
+  CuboidSpec spec;
+  spec.symbols = {"X", "Y"};
+  spec.dims = {PatternDim{"X", {SyntheticData::kAttr, "symbol"}, {}, ""},
+               PatternDim{"Y", {SyntheticData::kAttr, "symbol"}, {}, ""}};
+  return spec;
+}
+
+class NetQueryTest : public ::testing::Test {
+ protected:
+  NetQueryTest() : data_(GenerateSynthetic(Params())) {}
+
+  static SyntheticParams Params() {
+    SyntheticParams p;
+    p.num_sequences = 20000;  // CB scan takes several ms: room to saturate
+    p.num_symbols = 50;
+    return p;
+  }
+
+  /// Builds engine + service (+ server over it) with the given knobs.
+  void StartService(ServiceOptions sopts = {}) {
+    engine_ = std::make_unique<SOlapEngine>(data_.groups,
+                                            data_.hierarchies.get());
+    service_ = std::make_unique<QueryService>(engine_.get(), sopts);
+    HttpServerOptions hopts;
+    hopts.num_workers = 2;
+    QueryService* service = service_.get();
+    server_ = std::make_unique<HttpServer>(
+        BuildSolapRouter(service), hopts, &service->metrics(),
+        [service] { service->BeginDrain(); });
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  SubmitOptions Cb() {
+    SubmitOptions o;
+    o.strategy = ExecStrategy::kCounterBased;
+    return o;
+  }
+
+  SyntheticData data_;
+  std::unique_ptr<SOlapEngine> engine_;
+  std::unique_ptr<QueryService> service_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(NetQueryTest, QueryReturnsJsonCellsMatchingTheEngine) {
+  StartService();
+  SOlapEngine direct(data_.groups, data_.hierarchies.get());
+  auto expected = direct.Execute(XYSpec(), ExecStrategy::kCounterBased);
+  ASSERT_TRUE(expected.ok());
+
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(SimpleRequest("POST", "/query", kQuery,
+                                        "X-Solap-Limit: 2\r\n")));
+  TestClient::Response resp;
+  ASSERT_TRUE(client.ReadResponse(&resp));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.headers["content-type"], "application/json");
+  EXPECT_NE(resp.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"agg\":\"COUNT\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"num_cells\":" +
+                           std::to_string((*expected)->num_cells())),
+            std::string::npos)
+      << resp.body.substr(0, 200);
+}
+
+TEST_F(NetQueryTest, SessionLifecycleOverHttp) {
+  StartService();
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+
+  // Open a session with the initial query.
+  ASSERT_TRUE(client.Send(SimpleRequest("POST", "/query", kQuery,
+                                        "X-Solap-Session: new\r\n"
+                                        "X-Solap-Limit: 1\r\n")));
+  TestClient::Response opened;
+  ASSERT_TRUE(client.ReadResponse(&opened));
+  ASSERT_EQ(opened.status, 200);
+  const std::string id = opened.headers["x-solap-session"];
+  ASSERT_FALSE(id.empty());
+  EXPECT_NE(opened.body.find("\"session\":" + id), std::string::npos);
+
+  // Roll X up to the group level through the session.
+  ASSERT_TRUE(client.Send(SimpleRequest(
+      "POST", "/query", "rollup X group",
+      "X-Solap-Session: " + id + "\r\nX-Solap-Limit: 1\r\n")));
+  TestClient::Response rolled;
+  ASSERT_TRUE(client.ReadResponse(&rolled));
+  EXPECT_EQ(rolled.status, 200);
+  EXPECT_NE(rolled.body.find("\"level\":\"group\""), std::string::npos)
+      << rolled.body.substr(0, 200);
+
+  // An empty body re-runs the session's current spec.
+  ASSERT_TRUE(client.Send(SimpleRequest(
+      "POST", "/query", "", "X-Solap-Session: " + id + "\r\n")));
+  TestClient::Response rerun;
+  ASSERT_TRUE(client.ReadResponse(&rerun));
+  EXPECT_EQ(rerun.status, 200);
+
+  // Unknown session ids surface as 404.
+  ASSERT_TRUE(client.Send(SimpleRequest("POST", "/query", "detail",
+                                        "X-Solap-Session: 999999\r\n")));
+  TestClient::Response missing;
+  ASSERT_TRUE(client.ReadResponse(&missing));
+  EXPECT_EQ(missing.status, 404);
+}
+
+TEST_F(NetQueryTest, ParseErrorsAnswer400WithJsonDetail) {
+  StartService();
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(SimpleRequest("POST", "/query", "SELEC garbage")));
+  TestClient::Response resp;
+  ASSERT_TRUE(client.ReadResponse(&resp));
+  EXPECT_EQ(resp.status, 400);
+  EXPECT_NE(resp.body.find("\"status\":\"error\""), std::string::npos);
+  EXPECT_EQ(service_->metrics().counter("net_responses_4xx")->Value(), 1u);
+}
+
+TEST_F(NetQueryTest, QueueFullMapsToHttp429) {
+  ServiceOptions sopts;
+  sopts.num_threads = 1;
+  sopts.max_queue_depth = 1;
+  StartService(sopts);
+
+  // The direct submission occupies the only admission slot for the several
+  // ms its CB scan runs; the HTTP request arrives well inside that window.
+  QueryService::Ticket blocker = service_->Submit(XYSpec(), Cb());
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(SimpleRequest("POST", "/query", kQuery,
+                                        "X-Solap-Strategy: cb\r\n")));
+  TestClient::Response resp;
+  ASSERT_TRUE(client.ReadResponse(&resp));
+  EXPECT_EQ(resp.status, 429);
+  EXPECT_EQ(resp.headers["retry-after"], "1");
+  EXPECT_EQ(service_->metrics().counter("net_shed_429")->Value(), 1u);
+  EXPECT_TRUE(blocker.response.get().status.ok());
+}
+
+TEST_F(NetQueryTest, DeadlineExpiryMapsToHttp504) {
+  StartService();
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(SimpleRequest("POST", "/query", kQuery,
+                                        "X-Solap-Strategy: cb\r\n"
+                                        "X-Solap-Deadline-Ms: 1\r\n")));
+  TestClient::Response resp;
+  ASSERT_TRUE(client.ReadResponse(&resp));
+  EXPECT_EQ(resp.status, 504);  // 1ms deadline, multi-ms CB scan
+}
+
+TEST_F(NetQueryTest, DrainHookPutsTheServiceIntoLameDuck) {
+  StartService();
+  server_->Drain();
+  // The hook told the service to stop admitting: direct submissions now
+  // shed with the drain code, not the overload code.
+  QueryResponse direct = service_->Run(XYSpec(), Cb());
+  EXPECT_EQ(direct.status.code(), StatusCode::kUnavailable);
+  // And HTTP clients see 503 at the door.
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(SimpleRequest("GET", "/healthz")));
+  TestClient::Response resp;
+  ASSERT_TRUE(client.ReadResponse(&resp));
+  EXPECT_EQ(resp.status, 503);
+}
+
+TEST_F(NetQueryTest, MetricsEndpointExposesNetAndServiceSeries) {
+  StartService();
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(SimpleRequest("POST", "/query", kQuery)));
+  TestClient::Response query;
+  ASSERT_TRUE(client.ReadResponse(&query));
+  ASSERT_EQ(query.status, 200);
+  ASSERT_TRUE(client.Send(SimpleRequest("GET", "/metrics")));
+  TestClient::Response metrics;
+  ASSERT_TRUE(client.ReadResponse(&metrics));
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.headers["content-type"].find("text/plain"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("solap_net_requests 2"), std::string::npos);
+  EXPECT_NE(metrics.body.find("solap_queries_submitted 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("solap_net_request_ms_bucket"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace solap

@@ -2,7 +2,13 @@
 // through string streams.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -150,6 +156,59 @@ quit
 )");
   EXPECT_NE(out.find("(X:station)  COUNT"), std::string::npos);
   EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+}
+
+TEST(ShellTest, ServeStartPrintsTheBoundPortAndServesHttp) {
+  std::ostringstream out;
+  ShellSession session(out);
+  ASSERT_TRUE(session.ExecLine("generate synthetic 200"));
+  ASSERT_TRUE(session.ExecLine("serve start 1 4 --port 0"));
+
+  // The printed line is the deterministic handle on the ephemeral port.
+  const std::string banner = "listening on 127.0.0.1:";
+  size_t pos = out.str().find(banner);
+  ASSERT_NE(pos, std::string::npos) << out.str();
+  int port = std::atoi(out.str().c_str() + pos + banner.size());
+  ASSERT_GT(port, 0);
+
+  // The port is live: a raw GET /healthz answers 200.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string req = "GET /healthz HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  std::string reply;
+  char chunk[512];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    reply.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(reply.find("HTTP/1.1 200 OK"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("ok"), std::string::npos);
+
+  ASSERT_TRUE(session.ExecLine("serve status"));
+  EXPECT_NE(out.str().find("listener: port " + std::to_string(port)),
+            std::string::npos);
+  ASSERT_TRUE(session.ExecLine("serve stop"));
+  EXPECT_NE(out.str().find("listener stopped"), std::string::npos);
+  EXPECT_EQ(out.str().find("error:"), std::string::npos) << out.str();
+}
+
+TEST(ShellTest, ServeRejectsBadPortArguments) {
+  std::string out = RunScript(
+      "generate synthetic 100\n"
+      "serve start --port 70000\n"
+      "serve start --port nonsense\n"
+      "quit\n");
+  EXPECT_NE(out.find("error:"), std::string::npos);
+  EXPECT_EQ(out.find("listening on"), std::string::npos) << out;
 }
 
 TEST(ShellTest, SurvivesErrorsAndContinues) {

@@ -9,8 +9,9 @@ cd "$(dirname "$0")/.."
 DOC=docs/OBSERVABILITY.md
 [[ -f "$DOC" ]] || { echo "doc-lint: $DOC missing" >&2; exit 1; }
 
-# Registration sites look like:  metrics_.counter("queries_ok")
-code_names=$(grep -rhoE '\.(counter|gauge|histogram)\("[a-z0-9_]+"\)' src/ |
+# Registration sites look like:  metrics_.counter("queries_ok")  or, via
+# a registry pointer,  metrics->histogram("net_request_ms")
+code_names=$(grep -rhoE '(\.|->)(counter|gauge|histogram)\("[a-z0-9_]+"\)' src/ |
   sed -E 's/.*\("([a-z0-9_]+)"\)/\1/' | sort -u)
 [[ -n "$code_names" ]] || { echo "doc-lint: no registrations found under src/" >&2; exit 1; }
 
