@@ -10,6 +10,9 @@ std::string ScanStats::ToString() const {
      << " intersections=" << list_intersections << " (linear="
      << intersections_linear << " gallop=" << intersections_galloping
      << " bitmap=" << intersections_bitmap << ")"
+     << " containers=(array=" << container_array_ops
+     << " bitmap=" << container_bitmap_ops << " run=" << container_run_ops
+     << " gallop=" << container_gallop_ops << ")"
      << " index_bytes=" << index_bytes_built << " repo_hits=" << repository_hits
      << " index_hits=" << index_cache_hits
      << " degraded=" << degraded_queries;

@@ -27,6 +27,14 @@ struct ScanStats {
   uint64_t intersections_linear = 0;
   uint64_t intersections_galloping = 0;
   uint64_t intersections_bitmap = 0;
+  /// Container-pair kernel mix inside those intersections and inside
+  /// P-ROLL-UP unions (index/container.h): array×array merges, pairs
+  /// touching a bitmap container, pairs touching a run container, and
+  /// skewed array pairs that galloped.
+  uint64_t container_array_ops = 0;
+  uint64_t container_bitmap_ops = 0;
+  uint64_t container_run_ops = 0;
+  uint64_t container_gallop_ops = 0;
   /// Bytes of inverted-index storage created (sid entries + keys).
   uint64_t index_bytes_built = 0;
   /// Number of cuboid-repository hits (queries answered from cache).
@@ -46,6 +54,10 @@ struct ScanStats {
     intersections_linear += o.intersections_linear;
     intersections_galloping += o.intersections_galloping;
     intersections_bitmap += o.intersections_bitmap;
+    container_array_ops += o.container_array_ops;
+    container_bitmap_ops += o.container_bitmap_ops;
+    container_run_ops += o.container_run_ops;
+    container_gallop_ops += o.container_gallop_ops;
     index_bytes_built += o.index_bytes_built;
     repository_hits += o.repository_hits;
     index_cache_hits += o.index_cache_hits;

@@ -101,7 +101,15 @@ Result<std::vector<IndexRecommendation>> MaterializationAdvisor::Recommend(
           std::shared_ptr<InvertedIndex> built,
           BuildIndex(&sample, *groups, engine_->hierarchies(), cand.shape,
                      &scratch));
-      bytes += built->ByteSize() * total / k;
+      // Posting payload scales with the sequence count, but the per-list
+      // container and struct overhead scales with the number of distinct
+      // patterns — which a vocabulary-bounded sample has largely saturated.
+      // Scaling the whole ByteSize linearly overshot small samples ~4x.
+      const size_t size_bytes = built->ByteSize();
+      const size_t payload =
+          built->total_entries() * sizeof(uint16_t);  // array-container lows
+      const size_t overhead = size_bytes > payload ? size_bytes - payload : 0;
+      bytes += payload * total / k + overhead;
     }
     ranked.push_back(IndexRecommendation{cand.formation, cand.shape,
                                          cand.benefit, bytes});

@@ -471,6 +471,7 @@ JoinExecOptions SOlapEngine::JoinExec() {
   exec.adaptive_kernels = options_.adaptive_join_kernels;
   exec.pool = ComputePool();
   exec.parallel_min_lists = options_.parallel_min_lists;
+  exec.parallel_min_work = options_.parallel_min_work;
   exec.governor = &governor_;
   return exec;
 }

@@ -78,6 +78,11 @@ struct EngineOptions {
   /// Joins/merges with fewer lists than this stay serial even when a pool
   /// exists (fan-out overhead would dominate).
   size_t parallel_min_lists = 64;
+  /// Joins/merges whose total posting-list work (sum of input list entries)
+  /// is below this also stay serial — many tiny lists clear the list cutoff
+  /// yet each shard finishes in microseconds, and the fork/join overhead
+  /// made parallel QA1 slower than the scalar II path.
+  size_t parallel_min_work = size_t{1} << 14;
   /// Single byte budget covering everything the engine keeps resident or
   /// allocates in bulk: cached inverted indices, formed sequence groups,
   /// the cuboid repository, and transient II join scratch. When a charge

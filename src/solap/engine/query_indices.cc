@@ -70,6 +70,13 @@ void AttachStatsDelta(TraceSpan& span, const ScanStats& before,
   emit("galloping", before.intersections_galloping,
        after.intersections_galloping);
   emit("bitmap", before.intersections_bitmap, after.intersections_bitmap);
+  emit("container_array", before.container_array_ops,
+       after.container_array_ops);
+  emit("container_bitmap", before.container_bitmap_ops,
+       after.container_bitmap_ops);
+  emit("container_run", before.container_run_ops, after.container_run_ops);
+  emit("container_gallop", before.container_gallop_ops,
+       after.container_gallop_ops);
   // The dominant kernel of this step, named explicitly so EXPLAIN ANALYZE
   // readers need not compare the mix counters.
   const uint64_t lin = after.intersections_linear - before.intersections_linear;
@@ -187,7 +194,7 @@ Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
           std::shared_ptr<InvertedIndex> merged,
           RollUpMerge(*rollup_src, maps, target, filtered ? &tmpl : nullptr,
                       filtered ? &bp.fixed_codes() : nullptr, stats,
-                      ComputePool()));
+                      JoinExec()));
       AttachStatsDelta(span, before, *stats);
       if (filtered) {
         merged->set_constraint_sig(full_sig);
@@ -395,7 +402,7 @@ Status SOlapEngine::CountFromIndex(QueryContext& ctx, SequenceGroup& group,
       ctx.cuboid->MergeCell(cell, v);
       continue;
     }
-    for (Sid s : list) {
+    list.ForEach([&](Sid s) {
       ++ctx.stats->sequences_scanned;
       switch (restriction) {
         case CellRestriction::kLeftMaxMatchedGo:
@@ -418,7 +425,7 @@ Status SOlapEngine::CountFromIndex(QueryContext& ctx, SequenceGroup& group,
                                        });
           break;
       }
-    }
+    });
   }
   return Status::OK();
 }

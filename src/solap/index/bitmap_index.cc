@@ -6,7 +6,9 @@ BitmapIndex BitmapIndex::FromInverted(const InvertedIndex& index,
                                       size_t num_sequences) {
   BitmapIndex out(index.shape(), num_sequences);
   for (const auto& [key, list] : index.lists()) {
-    out.lists_.emplace(key, Bitmap::FromSids(list, num_sequences));
+    Bitmap bm(num_sequences);
+    list.ForEach([&](Sid s) { bm.Set(s); });
+    out.lists_.emplace(key, std::move(bm));
   }
   return out;
 }
@@ -14,7 +16,7 @@ BitmapIndex BitmapIndex::FromInverted(const InvertedIndex& index,
 std::shared_ptr<InvertedIndex> BitmapIndex::ToInverted(bool complete) const {
   auto out = std::make_shared<InvertedIndex>(shape_, complete);
   for (const auto& [key, bitmap] : lists_) {
-    out->lists().emplace(key, bitmap.ToSids());
+    out->lists().emplace(key, SidList::FromSorted(bitmap.ToSids()));
   }
   return out;
 }

@@ -1,10 +1,54 @@
 #include "solap/index/build_index.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "solap/common/failpoint.h"
 
 namespace solap {
+
+namespace {
+
+// Per-sequence window dedup. A sequence of mean length L yields at most
+// L - m + 1 substring windows — typically a handful — so a linear scan
+// over a small flat vector beats a node-allocating hash set (the
+// per-window set insert dominated QA1's index build); long sequences and
+// subsequence DFS enumeration fall back to the set.
+class WindowDeduper {
+ public:
+  void Reset() {
+    small_.clear();
+    if (use_big_) {
+      big_.clear();
+      use_big_ = false;
+    }
+  }
+
+  // True when `key` was not seen since the last Reset.
+  bool Insert(const PatternKey& key) {
+    if (!use_big_) {
+      if (std::find(small_.begin(), small_.end(), key) != small_.end()) {
+        return false;
+      }
+      if (small_.size() < kLinearMax) {
+        small_.push_back(key);
+        return true;
+      }
+      use_big_ = true;
+      big_.insert(small_.begin(), small_.end());
+    }
+    return big_.insert(key).second;
+  }
+
+ private:
+  // Past this many distinct windows the linear scan loses to hashing.
+  static constexpr size_t kLinearMax = 24;
+  std::vector<PatternKey> small_;  // keeps capacity across Reset
+  std::unordered_set<PatternKey, CodeVecHash> big_;
+  bool use_big_ = false;
+};
+
+}  // namespace
 
 Status AppendToIndex(InvertedIndex* index, SequenceGroup* group,
                      const SequenceGroupSet& set,
@@ -35,7 +79,7 @@ Status AppendToIndex(InvertedIndex* index, SequenceGroup* group,
 
   const std::vector<uint32_t>& offsets = group->offsets();
   const size_t num_seq = group->num_sequences();
-  std::unordered_set<PatternKey, CodeVecHash> seen;  // per-sequence dedup
+  WindowDeduper seen;  // per-sequence dedup
   PatternKey key(m);
 
   // Abort the scan early when the index under construction can no longer
@@ -55,17 +99,17 @@ Status AppendToIndex(InvertedIndex* index, SequenceGroup* group,
     const uint32_t base = offsets[s];
     const uint32_t len = offsets[s + 1] - base;
     if (len < m) continue;
-    seen.clear();
+    seen.Reset();
     if (shape.kind == PatternKind::kSubstring) {
       for (uint32_t p = 0; p + m <= len; ++p) {
         for (size_t i = 0; i < m; ++i) key[i] = pos_view[i][base + p + i];
-        if (seen.insert(key).second) index->AddSid(key, s);
+        if (seen.Insert(key)) index->AddSid(key, s);
       }
     } else {
       // Depth-first enumeration of unique length-m subsequences.
       auto rec = [&](auto&& self, size_t pos, uint32_t start) -> void {
         if (pos == m) {
-          if (seen.insert(key).second) index->AddSid(key, s);
+          if (seen.Insert(key)) index->AddSid(key, s);
           return;
         }
         for (uint32_t i = start; i + (m - pos) <= len; ++i) {
@@ -76,6 +120,10 @@ Status AppendToIndex(InvertedIndex* index, SequenceGroup* group,
       rec(rec, 0, 0);
     }
   }
+  // Shrink every touched list to its smallest container representation —
+  // incremental appends may have left array tails on otherwise dense
+  // chunks.
+  index->NormalizeLists();
   if (stats != nullptr) {
     stats->sequences_scanned += num_seq - from_sid;
   }

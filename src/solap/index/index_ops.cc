@@ -2,14 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <limits>
 #include <memory>
 #include <new>
 #include <unordered_set>
 #include <utility>
 
 #include "solap/common/failpoint.h"
-#include "solap/index/bitmap.h"
+#include "solap/index/container.h"
 #include "solap/index/intersect.h"
 
 namespace solap {
@@ -95,7 +94,7 @@ namespace {
 // plus the partition's private counters. Keeping results in a vector (not
 // a map) lets the merge phase replay the exact serial insertion order.
 struct JoinShardOut {
-  std::vector<std::pair<PatternKey, std::vector<Sid>>> lists;
+  std::vector<std::pair<PatternKey, SidList>> lists;
   ScanStats stats;
   // bad_alloc inside a pool worker would escape the task and terminate the
   // process; shards capture it here and the join fails with a Status the
@@ -116,12 +115,15 @@ struct ScratchCharge {
 // Shared implementation of both join directions. `grow_right` selects which
 // operand contributes the new position.
 //
-// Phases: (1) bucket L2 lists by the shared-position code and bitmap-encode
-// the dense ones once; (2) partition the window-consistent base lists
-// across the pool, each shard intersecting with per-pair kernel selection
-// into reusable scratch buffers; (3) merge shard outputs in shard order —
-// output keys embed their base key, so shards never collide and the merged
-// map's insertion order equals the serial path's.
+// Phases: (1) bucket L2 lists by the shared-position code; (2) partition
+// the window-consistent base lists across the pool (when both the list-
+// count and total-work cutoffs pass), each shard intersecting container
+// lists with per-pair kernel dispatch into reusable scratch buffers;
+// (3) merge shard outputs in shard order — output keys embed their base
+// key, so shards never collide and the merged map's insertion order equals
+// the serial path's. Dense chunks are bitmap containers already, so no
+// per-join bitmap encoding pass is needed; `bitmap_threshold` instead
+// forces whole-list membership probing (§6 bitmap extension).
 Result<std::shared_ptr<InvertedIndex>> JoinExtendImpl(
     const InvertedIndex& base, const InvertedIndex& l2,
     const PatternTemplate& tmpl, size_t offset, const BoundPattern& bp,
@@ -155,49 +157,37 @@ Result<std::shared_ptr<InvertedIndex>> JoinExtendImpl(
   const size_t base_win_offset = grow_right ? offset : offset + 1;
 
   // Base lists that survive the window pre-filter, in map order (the
-  // serial processing order, which the merge phase reproduces).
-  using BaseEntry = const std::pair<const PatternKey, std::vector<Sid>>;
+  // serial processing order, which the merge phase reproduces), plus the
+  // total entry count feeding the work-size cutoff.
+  using BaseEntry = const std::pair<const PatternKey, SidList>;
   std::vector<BaseEntry*> base_entries;
   base_entries.reserve(base.num_lists());
-  std::unordered_set<Code> live_shared;
+  size_t total_base_work = 0;
   for (const auto& entry : base.lists()) {
     if (!WindowConsistent(tmpl, base_win_offset, entry.first,
                           bp.fixed_codes())) {
       continue;
     }
     base_entries.push_back(&entry);
-    live_shared.insert(grow_right ? entry.first.back() : entry.first.front());
+    total_base_work += entry.second.size();
   }
 
-  // Bucket the L2 lists by the code on the shared position; bitmap-encode
-  // the dense ones once (only for buckets some base list will actually
-  // probe). The §6 bitmap extension turns those intersections into
-  // membership probes over the (usually shorter) base lists.
+  // Bucket the L2 lists by the code on the shared position. Dense chunks
+  // of a SidList are bitmap containers already — the one-time encoding the
+  // flat representation needed per join is now part of the index itself.
+  // An L2 list past the explicit `bitmap_threshold` is probed whole (§6).
   struct L2Entry {
     Code grown;
-    const std::vector<Sid>* list;
-    const Bitmap* bitmap = nullptr;  // set when the list is bitmap-encoded
+    const SidList* list;
+    bool probe_forced = false;
   };
   std::unordered_map<Code, std::vector<L2Entry>> by_shared;
-  std::vector<std::unique_ptr<Bitmap>> bitmaps;
-  const size_t universe = bp.group().num_sequences();
-  const size_t density_cut =
-      exec.adaptive_kernels && universe >= 256
-          ? universe / kBitmapDensityDiv
-          : std::numeric_limits<size_t>::max();
   for (const auto& [key2, list2] : l2.lists()) {
     Code shared = grow_right ? key2[0] : key2[1];
     Code grown = grow_right ? key2[1] : key2[0];
-    L2Entry e{grown, &list2, nullptr};
-    const bool explicit_cut =
-        exec.bitmap_threshold != 0 && list2.size() > exec.bitmap_threshold;
-    if ((explicit_cut || list2.size() >= density_cut) &&
-        live_shared.contains(shared)) {
-      bitmaps.push_back(
-          std::make_unique<Bitmap>(Bitmap::FromSids(list2, universe)));
-      e.bitmap = bitmaps.back().get();
-    }
-    by_shared[shared].push_back(e);
+    const bool probe_forced = exec.bitmap_threshold != 0 &&
+                              list2.size() > exec.bitmap_threshold;
+    by_shared[shared].push_back(L2Entry{grown, &list2, probe_forced});
   }
 
   auto out = std::make_shared<InvertedIndex>(out_shape, /*complete=*/false);
@@ -209,7 +199,7 @@ Result<std::shared_ptr<InvertedIndex>> JoinExtendImpl(
     std::vector<Sid> candidates, verified;  // reused across pairs
     for (size_t i = begin; i < end; ++i) {
       const PatternKey& key = base_entries[i]->first;
-      const std::vector<Sid>& list = base_entries[i]->second;
+      const SidList& list = base_entries[i]->second;
       Code shared = grow_right ? key.back() : key.front();
       auto it = by_shared.find(shared);
       if (it == by_shared.end()) continue;
@@ -224,25 +214,33 @@ Result<std::shared_ptr<InvertedIndex>> JoinExtendImpl(
         if (!WindowConsistent(tmpl, offset, out_key, bp.fixed_codes())) {
           continue;
         }
-        // Dispatch mirrors IntersectAdaptive, hoisted so the chosen kernel
-        // is counted — EXPLAIN ANALYZE reports the per-join kernel mix.
-        const IntersectKernel kernel =
-            scalar_only ? IntersectKernel::kLinear
-                        : ChooseIntersectKernel(list.size(), l2e.list->size(),
-                                                l2e.bitmap != nullptr);
-        switch (kernel) {
-          case IntersectKernel::kBitmap:
-            IntersectBitmap(list, *l2e.bitmap, candidates);
+        // Kernel dispatch happens per container pair inside
+        // IntersectSidLists; the per-pair tally is folded into the legacy
+        // linear/galloping/bitmap counters so EXPLAIN ANALYZE still
+        // reports the per-join kernel mix.
+        if (scalar_only) {
+          IntersectSidListsScalar(list, *l2e.list, candidates);
+          ++shard.stats.intersections_linear;
+        } else if (l2e.probe_forced) {
+          candidates.clear();
+          list.ForEach([&](Sid s) {
+            if (l2e.list->Contains(s)) candidates.push_back(s);
+          });
+          ++shard.stats.intersections_bitmap;
+        } else {
+          ContainerOpCounts delta;
+          IntersectSidLists(list, *l2e.list, candidates, &delta);
+          shard.stats.container_array_ops += delta.array_ops;
+          shard.stats.container_bitmap_ops += delta.bitmap_ops;
+          shard.stats.container_run_ops += delta.run_ops;
+          shard.stats.container_gallop_ops += delta.gallop_ops;
+          if (delta.bitmap_ops > 0) {
             ++shard.stats.intersections_bitmap;
-            break;
-          case IntersectKernel::kGalloping:
-            IntersectGalloping(list, *l2e.list, candidates);
+          } else if (delta.gallop_ops > 0) {
             ++shard.stats.intersections_galloping;
-            break;
-          case IntersectKernel::kLinear:
-            IntersectLinear(list, *l2e.list, candidates);
+          } else {
             ++shard.stats.intersections_linear;
-            break;
+          }
         }
         ++shard.stats.list_intersections;
         if (candidates.empty()) continue;
@@ -253,8 +251,7 @@ Result<std::shared_ptr<InvertedIndex>> JoinExtendImpl(
         }
         shard.stats.sequences_scanned += candidates.size();
         if (!verified.empty()) {
-          shard.lists.emplace_back(
-              out_key, std::vector<Sid>(verified.begin(), verified.end()));
+          shard.lists.emplace_back(out_key, SidList::FromSorted(verified));
         }
       }
     }
@@ -269,8 +266,12 @@ Result<std::shared_ptr<InvertedIndex>> JoinExtendImpl(
   };
 
   const size_t n = base_entries.size();
+  // Both cutoffs must pass: enough lists to shard AND enough total work
+  // that each shard outruns its fork/join overhead (small or merge-
+  // dominated jobs used to go parallel and lose to the serial path).
   const size_t workers =
-      exec.pool != nullptr && n >= exec.parallel_min_lists
+      exec.pool != nullptr && n >= exec.parallel_min_lists &&
+              total_base_work >= exec.parallel_min_work
           ? std::min(exec.pool->num_threads(), n)
           : 1;
   std::vector<JoinShardOut> shards(std::max<size_t>(workers, 1));
@@ -332,7 +333,7 @@ Result<std::shared_ptr<InvertedIndex>> RollUpMerge(
     const InvertedIndex& fine, const std::vector<std::vector<Code>>& maps,
     IndexShape coarse_shape, const PatternTemplate* tmpl,
     const std::vector<std::vector<Code>>* fixed_codes, ScanStats* stats,
-    ThreadPool* pool) {
+    const JoinExecOptions& exec) {
   if (!fine.complete()) {
     return Status::InvalidArgument(
         "P-ROLL-UP list merging requires a complete index; template-filtered "
@@ -343,17 +344,23 @@ Result<std::shared_ptr<InvertedIndex>> RollUpMerge(
     return Status::InvalidArgument("roll-up maps must cover every position");
   }
   SOLAP_FAILPOINT("index.rollup");
+  ThreadPool* pool = exec.pool;
   auto out = std::make_shared<InvertedIndex>(std::move(coarse_shape),
                                              /*complete=*/true);
-  // Append every fine list to its coarse target, then sort + dedup each
-  // target once — much cheaper than pairwise sorted unions. The key
-  // mapping and the per-list sort+dedup are embarrassingly parallel; only
-  // the append phase is serial, in the fine map's iteration order, so the
-  // output's insertion order matches a serial merge exactly.
-  using FineEntry = const std::pair<const PatternKey, std::vector<Sid>>;
+  // Group the fine lists by coarse target, then union each target's
+  // sources with one k-way container merge (UnionManySidLists) — no flat
+  // append + re-sort pass. The key mapping and the per-target unions are
+  // embarrassingly parallel; targets are keyed serially in the fine map's
+  // iteration order, so the output's insertion order matches a serial
+  // merge exactly.
+  using FineEntry = const std::pair<const PatternKey, SidList>;
   std::vector<FineEntry*> entries;
   entries.reserve(fine.num_lists());
-  for (const auto& entry : fine.lists()) entries.push_back(&entry);
+  size_t total_work = 0;
+  for (const auto& entry : fine.lists()) {
+    entries.push_back(&entry);
+    total_work += entry.second.size();
+  }
   const size_t n = entries.size();
 
   // Phase 1 (parallel): map every fine key to its coarse key and apply the
@@ -382,8 +389,13 @@ Result<std::shared_ptr<InvertedIndex>> RollUpMerge(
     }
   };
 
+  // Same two-part cutoff as the joins: enough lists AND enough total
+  // posting-list work to amortize the fan-out.
   const size_t workers =
-      pool != nullptr && n >= 64 ? std::min(pool->num_threads(), n) : 1;
+      pool != nullptr && n >= std::max<size_t>(exec.parallel_min_lists, 64) &&
+              total_work >= exec.parallel_min_work
+          ? std::min(pool->num_threads(), n)
+          : 1;
   if (workers <= 1) {
     map_range(0, n);
   } else {
@@ -399,40 +411,61 @@ Result<std::shared_ptr<InvertedIndex>> RollUpMerge(
     return Status::ResourceExhausted("P-ROLL-UP merge ran out of memory");
   }
 
-  // Phase 2 (serial): append in fine-map order.
+  // Phase 2 (serial): key every coarse target in fine-map order and gather
+  // each target's source lists. unordered_map nodes are stable, so the
+  // target pointers survive later insertions.
   out->lists().reserve(fine.num_lists() / 4 + 1);
+  std::unordered_map<PatternKey, size_t, CodeVecHash> slot_of;
+  std::vector<SidList*> targets;
+  std::vector<std::vector<const SidList*>> sources;
   for (size_t i = 0; i < n; ++i) {
     if (!keep[i]) continue;
-    const std::vector<Sid>& list = entries[i]->second;
-    std::vector<Sid>& target = out->lists()[coarse_keys[i]];
-    target.insert(target.end(), list.begin(), list.end());
+    auto [it, inserted] = slot_of.try_emplace(coarse_keys[i], targets.size());
+    if (inserted) {
+      targets.push_back(&out->lists()[coarse_keys[i]]);
+      sources.emplace_back();
+    }
+    sources[it->second].push_back(&entries[i]->second);
   }
 
-  // Phase 3 (parallel): sort + dedup each merged list independently.
-  std::vector<std::vector<Sid>*> targets;
-  targets.reserve(out->num_lists());
-  for (auto& [key, list] : out->lists()) targets.push_back(&list);
-  auto finish_range = [&targets](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      std::vector<Sid>& list = *targets[i];
-      std::sort(list.begin(), list.end());
-      list.erase(std::unique(list.begin(), list.end()), list.end());
+  // Phase 3 (parallel): k-way container union per target.
+  const size_t t = targets.size();
+  std::vector<ContainerOpCounts> union_counts(
+      std::max<size_t>(workers, 1));
+  auto finish_range = [&](size_t begin, size_t end, size_t w) {
+    try {
+      for (size_t i = begin; i < end; ++i) {
+        *targets[i] = UnionManySidLists(sources[i], &union_counts[w]);
+      }
+    } catch (const std::bad_alloc&) {
+      shard_oom.store(true, std::memory_order_relaxed);
     }
   };
-  const size_t t = targets.size();
   if (workers <= 1 || t < 64) {
-    finish_range(0, t);
+    finish_range(0, t, 0);
   } else {
     TaskBatch batch(pool);
     const size_t chunk = (t + workers - 1) / workers;
-    for (size_t begin = 0; begin < t; begin += chunk) {
+    size_t w = 0;
+    for (size_t begin = 0; begin < t; begin += chunk, ++w) {
       const size_t end = std::min(begin + chunk, t);
-      batch.Submit([&finish_range, begin, end] { finish_range(begin, end); });
+      batch.Submit([&finish_range, begin, end, w] {
+        finish_range(begin, end, w);
+      });
     }
     batch.Wait();
   }
+  if (shard_oom.load(std::memory_order_relaxed)) {
+    return Status::ResourceExhausted("P-ROLL-UP merge ran out of memory");
+  }
 
   if (stats != nullptr) {
+    for (const ContainerOpCounts& c : union_counts) {
+      stats->container_array_ops += c.array_ops;
+      stats->container_bitmap_ops += c.bitmap_ops;
+      stats->container_run_ops += c.run_ops;
+      stats->container_gallop_ops += c.gallop_ops;
+    }
     stats->lists_built += out->num_lists();
     stats->index_bytes_built += out->ByteSize();
   }
@@ -469,7 +502,7 @@ Result<std::shared_ptr<InvertedIndex>> DrillDownRefine(
       continue;  // the slice excludes this coarse cell entirely
     }
     keep.insert(coarse_key);
-    for (Sid s : list) marked[s] = true;
+    list.ForEach([&](Sid s) { marked[s] = true; });
   }
   std::unordered_set<PatternKey, CodeVecHash> seen;  // per-sid dedup
   PatternKey fine_key(m), coarse_key(m);
@@ -518,11 +551,11 @@ Result<std::shared_ptr<InvertedIndex>> ExtendByScan(
   std::unordered_set<PatternKey, CodeVecHash> seen;  // per-sid dedup
   for (const auto& [key, list] : base.lists()) {
     if (!WindowConsistent(tmpl, base_off, key, bp.fixed_codes())) continue;
-    for (Sid s : list) {
+    list.ForEach([&](Sid s) {
       if (stats != nullptr) ++stats->sequences_scanned;
       seen.clear();
       const uint32_t len = bp.group().length(s);
-      if (len < out_len) continue;
+      if (len < out_len) return;
       auto try_window = [&](const uint32_t* idx) {
         // idx[j] is the in-sequence index of template position offset + j.
         for (size_t j = 0; j < out_len; ++j) {
@@ -560,7 +593,7 @@ Result<std::shared_ptr<InvertedIndex>> ExtendByScan(
         };
         rec(rec, 0, 0);
       }
-    }
+    });
   }
   if (stats != nullptr) {
     stats->lists_built += out->num_lists();

@@ -12,6 +12,7 @@
 #include "solap/common/stats.h"
 #include "solap/common/status.h"
 #include "solap/common/thread_pool.h"
+#include "solap/index/intersect.h"
 #include "solap/index/inverted_index.h"
 #include "solap/pattern/matcher.h"
 
@@ -37,17 +38,18 @@ struct JoinExecOptions {
   /// Joins with fewer base lists than this stay serial — fan-out overhead
   /// would dominate.
   size_t parallel_min_lists = 64;
+  /// Joins and merges whose total posting-list work (sum of input list
+  /// entries) is below this also stay serial: many tiny lists fan out past
+  /// `parallel_min_lists` yet each shard finishes in microseconds, and the
+  /// fork/join + shard-merge overhead made parallel QA1 slower than the
+  /// scalar II path. Both cutoffs must pass for a job to go parallel.
+  size_t parallel_min_work = size_t{1} << 14;
   /// Engine-wide memory budget. Joins transiently charge an estimate of
   /// their scratch (bitmap encodings + output lists) before fanning out and
   /// release it after the merge; a rejected charge fails the join with
   /// ResourceExhausted, which the engine degrades to the CB path.
   MemoryGovernor* governor = nullptr;
 };
-
-/// Density divisor of the bitmap heuristic: an L2 list with
-/// size >= num_sequences / kBitmapDensityDiv is dense enough that probing
-/// beats merging once the encoding is amortized across list pairs.
-inline constexpr size_t kBitmapDensityDiv = 8;
 
 /// True if template window [offset, offset+len) carries constraints that
 /// filter the instantiation space: a repeated symbol with both occurrences
@@ -81,11 +83,13 @@ bool ContainsWindow(const BoundPattern& bp, Sid s, const PatternKey& key,
 /// scanning the data sequences ("eliminate invalid entries"). Result keys
 /// are filtered to instantiations consistent with the grown window.
 ///
-/// Intersections pick their kernel per list pair (index/intersect.h), L2
-/// lists past `exec.bitmap_threshold` (or the density heuristic) are
-/// bitmap-encoded once, and base lists are partitioned across `exec.pool`
-/// with a deterministic merge — the parallel result is identical to the
-/// serial one.
+/// Intersections run on the lists' container representation directly
+/// (index/container.h): dense chunks are already bitmap-encoded, so each
+/// container pair dispatches its kernel by kind; an L2 list past
+/// `exec.bitmap_threshold` is force-probed (§6 bitmap extension). Base
+/// lists are partitioned across `exec.pool` (when both parallel cutoffs
+/// pass) with a deterministic merge — the parallel result is identical to
+/// the serial one.
 Result<std::shared_ptr<InvertedIndex>> JoinExtendRight(
     const InvertedIndex& left, const InvertedIndex& l2,
     const PatternTemplate& tmpl, size_t offset, const BoundPattern& bp,
@@ -107,14 +111,17 @@ Result<std::shared_ptr<InvertedIndex>> JoinExtendLeft(
 /// merged — a sliced P-ROLL-UP then merges just its subcube; the result is
 /// template-filtered and the caller must mark it incomplete.
 ///
-/// With a pool, key mapping and the final per-list sort+dedup are
-/// partitioned across workers; the append phase keys the output in the
-/// serial order, so the result is identical to a serial merge.
+/// The merge itself is a k-way container union per coarse key
+/// (UnionManySidLists): single-source containers are copied, multi-source
+/// ones OR-ed through a bitmap accumulator — no flat append + re-sort.
+/// With `exec.pool` (and both parallel cutoffs passing), key mapping and
+/// the per-target unions are partitioned across workers; targets are keyed
+/// in the serial order, so the result is identical to a serial merge.
 Result<std::shared_ptr<InvertedIndex>> RollUpMerge(
     const InvertedIndex& fine, const std::vector<std::vector<Code>>& maps,
     IndexShape coarse_shape, const PatternTemplate* tmpl,
     const std::vector<std::vector<Code>>* fixed_codes, ScanStats* stats,
-    ThreadPool* pool = nullptr);
+    const JoinExecOptions& exec = {});
 
 /// P-DRILL-DOWN list refinement: splits each coarse list into fine-level
 /// lists by re-scanning its member sequences. `bp_fine` must be bound to

@@ -2,7 +2,29 @@
 
 #include <algorithm>
 
+#if defined(SOLAP_X86_DISPATCH)
+#include <immintrin.h>
+#endif
+
 namespace solap {
+
+bool CpuHasSse42() {
+#if defined(SOLAP_X86_DISPATCH)
+  static const bool has = __builtin_cpu_supports("sse4.2");
+  return has;
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx2() {
+#if defined(SOLAP_X86_DISPATCH)
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+#else
+  return false;
+#endif
+}
 
 void IntersectLinear(std::span<const Sid> a, std::span<const Sid> b,
                      std::vector<Sid>& out) {
@@ -22,6 +44,70 @@ void IntersectLinear(std::span<const Sid> a, std::span<const Sid> b,
       ++pb;
     }
   }
+}
+
+#if defined(SOLAP_X86_DISPATCH)
+namespace {
+
+// 4×4 block merge: compare each lane of the a-block against all four
+// rotations of the b-block (three shuffles + four 32-bit compares), emit
+// a's matching lanes, then advance whichever block's maximum is smaller —
+// the classic SSE intersection of Lemire & Boytsov. Sids are distinct
+// within a list, so a lane matches at most one b element globally and
+// nothing is emitted twice.
+void IntersectLinearSse2(const Sid* pa, const Sid* ea, const Sid* pb,
+                         const Sid* eb, std::vector<Sid>& out) {
+  while (pa + 4 <= ea && pb + 4 <= eb) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(pa));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(pb));
+    __m128i cmp = _mm_cmpeq_epi32(va, vb);
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(
+                 va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1))));
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(
+                 va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2))));
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(
+                 va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3))));
+    unsigned mask =
+        static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(cmp)));
+    while (mask != 0) {
+      const unsigned i = static_cast<unsigned>(__builtin_ctz(mask));
+      out.push_back(pa[i]);
+      mask &= mask - 1;
+    }
+    const Sid amax = pa[3], bmax = pb[3];
+    if (amax <= bmax) pa += 4;
+    if (bmax <= amax) pb += 4;
+  }
+  while (pa != ea && pb != eb) {
+    if (*pa < *pb) {
+      ++pa;
+    } else if (*pb < *pa) {
+      ++pb;
+    } else {
+      out.push_back(*pa);
+      ++pa;
+      ++pb;
+    }
+  }
+}
+
+}  // namespace
+#endif  // SOLAP_X86_DISPATCH
+
+void IntersectLinearSimd(std::span<const Sid> a, std::span<const Sid> b,
+                         std::vector<Sid>& out) {
+#if defined(SOLAP_X86_DISPATCH)
+  out.clear();
+  IntersectLinearSse2(a.data(), a.data() + a.size(), b.data(),
+                      b.data() + b.size(), out);
+#else
+  IntersectLinear(a, b, out);
+#endif
 }
 
 namespace {
@@ -56,6 +142,75 @@ void IntersectGalloping(std::span<const Sid> a, std::span<const Sid> b,
   }
 }
 
+#if defined(SOLAP_X86_DISPATCH)
+namespace {
+
+// Galloping with the binary-search endgame replaced by one 8-lane AVX2
+// compare: the exponential probe narrows to a bracket, binary search to an
+// 8-element window, and a broadcast-compare + movemask finds the lower
+// bound in that window branch-free. Sids are compared unsigned by flipping
+// the sign bit (vpcmpgtd is signed).
+__attribute__((target("avx2"))) void IntersectGallopingAvx2(
+    std::span<const Sid> small, std::span<const Sid> large,
+    std::vector<Sid>& out) {
+  const Sid* v = large.data();
+  const size_t n = large.size();
+  const __m256i signflip = _mm256_set1_epi32(
+      static_cast<int>(0x80000000u));
+  size_t lo = 0;
+  for (Sid x : small) {
+    size_t bound = 1;
+    while (lo + bound < n && v[lo + bound] < x) bound <<= 1;
+    size_t b = lo + bound / 2;
+    size_t e = std::min(lo + bound, n);
+    while (e - b > 8) {
+      const size_t mid = b + (e - b) / 2;
+      if (v[mid] < x) {
+        b = mid + 1;
+      } else {
+        e = mid;
+      }
+    }
+    if (e - b == 8) {
+      const __m256i vx = _mm256_xor_si256(
+          _mm256_set1_epi32(static_cast<int>(x)), signflip);
+      const __m256i vv = _mm256_xor_si256(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + b)),
+          signflip);
+      // Lane i set iff x > v[i]; the lower bound is the first clear lane.
+      const unsigned gt = static_cast<unsigned>(
+          _mm256_movemask_ps(_mm256_castsi256_ps(
+              _mm256_cmpgt_epi32(vx, vv))));
+      b += static_cast<size_t>(__builtin_ctz(~gt & 0x1ffu));
+    } else {
+      while (b < e && v[b] < x) ++b;
+    }
+    lo = b;
+    if (lo == n) return;
+    if (v[lo] == x) {
+      out.push_back(x);
+      ++lo;
+    }
+  }
+}
+
+}  // namespace
+#endif  // SOLAP_X86_DISPATCH
+
+void IntersectGallopingSimd(std::span<const Sid> a, std::span<const Sid> b,
+                            std::vector<Sid>& out) {
+#if defined(SOLAP_X86_DISPATCH)
+  if (CpuHasAvx2()) {
+    out.clear();
+    std::span<const Sid> small = a.size() <= b.size() ? a : b;
+    std::span<const Sid> large = a.size() <= b.size() ? b : a;
+    IntersectGallopingAvx2(small, large, out);
+    return;
+  }
+#endif
+  IntersectGalloping(a, b, out);
+}
+
 void IntersectBitmap(std::span<const Sid> probe, const Bitmap& bm,
                      std::vector<Sid>& out) {
   out.clear();
@@ -65,16 +220,43 @@ void IntersectBitmap(std::span<const Sid> probe, const Bitmap& bm,
 }
 
 void IntersectAdaptive(std::span<const Sid> a, std::span<const Sid> b,
-                       const Bitmap* b_bitmap, std::vector<Sid>& out) {
-  switch (ChooseIntersectKernel(a.size(), b.size(), b_bitmap != nullptr)) {
-    case IntersectKernel::kBitmap:
-      IntersectBitmap(a, *b_bitmap, out);
+                       size_t universe, const Bitmap* b_bitmap,
+                       IntersectScratch* scratch, std::vector<Sid>& out) {
+  switch (ChooseIntersectKernel(a.size(), b.size(), universe,
+                                b_bitmap != nullptr)) {
+    case IntersectKernel::kBitmap: {
+      if (b_bitmap != nullptr) {
+        IntersectBitmap(a, *b_bitmap, out);
+        return;
+      }
+      if (scratch == nullptr || universe == 0) {
+        // Density term fired but there is nowhere to amortize an encoding:
+        // the SIMD merge is the best single-shot kernel for a dense pair.
+        IntersectLinearSimd(a, b, out);
+        return;
+      }
+      // Encode the larger operand once; repeat calls with the same operand
+      // (data pointer + size, the join-loop pattern) reuse the encoding.
+      std::span<const Sid> small = a.size() <= b.size() ? a : b;
+      std::span<const Sid> large = a.size() <= b.size() ? b : a;
+      if (scratch->keyed_data != large.data() ||
+          scratch->keyed_size != large.size() ||
+          scratch->keyed_universe != universe) {
+        Bitmap bm(universe);
+        for (Sid s : large) bm.Set(s);
+        scratch->bitmap = std::move(bm);
+        scratch->keyed_data = large.data();
+        scratch->keyed_size = large.size();
+        scratch->keyed_universe = universe;
+      }
+      IntersectBitmap(small, scratch->bitmap, out);
       return;
+    }
     case IntersectKernel::kGalloping:
-      IntersectGalloping(a, b, out);
+      IntersectGallopingSimd(a, b, out);
       return;
     case IntersectKernel::kLinear:
-      IntersectLinear(a, b, out);
+      IntersectLinearSimd(a, b, out);
       return;
   }
 }

@@ -2,13 +2,16 @@
 //
 // The II strategy's wall-clock lives in intersecting sorted sid lists
 // (paper §4.2.2, Fig. 15 line 9's L_k ⋈ L_2 step). One kernel does not fit
-// all list pairs: balanced pairs want a linear merge, skewed pairs want
-// galloping (exponential + binary search, cf. Lemire & Boytsov's SIMD
-// intersection study in PAPERS.md), and dense lists reused across many
-// pairs want a one-time bitmap encoding so each intersection becomes
-// membership probes. ChooseIntersectKernel picks per pair from list sizes;
-// callers pass reusable output buffers so the kernels allocate nothing in
-// steady state.
+// all list pairs: balanced pairs want a (SIMD) linear merge, skewed pairs
+// want galloping (exponential + binary search, cf. Lemire & Boytsov's SIMD
+// intersection study in PAPERS.md), and dense lists want bitmap membership
+// probes whose one-time encoding is amortized across pairs (the join
+// shares one encoding per L2 list; standalone callers share one via
+// IntersectScratch). ChooseIntersectKernel picks per pair from list sizes
+// AND the sid-universe density — without the density term, balanced dense
+// pairs mispredicted to linear and ran slower than the scalar baseline
+// (the BENCH_ii.json regression this file's history fixed). Callers pass
+// reusable output buffers so the kernels allocate nothing in steady state.
 #ifndef SOLAP_INDEX_INTERSECT_H_
 #define SOLAP_INDEX_INTERSECT_H_
 
@@ -23,29 +26,56 @@ namespace solap {
 
 /// Size ratio (larger/smaller) above which galloping beats a linear merge:
 /// the merge reads |a|+|b| elements, galloping ~|small|·log(|large|/|small|).
+/// The comparison is multiplicative (small·ratio <= large), so e.g.
+/// 100 vs 1599 stays linear — integer division used to round 15.99 down
+/// and flip balanced pairs into the slower galloping kernel.
 inline constexpr size_t kGallopSizeRatio = 16;
+
+/// Density divisor of the bitmap heuristic: a list covering at least
+/// 1/kBitmapDensityDiv of the sid universe is dense enough that one
+/// bitmap encoding plus membership probes beats merging.
+inline constexpr size_t kBitmapDensityDiv = 8;
+
+/// Universes smaller than this never trigger the density term — the
+/// encoding would cost more than the merge it replaces.
+inline constexpr size_t kBitmapMinUniverse = 256;
 
 /// Which kernel an intersection ran with (also the cost model's output).
 enum class IntersectKernel { kLinear, kGalloping, kBitmap };
 
-/// Cost heuristic: kBitmap when a bitmap of the larger list is already
-/// built, kGalloping when the pair is skewed past kGallopSizeRatio,
-/// kLinear otherwise.
+/// Cost heuristic. `universe` is the group's sid count (0 = unknown,
+/// disables the density term). Order: kBitmap when an encoding is already
+/// built; kBitmap when the larger list is dense enough that building one
+/// pays for itself (the caller must then supply an IntersectScratch);
+/// kGalloping when the pair is skewed past kGallopSizeRatio; kLinear
+/// otherwise.
 inline IntersectKernel ChooseIntersectKernel(size_t a_size, size_t b_size,
+                                             size_t universe,
                                              bool bitmap_available) {
   if (bitmap_available) return IntersectKernel::kBitmap;
   const size_t small = a_size < b_size ? a_size : b_size;
   const size_t large = a_size < b_size ? b_size : a_size;
-  if (small == 0 || large / small >= kGallopSizeRatio) {
+  if (universe >= kBitmapMinUniverse &&
+      large * kBitmapDensityDiv >= universe) {
+    return IntersectKernel::kBitmap;
+  }
+  if (small == 0 || small * kGallopSizeRatio <= large) {
     return IntersectKernel::kGalloping;
   }
   return IntersectKernel::kLinear;
 }
 
-/// out = a ∩ b by linear merge (the scalar baseline). `out` is cleared
-/// first; its capacity is reused across calls.
+/// out = a ∩ b by linear merge (the scalar baseline the SIMD kernels and
+/// the container path are verified against). `out` is cleared first; its
+/// capacity is reused across calls.
 void IntersectLinear(std::span<const Sid> a, std::span<const Sid> b,
                      std::vector<Sid>& out);
+
+/// out = a ∩ b by a 4-lane SSE2 block merge (all-pairs compare of 4×4
+/// blocks via shuffles, cf. Lemire & Boytsov); falls back to the scalar
+/// merge off x86.
+void IntersectLinearSimd(std::span<const Sid> a, std::span<const Sid> b,
+                         std::vector<Sid>& out);
 
 /// out = a ∩ b by galloping search: each element of the smaller list is
 /// located in the larger by exponential probing from a moving frontier,
@@ -53,16 +83,49 @@ void IntersectLinear(std::span<const Sid> a, std::span<const Sid> b,
 void IntersectGalloping(std::span<const Sid> a, std::span<const Sid> b,
                         std::vector<Sid>& out);
 
+/// Galloping with an AVX2 8-lane compare resolving the final bracket
+/// (runtime-dispatched; scalar off x86 / on pre-AVX2 hardware).
+void IntersectGallopingSimd(std::span<const Sid> a, std::span<const Sid> b,
+                            std::vector<Sid>& out);
+
 /// out = {s ∈ probe : bm.Get(s)} — intersection against a bitmap-encoded
 /// list. O(|probe|) regardless of the encoded list's length.
 void IntersectBitmap(std::span<const Sid> probe, const Bitmap& bm,
                      std::vector<Sid>& out);
 
-/// Dispatches to the kernel ChooseIntersectKernel selects. `b_bitmap` is
-/// the optional bitmap encoding of `b` (density-triggered, built once by
-/// the join and shared across pairs).
+/// Reusable bitmap encoding for adaptive callers without a join-managed
+/// bitmap: when ChooseIntersectKernel's density term selects kBitmap, the
+/// encoding of the larger operand is built here once and reused while the
+/// same operand (identified by data pointer + size) recurs — the
+/// reuse-count amortization the join gets from its per-L2-list bitmaps.
+struct IntersectScratch {
+  Bitmap bitmap;
+  const Sid* keyed_data = nullptr;
+  size_t keyed_size = 0;
+  size_t keyed_universe = 0;
+};
+
+/// Dispatches to the kernel ChooseIntersectKernel selects. `universe` (0 =
+/// unknown) feeds the density term; `b_bitmap` is an optional pre-built
+/// encoding of `b` (the join builds one per dense L2 list and shares it
+/// across pairs). When the density term fires without a pre-built bitmap,
+/// the larger operand is encoded into `scratch` (cached across calls);
+/// with `scratch == nullptr` the pair falls back to the SIMD linear merge.
 void IntersectAdaptive(std::span<const Sid> a, std::span<const Sid> b,
-                       const Bitmap* b_bitmap, std::vector<Sid>& out);
+                       size_t universe, const Bitmap* b_bitmap,
+                       IntersectScratch* scratch, std::vector<Sid>& out);
+
+/// Legacy entry point: no universe (density term off), no scratch.
+inline void IntersectAdaptive(std::span<const Sid> a, std::span<const Sid> b,
+                              const Bitmap* b_bitmap,
+                              std::vector<Sid>& out) {
+  IntersectAdaptive(a, b, /*universe=*/0, b_bitmap, /*scratch=*/nullptr,
+                    out);
+}
+
+/// Runtime CPU feature checks backing the SIMD dispatch (false off x86).
+bool CpuHasSse42();
+bool CpuHasAvx2();
 
 }  // namespace solap
 

@@ -38,9 +38,13 @@ size_t InvertedIndex::total_entries() const {
 size_t InvertedIndex::ByteSize() const {
   size_t bytes = 0;
   for (const auto& [key, list] : lists_) {
-    bytes += key.size() * sizeof(Code) + list.size() * sizeof(Sid);
+    bytes += key.size() * sizeof(Code) + list.ByteSize();
   }
   return bytes;
+}
+
+void InvertedIndex::NormalizeLists() {
+  for (auto& [key, list] : lists_) list.Normalize();
 }
 
 std::vector<Sid> IntersectSorted(const std::vector<Sid>& a,
@@ -51,6 +55,13 @@ std::vector<Sid> IntersectSorted(const std::vector<Sid>& a,
   return out;
 }
 
+std::vector<Sid> IntersectSorted(const SidList& a, const SidList& b) {
+  std::vector<Sid> out;
+  out.reserve(std::min(a.size(), b.size()));
+  IntersectSidLists(a, b, out);
+  return out;
+}
+
 std::vector<Sid> UnionSorted(const std::vector<Sid>& a,
                              const std::vector<Sid>& b) {
   std::vector<Sid> out;
@@ -58,6 +69,11 @@ std::vector<Sid> UnionSorted(const std::vector<Sid>& a,
   std::set_union(a.begin(), a.end(), b.begin(), b.end(),
                  std::back_inserter(out));
   return out;
+}
+
+std::vector<Sid> UnionSorted(const SidList& a, const SidList& b) {
+  const SidList* ins[2] = {&a, &b};
+  return UnionManySidLists(ins).ToVector();
 }
 
 }  // namespace solap

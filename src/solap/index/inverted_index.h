@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "solap/common/types.h"
+#include "solap/index/container.h"
 #include "solap/seq/dimension.h"
 #include "solap/pattern/pattern_template.h"
 
@@ -40,8 +41,10 @@ struct IndexShape {
 /// restricted L4^(X,Y,Y,X) lists at the district level loses sequence s6.
 class InvertedIndex {
  public:
-  using ListMap =
-      std::unordered_map<PatternKey, std::vector<Sid>, CodeVecHash>;
+  /// Lists are chunked container sets (index/container.h), not flat
+  /// vectors: sparse 2^16-sid chunks are sorted u16 arrays, dense chunks
+  /// bitmaps, contiguous chunks run intervals.
+  using ListMap = std::unordered_map<PatternKey, SidList, CodeVecHash>;
 
   InvertedIndex(IndexShape shape, bool complete)
       : shape_(std::move(shape)), complete_(complete) {}
@@ -62,20 +65,21 @@ class InvertedIndex {
   /// Appends `sid` to the list of `key`, deduplicating consecutive appends
   /// of the same sid (callers iterate sids in ascending order, so lists
   /// stay sorted).
-  void AddSid(const PatternKey& key, Sid sid) {
-    std::vector<Sid>& list = lists_[key];
-    if (list.empty() || list.back() != sid) list.push_back(sid);
-  }
+  void AddSid(const PatternKey& key, Sid sid) { lists_[key].Append(sid); }
 
-  const std::vector<Sid>* Find(const PatternKey& key) const {
+  const SidList* Find(const PatternKey& key) const {
     auto it = lists_.find(key);
     return it == lists_.end() ? nullptr : &it->second;
   }
 
   size_t num_lists() const { return lists_.size(); }
   size_t total_entries() const;
-  /// Approximate storage footprint (keys + sid entries).
+  /// Storage footprint: keys plus the bytes the containers actually hold —
+  /// this is what index caching charges against the MemoryGovernor.
   size_t ByteSize() const;
+  /// Rewrites every list's containers to their smallest representation
+  /// (builders call this once after the append phase).
+  void NormalizeLists();
 
  private:
   IndexShape shape_;
@@ -88,9 +92,15 @@ class InvertedIndex {
 std::vector<Sid> IntersectSorted(const std::vector<Sid>& a,
                                  const std::vector<Sid>& b);
 
+/// Container-list intersection with adaptive per-container kernels.
+std::vector<Sid> IntersectSorted(const SidList& a, const SidList& b);
+
 /// Sorted-vector union with deduplication, the core of P-ROLL-UP merging.
 std::vector<Sid> UnionSorted(const std::vector<Sid>& a,
                              const std::vector<Sid>& b);
+
+/// Container-list union (two-input wrapper over UnionManySidLists).
+std::vector<Sid> UnionSorted(const SidList& a, const SidList& b);
 
 }  // namespace solap
 

@@ -31,6 +31,10 @@ QueryService::QueryService(SOlapEngine* engine, ServiceOptions options)
       index_hits_(metrics_.counter("index_cache_hits")),
       seqs_scanned_(metrics_.counter("sequences_scanned")),
       degraded_(metrics_.counter("degraded_queries")),
+      container_array_ops_(metrics_.counter("ii_container_array_ops")),
+      container_bitmap_ops_(metrics_.counter("ii_container_bitmap_ops")),
+      container_run_ops_(metrics_.counter("ii_container_run_ops")),
+      container_gallop_ops_(metrics_.counter("ii_container_gallop_ops")),
       mem_used_(metrics_.gauge("mem_used_bytes")),
       mem_budget_(metrics_.gauge("mem_budget_bytes")),
       mem_rejects_(metrics_.gauge("mem_budget_rejects")),
@@ -210,6 +214,10 @@ void QueryService::Execute(
   index_hits_->Inc(resp.stats.index_cache_hits);
   seqs_scanned_->Inc(resp.stats.sequences_scanned);
   degraded_->Inc(resp.stats.degraded_queries);
+  container_array_ops_->Inc(resp.stats.container_array_ops);
+  container_bitmap_ops_->Inc(resp.stats.container_bitmap_ops);
+  container_run_ops_->Inc(resp.stats.container_run_ops);
+  container_gallop_ops_->Inc(resp.stats.container_gallop_ops);
 
   if (result.ok()) {
     resp.cuboid = *std::move(result);

@@ -200,6 +200,10 @@ class QueryService {
   Counter* index_hits_;
   Counter* seqs_scanned_;
   Counter* degraded_;
+  Counter* container_array_ops_;
+  Counter* container_bitmap_ops_;
+  Counter* container_run_ops_;
+  Counter* container_gallop_ops_;
   Gauge* mem_used_;
   Gauge* mem_budget_;
   Gauge* mem_rejects_;

@@ -45,7 +45,9 @@ Status SyncFile(const std::string& path) {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'O', 'L', 'P'};
-constexpr uint32_t kVersion = 1;
+// v2: inverted-index posting lists are serialized container-wise
+// (index/container.h) instead of as flat sid vectors.
+constexpr uint32_t kVersion = 2;
 constexpr uint8_t kKindTable = 'T';
 constexpr uint8_t kKindIndex = 'I';
 
@@ -397,7 +399,20 @@ Status SaveIndex(const InvertedIndex& index, const std::string& path) {
   w.U64(index.num_lists());
   for (const auto& [key, list] : index.lists()) {
     w.Raw(key.data(), key.size() * sizeof(Code));
-    w.Vec(list);
+    // Lists are stored in their container representation: the on-disk
+    // bytes mirror the in-memory layout, so a dense chunk round-trips as
+    // a bitmap without re-deriving the encoding on load.
+    w.U32(static_cast<uint32_t>(list.containers().size()));
+    for (const SidContainer& c : list.containers()) {
+      w.U32(c.key);
+      w.U8(static_cast<uint8_t>(c.kind));
+      w.U32(c.cardinality);
+      if (c.kind == SidContainer::Kind::kBitmap) {
+        w.Vec(c.words);
+      } else {
+        w.Vec(c.values);
+      }
+    }
   }
   return w.Flush(path);
 }
@@ -422,7 +437,69 @@ Result<std::shared_ptr<InvertedIndex>> LoadIndex(const std::string& path) {
   PatternKey key(m);
   for (uint64_t i = 0; i < nlists; ++i) {
     SOLAP_RETURN_NOT_OK(r.Raw(key.data(), m * sizeof(Code)));
-    SOLAP_ASSIGN_OR_RETURN(std::vector<Sid> list, r.Vec<Sid>());
+    SOLAP_ASSIGN_OR_RETURN(uint32_t ncontainers, r.U32());
+    SidList list;
+    list.containers().reserve(ncontainers);
+    uint32_t prev_key = 0;
+    for (uint32_t c = 0; c < ncontainers; ++c) {
+      SidContainer cont;
+      SOLAP_ASSIGN_OR_RETURN(uint32_t ckey, r.U32());
+      if (ckey > 0xffff || (c > 0 && ckey <= prev_key)) {
+        return Status::ParseError("snapshot container keys out of order");
+      }
+      cont.key = static_cast<uint16_t>(ckey);
+      prev_key = ckey;
+      SOLAP_ASSIGN_OR_RETURN(uint8_t kind, r.U8());
+      SOLAP_ASSIGN_OR_RETURN(cont.cardinality, r.U32());
+      switch (kind) {
+        case static_cast<uint8_t>(SidContainer::Kind::kArray): {
+          cont.kind = SidContainer::Kind::kArray;
+          SOLAP_ASSIGN_OR_RETURN(cont.values, r.Vec<uint16_t>());
+          if (cont.values.size() != cont.cardinality ||
+              cont.cardinality == 0) {
+            return Status::ParseError("snapshot array container malformed");
+          }
+          break;
+        }
+        case static_cast<uint8_t>(SidContainer::Kind::kBitmap): {
+          cont.kind = SidContainer::Kind::kBitmap;
+          SOLAP_ASSIGN_OR_RETURN(cont.words, r.Vec<uint64_t>());
+          if (cont.words.size() != kContainerWords) {
+            return Status::ParseError("snapshot bitmap container malformed");
+          }
+          uint32_t card = 0;
+          for (uint64_t w : cont.words) {
+            card += static_cast<uint32_t>(__builtin_popcountll(w));
+          }
+          if (card != cont.cardinality || card == 0) {
+            return Status::ParseError("snapshot bitmap container malformed");
+          }
+          break;
+        }
+        case static_cast<uint8_t>(SidContainer::Kind::kRun): {
+          cont.kind = SidContainer::Kind::kRun;
+          SOLAP_ASSIGN_OR_RETURN(cont.values, r.Vec<uint16_t>());
+          if (cont.values.empty() || cont.values.size() % 2 != 0) {
+            return Status::ParseError("snapshot run container malformed");
+          }
+          uint64_t card = 0;
+          for (size_t p = 0; p + 1 < cont.values.size(); p += 2) {
+            if (cont.values[p + 1] < cont.values[p]) {
+              return Status::ParseError("snapshot run container malformed");
+            }
+            card += cont.values[p + 1] - cont.values[p] + 1;
+          }
+          if (card != cont.cardinality) {
+            return Status::ParseError("snapshot run container malformed");
+          }
+          break;
+        }
+        default:
+          return Status::ParseError("snapshot container kind unknown");
+      }
+      list.containers().push_back(std::move(cont));
+    }
+    list.RecomputeMeta();
     index->lists().emplace(key, std::move(list));
   }
   return index;

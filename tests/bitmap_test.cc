@@ -58,7 +58,7 @@ TEST(BitmapIndexTest, RoundTripsThroughInvertedIndex) {
   auto back = bi.ToInverted(/*complete=*/true);
   EXPECT_TRUE(back->complete());
   for (const auto& [key, list] : (*l2)->lists()) {
-    const std::vector<Sid>* got = back->Find(key);
+    const SidList* got = back->Find(key);
     ASSERT_NE(got, nullptr);
     EXPECT_EQ(*got, list);
   }

@@ -35,10 +35,20 @@ void CheckAllKernels(const std::vector<Sid>& a, const std::vector<Sid>& b,
   IntersectLinear(b, a, out);
   EXPECT_EQ(out, expect) << "linear swapped";
 
+  IntersectLinearSimd(a, b, out);
+  EXPECT_EQ(out, expect) << "linear simd";
+  IntersectLinearSimd(b, a, out);
+  EXPECT_EQ(out, expect) << "linear simd swapped";
+
   IntersectGalloping(a, b, out);
   EXPECT_EQ(out, expect) << "galloping";
   IntersectGalloping(b, a, out);
   EXPECT_EQ(out, expect) << "galloping swapped";
+
+  IntersectGallopingSimd(a, b, out);
+  EXPECT_EQ(out, expect) << "galloping simd";
+  IntersectGallopingSimd(b, a, out);
+  EXPECT_EQ(out, expect) << "galloping simd swapped";
 
   Bitmap bm_b = Bitmap::FromSids(b, universe);
   IntersectBitmap(a, bm_b, out);
@@ -51,6 +61,14 @@ void CheckAllKernels(const std::vector<Sid>& a, const std::vector<Sid>& b,
   EXPECT_EQ(out, expect) << "adaptive";
   IntersectAdaptive(a, b, &bm_b, out);
   EXPECT_EQ(out, expect) << "adaptive+bitmap";
+
+  // Density-aware adaptive with a scratch encoding, twice: the second call
+  // must hit the cached encoding and still be correct.
+  IntersectScratch scratch;
+  IntersectAdaptive(a, b, universe, nullptr, &scratch, out);
+  EXPECT_EQ(out, expect) << "adaptive+scratch";
+  IntersectAdaptive(a, b, universe, nullptr, &scratch, out);
+  EXPECT_EQ(out, expect) << "adaptive+scratch reuse";
 }
 
 TEST(IntersectKernels, EmptyInputs) {
@@ -107,25 +125,68 @@ TEST(IntersectKernels, OutputBufferIsReused) {
 }
 
 TEST(IntersectHeuristic, PicksLinearForBalancedPairs) {
-  EXPECT_EQ(ChooseIntersectKernel(100, 100, false),
+  // universe = 0 disables the density term.
+  EXPECT_EQ(ChooseIntersectKernel(100, 100, 0, false),
             IntersectKernel::kLinear);
-  EXPECT_EQ(ChooseIntersectKernel(100, 100 * kGallopSizeRatio - 1, false),
+  EXPECT_EQ(ChooseIntersectKernel(100, 100 * kGallopSizeRatio - 1, 0, false),
             IntersectKernel::kLinear);
 }
 
-TEST(IntersectHeuristic, PicksGallopingPastTheSizeRatio) {
-  EXPECT_EQ(ChooseIntersectKernel(100, 100 * kGallopSizeRatio, false),
+TEST(IntersectHeuristic, SizeRatioIsMultiplicativeNotTruncating) {
+  // The boundary must be exact: small * ratio <= large. The old integer
+  // division (large / small >= ratio) truncated the quotient, so 1599/100
+  // and 1600/100 both landed on the same side only by accident of the
+  // operands — e.g. 95 vs 1599 (ratio 16.8) truncated to 16 and galloped,
+  // while 100 vs 1599 (ratio 15.99) must stay linear.
+  EXPECT_EQ(ChooseIntersectKernel(100, 1599, 0, false),
+            IntersectKernel::kLinear);
+  EXPECT_EQ(ChooseIntersectKernel(100, 1600, 0, false),
             IntersectKernel::kGalloping);
-  EXPECT_EQ(ChooseIntersectKernel(100 * kGallopSizeRatio, 100, false),
+  EXPECT_EQ(ChooseIntersectKernel(95, 1599, 0, false),
+            IntersectKernel::kGalloping);
+}
+
+TEST(IntersectHeuristic, PicksGallopingPastTheSizeRatio) {
+  EXPECT_EQ(ChooseIntersectKernel(100, 100 * kGallopSizeRatio, 0, false),
+            IntersectKernel::kGalloping);
+  EXPECT_EQ(ChooseIntersectKernel(100 * kGallopSizeRatio, 100, 0, false),
             IntersectKernel::kGalloping);
   // An empty side short-circuits to galloping (returns immediately).
-  EXPECT_EQ(ChooseIntersectKernel(0, 50, false),
+  EXPECT_EQ(ChooseIntersectKernel(0, 50, 0, false),
             IntersectKernel::kGalloping);
 }
 
 TEST(IntersectHeuristic, BitmapWinsWhenAvailable) {
-  EXPECT_EQ(ChooseIntersectKernel(100, 100, true), IntersectKernel::kBitmap);
-  EXPECT_EQ(ChooseIntersectKernel(1, 100000, true),
+  EXPECT_EQ(ChooseIntersectKernel(100, 100, 0, true),
+            IntersectKernel::kBitmap);
+  EXPECT_EQ(ChooseIntersectKernel(1, 100000, 0, true),
+            IntersectKernel::kBitmap);
+}
+
+TEST(IntersectHeuristic, DensityTermSelectsBitmapWithoutPrebuiltEncoding) {
+  // A balanced dense pair (each list covers >= 1/kBitmapDensityDiv of the
+  // universe) used to fall through to linear because no encoding was
+  // pre-built — the bench's balanced/adaptive regression. The density term
+  // now picks bitmap and lets the caller build the encoding once.
+  const size_t universe = 100000;
+  const size_t dense = universe / kBitmapDensityDiv;  // exactly at cutoff
+  EXPECT_EQ(ChooseIntersectKernel(dense, dense, universe, false),
+            IntersectKernel::kBitmap);
+  EXPECT_EQ(ChooseIntersectKernel(100, dense, universe, false),
+            IntersectKernel::kBitmap);
+  // Just under the density cutoff: back to the size-based choice.
+  EXPECT_EQ(ChooseIntersectKernel(dense - 1, dense - 1, universe, false),
+            IntersectKernel::kLinear);
+}
+
+TEST(IntersectHeuristic, DensityTermRespectsTheMinimumUniverse) {
+  // Tiny universes never trigger the density term — encoding a bitmap
+  // would cost more than the merge it replaces.
+  const size_t universe = kBitmapMinUniverse - 1;
+  EXPECT_EQ(ChooseIntersectKernel(universe, universe, universe, false),
+            IntersectKernel::kLinear);
+  EXPECT_EQ(ChooseIntersectKernel(kBitmapMinUniverse, kBitmapMinUniverse,
+                                  kBitmapMinUniverse, false),
             IntersectKernel::kBitmap);
 }
 

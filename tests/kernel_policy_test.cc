@@ -1,0 +1,128 @@
+// Bench-driven assertions on the kernel cost heuristic: for every size
+// class the bench measures (bench_ii_kernels scenarios), the kernel
+// ChooseIntersectKernel picks must not lose to the linear merge. This is
+// the regression the old heuristic shipped — balanced dense pairs
+// mispredicted to linear (0.96x of the scalar baseline) and galloping
+// fired on barely-skewed pairs. Timing assertions use best-of medians and
+// a generous margin so sanitizer builds don't flake; the kernel-choice
+// assertions are exact.
+//
+// NOTE: keep this test out of the TSan filter in tools/check.sh — timing
+// under TSan is meaningless.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "solap/common/timer.h"
+#include "solap/index/bitmap.h"
+#include "solap/index/intersect.h"
+
+namespace solap {
+namespace {
+
+std::vector<Sid> RandomSorted(size_t n, size_t universe, std::mt19937& rng) {
+  std::vector<Sid> out;
+  out.reserve(n);
+  double p = static_cast<double>(n) / static_cast<double>(universe);
+  std::uniform_real_distribution<> coin(0, 1);
+  for (size_t s = 0; s < universe && out.size() < n; ++s) {
+    if (coin(rng) < p) out.push_back(static_cast<Sid>(s));
+  }
+  return out;
+}
+
+// The bench's measured size classes (bench_ii_kernels quick mode).
+struct SizeClass {
+  const char* name;
+  size_t a_n, b_n, universe;
+};
+constexpr size_t kUniverse = 1 << 16;
+const SizeClass kClasses[] = {
+    {"balanced_dense", kUniverse / 8, kUniverse / 8, kUniverse},
+    {"skewed_64x", kUniverse / 256, kUniverse / 4, kUniverse},
+    {"needle", 64, kUniverse / 2, kUniverse},
+};
+
+TEST(KernelPolicy, MeasuredSizeClassesNeverChooseLinearWhenDense) {
+  // balanced_dense: both lists cover 1/8 of the universe — the density
+  // term must choose bitmap (the old heuristic chose linear here and lost
+  // to the scalar baseline).
+  EXPECT_EQ(ChooseIntersectKernel(kUniverse / 8, kUniverse / 8, kUniverse,
+                                  false),
+            IntersectKernel::kBitmap);
+  // skewed_64x: the large side is dense; bitmap beats galloping because
+  // the probe count is the SMALL side.
+  EXPECT_EQ(ChooseIntersectKernel(kUniverse / 256, kUniverse / 4, kUniverse,
+                                  false),
+            IntersectKernel::kBitmap);
+  // needle: dense large side again.
+  EXPECT_EQ(ChooseIntersectKernel(64, kUniverse / 2, kUniverse, false),
+            IntersectKernel::kBitmap);
+  // Same shapes with an unknown universe: no density term, so the skewed
+  // classes gallop and the balanced one merges — never a guess at bitmap
+  // that would force an unamortized encoding.
+  EXPECT_EQ(ChooseIntersectKernel(kUniverse / 8, kUniverse / 8, 0, false),
+            IntersectKernel::kLinear);
+  EXPECT_EQ(ChooseIntersectKernel(kUniverse / 256, kUniverse / 4, 0, false),
+            IntersectKernel::kGalloping);
+  EXPECT_EQ(ChooseIntersectKernel(64, kUniverse / 2, 0, false),
+            IntersectKernel::kGalloping);
+}
+
+TEST(KernelPolicy, GallopRatioBoundaryIsExact) {
+  // Galloping must not fire below the documented break-even ratio: a pair
+  // at ratio 15.99 merges, 16.0 gallops. The old integer-division form
+  // truncated the quotient and flipped pairs near the boundary.
+  for (size_t small : {10u, 100u, 1000u}) {
+    EXPECT_EQ(ChooseIntersectKernel(small, small * kGallopSizeRatio - 1, 0,
+                                    false),
+              IntersectKernel::kLinear)
+        << "small=" << small;
+    EXPECT_EQ(ChooseIntersectKernel(small, small * kGallopSizeRatio, 0,
+                                    false),
+              IntersectKernel::kGalloping)
+        << "small=" << small;
+  }
+}
+
+// Times fn as the median of `runs` timed repetitions.
+template <typename Fn>
+double MedianMs(size_t runs, size_t reps, Fn&& fn) {
+  std::vector<double> ms;
+  for (size_t r = 0; r < runs; ++r) {
+    Timer t;
+    for (size_t i = 0; i < reps; ++i) fn();
+    ms.push_back(t.ElapsedMs() / static_cast<double>(reps));
+  }
+  std::sort(ms.begin(), ms.end());
+  return ms[ms.size() / 2];
+}
+
+TEST(KernelPolicy, AdaptiveNeverSlowerThanLinearOnMeasuredClasses) {
+  std::mt19937 rng(8);
+  for (const SizeClass& sc : kClasses) {
+    std::vector<Sid> a = RandomSorted(sc.a_n, sc.universe, rng);
+    std::vector<Sid> b = RandomSorted(sc.b_n, sc.universe, rng);
+    std::vector<Sid> out;
+    out.reserve(std::min(a.size(), b.size()));
+    IntersectScratch scratch;
+    const size_t reps = 50;
+    const double linear_ms = MedianMs(5, reps, [&] {
+      IntersectLinear(a, b, out);
+    });
+    const double adaptive_ms = MedianMs(5, reps, [&] {
+      IntersectAdaptive(a, b, sc.universe, nullptr, &scratch, out);
+    });
+    // 1.25x margin absorbs scheduler and sanitizer noise; a misprediction
+    // back to the old behavior costs far more (balanced was ~14x off the
+    // bitmap kernel).
+    EXPECT_LE(adaptive_ms, linear_ms * 1.25)
+        << sc.name << ": adaptive " << adaptive_ms << " ms vs linear "
+        << linear_ms << " ms";
+  }
+}
+
+}  // namespace
+}  // namespace solap

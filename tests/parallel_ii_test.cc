@@ -51,6 +51,7 @@ EngineOptions ParallelOpts() {
   o.default_strategy = ExecStrategy::kInvertedIndex;
   o.exec_threads = 4;
   o.parallel_min_lists = 1;  // force the sharded path even on tiny joins
+  o.parallel_min_work = 1;   // ... and past the work-size cutoff too
   return o;
 }
 

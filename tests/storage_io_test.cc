@@ -148,7 +148,7 @@ TEST_F(SnapshotTest, IndexRoundTrip) {
   EXPECT_TRUE((*loaded)->complete());
   EXPECT_EQ((*loaded)->num_lists(), (*index)->num_lists());
   for (const auto& [key, list] : (*index)->lists()) {
-    const std::vector<Sid>* got = (*loaded)->Find(key);
+    const SidList* got = (*loaded)->Find(key);
     ASSERT_NE(got, nullptr);
     EXPECT_EQ(*got, list);
   }
