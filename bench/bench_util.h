@@ -32,10 +32,13 @@ struct Measurement {
 
 /// Runs `spec` on `engine` with `strategy`, capturing runtime and the
 /// stats delta; optionally hands back the result cuboid. Exits the process
-/// on engine errors (benches are scripts).
-inline Measurement RunQuery(SOlapEngine& engine, const CuboidSpec& spec,
-                            ExecStrategy strategy, const std::string& label,
-                            std::shared_ptr<const SCuboid>* out = nullptr) {
+/// on engine errors (benches are scripts). Templated on the engine type:
+/// SOlapEngine and ShardedEngine share the Execute/stats surface, so the
+/// shard-count sweep drives the same harness.
+template <typename Engine>
+Measurement RunQuery(Engine& engine, const CuboidSpec& spec,
+                     ExecStrategy strategy, const std::string& label,
+                     std::shared_ptr<const SCuboid>* out = nullptr) {
   Measurement m;
   m.label = label;
   ScanStats before = engine.stats();
@@ -93,11 +96,11 @@ inline void PrintComparisonTable(const std::vector<Measurement>& cb,
 /// is `initial`; each follow-up slices the previous result's highest cell
 /// and APPENDs a fresh pattern symbol over `append_ref`. Returns one
 /// measurement per query.
-inline std::vector<Measurement> RunQaSession(SOlapEngine& engine,
-                                             ExecStrategy strategy,
-                                             const CuboidSpec& initial,
-                                             size_t num_queries,
-                                             const LevelRef& append_ref) {
+template <typename Engine>
+std::vector<Measurement> RunQaSession(Engine& engine, ExecStrategy strategy,
+                                      const CuboidSpec& initial,
+                                      size_t num_queries,
+                                      const LevelRef& append_ref) {
   std::vector<Measurement> out;
   CuboidSpec spec = initial;
   std::shared_ptr<const SCuboid> last;

@@ -16,6 +16,12 @@ std::string ScanStats::ToString() const {
      << " index_bytes=" << index_bytes_built << " repo_hits=" << repository_hits
      << " index_hits=" << index_cache_hits
      << " degraded=" << degraded_queries;
+  if (shard_scatters != 0 || shard_fallbacks != 0) {
+    os << " shards=(scatters=" << shard_scatters
+       << " partials=" << shard_partials
+       << " merged_cells=" << shard_merged_cells
+       << " fallbacks=" << shard_fallbacks << ")";
+  }
   return os.str();
 }
 

@@ -44,6 +44,16 @@ struct ScanStats {
   /// Queries whose II execution failed transiently (budget reject, injected
   /// fault, bad_alloc) and were re-answered via the CB path.
   uint64_t degraded_queries = 0;
+  /// Scatter-gather sharding (engine/sharded_engine.h): queries fanned out
+  /// across shard-local executors.
+  uint64_t shard_scatters = 0;
+  /// Shard-local partial cuboids produced and gathered by scattered queries.
+  uint64_t shard_partials = 0;
+  /// Cells folded while merging shard partials into the final cuboid.
+  uint64_t shard_merged_cells = 0;
+  /// Queries a sharded engine could not scatter (non-base CLUSTER BY,
+  /// online aggregation) and routed to its monolithic fallback executor.
+  uint64_t shard_fallbacks = 0;
 
   void Clear() { *this = ScanStats{}; }
 
@@ -62,6 +72,10 @@ struct ScanStats {
     repository_hits += o.repository_hits;
     index_cache_hits += o.index_cache_hits;
     degraded_queries += o.degraded_queries;
+    shard_scatters += o.shard_scatters;
+    shard_partials += o.shard_partials;
+    shard_merged_cells += o.shard_merged_cells;
+    shard_fallbacks += o.shard_fallbacks;
     return *this;
   }
 

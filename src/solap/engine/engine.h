@@ -83,6 +83,16 @@ struct EngineOptions {
   /// yet each shard finishes in microseconds, and the fork/join overhead
   /// made parallel QA1 slower than the scalar II path.
   size_t parallel_min_work = size_t{1} << 14;
+  /// Number of shard-local executors a ShardedEngine partitions the data
+  /// into (engine/sharded_engine.h). 1 = one monolithic engine, bit-identical
+  /// to the legacy single-engine path. Plain SOlapEngine ignores this.
+  size_t shards = 1;
+  /// Table-backed sharding: the string column whose base-level code decides
+  /// which shard owns a sequence. Queries whose CLUSTER BY does not include
+  /// this attribute at its base level cannot be scattered (a coarser level
+  /// could split one logical sequence across shards) and fall back to a
+  /// monolithic engine. Empty = the table's first string column.
+  std::string shard_by;
   /// Single byte budget covering everything the engine keeps resident or
   /// allocates in bulk: cached inverted indices, formed sequence groups,
   /// the cuboid repository, and transient II join scratch. When a charge

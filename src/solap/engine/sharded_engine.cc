@@ -1,0 +1,479 @@
+#include "solap/engine/sharded_engine.h"
+
+#include <algorithm>
+#include <new>
+#include <thread>
+#include <utility>
+
+#include "solap/cube/partial_merge.h"
+#include "solap/index/build_index.h"
+
+namespace solap {
+
+namespace {
+
+/// splitmix64 finalizer: spreads dense dictionary codes uniformly over the
+/// shards so one hot code range cannot pile onto one executor.
+uint64_t MixCode(Code c) {
+  uint64_t x = static_cast<uint64_t>(c) + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(const EventTable* table,
+                             const HierarchyRegistry* hierarchies,
+                             EngineOptions options)
+    : table_(table), hierarchies_(hierarchies), options_(std::move(options)) {
+  BuildShards();
+}
+
+ShardedEngine::ShardedEngine(std::shared_ptr<SequenceGroupSet> raw_groups,
+                             const HierarchyRegistry* hierarchies,
+                             EngineOptions options)
+    : raw_groups_(std::move(raw_groups)),
+      hierarchies_(hierarchies),
+      options_(std::move(options)) {
+  BuildShards();
+}
+
+ShardedEngine::ShardedEngine(SOlapEngine* borrowed)
+    : hierarchies_(borrowed->hierarchies()), borrowed_(borrowed) {}
+
+ShardedEngine::~ShardedEngine() = default;
+
+void ShardedEngine::BuildShards() {
+  size_t n = std::max<size_t>(1, options_.shards);
+  if (n > 1 && table_ != nullptr) {
+    // Resolve the shard-by column; an unusable one degrades to one shard
+    // rather than failing construction (the engine stays correct, just
+    // monolithic).
+    shard_attr_ = options_.shard_by;
+    if (shard_attr_.empty()) {
+      for (size_t c = 0; c < table_->schema().num_fields(); ++c) {
+        if (table_->schema().field(c).type == ValueType::kString) {
+          shard_attr_ = table_->schema().field(c).name;
+          break;
+        }
+      }
+    }
+    shard_col_ = shard_attr_.empty()
+                     ? -1
+                     : table_->schema().FieldIndex(shard_attr_);
+    if (shard_col_ >= 0 &&
+        table_->schema().field(shard_col_).type != ValueType::kString) {
+      shard_col_ = -1;
+    }
+    if (shard_col_ < 0) n = 1;
+  }
+
+  EngineOptions shard_opts = options_;
+  shard_opts.shards = 1;
+  if (n == 1) {
+    shards_.push_back(
+        table_ != nullptr
+            ? std::make_unique<SOlapEngine>(table_, hierarchies_, shard_opts)
+            : std::make_unique<SOlapEngine>(raw_groups_, hierarchies_,
+                                            shard_opts));
+    return;
+  }
+
+  // Per-shard executors run serially (the scatter is the parallelism) with
+  // an even split of the memory budget; merged results cache in the facade
+  // repository, so shard-level cuboid caching is off.
+  shard_opts.exec_threads = 1;
+  shard_opts.cb_threads = 1;
+  shard_opts.repository_capacity_bytes = 0;
+  shard_opts.memory_budget_bytes = options_.memory_budget_bytes / n;
+  repository_ =
+      std::make_unique<CuboidRepository>(options_.repository_capacity_bytes);
+
+  if (table_ != nullptr) {
+    shard_tables_ = table_->PartitionRows(n, [this, n](RowId r) {
+      return static_cast<size_t>(MixCode(table_->CodeAt(r, shard_col_)) % n);
+    });
+    for (size_t s = 0; s < n; ++s) {
+      shards_.push_back(std::make_unique<SOlapEngine>(shard_tables_[s].get(),
+                                                      hierarchies_,
+                                                      shard_opts));
+    }
+    return;
+  }
+
+  // Raw groups: split every group into n contiguous sid blocks. Every group
+  // exists in every shard (possibly empty) and in source order, so group
+  // ordinals line up across shards and with the source set.
+  shard_groups_.clear();
+  for (size_t s = 0; s < n; ++s) {
+    auto set = std::make_shared<SequenceGroupSet>(raw_groups_->raw_attr());
+    set->raw_dictionary() = raw_groups_->raw_dictionary();
+    shard_groups_.push_back(std::move(set));
+  }
+  const auto& groups = raw_groups_->groups();
+  shard_bases_.assign(groups.size(), std::vector<Sid>(n, 0));
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const SequenceGroup& src = groups[g];
+    const size_t m = src.num_sequences();
+    for (size_t s = 0; s < n; ++s) {
+      SequenceGroup& dst = shard_groups_[s]->GroupFor(src.key());
+      const size_t begin = m * s / n;
+      const size_t end = m * (s + 1) / n;
+      shard_bases_[g][s] = static_cast<Sid>(begin);
+      for (size_t sid = begin; sid < end; ++sid) {
+        dst.AddSequence(src.Rows(static_cast<Sid>(sid)));
+      }
+    }
+  }
+  for (size_t s = 0; s < n; ++s) {
+    shards_.push_back(std::make_unique<SOlapEngine>(shard_groups_[s],
+                                                    hierarchies_, shard_opts));
+  }
+}
+
+ThreadPool* ShardedEngine::ScatterPool() {
+  std::lock_guard<std::mutex> lock(scatter_pool_mu_);
+  if (!scatter_pool_created_) {
+    scatter_pool_created_ = true;
+    const size_t hw =
+        std::max<size_t>(std::thread::hardware_concurrency(), 1);
+    size_t t = options_.exec_threads == 0 ? hw : options_.exec_threads;
+    t = std::min(t, shards_.size());
+    if (t > 1) scatter_pool_ = std::make_unique<ThreadPool>(t);
+  }
+  return scatter_pool_.get();
+}
+
+SOlapEngine* ShardedEngine::Monolith() {
+  if (borrowed_ != nullptr) return borrowed_;
+  if (shards_.size() == 1) return shards_[0].get();
+  std::lock_guard<std::mutex> lock(fallback_mu_);
+  if (!fallback_) {
+    EngineOptions opts = options_;
+    opts.shards = 1;
+    fallback_ =
+        table_ != nullptr
+            ? std::make_unique<SOlapEngine>(table_, hierarchies_, opts)
+            : std::make_unique<SOlapEngine>(raw_groups_, hierarchies_, opts);
+  }
+  return fallback_.get();
+}
+
+bool ShardedEngine::Shardable(const CuboidSpec& spec) const {
+  if (borrowed_ != nullptr || shards_.size() <= 1) return true;
+  if (table_ == nullptr) return true;  // raw mode: the sequence is the unit
+  for (const LevelRef& ref : spec.seq.cluster_by) {
+    if (ref.attr != shard_attr_) continue;
+    const ConceptHierarchy* h =
+        hierarchies_ != nullptr ? hierarchies_->Find(ref.attr) : nullptr;
+    // No hierarchy = a single (base) level; otherwise level 0 is base.
+    if (h == nullptr || h->LevelIndex(ref.level) == 0) return true;
+  }
+  return false;
+}
+
+Result<std::shared_ptr<const SCuboid>> ShardedEngine::Execute(
+    const CuboidSpec& spec) {
+  return Execute(spec, options_.default_strategy, ExecControl{});
+}
+
+Result<std::shared_ptr<const SCuboid>> ShardedEngine::Execute(
+    const CuboidSpec& spec, ExecStrategy strategy) {
+  return Execute(spec, strategy, ExecControl{});
+}
+
+Result<std::shared_ptr<const SCuboid>> ShardedEngine::Execute(
+    const CuboidSpec& spec, ExecStrategy strategy,
+    const ExecControl& control) {
+  if (borrowed_ != nullptr) return borrowed_->Execute(spec, strategy, control);
+  if (shards_.size() == 1) return shards_[0]->Execute(spec, strategy, control);
+
+  ScanStats local;
+  auto run = [&]() -> Result<std::shared_ptr<const SCuboid>> {
+    if (Shardable(spec)) {
+      try {
+        return ExecuteScatter(spec, strategy, control, &local);
+      } catch (const std::bad_alloc&) {
+        return Status::ResourceExhausted(
+            "allocation failed while gathering shard partials");
+      }
+    }
+    ExecControl sub = control;
+    sub.stats_out = &local;
+    auto fallback = Monolith()->Execute(spec, strategy, sub);
+    ++local.shard_fallbacks;
+    return fallback;
+  };
+  auto result = run();
+  MergeStats(local);
+  if (control.stats_out != nullptr) *control.stats_out = local;
+  return result;
+}
+
+Result<std::shared_ptr<const SCuboid>> ShardedEngine::ExecuteScatter(
+    const CuboidSpec& spec, ExecStrategy strategy, const ExecControl& control,
+    ScanStats* stats) {
+  TraceContext* trace = control.trace;
+  const std::string key = spec.CanonicalString();
+  {
+    TraceSpan span(trace, "repo.lookup");
+    if (auto hit = repository_->Lookup(key)) {
+      ++stats->repository_hits;
+      span.Note("result", "hit");
+      return hit;
+    }
+    span.Note("result", "miss");
+  }
+
+  // Shards execute without the iceberg restriction: a cell split across
+  // shards could fall below the threshold in every partial yet clear it
+  // globally, so the restriction only applies to the merged cuboid.
+  CuboidSpec shard_spec = spec;
+  shard_spec.iceberg_min_count.reset();
+
+  const size_t n = shards_.size();
+  std::vector<std::shared_ptr<const SCuboid>> partials(n);
+  std::vector<ScanStats> shard_stats(n);
+  std::vector<Status> shard_status(n, Status::OK());
+
+  {
+    TraceSpan scatter(trace, "shard.scatter");
+    scatter.Count("shards", n);
+    const int scatter_id = scatter.id();
+    // Declared after the span so the fork/join completes (TaskBatch dtor)
+    // while "shard.scatter" is still open.
+    TaskBatch batch(ScatterPool());
+    for (size_t i = 0; i < n; ++i) {
+      batch.Submit([&, i] {
+        TraceSpan span(trace, "shard.exec", scatter_id);
+        span.Count("shard", i);
+        ExecControl sub;
+        sub.stop = control.stop;
+        sub.stats_out = &shard_stats[i];
+        sub.trace = trace;
+        auto r = shards_[i]->Execute(shard_spec, strategy, sub);
+        if (r.ok()) {
+          partials[i] = *r;
+          span.Count("cells", partials[i]->num_cells());
+        } else {
+          shard_status[i] = r.status();
+          span.Note("error", r.status().ToString());
+        }
+      });
+    }
+  }
+
+  // Work already done counts even when a shard failed.
+  for (size_t i = 0; i < n; ++i) *stats += shard_stats[i];
+  for (size_t i = 0; i < n; ++i) {
+    if (!shard_status[i].ok()) return shard_status[i];
+  }
+
+  TraceSpan gather(trace, "shard.gather");
+  auto merged =
+      std::make_shared<SCuboid>(partials[0]->dims(), partials[0]->agg());
+  size_t folded = 0;
+  // Ascending shard order keeps the FP sum fold deterministic.
+  for (size_t i = 0; i < n; ++i) {
+    folded += MergeCuboidPartials(merged.get(), *partials[i]);
+  }
+  ++stats->shard_scatters;
+  stats->shard_partials += n;
+  stats->shard_merged_cells += folded;
+  if (spec.iceberg_min_count.has_value()) {
+    merged->ApplyIceberg(*spec.iceberg_min_count);
+  }
+  gather.Count("merged_cells", folded);
+  gather.Count("cells", merged->num_cells());
+  repository_->Insert(key, merged);
+  return std::shared_ptr<const SCuboid>(merged);
+}
+
+Result<std::shared_ptr<const SCuboid>> ShardedEngine::ExecuteOnline(
+    const CuboidSpec& spec, size_t report_every,
+    const SOlapEngine::ProgressFn& progress) {
+  if (borrowed_ == nullptr && shards_.size() > 1) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.shard_fallbacks;
+  }
+  return Monolith()->ExecuteOnline(spec, report_every, progress);
+}
+
+Status ShardedEngine::PrecomputeIndex(const CuboidSpec& spec, size_t m,
+                                      const LevelRef& position_ref) {
+  if (borrowed_ != nullptr || shards_.size() == 1 || !Shardable(spec)) {
+    return Monolith()->PrecomputeIndex(spec, m, position_ref);
+  }
+  for (auto& shard : shards_) {
+    Status s = shard->PrecomputeIndex(spec, m, position_ref);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::WarmSequenceCache(const SequenceSpec& spec) {
+  if (borrowed_ != nullptr || shards_.size() == 1) {
+    return Monolith()->WarmSequenceCache(spec);
+  }
+  CuboidSpec probe;
+  probe.seq = spec;
+  if (!Shardable(probe)) return Monolith()->WarmSequenceCache(spec);
+  for (auto& shard : shards_) {
+    Status s = shard->WarmSequenceCache(spec);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::MaterializeIndex(const SequenceSpec& formation,
+                                       const IndexShape& shape) {
+  if (borrowed_ != nullptr || shards_.size() == 1) {
+    return Monolith()->MaterializeIndex(formation, shape);
+  }
+  CuboidSpec probe;
+  probe.seq = formation;
+  if (!Shardable(probe)) return Monolith()->MaterializeIndex(formation, shape);
+  for (auto& shard : shards_) {
+    Status s = shard->MaterializeIndex(formation, shape);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<InvertedIndex>> ShardedEngine::GatherCompleteIndex(
+    size_t group_idx, const IndexShape& shape) {
+  if (borrowed_ != nullptr || raw_groups_ == nullptr) {
+    return Status::InvalidArgument(
+        "GatherCompleteIndex requires a raw-group sharded engine");
+  }
+  ScanStats local;
+  const size_t n = shards_.size();
+  // Per-shard sets and sid-block bases; one shard over the source set is
+  // the degenerate base-0 case.
+  std::vector<SequenceGroupSet*> sets;
+  std::vector<Sid> bases;
+  if (n == 1) {
+    sets.push_back(raw_groups_.get());
+    bases.push_back(0);
+  } else {
+    if (group_idx >= shard_bases_.size()) {
+      return Status::InvalidArgument("group index out of range");
+    }
+    for (size_t s = 0; s < n; ++s) {
+      sets.push_back(shard_groups_[s].get());
+      bases.push_back(shard_bases_[group_idx][s]);
+    }
+  }
+
+  std::vector<std::shared_ptr<InvertedIndex>> shard_indices;
+  shard_indices.reserve(sets.size());
+  for (SequenceGroupSet* set : sets) {
+    if (group_idx >= set->groups().size()) {
+      return Status::InvalidArgument("group index out of range");
+    }
+    auto built = BuildIndex(&set->groups()[group_idx], *set, hierarchies_,
+                            shape, &local);
+    if (!built.ok()) return built.status();
+    shard_indices.push_back(*built);
+  }
+
+  auto gathered = std::make_shared<InvertedIndex>(shape, /*complete=*/true);
+  ContainerOpCounts ops;
+  for (const auto& index : shard_indices) {
+    for (const auto& [pattern, unused] : index->lists()) {
+      if (gathered->lists().count(pattern) != 0) continue;
+      std::vector<const SidList*> lists;
+      lists.reserve(shard_indices.size());
+      for (const auto& other : shard_indices) {
+        lists.push_back(other->Find(pattern));  // may be nullptr
+      }
+      gathered->lists()[pattern] = GatherShardLists(
+          std::span<const SidList* const>(lists), bases, &ops);
+    }
+  }
+  local.container_array_ops += ops.array_ops;
+  local.container_bitmap_ops += ops.bitmap_ops;
+  local.container_run_ops += ops.run_ops;
+  local.container_gallop_ops += ops.gallop_ops;
+  MergeStats(local);
+  return gathered;
+}
+
+Status ShardedEngine::AppendRawSequences(
+    size_t group_idx, const std::vector<std::vector<Code>>& sequences) {
+  if (borrowed_ != nullptr) {
+    return borrowed_->AppendRawSequences(group_idx, sequences);
+  }
+  if (shards_.size() == 1) {
+    return shards_[0]->AppendRawSequences(group_idx, sequences);
+  }
+  // Contiguous blocks stay contiguous when the append lands in the last
+  // shard; results never depend on which shard owns a sequence.
+  Status s = shards_.back()->AppendRawSequences(group_idx, sequences);
+  if (s.ok()) repository_->Clear();
+  return s;
+}
+
+void ShardedEngine::NotifyTableAppend() {
+  if (borrowed_ != nullptr) return borrowed_->NotifyTableAppend();
+  if (shards_.size() == 1) return shards_[0]->NotifyTableAppend();
+  // Repartition the (append-only) source table into fresh slices. Caller
+  // quiesces queries, as with SOlapEngine's own mutating admin calls.
+  {
+    std::lock_guard<std::mutex> lock(fallback_mu_);
+    if (fallback_) fallback_->NotifyTableAppend();
+  }
+  repository_->Clear();
+  shards_.clear();
+  shard_tables_.clear();
+  BuildShards();
+}
+
+ScanStats& ShardedEngine::stats() {
+  if (borrowed_ != nullptr) return borrowed_->stats();
+  if (shards_.size() == 1) return shards_[0]->stats();
+  return stats_;
+}
+
+ScanStats ShardedEngine::StatsSnapshot() const {
+  if (borrowed_ != nullptr) return borrowed_->StatsSnapshot();
+  if (shards_.size() == 1) return shards_[0]->StatsSnapshot();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+size_t ShardedEngine::IndexCacheBytes() const {
+  if (borrowed_ != nullptr) return borrowed_->IndexCacheBytes();
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->IndexCacheBytes();
+  std::lock_guard<std::mutex> lock(fallback_mu_);
+  if (fallback_) total += fallback_->IndexCacheBytes();
+  return total;
+}
+
+size_t ShardedEngine::MemUsed() const {
+  if (borrowed_ != nullptr) return borrowed_->governor().used();
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->governor().used();
+  std::lock_guard<std::mutex> lock(fallback_mu_);
+  if (fallback_) total += fallback_->governor().used();
+  return total;
+}
+
+size_t ShardedEngine::MemBudget() const {
+  if (borrowed_ != nullptr) return borrowed_->governor().budget();
+  if (shards_.size() == 1) return shards_[0]->governor().budget();
+  return options_.memory_budget_bytes;
+}
+
+size_t ShardedEngine::MemRejects() const {
+  if (borrowed_ != nullptr) return borrowed_->governor().rejects();
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->governor().rejects();
+  std::lock_guard<std::mutex> lock(fallback_mu_);
+  if (fallback_) total += fallback_->governor().rejects();
+  return total;
+}
+
+}  // namespace solap

@@ -1,0 +1,191 @@
+// Sharded scatter-gather execution (ROADMAP item 1, the step from one box
+// toward many): N shard-local SOlapEngines, each owning a hash-partitioned
+// slice of the sequences plus its own caches and memory sub-budget, behind
+// a facade that scatters queries to the shards and gathers their partial
+// cuboids with a distributive merge (cube/partial_merge.h).
+//
+// Partitioning happens once at construction: table-backed data splits by a
+// mix of the shard-by column's base code (EventTable::PartitionRows, which
+// clones dictionaries so codes stay comparable across slices); raw group
+// sets split each group into contiguous sid blocks. Either way a logical
+// sequence lives entirely in exactly one shard, so shard-local CB scans and
+// II joins see complete sequences and their per-cell counter state merges
+// additively — Gray's partial-aggregation shape.
+//
+// shards == 1 is the bit-identical legacy path: one SOlapEngine, every call
+// a plain delegation. Queries a sharded engine cannot scatter (CLUSTER BY
+// without the shard-by attribute at base level, online aggregation) route
+// to a lazily-built monolithic fallback engine over the full data.
+#ifndef SOLAP_ENGINE_SHARDED_ENGINE_H_
+#define SOLAP_ENGINE_SHARDED_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "solap/engine/engine.h"
+
+namespace solap {
+
+/// \brief Scatter-gather facade over N shard-local executors.
+///
+/// Mirrors the SOlapEngine query surface (Execute / ExecuteOnline / offline
+/// builders / incremental update / introspection) so QueryService, the
+/// shell and the benches can hold either transparently. Thread-safe to the
+/// same degree as SOlapEngine: concurrent Execute calls are safe, mutating
+/// administration calls must be quiesced by the caller.
+class ShardedEngine {
+ public:
+  /// Table-backed: partitions `table`'s rows into options.shards slices by
+  /// the base code of options.shard_by (default: first string column).
+  ShardedEngine(const EventTable* table, const HierarchyRegistry* hierarchies,
+                EngineOptions options = {});
+  /// Raw-group-backed: splits every group of `raw_groups` into
+  /// options.shards contiguous sid blocks.
+  ShardedEngine(std::shared_ptr<SequenceGroupSet> raw_groups,
+                const HierarchyRegistry* hierarchies,
+                EngineOptions options = {});
+  /// Wraps an engine owned elsewhere (QueryService's legacy constructor
+  /// path): every call delegates to `borrowed`; num_shards() == 1.
+  explicit ShardedEngine(SOlapEngine* borrowed);
+
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  // -- Query execution (SOlapEngine-compatible surface) ---------------------
+
+  Result<std::shared_ptr<const SCuboid>> Execute(const CuboidSpec& spec);
+  Result<std::shared_ptr<const SCuboid>> Execute(const CuboidSpec& spec,
+                                                 ExecStrategy strategy);
+  Result<std::shared_ptr<const SCuboid>> Execute(const CuboidSpec& spec,
+                                                 ExecStrategy strategy,
+                                                 const ExecControl& control);
+
+  /// Online aggregation reports monotone partial fractions, which a
+  /// scatter cannot interleave deterministically — always runs on the
+  /// monolithic engine (counted as a shard_fallback when sharded).
+  Result<std::shared_ptr<const SCuboid>> ExecuteOnline(
+      const CuboidSpec& spec, size_t report_every,
+      const SOlapEngine::ProgressFn& progress);
+
+  // -- Offline index precomputation -----------------------------------------
+
+  /// Fan out to every shard (each builds/caches over its slice).
+  Status PrecomputeIndex(const CuboidSpec& spec, size_t m,
+                         const LevelRef& position_ref);
+  Status WarmSequenceCache(const SequenceSpec& spec);
+  Status MaterializeIndex(const SequenceSpec& formation,
+                          const IndexShape& shape);
+
+  /// Raw-mode gather introspection: builds the complete size-m index of
+  /// `shape` over group `group_idx` in every shard, rebases each shard's
+  /// group-local sids by its block base and unions per-key lists through
+  /// the P-ROLL-UP container machinery (GatherShardLists) — yielding an
+  /// index identical to one built over the unpartitioned group. Container
+  /// ops count into the engine totals. InvalidArgument for table-backed
+  /// engines (hash partitioning does not preserve sid blocks).
+  Result<std::shared_ptr<InvertedIndex>> GatherCompleteIndex(
+      size_t group_idx, const IndexShape& shape);
+
+  // -- Incremental update ----------------------------------------------------
+
+  /// Raw mode: appends to the *last* shard's block of group `group_idx`
+  /// (blocks stay contiguous; results never depend on sid placement).
+  Status AppendRawSequences(size_t group_idx,
+                            const std::vector<std::vector<Code>>& sequences);
+  /// Table mode: repartitions the (append-only) source table and rebuilds
+  /// the shard slices, then invalidates all caches.
+  void NotifyTableAppend();
+
+  // -- Introspection ---------------------------------------------------------
+
+  /// Engine totals. In delegate mode (shards == 1) these are the single
+  /// engine's counters; sharded mode keeps facade-level totals where each
+  /// scattered query contributes its *merged* per-shard counters once.
+  ScanStats& stats();
+  ScanStats StatsSnapshot() const;
+  /// Bytes of inverted indices cached across all shards (+ fallback).
+  size_t IndexCacheBytes() const;
+  /// Memory accounting summed over the shard governors (+ fallback).
+  size_t MemUsed() const;
+  size_t MemBudget() const;
+  size_t MemRejects() const;
+
+  const HierarchyRegistry* hierarchies() const { return hierarchies_; }
+  const EngineOptions& options() const { return options_; }
+
+  size_t num_shards() const { return shards_.size(); }
+  /// Shard-local executor `i` (tests, benches).
+  SOlapEngine* shard(size_t i) { return shards_[i].get(); }
+
+  /// The monolithic engine over the full data: with shards == 1 the only
+  /// executor; otherwise the lazily-built fallback that answers
+  /// non-shardable queries and serves optimizer introspection (EXPLAIN).
+  SOlapEngine* Monolith();
+
+  /// True when `spec` can scatter: raw-mode always; table mode iff the
+  /// CLUSTER BY includes the shard-by attribute at its base level (a
+  /// coarser level could split one logical sequence across shards).
+  bool Shardable(const CuboidSpec& spec) const;
+
+ private:
+  void BuildShards();
+
+  /// The scatter-gather path (num_shards() > 1 and Shardable(spec)).
+  Result<std::shared_ptr<const SCuboid>> ExecuteScatter(
+      const CuboidSpec& spec, ExecStrategy strategy,
+      const ExecControl& control, ScanStats* stats);
+
+  ThreadPool* ScatterPool();
+
+  void MergeStats(const ScanStats& delta) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_ += delta;
+  }
+
+  // Construction inputs (table XOR raw_groups, as with SOlapEngine).
+  const EventTable* table_ = nullptr;
+  std::shared_ptr<SequenceGroupSet> raw_groups_;
+  const HierarchyRegistry* hierarchies_ = nullptr;
+  EngineOptions options_;
+
+  // Resolved shard-by column (table mode; -1 = unsharded).
+  int shard_col_ = -1;
+  std::string shard_attr_;
+
+  // Partitioned data, one slice per shard (empty in delegate/1-shard mode
+  // over the original data).
+  std::vector<std::unique_ptr<EventTable>> shard_tables_;
+  std::vector<std::shared_ptr<SequenceGroupSet>> shard_groups_;
+  /// Raw mode: base_[g][s] = first global sid of shard s's block of group g.
+  std::vector<std::vector<Sid>> shard_bases_;
+
+  std::vector<std::unique_ptr<SOlapEngine>> shards_;
+  SOlapEngine* borrowed_ = nullptr;  // delegate mode over a foreign engine
+
+  // Lazily-built monolithic fallback (sharded mode only).
+  std::unique_ptr<SOlapEngine> fallback_;
+  mutable std::mutex fallback_mu_;
+
+  // Facade-level cuboid repository: scattered queries cache their merged
+  // result here (shard repositories are disabled), so a repeat query costs
+  // one lookup and counts repository_hits once — same accounting as the
+  // monolithic engine.
+  std::unique_ptr<CuboidRepository> repository_;
+
+  // Scatter fan-out pool (sharded mode; sized by EngineOptions::exec_threads,
+  // clamped to the shard count). nullptr = scatter runs inline.
+  std::unique_ptr<ThreadPool> scatter_pool_;
+  bool scatter_pool_created_ = false;
+  std::mutex scatter_pool_mu_;
+
+  ScanStats stats_;
+  mutable std::mutex stats_mu_;
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_ENGINE_SHARDED_ENGINE_H_

@@ -35,8 +35,10 @@ struct JoinExecOptions {
   /// (nullptr = serial). Partition merge order is deterministic, so
   /// results are identical to the serial path.
   ThreadPool* pool = nullptr;
-  /// Joins with fewer base lists than this stay serial — fan-out overhead
-  /// would dominate.
+  /// List-count cutoff (EngineOptions::parallel_min_lists): joins with
+  /// fewer base lists than this stay serial. Since PR 7 it is paired with
+  /// `parallel_min_work` below — the count alone misjudged many-tiny-list
+  /// joins, so both cutoffs must pass for a job to go parallel.
   size_t parallel_min_lists = 64;
   /// Joins and merges whose total posting-list work (sum of input list
   /// entries) is below this also stay serial: many tiny lists fan out past

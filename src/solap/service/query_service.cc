@@ -18,6 +18,15 @@ double MsBetween(std::chrono::steady_clock::time_point a,
 }  // namespace
 
 QueryService::QueryService(SOlapEngine* engine, ServiceOptions options)
+    : QueryService(std::make_unique<ShardedEngine>(engine), options) {}
+
+QueryService::QueryService(std::unique_ptr<ShardedEngine> owned,
+                           ServiceOptions options)
+    : QueryService(owned.get(), options) {
+  owned_engine_ = std::move(owned);
+}
+
+QueryService::QueryService(ShardedEngine* engine, ServiceOptions options)
     : engine_(engine),
       options_(options),
       sessions_(engine->hierarchies(), options.sessions),
@@ -35,6 +44,10 @@ QueryService::QueryService(SOlapEngine* engine, ServiceOptions options)
       container_bitmap_ops_(metrics_.counter("ii_container_bitmap_ops")),
       container_run_ops_(metrics_.counter("ii_container_run_ops")),
       container_gallop_ops_(metrics_.counter("ii_container_gallop_ops")),
+      shard_scatters_(metrics_.counter("shard_scatters")),
+      shard_partials_(metrics_.counter("shard_partials")),
+      shard_merged_cells_(metrics_.counter("shard_merged_cells")),
+      shard_fallbacks_(metrics_.counter("shard_fallbacks")),
       mem_used_(metrics_.gauge("mem_used_bytes")),
       mem_budget_(metrics_.gauge("mem_budget_bytes")),
       mem_rejects_(metrics_.gauge("mem_budget_rejects")),
@@ -218,6 +231,10 @@ void QueryService::Execute(
   container_bitmap_ops_->Inc(resp.stats.container_bitmap_ops);
   container_run_ops_->Inc(resp.stats.container_run_ops);
   container_gallop_ops_->Inc(resp.stats.container_gallop_ops);
+  shard_scatters_->Inc(resp.stats.shard_scatters);
+  shard_partials_->Inc(resp.stats.shard_partials);
+  shard_merged_cells_->Inc(resp.stats.shard_merged_cells);
+  shard_fallbacks_->Inc(resp.stats.shard_fallbacks);
 
   if (result.ok()) {
     resp.cuboid = *std::move(result);
@@ -281,10 +298,9 @@ Result<QueryService::Ticket> QueryService::SubmitSessionCurrent(
 void QueryService::CloseSession(SessionId id) { sessions_.Close(id); }
 
 void QueryService::RefreshResourceMetrics() {
-  const MemoryGovernor& governor = engine_->governor();
-  mem_used_->Set(governor.used());
-  mem_budget_->Set(governor.budget());
-  mem_rejects_->Set(governor.rejects());
+  mem_used_->Set(engine_->MemUsed());
+  mem_budget_->Set(engine_->MemBudget());
+  mem_rejects_->Set(engine_->MemRejects());
   io_retries_->Set(SnapshotIoRetries());
 }
 

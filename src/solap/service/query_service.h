@@ -26,6 +26,7 @@
 #include "solap/common/metrics.h"
 #include "solap/common/stop.h"
 #include "solap/engine/engine.h"
+#include "solap/engine/sharded_engine.h"
 #include "solap/service/session.h"
 #include "solap/common/thread_pool.h"
 
@@ -69,7 +70,11 @@ struct QueryResponse {
   double exec_ms = 0;  // execution only
 };
 
-/// \brief Concurrent query endpoint over one SOlapEngine.
+/// \brief Concurrent query endpoint over one engine.
+///
+/// Routes through a ShardedEngine, so a service fronts one monolithic
+/// executor or N shard-local executors transparently (the legacy
+/// SOlapEngine constructor wraps the engine in a 1-shard delegate).
 ///
 /// Thread-safe; Submit may be called from any thread. Destruction (or
 /// Shutdown) stops admitting, cancels queued-but-unstarted queries and
@@ -79,6 +84,9 @@ class QueryService {
   /// `engine` must outlive the service and not receive mutating admin
   /// calls (AppendRawSequences / NotifyTableAppend) while queries run.
   QueryService(SOlapEngine* engine, ServiceOptions options = {});
+  /// Sharded front: scattered queries, per-shard counters and scatter/
+  /// gather spans flow through the service unchanged.
+  QueryService(ShardedEngine* engine, ServiceOptions options = {});
   ~QueryService();
 
   QueryService(const QueryService&) = delete;
@@ -151,6 +159,9 @@ class QueryService {
   void Shutdown();
 
  private:
+  /// Legacy-constructor plumbing: owns the 1-shard delegate wrapper.
+  QueryService(std::unique_ptr<ShardedEngine> owned, ServiceOptions options);
+
   /// Synchronizes duplicate in-flight specs (single-flight): the first
   /// submitter executes, duplicates wait on the gate and then read the
   /// repository.
@@ -172,7 +183,10 @@ class QueryService {
   bool EnterFlight(const std::string& key);
   void FinishFlight(const std::string& key);
 
-  SOlapEngine* engine_;
+  // Owned 1-shard delegate built by the legacy SOlapEngine constructor;
+  // engine_ then points at it. Declared before engine_'s users.
+  std::unique_ptr<ShardedEngine> owned_engine_;
+  ShardedEngine* engine_;
   ServiceOptions options_;
   MetricsRegistry metrics_;
   SessionManager sessions_;
@@ -204,6 +218,10 @@ class QueryService {
   Counter* container_bitmap_ops_;
   Counter* container_run_ops_;
   Counter* container_gallop_ops_;
+  Counter* shard_scatters_;
+  Counter* shard_partials_;
+  Counter* shard_merged_cells_;
+  Counter* shard_fallbacks_;
   Gauge* mem_used_;
   Gauge* mem_budget_;
   Gauge* mem_rejects_;

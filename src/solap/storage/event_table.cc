@@ -66,6 +66,43 @@ Status EventTable::AppendRow(const std::vector<Value>& values) {
   return Status::OK();
 }
 
+std::vector<std::unique_ptr<EventTable>> EventTable::PartitionRows(
+    size_t num_shards, const std::function<size_t(RowId)>& shard_of) const {
+  std::vector<std::unique_ptr<EventTable>> shards;
+  shards.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto t = std::make_unique<EventTable>(schema_);
+    // Clone the dictionaries verbatim: AppendRow would re-encode values in
+    // first-seen order, giving each slice a private code space.
+    for (size_t c = 0; c < dicts_.size(); ++c) {
+      if (dicts_[c]) *t->dicts_[c] = *dicts_[c];
+    }
+    shards.push_back(std::move(t));
+  }
+  size_t n = schema_.num_fields();
+  for (RowId r = 0; r < num_rows_; ++r) {
+    EventTable& t = *shards[shard_of(r) % num_shards];
+    for (size_t c = 0; c < n; ++c) {
+      switch (schema_.field(c).type) {
+        case ValueType::kString:
+          t.code_cols_[c].push_back(code_cols_[c][r]);
+          break;
+        case ValueType::kInt64:
+        case ValueType::kTimestamp:
+          t.int_cols_[c].push_back(int_cols_[c][r]);
+          break;
+        case ValueType::kDouble:
+          t.dbl_cols_[c].push_back(dbl_cols_[c][r]);
+          break;
+        case ValueType::kNull:
+          break;
+      }
+    }
+    ++t.num_rows_;
+  }
+  return shards;
+}
+
 Value EventTable::GetValue(RowId row, int col) const {
   const Field& f = schema_.field(col);
   switch (f.type) {

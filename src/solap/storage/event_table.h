@@ -3,6 +3,7 @@
 #ifndef SOLAP_STORAGE_EVENT_TABLE_H_
 #define SOLAP_STORAGE_EVENT_TABLE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -44,6 +45,16 @@ class EventTable {
 
   /// Raw double of a double column.
   double DoubleAt(RowId row, int col) const { return dbl_cols_[col][row]; }
+
+  /// Splits the rows into `num_shards` tables that share this table's
+  /// schema and dictionary coding verbatim: row r goes to slice
+  /// `shard_of(r)`, keeping source order within each slice, and every
+  /// dictionary is cloned unchanged rather than re-encoded — so codes (and
+  /// therefore group keys, symbols and inverted-index keys) are directly
+  /// comparable across slices and with this table. Used by the sharded
+  /// engine's load-time partitioning (engine/sharded_engine.h).
+  std::vector<std::unique_ptr<EventTable>> PartitionRows(
+      size_t num_shards, const std::function<size_t(RowId)>& shard_of) const;
 
   /// Dictionary of string column `col` (nullptr for non-string columns).
   const Dictionary* dictionary(int col) const {

@@ -49,6 +49,9 @@ constexpr const char* kHelp = R"(commands:
   serve stop | serve status          stop / inspect the service
   metrics [--prometheus]             service counters and latencies
   strategy cb|ii|auto                construction strategy
+  shards <n> [column]                scatter-gather shard count
+                                     (rebuilds the engine; column picks
+                                     the table's shard-by attribute)
   stats                              engine counters
   help | quit)";
 
@@ -132,6 +135,7 @@ Status ShellSession::Dispatch(const std::string& raw) {
   if (c == "hierarchy") return CmdHierarchy(args);
   if (c == "map") return CmdMap(args);
   if (c == "strategy") return CmdStrategy(args);
+  if (c == "shards") return CmdShards(args);
   if (c == "serve") return CmdServe(args);
   if (c == "metrics") {
     if (service_ == nullptr) {
@@ -231,7 +235,7 @@ Status ShellSession::CmdLoad(const std::string& args) {
   raw_groups_.reset();
   http_.reset();     // listener routes into service_
   service_.reset();  // pool threads reference the old engine
-  engine_ = std::make_unique<SOlapEngine>(table_.get(), hierarchies_.get());
+  ResetEngine();
   out_ << "loaded " << table_->num_rows() << " events\n";
   return Status::OK();
 }
@@ -264,7 +268,7 @@ Status ShellSession::CmdGenerate(const std::string& args) {
     table_ = data.table;
     hierarchies_ = data.hierarchies;
     raw_groups_.reset();
-    engine_ = std::make_unique<SOlapEngine>(table_.get(), hierarchies_.get());
+    ResetEngine();
   } else if (kind == "clickstream") {
     ClickstreamParams p;
     if (n) p.num_sessions = n;
@@ -272,7 +276,7 @@ Status ShellSession::CmdGenerate(const std::string& args) {
     table_ = data.table;
     hierarchies_ = data.hierarchies;
     raw_groups_.reset();
-    engine_ = std::make_unique<SOlapEngine>(table_.get(), hierarchies_.get());
+    ResetEngine();
   } else if (kind == "synthetic") {
     SyntheticParams p;
     if (n) p.num_sequences = n;
@@ -280,7 +284,7 @@ Status ShellSession::CmdGenerate(const std::string& args) {
     raw_groups_ = data.groups;
     hierarchies_ = data.hierarchies;
     table_.reset();
-    engine_ = std::make_unique<SOlapEngine>(raw_groups_, hierarchies_.get());
+    ResetEngine();
   } else {
     return Status::InvalidArgument("unknown workload '" + w[0] + "'");
   }
@@ -333,6 +337,44 @@ Status ShellSession::CmdStrategy(const std::string& args) {
   }
   out_ << "strategy = " << s << "\n";
   return Status::OK();
+}
+
+Status ShellSession::CmdShards(const std::string& args) {
+  std::vector<std::string> w = Words(args);
+  if (w.empty() || w.size() > 2) {
+    return Status::InvalidArgument("shards <n> [column]");
+  }
+  size_t n = std::strtoul(w[0].c_str(), nullptr, 10);
+  if (n == 0) return Status::InvalidArgument("shard count must be >= 1");
+  shards_ = n;
+  shard_by_ = w.size() > 1 ? w[1] : "";
+  if (engine_ == nullptr) {
+    out_ << "shards = " << shards_ << " (applies at the next load/generate)\n";
+    return Status::OK();
+  }
+  http_.reset();     // listener routes into service_
+  service_.reset();  // pool threads reference the old engine
+  ResetEngine();
+  current_cuboid_.reset();
+  out_ << "shards = " << engine_->num_shards();
+  if (!shard_by_.empty()) out_ << " (by " << shard_by_ << ")";
+  out_ << "\n";
+  return Status::OK();
+}
+
+void ShellSession::ResetEngine() {
+  EngineOptions opts;
+  opts.shards = shards_;
+  opts.shard_by = shard_by_;
+  if (table_ != nullptr) {
+    engine_ = std::make_unique<ShardedEngine>(table_.get(),
+                                              hierarchies_.get(), opts);
+  } else if (raw_groups_ != nullptr) {
+    engine_ =
+        std::make_unique<ShardedEngine>(raw_groups_, hierarchies_.get(), opts);
+  } else {
+    engine_.reset();
+  }
 }
 
 Status ShellSession::CmdServe(const std::string& args) {
@@ -489,7 +531,9 @@ Status ShellSession::ExplainPlan(const CuboidSpec& spec) {
     out_ << "  strategy: counter-based (regex templates always scan)\n";
     return Status::OK();
   }
-  StrategyOptimizer optimizer(engine_.get());
+  // The optimizer models the monolithic engine (with shards == 1 the only
+  // executor); scattered execution shows up in EXPLAIN ANALYZE's span tree.
+  StrategyOptimizer optimizer(engine_->Monolith());
   SOLAP_ASSIGN_OR_RETURN(StrategyChoice choice, optimizer.Choose(spec));
   const bool forced = strategy_ != ExecStrategy::kAuto;
   const ExecStrategy effective = forced ? strategy_ : choice.strategy;

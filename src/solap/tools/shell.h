@@ -16,6 +16,7 @@
 
 #include "solap/common/status.h"
 #include "solap/engine/engine.h"
+#include "solap/engine/sharded_engine.h"
 #include "solap/net/server.h"
 #include "solap/service/query_service.h"
 
@@ -35,6 +36,7 @@ namespace solap {
 ///   append/prepend <sym> [attr level] | detail | dehead
 ///   rollup <sym> | drilldown <sym> | slice <sym> <label> | top [n]
 ///   parents | children                      S-cube lattice neighbors
+///   shards <n> [column]                     scatter-gather shard count
 ///   serve start|stop|status                 concurrent query service
 ///     serve start [t [d]] --port <p>        + HTTP listener (0=ephemeral)
 ///   metrics                                 service counters/latencies
@@ -62,6 +64,7 @@ class ShellSession {
   Status CmdHierarchy(const std::string& args);
   Status CmdMap(const std::string& args);
   Status CmdStrategy(const std::string& args);
+  Status CmdShards(const std::string& args);
   Status CmdServe(const std::string& args);
   Status RunQuery(const std::string& text);
   Status RunOp(const std::string& op, const std::string& args);
@@ -82,7 +85,13 @@ class ShellSession {
   std::shared_ptr<EventTable> table_;
   std::shared_ptr<SequenceGroupSet> raw_groups_;
   std::shared_ptr<HierarchyRegistry> hierarchies_;
-  std::unique_ptr<SOlapEngine> engine_;
+  /// Rebuilds engine_ over the loaded table / raw groups with the current
+  /// shard settings (no-op while no data is loaded).
+  void ResetEngine();
+
+  std::unique_ptr<ShardedEngine> engine_;
+  size_t shards_ = 1;       // `shards` command; applied on (re)build
+  std::string shard_by_;    // optional shard-by column override
   // Owns pool threads that reference engine_; must be reset before the
   // engine is replaced (CmdLoad / CmdGenerate) or destroyed. The HTTP
   // listener routes into service_, so it must be reset first again.

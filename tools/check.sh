@@ -55,7 +55,7 @@ run_ctest build-asan
 
 echo
 echo "== TSan: service + engine concurrency tests =="
-TSAN_FILTER="service_test|service_stress_test|engine_test|parallel_ii_test|intersect_test|net_test"
+TSAN_FILTER="service_test|service_stress_test|engine_test|parallel_ii_test|sharded_engine_test|intersect_test|net_test"
 cmake -B build-tsan -S . -DSOLAP_SANITIZE=thread >/dev/null
 build_tests build-tsan "$TSAN_FILTER"
 run_ctest build-tsan "$TSAN_FILTER"
@@ -74,7 +74,7 @@ echo "ok: no failpoint symbol in default libsolap.a"
 
 echo
 echo "== failpoints + ASan: fault-injection + chaos suites =="
-FP_FILTER="fault_injection_test|chaos_test"
+FP_FILTER="fault_injection_test|chaos_test|sharded_engine_test"
 cmake -B build-fp -S . -DSOLAP_FAILPOINTS=ON -DSOLAP_SANITIZE=address >/dev/null
 build_tests build-fp "$FP_FILTER"
 run_ctest build-fp "$FP_FILTER"
