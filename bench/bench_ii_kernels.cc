@@ -11,6 +11,11 @@
 // engines, reproducing the paper's §5.2/§5.3 comparisons with the new
 // kernels in play.
 //
+// Part 4 — distributed loopback (when built with SOLAP_SHARD_MAIN_PATH):
+// the same sharded query answered by 2 in-process shard executors vs 2
+// shard_main child processes over loopback HTTP, pricing the wire path
+// (spec encode -> HTTP -> partial decode) against the function call.
+//
 // Flags:
 //   --quick           smaller data + fewer reps (the CI smoke mode)
 //   --json=PATH       write all measurements as JSON (BENCH_ii.json)
@@ -38,6 +43,17 @@
 #include "solap/gen/synthetic.h"
 #include "solap/index/bitmap.h"
 #include "solap/index/intersect.h"
+
+#ifdef SOLAP_SHARD_MAIN_PATH
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "solap/gen/transit.h"
+#include "solap/service/shard_supervisor.h"
+#include "solap/storage/hierarchy_io.h"
+#include "solap/storage/io.h"
+#endif
 
 namespace solap {
 namespace bench {
@@ -292,6 +308,128 @@ void RunShardSweep(bool quick, std::vector<Entry>* entries) {
        static_cast<double>(std::thread::hardware_concurrency()), 0});
 }
 
+// Part 4 — distributed loopback: one transit FP-SUM pair query executed
+// repeatedly (coordinator + shard repositories disabled, so every rep pays
+// the full scatter) on (a) a 2-shard in-process engine and (b) the same
+// coordinator scattering to 2 shard_main child processes over loopback
+// HTTP. Publishes both wall times, the loopback/in-process ratio (as the
+// "speedup" of dist/loopback — expected < 1: the wire costs something),
+// and the per-query RPC overhead in ms. No threshold gates these: loopback
+// latency is too environment-sensitive for a 2x floor.
+#ifdef SOLAP_SHARD_MAIN_PATH
+void RunDistributedLoopback(bool quick, std::vector<Entry>* entries) {
+  TransitParams p;
+  p.num_passengers = quick ? 2000 : 8000;
+  p.num_days = quick ? 3 : 7;
+  p.seed = 7;
+  TransitData data = GenerateTransit(p);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("solap_bench_dist_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::create_directories(dir);
+  const std::string table_path = dir + "/table.solap";
+  const std::string hier_path = dir + "/hier.json";
+  if (!SaveTable(*data.table, table_path).ok() ||
+      !SaveHierarchies(*data.hierarchies, hier_path).ok()) {
+    std::fprintf(stderr, "distributed loopback: snapshot save failed\n");
+    return;
+  }
+
+  constexpr size_t kShards = 2;
+  std::vector<ShardProcessSpec> specs;
+  for (size_t i = 0; i < kShards; ++i) {
+    ShardProcessSpec spec;
+    spec.args = {SOLAP_SHARD_MAIN_PATH,
+                 "--table",      table_path,
+                 "--hier",       hier_path,
+                 "--shard",      std::to_string(i),
+                 "--num-shards", std::to_string(kShards),
+                 "--shard-by",   "card-id"};
+    spec.port_file = dir + "/shard" + std::to_string(i) + ".port";
+    specs.push_back(std::move(spec));
+  }
+  ShardSupervisor supervisor(std::move(specs), {});
+  Status started = supervisor.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "distributed loopback skipped: %s\n",
+                 started.ToString().c_str());
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    return;
+  }
+
+  CuboidSpec spec;
+  spec.agg = AggKind::kSum;
+  spec.measure = "amount";
+  spec.seq.cluster_by = {{"card-id", "individual"}};
+  spec.seq.sequence_by = "time";
+  spec.symbols = {"X", "Y"};
+  spec.dims = {PatternDim{"X", {"location", "station"}, {}, ""},
+               PatternDim{"Y", {"location", "station"}, {}, ""}};
+
+  EngineOptions opts;
+  opts.shards = kShards;
+  opts.shard_by = "card-id";
+  opts.exec_threads = kShards;
+  opts.repository_capacity_bytes = 0;
+  ShardedEngine in_process(data.table.get(), data.hierarchies.get(), opts);
+  ShardedEngine distributed(data.table.get(), data.hierarchies.get(), opts);
+  Status remote = distributed.EnableRemoteScatter(supervisor.endpoints());
+  if (!remote.ok()) {
+    std::fprintf(stderr, "distributed loopback skipped: %s\n",
+                 remote.ToString().c_str());
+    supervisor.Stop();
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    return;
+  }
+
+  const size_t reps = quick ? 5 : 20;
+  auto time_session = [&](ShardedEngine& engine) -> double {
+    // One warm-up outside the clock (dictionary/page faults, connection
+    // establishment on the remote side).
+    auto warm = engine.Execute(spec, ExecStrategy::kCounterBased);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "distributed loopback query failed: %s\n",
+                   warm.status().ToString().c_str());
+      return -1;
+    }
+    Timer t;
+    for (size_t r = 0; r < reps; ++r) {
+      auto res = engine.Execute(spec, ExecStrategy::kCounterBased);
+      if (!res.ok()) {
+        std::fprintf(stderr, "distributed loopback query failed: %s\n",
+                     res.status().ToString().c_str());
+        return -1;
+      }
+    }
+    return t.ElapsedMs();
+  };
+
+  const double inproc_ms = time_session(in_process);
+  const double loopback_ms = time_session(distributed);
+  supervisor.Stop();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  if (inproc_ms < 0 || loopback_ms < 0) return;
+
+  const double ratio = loopback_ms > 0 ? inproc_ms / loopback_ms : 0;
+  const double overhead_ms =
+      (loopback_ms - inproc_ms) / static_cast<double>(reps);
+  std::printf("\n-- distributed loopback (2 shards, %zu reps, n=%zu) --\n",
+              reps, p.num_passengers);
+  std::printf(
+      "in-process %.2f ms, loopback %.2f ms (%.2fx), rpc overhead "
+      "%.3f ms/query\n",
+      inproc_ms, loopback_ms, ratio, overhead_ms);
+  entries->push_back({"dist/inproc", inproc_ms, 0});
+  entries->push_back({"dist/loopback", loopback_ms, ratio});
+  entries->push_back({"dist/loopback/rpc_overhead", overhead_ms, 0});
+}
+#endif  // SOLAP_SHARD_MAIN_PATH
+
 void WriteJson(const std::string& path, const std::vector<Entry>& entries,
                bool quick) {
   std::ofstream out(path);
@@ -446,6 +584,9 @@ int Main(int argc, char** argv) {
   RunMicrobenches(quick, &entries);
   RunQuerysets(quick, &entries);
   RunShardSweep(quick, &entries);
+#ifdef SOLAP_SHARD_MAIN_PATH
+  RunDistributedLoopback(quick, &entries);
+#endif
   if (!json.empty()) WriteJson(json, entries, quick);
   if (!check.empty()) return Check(check, entries);
   return 0;

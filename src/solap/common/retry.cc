@@ -1,25 +1,91 @@
 #include "solap/common/retry.h"
 
+#include <algorithm>
 #include <thread>
 
 namespace solap {
+
+namespace {
+
+uint64_t SeedFor(const RetryPolicy& policy) {
+  if (policy.jitter_seed != 0) return policy.jitter_seed;
+  std::random_device rd;
+  return (static_cast<uint64_t>(rd()) << 32) ^ rd();
+}
+
+/// initial_backoff * 2^(retry_index-1), saturating at max_backoff (the
+/// shift is clamped so pathological attempt counts cannot overflow).
+std::chrono::milliseconds CapFor(const RetryPolicy& policy, int retry_index) {
+  const int64_t base = std::max<int64_t>(policy.initial_backoff.count(), 0);
+  const int64_t cap = std::max<int64_t>(policy.max_backoff.count(), 0);
+  if (base == 0 || cap == 0) return std::chrono::milliseconds(0);
+  const int shift = std::min(retry_index - 1, 62);
+  int64_t scaled;
+  if (shift >= 0 && base <= (INT64_MAX >> shift)) {
+    scaled = base << shift;
+  } else {
+    scaled = INT64_MAX;
+  }
+  return std::chrono::milliseconds(std::min(scaled, cap));
+}
+
+}  // namespace
 
 bool IsTransientIoError(const Status& s) {
   return s.code() == StatusCode::kInternal;
 }
 
+std::chrono::milliseconds BackoffDelay(const RetryPolicy& policy,
+                                       int retry_index, std::mt19937_64& rng) {
+  const std::chrono::milliseconds cap = CapFor(policy, retry_index);
+  if (!policy.full_jitter || cap.count() <= 0) return cap;
+  std::uniform_int_distribution<int64_t> dist(0, cap.count());
+  return std::chrono::milliseconds(dist(rng));
+}
+
+RetryBudget::RetryBudget(const RetryPolicy& policy,
+                         std::chrono::steady_clock::time_point deadline)
+    : policy_(policy), deadline_(deadline), rng_(SeedFor(policy)) {}
+
+bool RetryBudget::BeforeAttempt(const StopToken* stop) {
+  const int attempts = std::max(policy_.max_attempts, 1);
+  if (started_ >= attempts) return false;
+  if (stop != nullptr && stop->stop_requested()) return false;
+  if (started_ == 0) {
+    ++started_;
+    return true;
+  }
+  const std::chrono::milliseconds delay = BackoffDelay(policy_, started_, rng_);
+  const auto now = std::chrono::steady_clock::now();
+  // A retry that cannot finish sleeping before the deadline is not worth
+  // starting: give up now and let the caller surface its last error
+  // instead of sleeping into a guaranteed DeadlineExceeded.
+  if (deadline_ != std::chrono::steady_clock::time_point::max() &&
+      now + delay >= deadline_) {
+    return false;
+  }
+  // Sleep in small slices so a cancel (drain, client disconnect) tears the
+  // backoff down promptly instead of holding a pool worker hostage.
+  const auto wake = now + delay;
+  while (std::chrono::steady_clock::now() < wake) {
+    if (stop != nullptr && stop->stop_requested()) return false;
+    const auto remaining = wake - std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(
+        std::min<std::chrono::steady_clock::duration>(
+            remaining, std::chrono::milliseconds(5)));
+  }
+  last_delay_ = delay;
+  ++started_;
+  return true;
+}
+
 Status RetryIo(const RetryPolicy& policy, const std::function<Status()>& op,
                std::atomic<uint64_t>* retries) {
-  const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
-  std::chrono::milliseconds backoff = policy.initial_backoff;
+  RetryBudget budget(policy);
   Status last = Status::OK();
-  for (int attempt = 0; attempt < attempts; ++attempt) {
-    if (attempt > 0) {
-      if (retries != nullptr) {
-        retries->fetch_add(1, std::memory_order_relaxed);
-      }
-      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
-      backoff = std::min(backoff * 2, policy.max_backoff);
+  while (budget.BeforeAttempt()) {
+    if (budget.retries() > 0 && retries != nullptr) {
+      retries->fetch_add(1, std::memory_order_relaxed);
     }
     last = op();
     if (last.ok() || !IsTransientIoError(last)) return last;

@@ -1,7 +1,22 @@
-// Bounded-exponential-backoff retry for transient IO (snapshot save/load).
-// Only kInternal is treated as transient — NotFound, ParseError and the
-// rest describe the request or the file content, not the medium, and
-// retrying them would just repeat the same answer slower.
+// Bounded-exponential-backoff retry, shared by transient snapshot IO
+// (storage/io.cc) and the shard RPC layer (engine/remote_shard.cc).
+//
+// Two schedules exist behind one policy struct:
+//  - the legacy deterministic schedule (full_jitter = false): sleep before
+//    retry k is initial_backoff * 2^(k-1) capped at max_backoff — what the
+//    storage call sites have always used;
+//  - full-jitter (full_jitter = true): sleep ~ U[0, cap_k] with the same
+//    cap_k, the AWS-style schedule that decorrelates a fleet of clients
+//    hammering one recovering shard (thundering-herd avoidance).
+//
+// RetryBudget adds the deadline awareness the RPC path needs: a retry
+// whose backoff sleep would land past the caller's deadline is not taken
+// at all — the budget gives up immediately instead of sleeping into a
+// guaranteed DeadlineExceeded.
+//
+// Only kInternal is treated as transient by RetryIo — NotFound, ParseError
+// and the rest describe the request or the file content, not the medium,
+// and retrying them would just repeat the same answer slower.
 #ifndef SOLAP_COMMON_RETRY_H_
 #define SOLAP_COMMON_RETRY_H_
 
@@ -9,24 +24,80 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <random>
 
 #include "solap/common/status.h"
+#include "solap/common/stop.h"
 
 namespace solap {
 
-/// \brief Attempt/backoff bounds for RetryIo.
+/// \brief Attempt/backoff bounds for RetryIo / RetryBudget.
 struct RetryPolicy {
   /// Total tries, including the first (1 = no retrying).
   int max_attempts = 3;
-  /// Sleep before retry k is initial_backoff * 2^(k-1), capped at
-  /// max_backoff — bounded so a dying disk fails in bounded time.
+  /// Sleep before retry k is drawn from the range capped at
+  /// initial_backoff * 2^(k-1), itself capped at max_backoff — bounded so
+  /// a dying disk or a dead shard fails in bounded time.
   std::chrono::milliseconds initial_backoff{1};
   std::chrono::milliseconds max_backoff{50};
+  /// Full-jitter backoff: each retry sleeps U[0, cap_k] instead of exactly
+  /// cap_k, so many clients retrying against one recovering server spread
+  /// out instead of re-colliding in lockstep.
+  bool full_jitter = false;
+  /// Seed of the jitter PRNG; 0 seeds from std::random_device (each budget
+  /// independent). Tests pass a fixed seed for reproducible schedules.
+  uint64_t jitter_seed = 0;
 };
 
 /// True if `s` is worth retrying (transient medium fault, not a permanent
 /// property of the request or the data).
 bool IsTransientIoError(const Status& s);
+
+/// The backoff delay retry `retry_index` (1-based) would sleep under
+/// `policy`, drawing jitter from `rng` when the policy asks for it.
+/// Exposed for tests (jitter-bound assertions) and for callers that manage
+/// their own sleeping.
+std::chrono::milliseconds BackoffDelay(const RetryPolicy& policy,
+                                       int retry_index, std::mt19937_64& rng);
+
+/// \brief One operation's retry state: attempts taken, backoff schedule,
+/// and a hard deadline the backoff may not sleep across.
+///
+/// Usage:
+///   RetryBudget budget(policy, deadline);
+///   while (budget.BeforeAttempt(stop)) {
+///     if (TryOnce().ok()) break;
+///   }
+///
+/// The first BeforeAttempt returns true immediately; each later call
+/// computes the next backoff delay and (a) returns false without sleeping
+/// when attempts are exhausted, the sleep would end past the deadline, or
+/// `stop` has tripped — the caller's last observed error stands — or
+/// (b) sleeps the delay (polling `stop` while asleep) and returns true.
+class RetryBudget {
+ public:
+  explicit RetryBudget(const RetryPolicy& policy,
+                       std::chrono::steady_clock::time_point deadline =
+                           std::chrono::steady_clock::time_point::max());
+
+  /// See class comment. `stop`, when non-null, aborts backoff sleeps early
+  /// and refuses further attempts once tripped.
+  bool BeforeAttempt(const StopToken* stop = nullptr);
+
+  /// Attempts whose BeforeAttempt returned true so far.
+  int attempts_started() const { return started_; }
+  /// Retries granted (attempts_started() - 1, floored at 0).
+  int retries() const { return started_ > 1 ? started_ - 1 : 0; }
+  /// The delay slept before the most recent retry (0 before any retry).
+  std::chrono::milliseconds last_delay() const { return last_delay_; }
+
+ private:
+  RetryPolicy policy_;
+  std::chrono::steady_clock::time_point deadline_;
+  int started_ = 0;
+  std::chrono::milliseconds last_delay_{0};
+  std::mt19937_64 rng_;
+};
 
 /// Runs `op` up to policy.max_attempts times, sleeping bounded-exponential
 /// backoff between transient failures. Every retry (not the first attempt)

@@ -22,6 +22,11 @@ std::string ScanStats::ToString() const {
        << " merged_cells=" << shard_merged_cells
        << " fallbacks=" << shard_fallbacks << ")";
   }
+  if (shard_rpc_retries != 0 || shard_rpc_hedges != 0 || partial_answers != 0) {
+    os << " rpc=(retries=" << shard_rpc_retries
+       << " hedges=" << shard_rpc_hedges
+       << " partial=" << partial_answers << ")";
+  }
   return os.str();
 }
 

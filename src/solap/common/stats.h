@@ -54,6 +54,12 @@ struct ScanStats {
   /// Queries a sharded engine could not scatter (non-base CLUSTER BY,
   /// online aggregation) and routed to its monolithic fallback executor.
   uint64_t shard_fallbacks = 0;
+  /// Distributed scatter (engine/remote_shard.h): shard RPC attempts beyond
+  /// the first, hedged duplicate requests fired after the latency threshold,
+  /// and queries answered with one or more shard slices missing.
+  uint64_t shard_rpc_retries = 0;
+  uint64_t shard_rpc_hedges = 0;
+  uint64_t partial_answers = 0;
 
   void Clear() { *this = ScanStats{}; }
 
@@ -76,6 +82,9 @@ struct ScanStats {
     shard_partials += o.shard_partials;
     shard_merged_cells += o.shard_merged_cells;
     shard_fallbacks += o.shard_fallbacks;
+    shard_rpc_retries += o.shard_rpc_retries;
+    shard_rpc_hedges += o.shard_rpc_hedges;
+    partial_answers += o.partial_answers;
     return *this;
   }
 

@@ -48,6 +48,13 @@ class StopToken {
 
   bool stop_requested() const { return cancelled() || deadline_expired(); }
 
+  /// The attached absolute deadline (time_point::max() when none) — read
+  /// by the shard RPC layer to bound connect/send/recv and retry backoff.
+  std::chrono::steady_clock::time_point deadline() const {
+    return state_ == nullptr ? std::chrono::steady_clock::time_point::max()
+                             : state_->deadline;
+  }
+
   /// OK while running is allowed; Cancelled / DeadlineExceeded once the
   /// token tripped. `what` names the interrupted work for the message.
   Status Check(const char* what) const {

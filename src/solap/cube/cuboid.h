@@ -49,6 +49,13 @@ class SCuboid {
     return cells_;
   }
 
+  /// Per-dimension label dictionaries (may hold fewer entries than dims()
+  /// when trailing dimensions never recorded a label). Read by the shard
+  /// wire codec (cube/partial_codec.h).
+  const std::vector<std::unordered_map<Code, std::string>>& labels() const {
+    return labels_;
+  }
+
   /// Cell state at `key`; absent cells read as the empty aggregate.
   CellValue CellAt(const CellKey& key) const;
   /// Final aggregate value at `key` (0 for absent COUNT cells, etc.).

@@ -1,0 +1,75 @@
+// Wire codec for shard partial answers and cuboid specifications — the
+// serialization layer of the distributed scatter path (ISSUE 9).
+//
+// A shard process answers `POST /shard/exec` with an *envelope*:
+//
+//   {"v":1,"crc":<u32>,"payload":{...}}
+//
+// The envelope prefix is rigid (no whitespace, keys in exactly this order),
+// so the decoder can recover the byte-exact payload text and check the
+// CRC32 (storage/io.h) over it before trusting a single field — the wire
+// mirror of the snapshot v2 container's validate-before-trust discipline.
+// `v` is the codec version; decoders reject anything but the version they
+// were built with (a mixed-version fleet must fail loudly, not mis-merge).
+//
+// Floating-point cell state (SUM, MIN, MAX) travels as the IEEE-754 bit
+// pattern rendered as 16 lowercase hex digits, never as decimal text:
+// the distributed gather must be bit-identical to the in-process gather,
+// and printf/strtod round trips do not owe us that (nor can they carry the
+// ±inf neutral elements of empty MIN/MAX state). Counts and codes travel
+// as plain JSON integers (int64-exact in net/json).
+//
+// Cells and labels are emitted in sorted order so encoding is a pure
+// function of cuboid content — two replicas of the same slice produce
+// byte-identical partials, which CRC comparison and tests both exploit.
+#ifndef SOLAP_CUBE_PARTIAL_CODEC_H_
+#define SOLAP_CUBE_PARTIAL_CODEC_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "solap/common/stats.h"
+#include "solap/common/status.h"
+#include "solap/cube/cuboid.h"
+#include "solap/cube/cuboid_spec.h"
+#include "solap/net/json.h"
+
+namespace solap {
+
+/// Version written into the envelope; decoders accept exactly this.
+inline constexpr int64_t kShardWireVersion = 1;
+
+/// One shard's decoded answer: its partial cuboid plus the ScanStats its
+/// local execution accumulated (merged into the coordinator's totals so
+/// distributed ScanStats sums match the in-process path).
+struct ShardPartial {
+  std::shared_ptr<SCuboid> cuboid;
+  ScanStats stats;
+};
+
+/// Renders `cuboid` + `stats` as the versioned, CRC-tagged envelope.
+/// Deterministic: sorted cells/labels, bit-pattern doubles.
+std::string EncodeShardPartial(const SCuboid& cuboid, const ScanStats& stats);
+
+/// Strict inverse of EncodeShardPartial. kParseError on any violation:
+/// malformed envelope, version mismatch, CRC mismatch, malformed JSON,
+/// missing/mistyped fields, cell-key width not matching the dimension
+/// count, out-of-range codes, or malformed bit-pattern hex.
+Result<ShardPartial> DecodeShardPartial(std::string_view text);
+
+/// Renders `spec` as a JSON object (no envelope — it travels inside the
+/// /shard/exec request body, which carries its own framing). Expressions
+/// (WHERE, matching predicate) are carried as their canonical text form
+/// and re-parsed on decode.
+std::string EncodeCuboidSpec(const CuboidSpec& spec);
+
+/// Strict inverse of EncodeCuboidSpec, from a parsed JSON object.
+Result<CuboidSpec> DecodeCuboidSpec(const net::JsonValue& v);
+
+/// Convenience: JsonParse + DecodeCuboidSpec.
+Result<CuboidSpec> DecodeCuboidSpecText(std::string_view text);
+
+}  // namespace solap
+
+#endif  // SOLAP_CUBE_PARTIAL_CODEC_H_

@@ -113,6 +113,11 @@ struct ExecControl {
   /// If set, the execution records its span tree here (EXPLAIN ANALYZE,
   /// service trace sampling). nullptr = tracing off, near-zero overhead.
   TraceContext* trace = nullptr;
+  /// If set, a degraded distributed scatter (engine/remote_shard.h) records
+  /// the indices of shards whose slices are missing from the answer here;
+  /// left empty for complete answers. Callers that pass this accept
+  /// partial answers — the service layer flags them X-Solap-Partial.
+  std::vector<size_t>* missing_shards = nullptr;
 };
 
 /// \brief The S-OLAP system facade.

@@ -1,0 +1,302 @@
+#include "solap/engine/remote_shard.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <thread>
+#include <utility>
+
+#include "solap/common/failpoint.h"
+#include "solap/net/http_client.h"
+#include "solap/net/json.h"
+
+namespace solap {
+
+namespace {
+
+/// Latency samples kept for the p95 estimate. Small on purpose: the
+/// estimate should track the *current* shard, not its cold-start history.
+constexpr size_t kLatencyWindow = 64;
+
+/// Strategy wire names — the same cb|ii|auto tokens X-Solap-Strategy uses.
+const char* StrategyWireName(ExecStrategy strategy) {
+  switch (strategy) {
+    case ExecStrategy::kCounterBased:
+      return "cb";
+    case ExecStrategy::kInvertedIndex:
+      return "ii";
+    case ExecStrategy::kAuto:
+      return "auto";
+  }
+  return "auto";
+}
+
+Status StatusFromCodeName(const std::string& name, std::string msg) {
+  if (name == "InvalidArgument") return Status::InvalidArgument(std::move(msg));
+  if (name == "NotFound") return Status::NotFound(std::move(msg));
+  if (name == "AlreadyExists") return Status::AlreadyExists(std::move(msg));
+  if (name == "OutOfRange") return Status::OutOfRange(std::move(msg));
+  if (name == "ParseError") return Status::ParseError(std::move(msg));
+  if (name == "NotImplemented") return Status::NotImplemented(std::move(msg));
+  if (name == "Cancelled") return Status::Cancelled(std::move(msg));
+  if (name == "DeadlineExceeded") {
+    return Status::DeadlineExceeded(std::move(msg));
+  }
+  if (name == "ResourceExhausted") {
+    return Status::ResourceExhausted(std::move(msg));
+  }
+  if (name == "Unavailable") return Status::Unavailable(std::move(msg));
+  return Status::Internal(std::move(msg));
+}
+
+/// Maps a non-200 shard response back into the Status the shard meant.
+/// The error body carries the code by name (net/query_routes.cc's
+/// JsonErrorResponse shape); a body we cannot parse — a mid-crash torn
+/// answer, a proxy page — classifies by HTTP status alone.
+Status MapApplicationError(const net::ClientResponse& resp) {
+  auto parsed = net::JsonParse(resp.body);
+  if (parsed.ok() && parsed->IsObject()) {
+    const net::JsonValue* code = parsed->Find("code");
+    const net::JsonValue* message = parsed->Find("message");
+    if (code != nullptr && code->IsString()) {
+      return StatusFromCodeName(code->s,
+                                message != nullptr && message->IsString()
+                                    ? message->s
+                                    : "shard error");
+    }
+  }
+  switch (resp.status) {
+    case 429:
+      return Status::ResourceExhausted("shard answered 429");
+    case 503:
+      return Status::Unavailable("shard answered 503");
+    case 504:
+      return Status::DeadlineExceeded("shard answered 504");
+    default:
+      break;
+  }
+  if (resp.status >= 400 && resp.status < 500) {
+    return Status::InvalidArgument("shard answered " +
+                                   std::to_string(resp.status));
+  }
+  return Status::Internal("shard answered " + std::to_string(resp.status));
+}
+
+}  // namespace
+
+RemoteShardClient::RemoteShardClient(size_t shard_index,
+                                     ShardEndpoint endpoint,
+                                     RemoteShardOptions options,
+                                     MetricsRegistry* metrics)
+    : shard_index_(shard_index),
+      endpoint_(std::move(endpoint)),
+      options_(std::move(options)) {
+  if (metrics != nullptr) {
+    retries_counter_ = metrics->counter("shard_rpc_retries");
+    hedges_counter_ = metrics->counter("shard_rpc_hedges");
+  }
+}
+
+bool RemoteShardClient::IsTransportError(const Status& s) {
+  // kUnavailable: the bytes never made it (or never came back).
+  // kInternal: the shard's own transient machinery failed (its 500s map
+  // here) — the same class storage retries treat as transient.
+  // kParseError: bytes arrived but are corrupt (torn write, CRC mismatch);
+  // a fresh exchange produces fresh bytes.
+  return s.code() == StatusCode::kUnavailable ||
+         s.code() == StatusCode::kInternal ||
+         s.code() == StatusCode::kParseError;
+}
+
+std::chrono::milliseconds RemoteShardClient::HedgeDelay() const {
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  if (latency_window_.empty()) return options_.hedge_floor;
+  std::vector<std::chrono::milliseconds> sorted = latency_window_;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t idx =
+      std::min(sorted.size() - 1, (sorted.size() * 95 + 99) / 100);
+  return std::max(sorted[idx], options_.hedge_floor);
+}
+
+void RemoteShardClient::RecordLatency(std::chrono::milliseconds sample) {
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  if (latency_window_.size() < kLatencyWindow) {
+    latency_window_.push_back(sample);
+  } else {
+    latency_window_[latency_next_] = sample;
+    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  }
+}
+
+Status RemoteShardClient::Health(std::chrono::milliseconds timeout) {
+  auto resp = net::HttpExchange(
+      endpoint_.host, endpoint_.port, "GET", "/healthz", "", {},
+      std::chrono::steady_clock::now() + timeout);
+  if (!resp.ok()) return resp.status();
+  if (resp->status != 200) {
+    return Status::Unavailable("healthz answered " +
+                               std::to_string(resp->status));
+  }
+  return Status::OK();
+}
+
+Result<ShardPartial> RemoteShardClient::AttemptOnce(
+    const std::string& body, std::chrono::steady_clock::time_point deadline,
+    const StopToken* stop, TraceContext* trace) {
+  SOLAP_FAILPOINT("shard.rpc.send");
+  // Propagate the remaining budget so the shard stops executing when the
+  // coordinator has already given up waiting.
+  std::vector<std::pair<std::string, std::string>> headers = {
+      {"Content-Type", "application/json"}};
+  if (deadline != std::chrono::steady_clock::time_point::max()) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    headers.emplace_back(
+        "X-Solap-Deadline-Ms",
+        std::to_string(std::max<int64_t>(left.count(), 1)));
+  }
+  auto resp = net::HttpExchange(endpoint_.host, endpoint_.port, "POST",
+                                "/shard/exec", body, headers, deadline, stop);
+  {
+    Status injected = SOLAP_FAILPOINT_CHECK("shard.rpc.recv");
+    if (!injected.ok()) return injected;
+  }
+  if (!resp.ok()) return resp.status();
+  if (resp->status != 200) return MapApplicationError(*resp);
+
+  {
+    Status injected = SOLAP_FAILPOINT_CHECK("shard.rpc.decode");
+    if (!injected.ok()) return injected;
+  }
+  TraceSpan span(trace, "shard.decode");
+  span.Count("shard", shard_index_);
+  span.Count("bytes", resp->body.size());
+  auto partial = DecodeShardPartial(resp->body);
+  if (!partial.ok()) span.Note("error", partial.status().ToString());
+  return partial;
+}
+
+Result<ShardPartial> RemoteShardClient::AttemptWithHedge(
+    const std::string& body, std::chrono::steady_clock::time_point deadline,
+    const StopToken* stop, TraceContext* trace, ScanStats* stats) {
+  if (!options_.hedge) return AttemptOnce(body, deadline, stop, trace);
+
+  // Two racing attempts behind one result rendezvous. Each gets its own
+  // stop source (mirroring the caller's deadline) so the loser tears down
+  // within one poll slice of a winner arriving, and both threads are
+  // joined before return — nothing outlives this frame.
+  struct Rendezvous {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done[2] = {false, false};
+    Result<ShardPartial> result[2] = {
+        Status::Unavailable("not attempted"),
+        Status::Unavailable("not attempted")};
+  };
+  Rendezvous rv;
+  StopSource attempt_stop[2];
+  attempt_stop[0].SetDeadline(deadline);
+  attempt_stop[1].SetDeadline(deadline);
+  StopToken tokens[2] = {attempt_stop[0].token(), attempt_stop[1].token()};
+
+  auto run = [&](int idx) {
+    auto r = AttemptOnce(body, deadline, &tokens[idx], trace);
+    std::lock_guard<std::mutex> lock(rv.mu);
+    rv.result[idx] = std::move(r);
+    rv.done[idx] = true;
+    rv.cv.notify_all();
+  };
+
+  const auto hedge_at = std::chrono::steady_clock::now() + HedgeDelay();
+  std::thread primary(run, 0);
+  std::thread secondary;
+  bool hedged = false;
+
+  auto caller_stopped = [&] {
+    return stop != nullptr && stop->stop_requested();
+  };
+
+  std::unique_lock<std::mutex> lock(rv.mu);
+  for (;;) {
+    const bool primary_done = rv.done[0];
+    const bool secondary_done = !hedged || rv.done[1];
+    if ((primary_done && rv.result[0].ok()) ||
+        (hedged && rv.done[1] && rv.result[1].ok()) ||
+        (primary_done && secondary_done)) {
+      break;
+    }
+    if (caller_stopped()) {
+      attempt_stop[0].RequestStop();
+      attempt_stop[1].RequestStop();
+    }
+    if (!hedged && !primary_done &&
+        std::chrono::steady_clock::now() >= hedge_at && !caller_stopped()) {
+      hedged = true;
+      if (stats != nullptr) ++stats->shard_rpc_hedges;
+      if (hedges_counter_ != nullptr) hedges_counter_->Inc();
+      secondary = std::thread(run, 1);
+      continue;
+    }
+    rv.cv.wait_for(lock, std::chrono::milliseconds(10));
+  }
+
+  // Pick the winner before releasing anything: first successful result,
+  // else the primary's failure (it is the representative error).
+  Result<ShardPartial> winner =
+      rv.done[0] && rv.result[0].ok()
+          ? std::move(rv.result[0])
+          : (hedged && rv.done[1] && rv.result[1].ok()
+                 ? std::move(rv.result[1])
+                 : std::move(rv.result[0]));
+  lock.unlock();
+
+  attempt_stop[0].RequestStop();
+  attempt_stop[1].RequestStop();
+  primary.join();
+  if (secondary.joinable()) secondary.join();
+  return winner;
+}
+
+Result<ShardPartial> RemoteShardClient::Execute(const CuboidSpec& spec,
+                                                ExecStrategy strategy,
+                                                const StopToken* stop,
+                                                TraceContext* trace,
+                                                ScanStats* stats) {
+  auto deadline = stop != nullptr
+                      ? stop->deadline()
+                      : std::chrono::steady_clock::time_point::max();
+  if (deadline == std::chrono::steady_clock::time_point::max() &&
+      options_.default_timeout.count() > 0) {
+    deadline = std::chrono::steady_clock::now() + options_.default_timeout;
+  }
+
+  const std::string body = "{\"v\":" + std::to_string(kShardWireVersion) +
+                           ",\"strategy\":\"" + StrategyWireName(strategy) +
+                           "\",\"spec\":" + EncodeCuboidSpec(spec) + "}";
+
+  RetryBudget budget(options_.retry, deadline);
+  Status last = Status::Unavailable("shard rpc never attempted");
+  while (budget.BeforeAttempt(stop)) {
+    if (budget.retries() > 0) {
+      if (stats != nullptr) ++stats->shard_rpc_retries;
+      if (retries_counter_ != nullptr) retries_counter_->Inc();
+    }
+    TraceSpan span(trace, "shard.rpc");
+    span.Count("shard", shard_index_);
+    span.Count("attempt", static_cast<uint64_t>(budget.attempts_started()));
+    const auto started = std::chrono::steady_clock::now();
+    auto r = AttemptWithHedge(body, deadline, stop, trace, stats);
+    if (r.ok()) {
+      RecordLatency(std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started));
+      if (stats != nullptr) *stats += r->stats;
+      span.Count("cells", r->cuboid->num_cells());
+      return r;
+    }
+    last = r.status();
+    span.Note("error", last.ToString());
+    if (!IsTransportError(last)) return last;
+  }
+  return last;
+}
+
+}  // namespace solap

@@ -1,0 +1,56 @@
+// The one shard-placement function, shared by every process that must
+// agree on which shard owns a sequence: the in-process ShardedEngine
+// (engine/sharded_engine.cc) and the shard-server binary
+// (tools/shard_main.cc), which loads the full table snapshot and carves
+// out its own slice. If these ever diverged, a distributed scatter would
+// silently double-count or drop sequences — so the function lives here
+// and nowhere else.
+#ifndef SOLAP_ENGINE_SHARD_PARTITION_H_
+#define SOLAP_ENGINE_SHARD_PARTITION_H_
+
+#include <cstdint>
+
+#include "solap/common/types.h"
+#include "solap/storage/event_table.h"
+
+namespace solap {
+
+/// splitmix64 finalizer: spreads dense dictionary codes uniformly over the
+/// shards so one hot code range cannot pile onto one executor.
+inline uint64_t MixShardCode(Code c) {
+  uint64_t x = static_cast<uint64_t>(c) + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Shard (of `num_shards`) owning base-level code `c`.
+inline size_t ShardOfCode(Code c, size_t num_shards) {
+  return static_cast<size_t>(MixShardCode(c) % num_shards);
+}
+
+/// Resolves the shard-by column of `table`: `shard_by` when named (must be
+/// a string column), else the first string column. -1 when unusable — the
+/// caller degrades to a single monolithic shard.
+inline int ResolveShardColumn(const EventTable& table,
+                              const std::string& shard_by) {
+  std::string attr = shard_by;
+  if (attr.empty()) {
+    for (size_t c = 0; c < table.schema().num_fields(); ++c) {
+      if (table.schema().field(c).type == ValueType::kString) {
+        attr = table.schema().field(c).name;
+        break;
+      }
+    }
+  }
+  if (attr.empty()) return -1;
+  const int col = table.schema().FieldIndex(attr);
+  if (col < 0 || table.schema().field(col).type != ValueType::kString) {
+    return -1;
+  }
+  return col;
+}
+
+}  // namespace solap
+
+#endif  // SOLAP_ENGINE_SHARD_PARTITION_H_

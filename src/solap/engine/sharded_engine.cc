@@ -6,22 +6,11 @@
 #include <utility>
 
 #include "solap/cube/partial_merge.h"
+#include "solap/engine/remote_shard.h"
+#include "solap/engine/shard_partition.h"
 #include "solap/index/build_index.h"
 
 namespace solap {
-
-namespace {
-
-/// splitmix64 finalizer: spreads dense dictionary codes uniformly over the
-/// shards so one hot code range cannot pile onto one executor.
-uint64_t MixCode(Code c) {
-  uint64_t x = static_cast<uint64_t>(c) + 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 ShardedEngine::ShardedEngine(const EventTable* table,
                              const HierarchyRegistry* hierarchies,
@@ -50,22 +39,9 @@ void ShardedEngine::BuildShards() {
     // Resolve the shard-by column; an unusable one degrades to one shard
     // rather than failing construction (the engine stays correct, just
     // monolithic).
-    shard_attr_ = options_.shard_by;
-    if (shard_attr_.empty()) {
-      for (size_t c = 0; c < table_->schema().num_fields(); ++c) {
-        if (table_->schema().field(c).type == ValueType::kString) {
-          shard_attr_ = table_->schema().field(c).name;
-          break;
-        }
-      }
-    }
-    shard_col_ = shard_attr_.empty()
-                     ? -1
-                     : table_->schema().FieldIndex(shard_attr_);
-    if (shard_col_ >= 0 &&
-        table_->schema().field(shard_col_).type != ValueType::kString) {
-      shard_col_ = -1;
-    }
+    shard_col_ = ResolveShardColumn(*table_, options_.shard_by);
+    shard_attr_ =
+        shard_col_ >= 0 ? table_->schema().field(shard_col_).name : "";
     if (shard_col_ < 0) n = 1;
   }
 
@@ -92,7 +68,7 @@ void ShardedEngine::BuildShards() {
 
   if (table_ != nullptr) {
     shard_tables_ = table_->PartitionRows(n, [this, n](RowId r) {
-      return static_cast<size_t>(MixCode(table_->CodeAt(r, shard_col_)) % n);
+      return ShardOfCode(table_->CodeAt(r, shard_col_), n);
     });
     for (size_t s = 0; s < n; ++s) {
       shards_.push_back(std::make_unique<SOlapEngine>(shard_tables_[s].get(),
@@ -158,6 +134,50 @@ SOlapEngine* ShardedEngine::Monolith() {
             : std::make_unique<SOlapEngine>(raw_groups_, hierarchies_, opts);
   }
   return fallback_.get();
+}
+
+Status ShardedEngine::EnableRemoteScatter(
+    const std::vector<ShardEndpoint>& endpoints, RemoteShardOptions rpc,
+    DegradePolicy policy, bool local_fallback, MetricsRegistry* metrics) {
+  if (borrowed_ != nullptr || shards_.size() <= 1) {
+    return Status::InvalidArgument(
+        "remote scatter requires a sharded (shards > 1) engine");
+  }
+  if (endpoints.size() != shards_.size()) {
+    return Status::InvalidArgument(
+        "endpoint count does not match shard count: " +
+        std::to_string(endpoints.size()) + " vs " +
+        std::to_string(shards_.size()));
+  }
+  remote_clients_.clear();
+  remote_clients_.reserve(endpoints.size());
+  for (size_t i = 0; i < endpoints.size(); ++i) {
+    remote_clients_.push_back(
+        std::make_unique<RemoteShardClient>(i, endpoints[i], rpc, metrics));
+  }
+  shard_healthy_ = std::make_unique<std::atomic<bool>[]>(endpoints.size());
+  for (size_t i = 0; i < endpoints.size(); ++i) {
+    shard_healthy_[i].store(true, std::memory_order_relaxed);
+  }
+  degrade_policy_ = policy;
+  remote_local_fallback_ = local_fallback;
+  return Status::OK();
+}
+
+void ShardedEngine::DisableRemoteScatter() {
+  remote_clients_.clear();
+  shard_healthy_.reset();
+}
+
+void ShardedEngine::SetShardHealthy(size_t i, bool healthy) {
+  if (shard_healthy_ != nullptr && i < remote_clients_.size()) {
+    shard_healthy_[i].store(healthy, std::memory_order_relaxed);
+  }
+}
+
+bool ShardedEngine::ShardHealthy(size_t i) const {
+  return shard_healthy_ == nullptr || i >= remote_clients_.size() ||
+         shard_healthy_[i].load(std::memory_order_relaxed);
 }
 
 bool ShardedEngine::Shardable(const CuboidSpec& spec) const {
@@ -233,6 +253,7 @@ Result<std::shared_ptr<const SCuboid>> ShardedEngine::ExecuteScatter(
   shard_spec.iceberg_min_count.reset();
 
   const size_t n = shards_.size();
+  const bool remote = remote_scatter();
   std::vector<std::shared_ptr<const SCuboid>> partials(n);
   std::vector<ScanStats> shard_stats(n);
   std::vector<Status> shard_status(n, Status::OK());
@@ -240,6 +261,7 @@ Result<std::shared_ptr<const SCuboid>> ShardedEngine::ExecuteScatter(
   {
     TraceSpan scatter(trace, "shard.scatter");
     scatter.Count("shards", n);
+    if (remote) scatter.Note("transport", "rpc");
     const int scatter_id = scatter.id();
     // Declared after the span so the fork/join completes (TaskBatch dtor)
     // while "shard.scatter" is still open.
@@ -248,6 +270,27 @@ Result<std::shared_ptr<const SCuboid>> ShardedEngine::ExecuteScatter(
       batch.Submit([&, i] {
         TraceSpan span(trace, "shard.exec", scatter_id);
         span.Count("shard", i);
+        if (remote) {
+          // An unhealthy shard (supervisor verdict) skips the RPC and its
+          // retry budget entirely — fail fast into the degradation policy.
+          if (!ShardHealthy(i)) {
+            shard_status[i] =
+                Status::Unavailable("shard marked degraded by supervisor");
+            span.Note("error", shard_status[i].ToString());
+            return;
+          }
+          auto r = remote_clients_[i]->Execute(shard_spec, strategy,
+                                               control.stop, trace,
+                                               &shard_stats[i]);
+          if (r.ok()) {
+            partials[i] = r->cuboid;
+            span.Count("cells", partials[i]->num_cells());
+          } else {
+            shard_status[i] = r.status();
+            span.Note("error", r.status().ToString());
+          }
+          return;
+        }
         ExecControl sub;
         sub.stop = control.stop;
         sub.stats_out = &shard_stats[i];
@@ -266,26 +309,73 @@ Result<std::shared_ptr<const SCuboid>> ShardedEngine::ExecuteScatter(
 
   // Work already done counts even when a shard failed.
   for (size_t i = 0; i < n; ++i) *stats += shard_stats[i];
+
+  // Failure disposition. In-process scatter and strict remote mode fail
+  // the query on the first shard error. Degraded remote mode recovers
+  // unavailable shards: re-execute the slice on the local shard executor
+  // (bit-identical — same slice, same code), else answer without it and
+  // flag the shards that are missing. Application-class errors (bad spec,
+  // cancel, out of time) always fail the query — degradation is for dead
+  // shards, not bad requests.
+  std::vector<size_t> missing;
   for (size_t i = 0; i < n; ++i) {
-    if (!shard_status[i].ok()) return shard_status[i];
+    if (shard_status[i].ok()) continue;
+    const bool recoverable =
+        remote && degrade_policy_ == DegradePolicy::kDegraded &&
+        RemoteShardClient::IsTransportError(shard_status[i]);
+    if (!recoverable) return shard_status[i];
+    if (remote_local_fallback_) {
+      TraceSpan span(trace, "shard.local_fallback");
+      span.Count("shard", i);
+      ScanStats local_stats;
+      ExecControl sub;
+      sub.stop = control.stop;
+      sub.stats_out = &local_stats;
+      sub.trace = trace;
+      auto r = shards_[i]->Execute(shard_spec, strategy, sub);
+      *stats += local_stats;
+      if (r.ok()) {
+        partials[i] = *r;
+        ++stats->degraded_queries;
+        continue;
+      }
+      span.Note("error", r.status().ToString());
+    }
+    missing.push_back(i);
+  }
+  if (missing.size() == n) {
+    return Status::Unavailable("all shards unavailable");
   }
 
   TraceSpan gather(trace, "shard.gather");
-  auto merged =
-      std::make_shared<SCuboid>(partials[0]->dims(), partials[0]->agg());
+  size_t first = 0;
+  while (partials[first] == nullptr) ++first;
+  auto merged = std::make_shared<SCuboid>(partials[first]->dims(),
+                                          partials[first]->agg());
   size_t folded = 0;
   // Ascending shard order keeps the FP sum fold deterministic.
   for (size_t i = 0; i < n; ++i) {
-    folded += MergeCuboidPartials(merged.get(), *partials[i]);
+    if (partials[i] != nullptr) {
+      folded += MergeCuboidPartials(merged.get(), *partials[i]);
+    }
   }
   ++stats->shard_scatters;
-  stats->shard_partials += n;
+  stats->shard_partials += n - missing.size();
   stats->shard_merged_cells += folded;
   if (spec.iceberg_min_count.has_value()) {
     merged->ApplyIceberg(*spec.iceberg_min_count);
   }
   gather.Count("merged_cells", folded);
   gather.Count("cells", merged->num_cells());
+  if (!missing.empty()) {
+    ++stats->partial_answers;
+    gather.Count("missing_shards", missing.size());
+    if (control.missing_shards != nullptr) {
+      *control.missing_shards = missing;
+    }
+    // A partial answer must never be served from cache as if complete.
+    return std::shared_ptr<const SCuboid>(merged);
+  }
   repository_->Insert(key, merged);
   return std::shared_ptr<const SCuboid>(merged);
 }

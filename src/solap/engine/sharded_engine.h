@@ -19,12 +19,14 @@
 #ifndef SOLAP_ENGINE_SHARDED_ENGINE_H_
 #define SOLAP_ENGINE_SHARDED_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "solap/engine/engine.h"
+#include "solap/engine/remote_shard.h"
 
 namespace solap {
 
@@ -131,6 +133,31 @@ class ShardedEngine {
   /// coarser level could split one logical sequence across shards).
   bool Shardable(const CuboidSpec& spec) const;
 
+  // -- Distributed scatter (ISSUE 9) ----------------------------------------
+
+  /// Switches the scatter path from in-process shard executors to remote
+  /// shard servers: shard i's slice is executed by `endpoints[i]` via
+  /// RemoteShardClient. endpoints.size() must equal num_shards() (> 1).
+  /// The local shard executors stay alive — they are the degraded-mode
+  /// fallback that re-executes a dead shard's slice bit-identically.
+  Status EnableRemoteScatter(const std::vector<ShardEndpoint>& endpoints,
+                             RemoteShardOptions rpc = {},
+                             DegradePolicy policy = DegradePolicy::kStrict,
+                             bool local_fallback = true,
+                             MetricsRegistry* metrics = nullptr);
+  /// Back to the in-process scatter. Not thread-safe against running
+  /// queries (quiesce first, as with other admin calls).
+  void DisableRemoteScatter();
+  bool remote_scatter() const { return !remote_clients_.empty(); }
+  /// Remote client of shard `i` (supervisor, tests); null when not remote.
+  RemoteShardClient* remote_client(size_t i) {
+    return i < remote_clients_.size() ? remote_clients_[i].get() : nullptr;
+  }
+  /// Supervisor seam: an unhealthy shard is skipped (no RPC, no retry
+  /// budget burned) and goes straight to the degradation policy.
+  void SetShardHealthy(size_t i, bool healthy);
+  bool ShardHealthy(size_t i) const;
+
  private:
   void BuildShards();
 
@@ -175,6 +202,14 @@ class ShardedEngine {
   // one lookup and counts repository_hits once — same accounting as the
   // monolithic engine.
   std::unique_ptr<CuboidRepository> repository_;
+
+  // Distributed scatter state (EnableRemoteScatter): one RPC client per
+  // shard, a health flag per shard (written by the supervisor thread, read
+  // by scatters), and the degradation policy.
+  std::vector<std::unique_ptr<RemoteShardClient>> remote_clients_;
+  std::unique_ptr<std::atomic<bool>[]> shard_healthy_;
+  DegradePolicy degrade_policy_ = DegradePolicy::kStrict;
+  bool remote_local_fallback_ = true;
 
   // Scatter fan-out pool (sharded mode; sized by EngineOptions::exec_threads,
   // clamped to the shard count). nullptr = scatter runs inline.

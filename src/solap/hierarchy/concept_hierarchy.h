@@ -67,6 +67,15 @@ class ConceptHierarchy {
   std::vector<Code> LevelToLevel(const Dictionary& base_dict, int from_level,
                                  int to_level);
 
+  /// The declared parent mappings: element l maps child value names at
+  /// level l to parent value names at level l+1. Written only by SetParent
+  /// (construction time), so reading needs no lock. Used by the hierarchy
+  /// snapshot writer (storage/hierarchy_io.h).
+  const std::vector<std::unordered_map<std::string, std::string>>&
+  parent_maps() const {
+    return parents_;
+  }
+
  private:
   Code MapBaseCodeLocked(const Dictionary& base_dict, int level,
                          Code base_code);
@@ -111,6 +120,13 @@ class HierarchyRegistry {
 
   /// Hierarchy of `attr`, or nullptr if none registered.
   ConceptHierarchy* Find(const std::string& attr) const;
+
+  /// Every registered (attr, hierarchy) pair — iteration for the hierarchy
+  /// snapshot writer (storage/hierarchy_io.h).
+  const std::unordered_map<std::string, std::shared_ptr<ConceptHierarchy>>&
+  all() const {
+    return map_;
+  }
 
  private:
   std::unordered_map<std::string, std::shared_ptr<ConceptHierarchy>> map_;

@@ -1,0 +1,275 @@
+#include "solap/net/http_client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace solap {
+namespace net {
+
+namespace {
+
+/// Poll slice: long enough that poll dominates, short enough that a stop
+/// token tears a blocked exchange down promptly.
+constexpr int kPollSliceMs = 50;
+
+class Fd {
+ public:
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  int get() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+/// Remaining whole milliseconds until `deadline`, clamped to [0, slice].
+/// time_point::max() (no deadline) polls full slices forever.
+int SliceMs(std::chrono::steady_clock::time_point deadline) {
+  if (deadline == std::chrono::steady_clock::time_point::max()) {
+    return kPollSliceMs;
+  }
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  if (left.count() <= 0) return 0;
+  return static_cast<int>(
+      std::min<int64_t>(left.count(), kPollSliceMs));
+}
+
+Status CheckBudget(std::chrono::steady_clock::time_point deadline,
+                   const StopToken* stop, const char* what) {
+  if (stop != nullptr) {
+    Status s = stop->Check(what);
+    if (!s.ok()) return s;
+  }
+  if (deadline != std::chrono::steady_clock::time_point::max() &&
+      std::chrono::steady_clock::now() >= deadline) {
+    return Status::DeadlineExceeded(std::string(what) +
+                                    ": deadline exceeded");
+  }
+  return Status::OK();
+}
+
+/// Waits for `events` on `fd` within the budget. kUnavailable on socket
+/// error, kDeadlineExceeded / kCancelled on budget exhaustion.
+Status PollFor(int fd, short events,
+               std::chrono::steady_clock::time_point deadline,
+               const StopToken* stop, const char* what) {
+  for (;;) {
+    SOLAP_RETURN_NOT_OK(CheckBudget(deadline, stop, what));
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, SliceMs(deadline));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string(what) + ": poll failed");
+    }
+    if (rc == 0) continue;  // slice elapsed; budget re-checked on loop
+    if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) {
+      return Status::Unavailable(std::string(what) + ": socket error");
+    }
+    return Status::OK();  // readable/writable (POLLHUP surfaces via read)
+  }
+}
+
+Result<std::string> BuildRequest(
+    const std::string& host, uint16_t port, const std::string& method,
+    const std::string& target, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::string req = method + " " + target + " HTTP/1.1\r\n";
+  req += "Host: " + host + ":" + std::to_string(port) + "\r\n";
+  req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  req += "Connection: close\r\n";
+  for (const auto& [name, value] : headers) {
+    if (name.find_first_of("\r\n:") != std::string::npos ||
+        value.find_first_of("\r\n") != std::string::npos) {
+      return Status::InvalidArgument("invalid request header: " + name);
+    }
+    req += name + ": " + value + "\r\n";
+  }
+  req += "\r\n";
+  req += body;
+  return req;
+}
+
+/// Parses the head (status line + headers) in `head`, which excludes the
+/// terminating blank line.
+Status ParseHead(const std::string& head, ClientResponse* out,
+                 size_t* content_length) {
+  size_t pos = head.find("\r\n");
+  const std::string status_line =
+      head.substr(0, pos == std::string::npos ? head.size() : pos);
+  // "HTTP/1.1 200 OK"
+  if (status_line.size() < 12 || status_line.compare(0, 7, "HTTP/1.") != 0 ||
+      status_line[8] != ' ') {
+    return Status::ParseError("malformed HTTP status line");
+  }
+  int status = 0;
+  for (int i = 9; i < 12; ++i) {
+    if (status_line[i] < '0' || status_line[i] > '9') {
+      return Status::ParseError("malformed HTTP status code");
+    }
+    status = status * 10 + (status_line[i] - '0');
+  }
+  out->status = status;
+
+  bool have_length = false;
+  while (pos != std::string::npos) {
+    const size_t line_start = pos + 2;
+    pos = head.find("\r\n", line_start);
+    std::string line = head.substr(
+        line_start,
+        (pos == std::string::npos ? head.size() : pos) - line_start);
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status::ParseError("malformed response header");
+    }
+    std::string name = line.substr(0, colon);
+    for (char& c : name) c = static_cast<char>(std::tolower(c));
+    size_t vbegin = colon + 1;
+    while (vbegin < line.size() && (line[vbegin] == ' ' || line[vbegin] == '\t')) {
+      ++vbegin;
+    }
+    size_t vend = line.size();
+    while (vend > vbegin && (line[vend - 1] == ' ' || line[vend - 1] == '\t')) {
+      --vend;
+    }
+    std::string value = line.substr(vbegin, vend - vbegin);
+    if (name == "content-length") {
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+      if (errno != 0 || end == value.c_str() || *end != '\0') {
+        return Status::ParseError("malformed Content-Length");
+      }
+      *content_length = static_cast<size_t>(n);
+      have_length = true;
+    } else if (name == "transfer-encoding") {
+      // The solap server never chunks; a peer that does is not ours.
+      return Status::ParseError("unsupported transfer coding");
+    }
+    out->headers.emplace_back(std::move(name), std::move(value));
+  }
+  if (!have_length) {
+    return Status::ParseError("response missing Content-Length");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const std::string* ClientResponse::FindHeader(
+    const std::string& lower_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lower_name) return &value;
+  }
+  return nullptr;
+}
+
+Result<ClientResponse> HttpExchange(
+    const std::string& host, uint16_t port, const std::string& method,
+    const std::string& target, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::chrono::steady_clock::time_point deadline, const StopToken* stop,
+    HttpClientLimits limits) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (fd.get() < 0) {
+    return Status::Unavailable("shard rpc: socket() failed");
+  }
+  {
+    const int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  // Non-blocking connect behind poll: a dead endpoint fails within the
+  // budget instead of the kernel's multi-minute SYN retry schedule.
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      return Status::Unavailable("shard rpc: connect refused");
+    }
+    SOLAP_RETURN_NOT_OK(
+        PollFor(fd.get(), POLLOUT, deadline, stop, "shard rpc connect"));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      return Status::Unavailable("shard rpc: connect failed");
+    }
+  }
+
+  SOLAP_ASSIGN_OR_RETURN(std::string request,
+                         BuildRequest(host, port, method, target, body,
+                                      headers));
+  size_t sent = 0;
+  while (sent < request.size()) {
+    SOLAP_RETURN_NOT_OK(
+        PollFor(fd.get(), POLLOUT, deadline, stop, "shard rpc send"));
+    const ssize_t n = ::send(fd.get(), request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      return Status::Unavailable("shard rpc: send failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  ClientResponse resp;
+  std::string buf;
+  size_t head_end = std::string::npos;
+  size_t content_length = 0;
+  char chunk[16 * 1024];
+  for (;;) {
+    if (head_end == std::string::npos) {
+      head_end = buf.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        SOLAP_RETURN_NOT_OK(
+            ParseHead(buf.substr(0, head_end), &resp, &content_length));
+        if (content_length > limits.max_body_bytes) {
+          return Status::ParseError("response body exceeds limit");
+        }
+      } else if (buf.size() > limits.max_head_bytes) {
+        return Status::ParseError("response head exceeds limit");
+      }
+    }
+    if (head_end != std::string::npos &&
+        buf.size() >= head_end + 4 + content_length) {
+      resp.body = buf.substr(head_end + 4, content_length);
+      return resp;
+    }
+    SOLAP_RETURN_NOT_OK(
+        PollFor(fd.get(), POLLIN, deadline, stop, "shard rpc recv"));
+    const ssize_t n = ::recv(fd.get(), chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      return Status::Unavailable("shard rpc: recv failed");
+    }
+    if (n == 0) {
+      // Peer closed before the promised bytes arrived: torn response.
+      return Status::Unavailable("shard rpc: connection closed mid-response");
+    }
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace net
+}  // namespace solap

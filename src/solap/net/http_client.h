@@ -1,0 +1,71 @@
+// Blocking HTTP/1.1 client for shard RPCs (engine/remote_shard.h) — the
+// send half of the stack whose receive half is net/http.h + net/server.h.
+//
+// One call = one connection = one request/response exchange. Shard RPCs
+// are infrequent (per scattered query, not per row), so connection reuse
+// buys little and a fresh connection per call keeps failure classification
+// trivial: any torn state dies with the socket.
+//
+// Deadline model: every blocking step (connect, send, recv) runs behind
+// poll() with the remaining slice of one absolute deadline, so a stuck
+// shard costs exactly the caller's budget, never a blocking-syscall hang.
+// An optional StopToken aborts between poll slices (drain/cancel).
+//
+// Error classification (the contract RemoteShardClient's retry loop is
+// built on):
+//  - kUnavailable      — transport: refused, reset, torn response, closed
+//                        early; the request may or may not have executed;
+//  - kDeadlineExceeded — the deadline elapsed (or the stop token tripped
+//                        with a deadline cause);
+//  - kCancelled        — the stop token tripped;
+//  - kParseError       — bytes arrived but are not a well-formed response
+//                        (peer is not speaking our protocol; not retried).
+// HTTP-level failures (status >= 400) are NOT errors here: the response is
+// returned and the caller classifies application errors itself.
+#ifndef SOLAP_NET_HTTP_CLIENT_H_
+#define SOLAP_NET_HTTP_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "solap/common/status.h"
+#include "solap/common/stop.h"
+
+namespace solap {
+namespace net {
+
+/// One parsed response. Header names are lower-cased like HttpRequest's.
+struct ClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Value of header `lower_name` (must be passed lower-case), or nullptr.
+  const std::string* FindHeader(const std::string& lower_name) const;
+};
+
+/// Response-side guardrails (shard partials can be large; 64 MiB bounds a
+/// hostile or corrupt Content-Length without capping real answers).
+struct HttpClientLimits {
+  size_t max_head_bytes = 16 * 1024;
+  size_t max_body_bytes = 64 * 1024 * 1024;
+};
+
+/// One request/response exchange with `host:port`, honoring `deadline`
+/// across connect+send+recv and aborting early if `stop` trips.
+/// `headers` are extra request headers (Host and Content-Length are
+/// emitted automatically).
+Result<ClientResponse> HttpExchange(
+    const std::string& host, uint16_t port, const std::string& method,
+    const std::string& target, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::chrono::steady_clock::time_point deadline,
+    const StopToken* stop = nullptr, HttpClientLimits limits = {});
+
+}  // namespace net
+}  // namespace solap
+
+#endif  // SOLAP_NET_HTTP_CLIENT_H_

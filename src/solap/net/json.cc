@@ -1,7 +1,10 @@
 #include "solap/net/json.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace solap {
 namespace net {
@@ -17,7 +20,7 @@ std::string JsonEscape(std::string_view s) {
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
       default:
-        if (c < 0x20) {
+        if (c < 0x20 || c == 0x7f) {
           char buf[8];
           std::snprintf(buf, sizeof(buf), "\\u%04x", c);
           out += buf;
@@ -42,6 +45,367 @@ std::string JsonNumber(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
   return buf;
+}
+
+Result<std::string> JsonFiniteNumber(double v) {
+  if (!std::isfinite(v)) {
+    return Status::InvalidArgument(
+        "non-finite double cannot be JSON-encoded");
+  }
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return std::string(buf);
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+const char* KindName(JsonValue::Kind k) {
+  switch (k) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Result<const JsonValue*> JsonValue::Require(std::string_view key,
+                                            Kind expected) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) {
+    return Status::ParseError("missing JSON member '" + std::string(key) +
+                              "'");
+  }
+  if (v->kind != expected) {
+    return Status::ParseError("JSON member '" + std::string(key) +
+                              "' must be " + KindName(expected) + ", got " +
+                              KindName(v->kind));
+  }
+  return v;
+}
+
+Result<int64_t> JsonValue::RequireInt(std::string_view key) const {
+  SOLAP_ASSIGN_OR_RETURN(const JsonValue* v,
+                         Require(key, Kind::kNumber));
+  if (!v->is_int) {
+    return Status::ParseError("JSON member '" + std::string(key) +
+                              "' must be an integer");
+  }
+  return v->i;
+}
+
+Result<std::string> JsonValue::RequireString(std::string_view key) const {
+  SOLAP_ASSIGN_OR_RETURN(const JsonValue* v,
+                         Require(key, Kind::kString));
+  return v->s;
+}
+
+namespace {
+
+/// Strict recursive-descent JSON parser over a string_view.
+class Parser {
+ public:
+  Parser(std::string_view text, JsonLimits limits)
+      : text_(text), limits_(limits) {}
+
+  Result<JsonValue> Parse() {
+    SkipWs();
+    JsonValue v;
+    SOLAP_RETURN_NOT_OK(ParseValue(&v, 0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing bytes after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status Fail(const std::string& what) {
+    return Status::ParseError("JSON parse error at byte " +
+                              std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, size_t depth) {
+    if (depth > limits_.max_depth) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"': {
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->s);
+      }
+      case 't':
+        SOLAP_RETURN_NOT_OK(Literal("true"));
+        out->kind = JsonValue::Kind::kBool;
+        out->b = true;
+        return Status::OK();
+      case 'f':
+        SOLAP_RETURN_NOT_OK(Literal("false"));
+        out->kind = JsonValue::Kind::kBool;
+        out->b = false;
+        return Status::OK();
+      case 'n':
+        SOLAP_RETURN_NOT_OK(Literal("null"));
+        out->kind = JsonValue::Kind::kNull;
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status Literal(const char* lit) {
+    size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) != 0) {
+      return Fail(std::string("expected '") + lit + "'");
+    }
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Status ParseObject(JsonValue* out, size_t depth) {
+    SOLAP_RETURN_NOT_OK(Expect('{'));
+    out->kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWs();
+      std::string key;
+      SOLAP_RETURN_NOT_OK(ParseString(&key));
+      for (const auto& [k, unused] : out->members) {
+        if (k == key) return Fail("duplicate object key '" + key + "'");
+      }
+      SkipWs();
+      SOLAP_RETURN_NOT_OK(Expect(':'));
+      SkipWs();
+      JsonValue v;
+      SOLAP_RETURN_NOT_OK(ParseValue(&v, depth + 1));
+      out->members.emplace_back(std::move(key), std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      return Expect('}');
+    }
+  }
+
+  Status ParseArray(JsonValue* out, size_t depth) {
+    SOLAP_RETURN_NOT_OK(Expect('['));
+    out->kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      SkipWs();
+      JsonValue v;
+      SOLAP_RETURN_NOT_OK(ParseValue(&v, depth + 1));
+      out->items.push_back(std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      return Expect(']');
+    }
+  }
+
+  Result<uint32_t> HexQuad() {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    uint32_t v = 0;
+    for (int k = 0; k < 4; ++k) {
+      char c = text_[pos_ + k];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("bad hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    SOLAP_RETURN_NOT_OK(Expect('"'));
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Fail("unterminated string");
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Fail("raw control character in string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // the backslash
+      if (pos_ >= text_.size()) return Fail("truncated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          SOLAP_ASSIGN_OR_RETURN(uint32_t cp, HexQuad());
+          if (cp >= 0xd800 && cp <= 0xdbff) {
+            // High surrogate: a low surrogate escape must follow.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Fail("lone high surrogate");
+            }
+            pos_ += 2;
+            SOLAP_ASSIGN_OR_RETURN(uint32_t lo, HexQuad());
+            if (lo < 0xdc00 || lo > 0xdfff) {
+              return Fail("bad low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            return Fail("lone low surrogate");
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return Fail("bad escape character");
+      }
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() ||
+        !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+      return Fail("bad number");
+    }
+    // Leading-zero rule: "0" alone or "0." — "01" is an error.
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9') {
+      return Fail("leading zero in number");
+    }
+    bool integral = true;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        return Fail("bad fraction");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        return Fail("bad exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    out->kind = JsonValue::Kind::kNumber;
+    errno = 0;
+    char* end = nullptr;
+    out->d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(out->d)) {
+      return Fail("number out of range");
+    }
+    if (integral) {
+      errno = 0;
+      long long i = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        out->i = i;
+        out->is_int = true;
+      }
+    }
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  JsonLimits limits_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonParse(std::string_view text, JsonLimits limits) {
+  return Parser(text, limits).Parse();
 }
 
 }  // namespace net

@@ -1,17 +1,36 @@
-// Tiny JSON emission helpers for the network front-end (no external JSON
-// dependency, and the system only ever *writes* JSON — requests are plain
-// S-OLAP query text).
+// Tiny JSON layer for the network front-end and the shard wire codec
+// (cube/partial_codec.h) — no external JSON dependency.
+//
+// Writing: escape helpers plus number rendering. JsonEscape covers every
+// control character (0x00..0x1f and 0x7f) as \uXXXX, so any byte string
+// survives embedding. JsonNumber renders non-finite doubles as null (the
+// display path: JSON has no Inf/NaN); the wire codec instead uses
+// JsonFiniteNumber, which *rejects* non-finite input — a partial that
+// cannot round-trip must fail loudly at encode time, not decode as null.
+//
+// Reading: JsonParse is a strict recursive-descent parser producing a
+// JsonValue tree. Strict means: the whole input must be one JSON value
+// (trailing bytes are an error), nesting depth is bounded, numbers must be
+// finite, strings must be well-formed (\uXXXX including surrogate pairs),
+// and duplicate object keys are rejected — the decode-side mirror of the
+// snapshot loader's validate-before-trust discipline.
 #ifndef SOLAP_NET_JSON_H_
 #define SOLAP_NET_JSON_H_
 
+#include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
+
+#include "solap/common/status.h"
 
 namespace solap {
 namespace net {
 
 /// Escapes `s` for inclusion inside a JSON string literal (quotes,
-/// backslashes, control characters as \uXXXX).
+/// backslashes, all control characters — 0x00..0x1f and DEL — as \uXXXX).
 std::string JsonEscape(std::string_view s);
 
 /// `"s"` with escaping — the quoted JSON string literal for `s`.
@@ -19,7 +38,59 @@ std::string JsonString(std::string_view s);
 
 /// Renders a double the way JSON expects: integral values without a
 /// trailing ".000000", non-finite values as null (JSON has no Inf/NaN).
+/// Display paths only — wire codecs use JsonFiniteNumber.
 std::string JsonNumber(double v);
+
+/// Strict wire-codec variant: InvalidArgument for NaN/Inf instead of null,
+/// and enough digits (%.17g) that a finite double round-trips bit-exactly
+/// through a correct strtod.
+Result<std::string> JsonFiniteNumber(double v);
+
+/// \brief One parsed JSON value (null / bool / number / string / array /
+/// object).
+///
+/// Numbers keep both views: integral tokens (no '.', 'e') parse into `i`
+/// with `is_int = true` (full int64 range, no double rounding); every
+/// number also fills `d`. Object member order is preserved.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double d = 0.0;
+  int64_t i = 0;
+  bool is_int = false;
+  std::string s;
+  std::vector<JsonValue> items;                          // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  bool IsNull() const { return kind == Kind::kNull; }
+  bool IsBool() const { return kind == Kind::kBool; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+  bool IsInt() const { return kind == Kind::kNumber && is_int; }
+  bool IsString() const { return kind == Kind::kString; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsObject() const { return kind == Kind::kObject; }
+
+  /// Member of an object by key, or nullptr (also nullptr for non-objects).
+  const JsonValue* Find(std::string_view key) const;
+
+  // Strict typed accessors for decoders: error (kParseError) when the
+  // member is missing or of the wrong type.
+  Result<const JsonValue*> Require(std::string_view key,
+                                   Kind expected) const;
+  Result<int64_t> RequireInt(std::string_view key) const;
+  Result<std::string> RequireString(std::string_view key) const;
+};
+
+/// Parser guardrails.
+struct JsonLimits {
+  size_t max_depth = 64;
+};
+
+/// Parses exactly one JSON value spanning all of `text` (surrounding
+/// whitespace allowed). kParseError on any violation.
+Result<JsonValue> JsonParse(std::string_view text, JsonLimits limits = {});
 
 }  // namespace net
 }  // namespace solap

@@ -247,6 +247,16 @@ HttpResponse HandleQuery(QueryService* service, const HttpRequest& req) {
     resp.headers.emplace_back("X-Solap-Session",
                               std::to_string(responded_session));
   }
+  if (!qr.missing_shards.empty()) {
+    // Degraded partial answer (DESIGN.md §10): these shards' slices are
+    // absent from the cells below. Clients must opt in to trusting it.
+    std::string missing;
+    for (size_t s : qr.missing_shards) {
+      if (!missing.empty()) missing += ",";
+      missing += std::to_string(s);
+    }
+    resp.headers.emplace_back("X-Solap-Partial", missing);
+  }
   return resp;
 }
 

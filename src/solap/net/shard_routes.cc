@@ -1,0 +1,105 @@
+#include "solap/net/shard_routes.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "solap/common/stop.h"
+#include "solap/cube/partial_codec.h"
+#include "solap/net/json.h"
+#include "solap/net/query_routes.h"
+
+namespace solap {
+namespace net {
+
+namespace {
+
+/// Same JSON error shape as /query (query_routes.cc JsonErrorResponse):
+/// the remote client maps `code` back into the Status the shard meant.
+HttpResponse ShardErrorResponse(const Status& status) {
+  HttpResponse resp;
+  resp.status = HttpStatusForError(status);
+  resp.content_type = "application/json";
+  resp.body = "{\"status\":\"error\",\"code\":" +
+              JsonString(StatusCodeName(status.code())) +
+              ",\"message\":" + JsonString(status.message()) + "}\n";
+  return resp;
+}
+
+Result<ExecStrategy> StrategyFromWire(const std::string& name) {
+  if (name == "cb") return ExecStrategy::kCounterBased;
+  if (name == "ii") return ExecStrategy::kInvertedIndex;
+  if (name == "auto") return ExecStrategy::kAuto;
+  return Status::InvalidArgument("bad strategy '" + name + "' (cb|ii|auto)");
+}
+
+HttpResponse HandleShardExec(SOlapEngine* engine, const HttpRequest& req) {
+  auto run = [&]() -> Result<HttpResponse> {
+    SOLAP_ASSIGN_OR_RETURN(JsonValue root, JsonParse(req.body));
+    if (!root.IsObject()) {
+      return Status::InvalidArgument("shard exec body must be an object");
+    }
+    SOLAP_ASSIGN_OR_RETURN(int64_t version, root.RequireInt("v"));
+    if (version != kShardWireVersion) {
+      return Status::InvalidArgument(
+          "shard wire version mismatch: got " + std::to_string(version) +
+          ", want " + std::to_string(kShardWireVersion));
+    }
+    SOLAP_ASSIGN_OR_RETURN(std::string strategy_name,
+                           root.RequireString("strategy"));
+    SOLAP_ASSIGN_OR_RETURN(ExecStrategy strategy,
+                           StrategyFromWire(strategy_name));
+    SOLAP_ASSIGN_OR_RETURN(
+        const JsonValue* spec_v,
+        root.Require("spec", JsonValue::Kind::kObject));
+    SOLAP_ASSIGN_OR_RETURN(CuboidSpec spec, DecodeCuboidSpec(*spec_v));
+
+    StopSource stop;
+    if (const std::string* v = req.FindHeader("x-solap-deadline-ms")) {
+      char* end = nullptr;
+      const long long ms = std::strtoll(v->c_str(), &end, 10);
+      if (end == v->c_str() || *end != '\0' || ms < 0) {
+        return Status::InvalidArgument("bad X-Solap-Deadline-Ms '" + *v +
+                                       "'");
+      }
+      stop.SetTimeout(std::chrono::milliseconds(ms));
+    }
+    const StopToken token = stop.token();
+
+    ScanStats stats;
+    ExecControl control;
+    control.stop = &token;
+    control.stats_out = &stats;
+    SOLAP_ASSIGN_OR_RETURN(std::shared_ptr<const SCuboid> cuboid,
+                           engine->Execute(spec, strategy, control));
+
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = EncodeShardPartial(*cuboid, stats);
+    return resp;
+  };
+  auto resp = run();
+  if (!resp.ok()) return ShardErrorResponse(resp.status());
+  return *std::move(resp);
+}
+
+}  // namespace
+
+void AddShardExecRoutes(Router* router, SOlapEngine* engine) {
+  router->Handle("POST", "/shard/exec",
+                 [engine](const HttpRequest& req) {
+                   return HandleShardExec(engine, req);
+                 });
+  router->Handle("GET", "/healthz", [](const HttpRequest&) {
+    return TextResponse(200, "ok\n");
+  });
+}
+
+Router BuildShardRouter(SOlapEngine* engine) {
+  Router router;
+  AddShardExecRoutes(&router, engine);
+  return router;
+}
+
+}  // namespace net
+}  // namespace solap

@@ -1,0 +1,31 @@
+// The shard-server HTTP surface (tools/shard_main.cc): the receive side of
+// the distributed scatter whose send side is engine/remote_shard.h.
+//
+//   POST /shard/exec   {"v":1,"strategy":"cb|ii|auto","spec":{...}} in,
+//                      CRC-tagged CuboidPartial envelope out
+//                      (cube/partial_codec.h). X-Solap-Deadline-Ms bounds
+//                      the execution. Errors come back in the same JSON
+//                      error shape as /query, so the client can map the
+//                      shard's Status code faithfully.
+//   GET  /healthz      Liveness probe for the supervisor
+//                      (service/shard_supervisor.h).
+#ifndef SOLAP_NET_SHARD_ROUTES_H_
+#define SOLAP_NET_SHARD_ROUTES_H_
+
+#include "solap/engine/engine.h"
+#include "solap/net/router.h"
+
+namespace solap {
+namespace net {
+
+/// Registers POST /shard/exec and GET /healthz on `router`, serving
+/// `engine` (the shard's slice executor; must outlive the server).
+void AddShardExecRoutes(Router* router, SOlapEngine* engine);
+
+/// A ready-made router holding only the shard routes.
+Router BuildShardRouter(SOlapEngine* engine);
+
+}  // namespace net
+}  // namespace solap
+
+#endif  // SOLAP_NET_SHARD_ROUTES_H_

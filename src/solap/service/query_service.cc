@@ -48,6 +48,9 @@ QueryService::QueryService(ShardedEngine* engine, ServiceOptions options)
       shard_partials_(metrics_.counter("shard_partials")),
       shard_merged_cells_(metrics_.counter("shard_merged_cells")),
       shard_fallbacks_(metrics_.counter("shard_fallbacks")),
+      shard_rpc_retries_(metrics_.counter("shard_rpc_retries")),
+      shard_rpc_hedges_(metrics_.counter("shard_rpc_hedges")),
+      partial_answers_(metrics_.counter("partial_answers")),
       mem_used_(metrics_.gauge("mem_used_bytes")),
       mem_budget_(metrics_.gauge("mem_budget_bytes")),
       mem_rejects_(metrics_.gauge("mem_budget_rejects")),
@@ -196,6 +199,7 @@ void QueryService::Execute(
   control.stop = &stop;
   control.stats_out = &resp.stats;
   control.trace = trace;
+  control.missing_shards = &resp.missing_shards;
   const auto exec_start = std::chrono::steady_clock::now();
   Result<std::shared_ptr<const SCuboid>> result = [&] {
     // Engine spans (optimize, exec.cb/ii, ...) open on this thread while
@@ -235,6 +239,9 @@ void QueryService::Execute(
   shard_partials_->Inc(resp.stats.shard_partials);
   shard_merged_cells_->Inc(resp.stats.shard_merged_cells);
   shard_fallbacks_->Inc(resp.stats.shard_fallbacks);
+  shard_rpc_retries_->Inc(resp.stats.shard_rpc_retries);
+  shard_rpc_hedges_->Inc(resp.stats.shard_rpc_hedges);
+  partial_answers_->Inc(resp.stats.partial_answers);
 
   if (result.ok()) {
     resp.cuboid = *std::move(result);

@@ -66,6 +66,9 @@ struct QueryResponse {
   std::shared_ptr<const SCuboid> cuboid;  // nullptr unless status.ok()
   /// This query's own counters (not the engine totals).
   ScanStats stats;
+  /// Degraded-mode partial answers (distributed scatter, DESIGN.md §10):
+  /// the shards whose slices are absent from `cuboid`. Empty = complete.
+  std::vector<size_t> missing_shards;
   double wait_ms = 0;  // admission to start of execution
   double exec_ms = 0;  // execution only
 };
@@ -222,6 +225,9 @@ class QueryService {
   Counter* shard_partials_;
   Counter* shard_merged_cells_;
   Counter* shard_fallbacks_;
+  Counter* shard_rpc_retries_;
+  Counter* shard_rpc_hedges_;
+  Counter* partial_answers_;
   Gauge* mem_used_;
   Gauge* mem_budget_;
   Gauge* mem_rejects_;

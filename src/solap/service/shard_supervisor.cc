@@ -1,0 +1,250 @@
+#include "solap/service/shard_supervisor.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+#include "solap/net/http_client.h"
+
+namespace solap {
+
+namespace {
+
+/// True when `pid` has exited (reaped here). WNOHANG so the monitor loop
+/// never blocks on a live child.
+bool TryReap(pid_t pid) {
+  if (pid <= 0) return false;
+  int status = 0;
+  return ::waitpid(pid, &status, WNOHANG) == pid;
+}
+
+}  // namespace
+
+ShardSupervisor::ShardSupervisor(std::vector<ShardProcessSpec> specs,
+                                 ShardSupervisorOptions options,
+                                 MetricsRegistry* metrics)
+    : specs_(std::move(specs)), options_(options) {
+  if (metrics != nullptr) {
+    restarts_counter_ = metrics->counter("shard_restarts");
+  }
+  states_.reserve(specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    states_.push_back(std::make_unique<ShardState>());
+  }
+  endpoints_.resize(specs_.size());
+}
+
+ShardSupervisor::~ShardSupervisor() { Stop(); }
+
+Status ShardSupervisor::Spawn(size_t i) {
+  ShardState& st = *states_[i];
+  // Stale port files would make ReadPortFile report the PREVIOUS
+  // incarnation's port as if the new child were up.
+  std::remove(specs_[i].port_file.c_str());
+
+  // Build the argv before fork: only async-signal-safe calls are legal in
+  // the child of a multithreaded parent.
+  std::vector<std::string> args = specs_[i].args;
+  args.push_back("--port");
+  args.push_back(std::to_string(st.port));  // 0 on first launch = ephemeral
+  args.push_back("--port-file");
+  args.push_back(specs_[i].port_file);
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) return Status::Internal("fork failed for shard " +
+                                       std::to_string(i));
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    ::_exit(127);  // exec failed; the monitor sees the exit and backs off
+  }
+  st.pid.store(pid);
+  st.awaiting_start = true;
+  st.spawn_deadline = std::chrono::steady_clock::now() +
+                      options_.startup_deadline;
+  return Status::OK();
+}
+
+Result<uint16_t> ShardSupervisor::ReadPortFile(size_t i) {
+  std::ifstream in(specs_[i].port_file);
+  if (!in) return Status::Unavailable("port file not written yet");
+  long port = 0;
+  in >> port;
+  if (!in || port <= 0 || port > 65535) {
+    return Status::Unavailable("port file not complete yet");
+  }
+  return static_cast<uint16_t>(port);
+}
+
+Status ShardSupervisor::Probe(size_t i) {
+  auto resp = net::HttpExchange(
+      specs_[i].host, endpoints_[i].port, "GET", "/healthz", "", {},
+      std::chrono::steady_clock::now() + options_.health_timeout);
+  if (!resp.ok()) return resp.status();
+  if (resp->status != 200) {
+    return Status::Unavailable("healthz answered " +
+                               std::to_string(resp->status));
+  }
+  return Status::OK();
+}
+
+void ShardSupervisor::SetHealthy(size_t i, bool healthy) {
+  const bool was = states_[i]->healthy.exchange(healthy);
+  if (was == healthy) return;
+  HealthFn fn;
+  {
+    std::lock_guard<std::mutex> lock(health_fn_mu_);
+    fn = health_fn_;
+  }
+  if (fn) fn(i, healthy);
+}
+
+bool ShardSupervisor::ReapIfDead(size_t i) {
+  ShardState& st = *states_[i];
+  const pid_t pid = st.pid.load();
+  if (!TryReap(pid)) return false;
+  st.pid.store(-1);
+  st.awaiting_start = false;
+  return true;
+}
+
+Status ShardSupervisor::Start() {
+  if (started_) return Status::InvalidArgument("supervisor already started");
+  started_ = true;
+
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    Status s = Spawn(i);
+    if (!s.ok()) {
+      KillAll();
+      return s;
+    }
+  }
+
+  // Confirm every shard: port file written, pinned, first probe green.
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.startup_deadline;
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    ShardState& st = *states_[i];
+    for (;;) {
+      if (ReapIfDead(i)) {
+        KillAll();
+        return Status::Unavailable("shard " + std::to_string(i) +
+                                   " exited during startup");
+      }
+      auto port = ReadPortFile(i);
+      if (port.ok()) {
+        st.port = *port;  // pin: restarts reuse this port
+        endpoints_[i] = ShardEndpoint{specs_[i].host, *port};
+        if (Probe(i).ok()) break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        KillAll();
+        return Status::Unavailable("shard " + std::to_string(i) +
+                                   " did not become healthy in time");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    st.awaiting_start = false;
+    SetHealthy(i, true);
+  }
+
+  monitor_ = std::thread([this] { MonitorLoop(); });
+  return Status::OK();
+}
+
+void ShardSupervisor::MonitorLoop() {
+  while (!stopping_.load()) {
+    const auto now = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < specs_.size(); ++i) {
+      ShardState& st = *states_[i];
+
+      if (st.pid.load() > 0 && ReapIfDead(i)) {
+        SetHealthy(i, false);
+        st.backoff = st.backoff.count() == 0
+                         ? options_.restart_backoff
+                         : std::min(st.backoff * 2,
+                                    options_.max_restart_backoff);
+        st.next_spawn = now + st.backoff;
+        continue;
+      }
+
+      if (st.pid.load() <= 0) {
+        // Dead and waiting out the restart backoff.
+        if (now >= st.next_spawn && !stopping_.load()) {
+          if (Spawn(i).ok()) {
+            restarts_.fetch_add(1);
+            if (restarts_counter_ != nullptr) restarts_counter_->Inc();
+          } else {
+            st.next_spawn = now + options_.restart_backoff;
+          }
+        }
+        continue;
+      }
+
+      if (st.awaiting_start) {
+        // Restarted child: wait for its (pinned-port) listener, confirmed
+        // by the port file reappearing AND a green probe.
+        if (ReadPortFile(i).ok() && Probe(i).ok()) {
+          st.awaiting_start = false;
+          st.consecutive_failures = 0;
+          st.backoff = std::chrono::milliseconds(0);
+          SetHealthy(i, true);
+        } else if (now >= st.spawn_deadline) {
+          // Wedged at startup: kill and let the reap path reschedule.
+          ::kill(st.pid.load(), SIGKILL);
+        }
+        continue;
+      }
+
+      if (Probe(i).ok()) {
+        st.consecutive_failures = 0;
+        SetHealthy(i, true);
+      } else if (++st.consecutive_failures >= options_.unhealthy_after) {
+        SetHealthy(i, false);
+      }
+    }
+    std::this_thread::sleep_for(options_.poll_interval);
+  }
+}
+
+void ShardSupervisor::KillAll() {
+  // SIGTERM everyone first (parallel grace), then escalate.
+  for (auto& st : states_) {
+    const pid_t pid = st->pid.load();
+    if (pid > 0) ::kill(pid, SIGTERM);
+  }
+  const auto grace_end =
+      std::chrono::steady_clock::now() + options_.stop_grace;
+  for (auto& st : states_) {
+    pid_t pid = st->pid.load();
+    if (pid <= 0) continue;
+    for (;;) {
+      if (TryReap(pid)) break;
+      if (std::chrono::steady_clock::now() >= grace_end) {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, nullptr, 0);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    st->pid.store(-1);
+  }
+}
+
+void ShardSupervisor::Stop() {
+  if (!started_) return;
+  stopping_.store(true);
+  if (monitor_.joinable()) monitor_.join();
+  KillAll();
+  started_ = false;
+}
+
+}  // namespace solap

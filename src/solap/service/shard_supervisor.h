@@ -1,0 +1,158 @@
+// The shard supervisor: spawns one shard-server process per slice
+// (tools/shard_main.cc), health-checks them over GET /healthz, restarts
+// crashed or wedged processes with their slice, and reports health flips
+// to the coordinator (ShardedEngine::SetShardHealthy) so scatters skip a
+// dead shard instead of burning retry budget against a closed port.
+//
+// Port handshake: every shard is first launched with `--port 0
+// --port-file <path>` and the supervisor reads the ephemeral port from the
+// file (written tmp+rename by shard_main, so a poll never sees a torn
+// write). The port is then PINNED — restarts relaunch with `--port <same>`
+// (the listener sets SO_REUSEADDR) — so the coordinator's per-shard
+// endpoints stay valid across restarts without re-registration.
+//
+// Failure discipline: a process exit is an immediate health-down; a live
+// process failing `unhealthy_after` consecutive probes is treated the same
+// (wedged ≈ dead). Restarts back off exponentially (restart_backoff
+// doubling to max_restart_backoff) so a crash-looping shard cannot consume
+// the box, and each one counts into the `shard_restarts` counter.
+#ifndef SOLAP_SERVICE_SHARD_SUPERVISOR_H_
+#define SOLAP_SERVICE_SHARD_SUPERVISOR_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "solap/common/metrics.h"
+#include "solap/common/status.h"
+#include "solap/engine/remote_shard.h"
+
+namespace solap {
+
+/// How to launch one shard process. `args` is the full argv (binary path
+/// first, e.g. {"./shard_main", "--table", "t.solap", "--shard", "0",
+/// "--num-shards", "2"}) WITHOUT --port/--port-file — the supervisor owns
+/// those (see the port handshake above).
+struct ShardProcessSpec {
+  std::vector<std::string> args;
+  std::string host = "127.0.0.1";
+  /// Where shard_main writes its bound port. Must be writable and unique
+  /// per shard.
+  std::string port_file;
+};
+
+struct ShardSupervisorOptions {
+  /// Monitor loop cadence (process reap + health probe).
+  std::chrono::milliseconds poll_interval{100};
+  /// Per-probe /healthz budget.
+  std::chrono::milliseconds health_timeout{250};
+  /// Consecutive failed probes before a live process counts as down.
+  int unhealthy_after = 3;
+  /// First restart delay; doubles per consecutive restart, capped below.
+  std::chrono::milliseconds restart_backoff{200};
+  std::chrono::milliseconds max_restart_backoff{2000};
+  /// Budget for a (re)started process to write its port file and answer
+  /// its first probe.
+  std::chrono::milliseconds startup_deadline{10000};
+  /// Stop(): grace between SIGTERM and SIGKILL.
+  std::chrono::milliseconds stop_grace{2000};
+};
+
+/// \brief Process supervisor for a fleet of shard servers.
+///
+/// Lifecycle: construct → Start() → endpoints() feed
+/// ShardedEngine::EnableRemoteScatter → SetHealthCallback (optional,
+/// any time) → Stop() before the callback's target is destroyed.
+/// Thread-safe after Start(): the monitor thread writes per-shard state
+/// through atomics; accessors may be called from any thread.
+class ShardSupervisor {
+ public:
+  /// (shard index, now healthy). Fired from the monitor thread on every
+  /// health FLIP (not every probe); wire it to SetShardHealthy.
+  using HealthFn = std::function<void(size_t, bool)>;
+
+  explicit ShardSupervisor(std::vector<ShardProcessSpec> specs,
+                           ShardSupervisorOptions options = {},
+                           MetricsRegistry* metrics = nullptr);
+  ~ShardSupervisor();
+
+  ShardSupervisor(const ShardSupervisor&) = delete;
+  ShardSupervisor& operator=(const ShardSupervisor&) = delete;
+
+  /// May be set at any time, from any thread (the monitor thread copies
+  /// it under a lock before invoking). The callback's target must outlive
+  /// the monitor: Stop() the supervisor before destroying the engine the
+  /// callback feeds.
+  void SetHealthCallback(HealthFn fn) {
+    std::lock_guard<std::mutex> lock(health_fn_mu_);
+    health_fn_ = std::move(fn);
+  }
+
+  /// Spawns every shard, waits for all ports and first-probe health within
+  /// startup_deadline, then starts the monitor thread. On failure all
+  /// spawned children are stopped and the error returned.
+  Status Start();
+
+  /// SIGTERM → stop_grace → SIGKILL every live child, join the monitor.
+  /// Idempotent; implied by the destructor.
+  void Stop();
+
+  /// One endpoint per shard, ports pinned; valid after a successful Start.
+  const std::vector<ShardEndpoint>& endpoints() const { return endpoints_; }
+
+  /// Live pid of shard `i`, or -1 between death and respawn. Exposed so
+  /// chaos tests can SIGKILL a specific shard.
+  pid_t pid(size_t i) const { return states_[i]->pid.load(); }
+
+  bool healthy(size_t i) const { return states_[i]->healthy.load(); }
+  uint64_t restarts() const { return restarts_.load(); }
+  size_t num_shards() const { return specs_.size(); }
+
+ private:
+  struct ShardState {
+    std::atomic<pid_t> pid{-1};
+    std::atomic<bool> healthy{false};
+    uint16_t port = 0;  // pinned after the first successful start
+    int consecutive_failures = 0;
+    std::chrono::milliseconds backoff{0};
+    std::chrono::steady_clock::time_point next_spawn;
+    std::chrono::steady_clock::time_point spawn_deadline;
+    bool awaiting_start = false;  // spawned, port/health not yet confirmed
+  };
+
+  /// fork+execv shard `i` with --port (pinned or 0) and --port-file.
+  Status Spawn(size_t i);
+  /// Polls the port file; returns the port once readable.
+  Result<uint16_t> ReadPortFile(size_t i);
+  Status Probe(size_t i);
+  void SetHealthy(size_t i, bool healthy);
+  /// Reaps (WNOHANG) shard `i` if it exited; true when the process died.
+  bool ReapIfDead(size_t i);
+  void MonitorLoop();
+  void KillAll();
+
+  std::vector<ShardProcessSpec> specs_;
+  ShardSupervisorOptions options_;
+  HealthFn health_fn_;
+  std::mutex health_fn_mu_;
+  Counter* restarts_counter_ = nullptr;
+
+  std::vector<std::unique_ptr<ShardState>> states_;
+  std::vector<ShardEndpoint> endpoints_;
+  std::atomic<uint64_t> restarts_{0};
+
+  std::thread monitor_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+};
+
+}  // namespace solap
+
+#endif  // SOLAP_SERVICE_SHARD_SUPERVISOR_H_

@@ -1,0 +1,156 @@
+#include "solap/storage/hierarchy_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "solap/net/json.h"
+
+namespace solap {
+
+namespace {
+
+using net::JsonString;
+using net::JsonValue;
+
+}  // namespace
+
+std::string EncodeHierarchies(const HierarchyRegistry& registry) {
+  std::vector<std::pair<std::string, const ConceptHierarchy*>> entries;
+  entries.reserve(registry.all().size());
+  for (const auto& [attr, hierarchy] : registry.all()) {
+    entries.emplace_back(attr, hierarchy.get());
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::ostringstream os;
+  os << "{\"v\":1,\"hierarchies\":[";
+  for (size_t e = 0; e < entries.size(); ++e) {
+    const auto& [attr, h] = entries[e];
+    if (e != 0) os << ",";
+    os << "{\"attr\":" << JsonString(attr) << ",\"levels\":[";
+    for (size_t l = 0; l < h->num_levels(); ++l) {
+      if (l != 0) os << ",";
+      os << JsonString(h->level_name(static_cast<int>(l)));
+    }
+    os << "],\"parents\":[";
+    for (size_t l = 0; l + 1 < h->num_levels(); ++l) {
+      if (l != 0) os << ",";
+      std::vector<std::pair<std::string, std::string>> pairs(
+          h->parent_maps()[l].begin(), h->parent_maps()[l].end());
+      std::sort(pairs.begin(), pairs.end());
+      os << "[";
+      for (size_t p = 0; p < pairs.size(); ++p) {
+        if (p != 0) os << ",";
+        os << "[" << JsonString(pairs[p].first) << ","
+           << JsonString(pairs[p].second) << "]";
+      }
+      os << "]";
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+Result<std::shared_ptr<HierarchyRegistry>> DecodeHierarchies(
+    std::string_view text) {
+  SOLAP_ASSIGN_OR_RETURN(JsonValue root, net::JsonParse(text));
+  if (!root.IsObject()) {
+    return Status::ParseError("hierarchy snapshot must be an object");
+  }
+  SOLAP_ASSIGN_OR_RETURN(int64_t version, root.RequireInt("v"));
+  if (version != 1) {
+    return Status::ParseError("unsupported hierarchy snapshot version " +
+                              std::to_string(version));
+  }
+  SOLAP_ASSIGN_OR_RETURN(
+      const JsonValue* list,
+      root.Require("hierarchies", JsonValue::Kind::kArray));
+
+  auto registry = std::make_shared<HierarchyRegistry>();
+  for (const JsonValue& hv : list->items) {
+    if (!hv.IsObject()) {
+      return Status::ParseError("hierarchy entry must be an object");
+    }
+    SOLAP_ASSIGN_OR_RETURN(std::string attr, hv.RequireString("attr"));
+    SOLAP_ASSIGN_OR_RETURN(
+        const JsonValue* levels_v,
+        hv.Require("levels", JsonValue::Kind::kArray));
+    std::vector<std::string> levels;
+    for (const JsonValue& lv : levels_v->items) {
+      if (!lv.IsString()) {
+        return Status::ParseError("level name must be a string");
+      }
+      levels.push_back(lv.s);
+    }
+    if (levels.empty()) {
+      return Status::ParseError("hierarchy has no levels: " + attr);
+    }
+    SOLAP_ASSIGN_OR_RETURN(
+        const JsonValue* parents_v,
+        hv.Require("parents", JsonValue::Kind::kArray));
+    if (parents_v->items.size() != levels.size() - 1) {
+      return Status::ParseError(
+          "parents array size does not match level count: " + attr);
+    }
+    auto hierarchy = std::make_shared<ConceptHierarchy>(levels);
+    for (size_t l = 0; l < parents_v->items.size(); ++l) {
+      const JsonValue& pairs = parents_v->items[l];
+      if (!pairs.IsArray()) {
+        return Status::ParseError("parent pair list must be an array");
+      }
+      for (const JsonValue& pair : pairs.items) {
+        if (!pair.IsArray() || pair.items.size() != 2 ||
+            !pair.items[0].IsString() || !pair.items[1].IsString()) {
+          return Status::ParseError(
+              "parent entry must be a [child, parent] pair");
+        }
+        SOLAP_RETURN_NOT_OK(hierarchy->SetParent(
+            static_cast<int>(l), pair.items[0].s, pair.items[1].s));
+      }
+    }
+    registry->Register(attr, std::move(hierarchy));
+  }
+  return registry;
+}
+
+Status SaveHierarchies(const HierarchyRegistry& registry,
+                       const std::string& path) {
+  const std::string text = EncodeHierarchies(registry);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open for write: " + tmp);
+    }
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::Internal("write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<HierarchyRegistry>> LoadHierarchies(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("no hierarchy snapshot at " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return DecodeHierarchies(buf.str());
+}
+
+}  // namespace solap

@@ -1,0 +1,50 @@
+// Hierarchy snapshots: persist a HierarchyRegistry so a shard-server
+// process (tools/shard_main.cc) can reconstruct the exact hierarchies its
+// coordinator uses. Table snapshots (storage/io.h) carry dictionaries but
+// not hierarchies — those are normally built programmatically — so the
+// distributed tier needs this companion file.
+//
+// Format: one JSON document (written through net/json's strict escaping,
+// read back through its strict parser):
+//
+//   {"v":1,"hierarchies":[
+//     {"attr":"location","levels":["station","district"],
+//      "parents":[[["s1","d1"],["s2","d1"]]]}]}
+//
+// `parents[l]` lists the [child, parent] name pairs declared from level l
+// to level l+1 (so it has num_levels-1 entries). Hierarchies and pairs are
+// emitted sorted, making the snapshot a pure function of registry content.
+//
+// Only the *declared* mappings are saved — the lazily compiled code tables
+// rebuild identically on the other side because level dictionaries assign
+// codes in MapBaseCode call order, which is determined by the (identical)
+// table dictionary and these (identical) mappings.
+#ifndef SOLAP_STORAGE_HIERARCHY_IO_H_
+#define SOLAP_STORAGE_HIERARCHY_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "solap/common/status.h"
+#include "solap/hierarchy/concept_hierarchy.h"
+
+namespace solap {
+
+/// Renders `registry` as the JSON snapshot text (exposed for tests).
+std::string EncodeHierarchies(const HierarchyRegistry& registry);
+
+/// Strict inverse of EncodeHierarchies.
+Result<std::shared_ptr<HierarchyRegistry>> DecodeHierarchies(
+    std::string_view text);
+
+/// Writes the snapshot atomically (tmp + rename, like SaveTable).
+Status SaveHierarchies(const HierarchyRegistry& registry,
+                       const std::string& path);
+
+/// Loads a hierarchy snapshot written by SaveHierarchies.
+Result<std::shared_ptr<HierarchyRegistry>> LoadHierarchies(
+    const std::string& path);
+
+}  // namespace solap
+
+#endif  // SOLAP_STORAGE_HIERARCHY_IO_H_

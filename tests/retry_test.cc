@@ -1,0 +1,189 @@
+// Unit tests for the generalized retry machinery (common/retry.h): the
+// deterministic legacy schedule, full-jitter bounds, the deadline-aware
+// budget (no sleep into a guaranteed DeadlineExceeded), stop-token
+// interruption, and RetryIo source compatibility.
+#include "solap/common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace solap {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+TEST(BackoffDelayTest, DeterministicScheduleDoublesAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff = milliseconds(3);
+  policy.max_backoff = milliseconds(20);
+  policy.full_jitter = false;
+  std::mt19937_64 rng(42);
+  EXPECT_EQ(BackoffDelay(policy, 1, rng), milliseconds(3));
+  EXPECT_EQ(BackoffDelay(policy, 2, rng), milliseconds(6));
+  EXPECT_EQ(BackoffDelay(policy, 3, rng), milliseconds(12));
+  EXPECT_EQ(BackoffDelay(policy, 4, rng), milliseconds(20));  // capped
+  EXPECT_EQ(BackoffDelay(policy, 9, rng), milliseconds(20));  // stays capped
+}
+
+TEST(BackoffDelayTest, FullJitterStaysWithinCapAndVaries) {
+  RetryPolicy policy;
+  policy.initial_backoff = milliseconds(8);
+  policy.max_backoff = milliseconds(64);
+  policy.full_jitter = true;
+  std::mt19937_64 rng(7);
+  bool saw_below_cap = false;
+  for (int k = 1; k <= 5; ++k) {
+    const milliseconds cap(std::min<int64_t>(8LL << (k - 1), 64));
+    for (int trial = 0; trial < 200; ++trial) {
+      const milliseconds d = BackoffDelay(policy, k, rng);
+      EXPECT_GE(d.count(), 0);
+      EXPECT_LE(d, cap) << "retry " << k;
+      if (d < cap) saw_below_cap = true;
+    }
+  }
+  // U[0, cap] must actually jitter, not degenerate to the cap.
+  EXPECT_TRUE(saw_below_cap);
+}
+
+TEST(BackoffDelayTest, SeededJitterIsReproducible) {
+  RetryPolicy policy;
+  policy.initial_backoff = milliseconds(16);
+  policy.max_backoff = milliseconds(200);
+  policy.full_jitter = true;
+  std::mt19937_64 a(12345);
+  std::mt19937_64 b(12345);
+  for (int k = 1; k <= 6; ++k) {
+    EXPECT_EQ(BackoffDelay(policy, k, a), BackoffDelay(policy, k, b));
+  }
+}
+
+TEST(RetryBudgetTest, FirstAttemptIsFreeAndImmediate) {
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  RetryBudget budget(policy);
+  EXPECT_TRUE(budget.BeforeAttempt());
+  EXPECT_EQ(budget.attempts_started(), 1);
+  EXPECT_EQ(budget.retries(), 0);
+  // max_attempts = 1 means no retrying at all.
+  EXPECT_FALSE(budget.BeforeAttempt());
+}
+
+TEST(RetryBudgetTest, GrantsExactlyMaxAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = milliseconds(1);
+  policy.max_backoff = milliseconds(1);
+  RetryBudget budget(policy);
+  int granted = 0;
+  while (budget.BeforeAttempt()) ++granted;
+  EXPECT_EQ(granted, 3);
+  EXPECT_EQ(budget.retries(), 2);
+}
+
+TEST(RetryBudgetTest, GivesUpInsteadOfSleepingPastDeadline) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff = milliseconds(250);
+  policy.max_backoff = milliseconds(250);
+  policy.full_jitter = false;
+  // The first retry would sleep 250ms; the deadline is 30ms out. The
+  // budget must refuse WITHOUT sleeping.
+  RetryBudget budget(policy, steady_clock::now() + milliseconds(30));
+  EXPECT_TRUE(budget.BeforeAttempt());
+  const auto before = steady_clock::now();
+  EXPECT_FALSE(budget.BeforeAttempt());
+  const auto waited = steady_clock::now() - before;
+  EXPECT_LT(waited, milliseconds(100)) << "refused attempt must not sleep";
+  EXPECT_EQ(budget.retries(), 0);
+}
+
+TEST(RetryBudgetTest, StopTokenAbortsBackoffSleep) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = milliseconds(2000);
+  policy.max_backoff = milliseconds(2000);
+  policy.full_jitter = false;
+  RetryBudget budget(policy);
+  StopSource stop;
+  StopToken token = stop.token();
+  ASSERT_TRUE(budget.BeforeAttempt(&token));
+  std::thread trip([&] {
+    std::this_thread::sleep_for(milliseconds(30));
+    stop.RequestStop();
+  });
+  const auto before = steady_clock::now();
+  EXPECT_FALSE(budget.BeforeAttempt(&token));
+  const auto waited = steady_clock::now() - before;
+  trip.join();
+  EXPECT_LT(waited, milliseconds(1500)) << "sleep must abort on stop";
+}
+
+TEST(RetryBudgetTest, TrippedStopRefusesBeforeFirstAttempt) {
+  RetryPolicy policy;
+  StopSource stop;
+  stop.RequestStop();
+  StopToken token = stop.token();
+  RetryBudget budget(policy);
+  EXPECT_FALSE(budget.BeforeAttempt(&token));
+  EXPECT_EQ(budget.attempts_started(), 0);
+}
+
+TEST(RetryIoTest, RetriesTransientThenSucceeds) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff = milliseconds(1);
+  policy.max_backoff = milliseconds(2);
+  int calls = 0;
+  std::atomic<uint64_t> retries{0};
+  Status s = RetryIo(
+      policy,
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::Internal("flaky") : Status::OK();
+      },
+      &retries);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries.load(), 2u);
+}
+
+TEST(RetryIoTest, NonTransientFailsImmediately) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  int calls = 0;
+  Status s = RetryIo(policy, [&] {
+    ++calls;
+    return Status::NotFound("gone");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(calls, 1) << "NotFound is a property of the request, not the "
+                         "medium — never retried";
+}
+
+TEST(RetryIoTest, ExhaustsAttemptsOnPersistentTransient) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = milliseconds(1);
+  policy.max_backoff = milliseconds(1);
+  int calls = 0;
+  Status s = RetryIo(policy, [&] {
+    ++calls;
+    return Status::Internal("still down");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(TransientClassificationTest, OnlyInternalIsTransient) {
+  EXPECT_TRUE(IsTransientIoError(Status::Internal("x")));
+  EXPECT_FALSE(IsTransientIoError(Status::NotFound("x")));
+  EXPECT_FALSE(IsTransientIoError(Status::ParseError("x")));
+  EXPECT_FALSE(IsTransientIoError(Status::InvalidArgument("x")));
+  EXPECT_FALSE(IsTransientIoError(Status::OK()));
+}
+
+}  // namespace
+}  // namespace solap

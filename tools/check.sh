@@ -7,6 +7,12 @@
 # (the concurrency surface: engine thread-safety, thread pool, query
 # service, sessions, intra-query join/scan partitioning).
 #
+# Distributed stage: distributed_shard_test spawns real shard_main
+# processes (supervisor + coordinator over loopback HTTP) and runs in
+# tier-1, the ASan full suite, and the TSan filter below; the
+# failpoints stages add chaos_test's shard-kill-under-armed-rpc-faults
+# scenario under both ASan and TSan.
+#
 # Usage: tools/check.sh [--tier1-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -55,7 +61,7 @@ run_ctest build-asan
 
 echo
 echo "== TSan: service + engine concurrency tests =="
-TSAN_FILTER="service_test|service_stress_test|engine_test|parallel_ii_test|sharded_engine_test|intersect_test|net_test"
+TSAN_FILTER="service_test|service_stress_test|engine_test|parallel_ii_test|sharded_engine_test|intersect_test|net_test|distributed_shard_test"
 cmake -B build-tsan -S . -DSOLAP_SANITIZE=thread >/dev/null
 build_tests build-tsan "$TSAN_FILTER"
 run_ctest build-tsan "$TSAN_FILTER"
