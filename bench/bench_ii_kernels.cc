@@ -16,6 +16,13 @@
 // shard_main child processes over loopback HTTP, pricing the wire path
 // (spec encode -> HTTP -> partial decode) against the function call.
 //
+// Part 5 — ingest throughput: streams round-trip batches into a warmed
+// engine (cached formation + inverted indices, so every append pays
+// incremental maintenance) with the delta merger kicked on every ingest
+// vs deferred entirely, publishing events/sec for both arms
+// ("ingest/merge_on", "ingest/merge_off") gated by min_events_per_sec
+// floors in thresholds.json.
+//
 // Flags:
 //   --quick           smaller data + fewer reps (the CI smoke mode)
 //   --json=PATH       write all measurements as JSON (BENCH_ii.json)
@@ -41,6 +48,8 @@
 #include "solap/common/trace.h"
 #include "solap/engine/sharded_engine.h"
 #include "solap/gen/synthetic.h"
+#include "solap/gen/transit.h"
+#include "solap/hierarchy/concept_hierarchy.h"
 #include "solap/index/bitmap.h"
 #include "solap/index/intersect.h"
 
@@ -49,7 +58,6 @@
 
 #include <filesystem>
 
-#include "solap/gen/transit.h"
 #include "solap/service/shard_supervisor.h"
 #include "solap/storage/hierarchy_io.h"
 #include "solap/storage/io.h"
@@ -65,6 +73,9 @@ struct Entry {
   // Optional context: >0 means "this many times faster than the named
   // reference" (reference stored as its own entry).
   double speedup = 0;
+  // Optional throughput: >0 on ingest entries; gated by
+  // "min_events_per_sec/<name>" thresholds rather than the 2x ms rule.
+  double events_per_sec = 0;
 };
 
 std::vector<Sid> RandomSorted(size_t n, size_t universe, std::mt19937& rng) {
@@ -430,6 +441,90 @@ void RunDistributedLoopback(bool quick, std::vector<Entry>* entries) {
 }
 #endif  // SOLAP_SHARD_MAIN_PATH
 
+// Part 5 — ingest throughput. One arm per merger policy, each on a fresh
+// transit table (IngestRows mutates it): warm a pair query so the engine
+// holds a cached formation + complete inverted indices, then stream
+// round-trip batches of brand-new card-ids — the extension path every
+// append-mostly workload lives on — and report events/sec. "merge_on"
+// kicks the background merger after every ingest (delta_merge_bytes = 0),
+// so its number prices continuous folding; "merge_off" defers all merging,
+// pricing pure delta growth. A closing query on each arm keeps the run
+// honest (the ingested events must be visible).
+void RunIngestThroughput(bool quick, std::vector<Entry>* entries) {
+  TransitParams p;
+  p.num_passengers = quick ? 800 : 4000;
+  p.num_days = 2;
+  p.seed = 11;
+
+  CuboidSpec spec;
+  spec.seq.cluster_by = {{"card-id", "individual"}};
+  spec.seq.sequence_by = "time";
+  spec.symbols = {"X", "Y"};
+  spec.dims = {PatternDim{"X", {"location", "station"}, {}, ""},
+               PatternDim{"Y", {"location", "station"}, {}, ""}};
+
+  const size_t batches = quick ? 250 : 2500;
+  constexpr size_t kRowsPerBatch = 4;  // one round trip per new card
+  const int64_t t0 = MakeTimestamp(2007, 10, 20, 6, 0, 0);  // past the window
+
+  std::printf("\n-- ingest throughput (%zu batches x %zu events) --\n",
+              batches, kRowsPerBatch);
+  auto run_arm = [&](bool merge_on) -> double {
+    TransitData data = GenerateTransit(p);
+    EngineOptions opts;
+    opts.auto_delta_merge = merge_on;
+    if (merge_on) opts.delta_merge_bytes = 0;  // fold after every ingest
+    SOlapEngine engine(data.table.get(), data.hierarchies.get(), opts);
+    auto warm = engine.Execute(spec, ExecStrategy::kInvertedIndex);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "ingest warm-up query failed: %s\n",
+                   warm.status().ToString().c_str());
+      std::exit(1);
+    }
+    const size_t cells_before = (*warm)->num_cells();
+    Timer t;
+    for (size_t b = 0; b < batches; ++b) {
+      const std::string card =
+          "live-" + std::to_string(merge_on) + "-" + std::to_string(b);
+      const int64_t base = t0 + static_cast<int64_t>(b) * 180;
+      Status s = engine.IngestRows({
+          {Value::Timestamp(base), Value::String(card),
+           Value::String("Pentagon"), Value::String("in"), Value::Double(0)},
+          {Value::Timestamp(base + 30 * 60), Value::String(card),
+           Value::String("Clarendon"), Value::String("out"),
+           Value::Double(-2.0)},
+          {Value::Timestamp(base + 9 * 3600), Value::String(card),
+           Value::String("Clarendon"), Value::String("in"), Value::Double(0)},
+          {Value::Timestamp(base + 9 * 3600 + 30 * 60), Value::String(card),
+           Value::String("Pentagon"), Value::String("out"),
+           Value::Double(-2.0)},
+      });
+      if (!s.ok()) {
+        std::fprintf(stderr, "ingest failed: %s\n", s.ToString().c_str());
+        std::exit(1);
+      }
+    }
+    const double ms = t.ElapsedMs();
+    auto after = engine.Execute(spec, ExecStrategy::kInvertedIndex);
+    if (!after.ok() || (*after)->num_cells() < cells_before) {
+      std::fprintf(stderr, "post-ingest query lost cells\n");
+      std::exit(1);
+    }
+    const double eps =
+        ms > 0 ? static_cast<double>(batches * kRowsPerBatch) / (ms / 1e3)
+               : 0;
+    std::printf("merge %-3s | %10.2f ms %12.0f events/s (epoch %llu)\n",
+                merge_on ? "on" : "off", ms, eps,
+                static_cast<unsigned long long>(engine.epoch()));
+    entries->push_back({std::string("ingest/merge_") +
+                            (merge_on ? "on" : "off"),
+                        ms, 0, eps});
+    return eps;
+  };
+  run_arm(true);
+  run_arm(false);
+}
+
 void WriteJson(const std::string& path, const std::vector<Entry>& entries,
                bool quick) {
   std::ofstream out(path);
@@ -440,6 +535,9 @@ void WriteJson(const std::string& path, const std::vector<Entry>& entries,
         << entries[i].ms;
     if (entries[i].speedup > 0) {
       out << ", \"speedup\": " << entries[i].speedup;
+    }
+    if (entries[i].events_per_sec > 0) {
+      out << ", \"events_per_sec\": " << entries[i].events_per_sec;
     }
     out << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
   }
@@ -494,6 +592,19 @@ int Check(const std::string& path, const std::vector<Entry>& entries) {
   const bool enough_cores = hw == nullptr || hw->ms >= 4.0;
   int failures = 0;
   for (const auto& [name, value] : thresholds) {
+    if (name.rfind("min_events_per_sec/", 0) == 0) {
+      const Entry* e = find(name.substr(std::strlen("min_events_per_sec/")));
+      if (e == nullptr) {
+        std::fprintf(stderr, "REGRESSION %s: entry missing\n", name.c_str());
+        ++failures;
+      } else if (e->events_per_sec < value) {
+        std::fprintf(stderr,
+                     "REGRESSION %s: %.0f events/s < required %.0f\n",
+                     e->name.c_str(), e->events_per_sec, value);
+        ++failures;
+      }
+      continue;
+    }
     if (name.rfind("min_speedup/", 0) == 0) {
       if (!enough_cores && name.find("/sharded") != std::string::npos) {
         std::printf("skipping %s: only %.0f hardware threads (<4)\n",
@@ -587,6 +698,7 @@ int Main(int argc, char** argv) {
 #ifdef SOLAP_SHARD_MAIN_PATH
   RunDistributedLoopback(quick, &entries);
 #endif
+  RunIngestThroughput(quick, &entries);
   if (!json.empty()) WriteJson(json, entries, quick);
   if (!check.empty()) return Check(check, entries);
   return 0;

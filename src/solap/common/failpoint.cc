@@ -62,6 +62,8 @@ Status MakeStatus(StatusCode code, const std::string& msg) {
       return Status::DeadlineExceeded(msg);
     case StatusCode::kResourceExhausted:
       return Status::ResourceExhausted(msg);
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(msg);
     case StatusCode::kInternal:
     case StatusCode::kOk:
       break;

@@ -27,6 +27,12 @@ std::string ScanStats::ToString() const {
        << " hedges=" << shard_rpc_hedges
        << " partial=" << partial_answers << ")";
   }
+  if (ingested_events != 0 || delta_merges != 0) {
+    os << " ingest=(events=" << ingested_events
+       << " merges=" << delta_merges << " patches=" << cuboid_patches
+       << " stale_cuboids=" << stale_cuboid_invalidations
+       << " stale_formations=" << formation_invalidations << ")";
+  }
   return os.str();
 }
 

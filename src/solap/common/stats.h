@@ -60,6 +60,17 @@ struct ScanStats {
   uint64_t shard_rpc_retries = 0;
   uint64_t shard_rpc_hedges = 0;
   uint64_t partial_answers = 0;
+  /// Streaming ingestion (engine/ingest.cc, docs/INGESTION.md): event rows
+  /// committed through IngestRows, background/foreground delta-merge passes
+  /// that folded at least one delta segment, cached cuboids delta-patched in
+  /// place, cached cuboids invalidated because their spec could not be
+  /// patched (regex, iceberg, or a stale formation), and cached formations
+  /// dropped because an append touched an existing cluster key.
+  uint64_t ingested_events = 0;
+  uint64_t delta_merges = 0;
+  uint64_t cuboid_patches = 0;
+  uint64_t stale_cuboid_invalidations = 0;
+  uint64_t formation_invalidations = 0;
 
   void Clear() { *this = ScanStats{}; }
 
@@ -85,6 +96,11 @@ struct ScanStats {
     shard_rpc_retries += o.shard_rpc_retries;
     shard_rpc_hedges += o.shard_rpc_hedges;
     partial_answers += o.partial_answers;
+    ingested_events += o.ingested_events;
+    delta_merges += o.delta_merges;
+    cuboid_patches += o.cuboid_patches;
+    stale_cuboid_invalidations += o.stale_cuboid_invalidations;
+    formation_invalidations += o.formation_invalidations;
     return *this;
   }
 

@@ -40,6 +40,12 @@ class SCuboid {
   void Add(const CellKey& key, double measure_total) {
     cells_[key].Add(measure_total);
   }
+  /// Folds one assignment with no measure content (COUNT queries). The
+  /// cell's measure state stays neutral (sum 0, min +inf, max -inf) —
+  /// matching the II fast-count fold — so COUNT answers are bit-identical
+  /// across the CB, II and ingest-patch paths (cube/partial_codec.h
+  /// encodes the full cell state).
+  void AddCountOnly(const CellKey& key) { ++cells_[key].count; }
   /// Merges a full cell state (online aggregation snapshots).
   void MergeCell(const CellKey& key, const CellValue& v) {
     cells_[key].Merge(v);

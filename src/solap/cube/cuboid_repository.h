@@ -14,9 +14,11 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "solap/common/mem_budget.h"
 #include "solap/cube/cuboid.h"
+#include "solap/cube/cuboid_spec.h"
 
 namespace solap {
 
@@ -43,6 +45,34 @@ class CuboidRepository {
   void Insert(const std::string& spec_key,
               std::shared_ptr<const SCuboid> cuboid);
 
+  /// Insert carrying the spec that produced the cuboid plus the engine
+  /// epoch it was computed at — the metadata streaming ingestion needs to
+  /// delta-patch (pattern-invariant appends) or invalidate the entry
+  /// (docs/INGESTION.md).
+  void Insert(const std::string& spec_key,
+              std::shared_ptr<const SCuboid> cuboid, const CuboidSpec& spec,
+              uint64_t epoch);
+
+  /// One repository entry as seen by the maintenance pass.
+  struct Snapshot {
+    std::string key;
+    std::shared_ptr<const SCuboid> cuboid;
+    CuboidSpec spec;        ///< meaningful only when has_spec
+    bool has_spec = false;  ///< false for legacy spec-less inserts
+    uint64_t epoch = 0;
+  };
+  /// All entries, LRU order not implied. Recency is NOT refreshed.
+  std::vector<Snapshot> Entries() const;
+
+  /// Drops one entry (ingestion's invalidation of unpatchable cuboids).
+  void Erase(const std::string& spec_key);
+
+  /// Swaps in a patched cuboid for an existing entry, re-stamping its
+  /// epoch; keeps the stored spec and recency. No-op if the key is absent
+  /// (it may have been evicted concurrently).
+  void Replace(const std::string& spec_key,
+               std::shared_ptr<const SCuboid> cuboid, uint64_t epoch);
+
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return map_.size();
@@ -58,8 +88,12 @@ class CuboidRepository {
     std::string key;
     std::shared_ptr<const SCuboid> cuboid;
     size_t bytes;
+    CuboidSpec spec;
+    bool has_spec = false;
+    uint64_t epoch = 0;
   };
 
+  void InsertEntry(Entry entry);
   void EvictIfNeeded();  // requires mu_ held
 
   mutable std::mutex mu_;

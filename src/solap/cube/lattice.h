@@ -57,6 +57,18 @@ Result<std::vector<CuboidSpec>> CoarserNeighbors(
 Result<std::vector<CuboidSpec>> FinerNeighbors(
     const CuboidSpec& spec, const HierarchyRegistry& hierarchies);
 
+/// True when a cuboid computed for `spec` can be DELTA-PATCHED after a
+/// pattern-invariant append (new sequences only — no existing sequence
+/// changed): plain templates fold assignments additively per cell, so the
+/// new sequences' assignments merge in without recomputation. Regex
+/// templates would also merge, but their scan path is not windowed per sid
+/// range; iceberg cuboids are post-filtered, so their cached cells have
+/// already dropped below-threshold state that a patch could resurrect —
+/// both are invalidated instead (docs/INGESTION.md "Cuboid maintenance").
+inline bool AppendPatchable(const CuboidSpec& spec) {
+  return !spec.is_regex() && !spec.iceberg_min_count.has_value();
+}
+
 }  // namespace solap
 
 #endif  // SOLAP_CUBE_LATTICE_H_

@@ -277,15 +277,18 @@ std::string EncodeShardPartial(const SCuboid& cuboid, const ScanStats& stats) {
   AppendStats(payload, stats);
   payload << "}";
 
-  const std::string body = payload.str();
-  const uint32_t crc = Crc32(body.data(), body.size());
+  return EncodeShardEnvelope(payload.str());
+}
+
+std::string EncodeShardEnvelope(const std::string& payload) {
+  const uint32_t crc = Crc32(payload.data(), payload.size());
   std::ostringstream out;
   out << "{\"v\":" << kShardWireVersion << ",\"crc\":" << crc
-      << ",\"payload\":" << body << "}";
+      << ",\"payload\":" << payload << "}";
   return out.str();
 }
 
-Result<ShardPartial> DecodeShardPartial(std::string_view text) {
+Result<std::string_view> DecodeShardEnvelope(std::string_view text) {
   // Envelope prefix is rigid so the payload substring — the CRC'd bytes —
   // can be recovered exactly. `v` and `crc` are digit-only, so no content
   // can fake the `,"payload":` boundary.
@@ -312,7 +315,7 @@ Result<ShardPartial> DecodeShardPartial(std::string_view text) {
   int64_t crc_claim = 0;
   if (!eat("{\"v\":") || !digits(&version) || !eat(",\"crc\":") ||
       !digits(&crc_claim) || !eat(",\"payload\":")) {
-    return Status::ParseError("malformed shard partial envelope");
+    return Status::ParseError("malformed shard envelope");
   }
   if (version != kShardWireVersion) {
     return Status::ParseError("shard wire version mismatch: got " +
@@ -320,17 +323,21 @@ Result<ShardPartial> DecodeShardPartial(std::string_view text) {
                               std::to_string(kShardWireVersion));
   }
   if (text.empty() || text.back() != '}') {
-    return Status::ParseError("malformed shard partial envelope");
+    return Status::ParseError("malformed shard envelope");
   }
   const std::string_view body = text.substr(0, text.size() - 1);
 
-  // Integrity before structure: a torn or bit-flipped response must fail
-  // here, not surface as a half-plausible cuboid.
+  // Integrity before structure: a torn or bit-flipped message must fail
+  // here, not surface as half-plausible content.
   const uint32_t crc = Crc32(body.data(), body.size());
   if (crc_claim != static_cast<int64_t>(crc)) {
-    return Status::ParseError("shard partial CRC mismatch");
+    return Status::ParseError("shard envelope CRC mismatch");
   }
+  return body;
+}
 
+Result<ShardPartial> DecodeShardPartial(std::string_view text) {
+  SOLAP_ASSIGN_OR_RETURN(std::string_view body, DecodeShardEnvelope(text));
   SOLAP_ASSIGN_OR_RETURN(JsonValue root, net::JsonParse(body));
   if (!root.IsObject()) {
     return Status::ParseError("shard partial payload must be an object");

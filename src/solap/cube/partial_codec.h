@@ -48,6 +48,16 @@ struct ShardPartial {
   ScanStats stats;
 };
 
+/// Wraps `payload` (a JSON value rendered as text) in the versioned,
+/// CRC-tagged envelope every shard RPC uses — /shard/exec responses and
+/// /shard/append requests alike share one framing discipline.
+std::string EncodeShardEnvelope(const std::string& payload);
+
+/// Strict inverse of EncodeShardEnvelope: verifies the rigid prefix, the
+/// codec version, and the CRC, then returns the byte-exact payload text
+/// (a view into `text`). kParseError on any violation.
+Result<std::string_view> DecodeShardEnvelope(std::string_view text);
+
 /// Renders `cuboid` + `stats` as the versioned, CRC-tagged envelope.
 /// Deterministic: sorted cells/labels, bit-pattern doubles.
 std::string EncodeShardPartial(const SCuboid& cuboid, const ScanStats& stats);

@@ -24,6 +24,14 @@ SOlapEngine::SOlapEngine(const EventTable* table,
   repository_.set_governor(&governor_);
 }
 
+SOlapEngine::SOlapEngine(EventTable* table,
+                         const HierarchyRegistry* hierarchies,
+                         EngineOptions options)
+    : SOlapEngine(static_cast<const EventTable*>(table), hierarchies,
+                  options) {
+  mutable_table_ = table;
+}
+
 SOlapEngine::SOlapEngine(std::shared_ptr<SequenceGroupSet> raw_groups,
                          const HierarchyRegistry* hierarchies,
                          EngineOptions options)
@@ -36,18 +44,18 @@ SOlapEngine::SOlapEngine(std::shared_ptr<SequenceGroupSet> raw_groups,
   repository_.set_governor(&governor_);
 }
 
+SOlapEngine::~SOlapEngine() { StopMerger(); }
+
 Result<std::shared_ptr<const SCuboid>> SOlapEngine::Execute(
     const CuboidSpec& spec) {
   return Execute(spec, options_.default_strategy);
 }
 
-namespace {
-
 // Applies labels to every cell of `cuboid` using the group set's global
 // bindings plus per-pattern-dimension bindings.
-Status LabelCells(SCuboid* cuboid, const SequenceGroupSet& set,
-                  const HierarchyRegistry* reg,
-                  const std::vector<PatternDim>& dims) {
+Status SOlapEngine::LabelCells(SCuboid* cuboid, const SequenceGroupSet& set,
+                               const HierarchyRegistry* reg,
+                               const std::vector<PatternDim>& dims) {
   std::vector<DimensionBinding> pattern_bindings;
   for (const PatternDim& d : dims) {
     SOLAP_ASSIGN_OR_RETURN(DimensionBinding b,
@@ -67,8 +75,6 @@ Status LabelCells(SCuboid* cuboid, const SequenceGroupSet& set,
   return Status::OK();
 }
 
-}  // namespace
-
 Result<std::shared_ptr<const SCuboid>> SOlapEngine::Execute(
     const CuboidSpec& spec, ExecStrategy strategy) {
   return Execute(spec, strategy, ExecControl{});
@@ -77,6 +83,10 @@ Result<std::shared_ptr<const SCuboid>> SOlapEngine::Execute(
 Result<std::shared_ptr<const SCuboid>> SOlapEngine::Execute(
     const CuboidSpec& spec, ExecStrategy strategy,
     const ExecControl& control) {
+  // The whole execution runs against one epoch snapshot: writers (ingest,
+  // merge, eviction) are held off until the shared guard drops.
+  EpochGate::ReadLock rl(gate_);
+  if (control.epoch_out != nullptr) *control.epoch_out = rl.epoch();
   ScanStats local;
   auto result = ExecuteWithStats(spec, strategy, control, &local);
   MergeStats(local);
@@ -190,7 +200,7 @@ Result<std::shared_ptr<const SCuboid>> SOlapEngine::ExecuteGuarded(
   }
   SOLAP_RETURN_NOT_OK(
       LabelCells(cuboid.get(), *ctx.groups, hierarchies_, spec.dims));
-  repository_.Insert(key, cuboid);
+  repository_.Insert(key, cuboid, spec, gate_.epoch());
   fin_span.Count("cells", cuboid->cells().size());
   return std::shared_ptr<const SCuboid>(cuboid);
 }
@@ -241,8 +251,11 @@ Result<std::shared_ptr<SequenceGroupSet>> SOlapEngine::GetGroups(
   if (auto cached = sequence_cache_.Lookup(s)) return cached;
   SOLAP_FAILPOINT("engine.formation");
   SequenceQueryEngine sqe(hierarchies_);
-  SOLAP_ASSIGN_OR_RETURN(std::shared_ptr<SequenceGroupSet> set,
-                         sqe.Build(*table_, s));
+  // Fresh formations apply the same retention window incremental extension
+  // does, so rebuild-vs-extend answers agree (docs/INGESTION.md).
+  SOLAP_ASSIGN_OR_RETURN(
+      std::shared_ptr<SequenceGroupSet> set,
+      sqe.Build(*table_, s, retention_.col >= 0 ? &retention_ : nullptr));
   // Concurrent builders of the same formation converge on one canonical
   // set, keeping the per-group index caches (keyed by set identity) shared.
   return sequence_cache_.InsertIfAbsent(s, std::move(set));
@@ -318,18 +331,20 @@ void SOlapEngine::AddAssignment(const QueryContext& ctx,
                                 const PatternKey& dim_codes, Sid s,
                                 const uint32_t* idx, SCuboid* cuboid) const {
   (void)bp;
-  double v = 0.0;
-  if (ctx.measure_col >= 0) {
-    bool whole = ctx.spec->restriction == CellRestriction::kLeftMaxDataGo;
-    v = ContentSum(ctx, group, s, idx, ctx.tmpl.num_positions(), whole);
-  }
   CellKey cell = group.key();
   cell.insert(cell.end(), dim_codes.begin(), dim_codes.end());
+  if (ctx.measure_col < 0) {
+    cuboid->AddCountOnly(cell);
+    return;
+  }
+  bool whole = ctx.spec->restriction == CellRestriction::kLeftMaxDataGo;
+  double v = ContentSum(ctx, group, s, idx, ctx.tmpl.num_positions(), whole);
   cuboid->Add(cell, v);
 }
 
 Status SOlapEngine::PrecomputeIndex(const CuboidSpec& spec, size_t m,
                                     const LevelRef& position_ref) {
+  EpochGate::ReadLock rl(gate_);
   SOLAP_ASSIGN_OR_RETURN(std::shared_ptr<SequenceGroupSet> groups,
                          GetGroups(spec.seq));
   IndexShape shape;
@@ -357,6 +372,7 @@ Status SOlapEngine::PrecomputeIndex(const CuboidSpec& spec, size_t m,
 
 Status SOlapEngine::MaterializeIndex(const SequenceSpec& formation,
                                      const IndexShape& shape) {
+  EpochGate::ReadLock rl(gate_);
   SOLAP_ASSIGN_OR_RETURN(std::shared_ptr<SequenceGroupSet> groups,
                          GetGroups(formation));
   ScanStats local;
@@ -380,6 +396,7 @@ Status SOlapEngine::MaterializeIndex(const SequenceSpec& formation,
 }
 
 Status SOlapEngine::WarmSequenceCache(const SequenceSpec& spec) {
+  EpochGate::ReadLock rl(gate_);
   SOLAP_ASSIGN_OR_RETURN(std::shared_ptr<SequenceGroupSet> groups,
                          GetGroups(spec));
   (void)groups;
@@ -387,6 +404,7 @@ Status SOlapEngine::WarmSequenceCache(const SequenceSpec& spec) {
 }
 
 void SOlapEngine::NotifyTableAppend() {
+  EpochGate::WriteLock wl(gate_);
   sequence_cache_.Clear();
   {
     std::lock_guard<std::mutex> lock(index_caches_mu_);

@@ -5,13 +5,16 @@
 #ifndef SOLAP_ENGINE_ENGINE_H_
 #define SOLAP_ENGINE_ENGINE_H_
 
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "solap/common/epoch.h"
 #include "solap/common/mem_budget.h"
 #include "solap/common/stats.h"
 #include "solap/common/status.h"
@@ -100,6 +103,19 @@ struct EngineOptions {
   /// reacts gracefully — caches skip the entry, II queries degrade to the
   /// CB path. 0 = unlimited (usage is still tracked for metrics).
   size_t memory_budget_bytes = 0;
+  /// Streaming ingestion (docs/INGESTION.md): total delta-segment bytes
+  /// across cached indices above which an ingest kicks the background merge
+  /// immediately instead of waiting for the interval. 0 = kick after every
+  /// ingest.
+  size_t delta_merge_bytes = size_t{1} << 20;
+  /// Background merge cadence: the merger thread wakes at least this often
+  /// while deltas exist. 0 disables the periodic wake (merges then run only
+  /// when kicked by the byte threshold or MergeDeltasNow).
+  size_t merge_interval_ms = 200;
+  /// false = never start the background merger; delta segments then persist
+  /// until an explicit MergeDeltasNow() (deterministic tests, benches that
+  /// A/B the two-segment read path).
+  bool auto_delta_merge = true;
 };
 
 /// Per-execution control block: cooperative cancellation plus a sink for
@@ -118,6 +134,10 @@ struct ExecControl {
   /// left empty for complete answers. Callers that pass this accept
   /// partial answers — the service layer flags them X-Solap-Partial.
   std::vector<size_t>* missing_shards = nullptr;
+  /// If set, receives the engine epoch this execution's snapshot was taken
+  /// at (EpochGate). Two answers reporting the same epoch saw identical
+  /// engine state — the streaming-ingestion consistency contract.
+  uint64_t* epoch_out = nullptr;
 };
 
 /// \brief The S-OLAP system facade.
@@ -131,17 +151,29 @@ struct ExecControl {
 /// thread-safe: the repository, sequence cache and per-group index caches
 /// synchronize internally (shared-lock reads, exclusive cache-populating
 /// writes), and each execution counts into a private ScanStats merged into
-/// the engine totals under a mutex. Mutating administration calls
-/// (`AppendRawSequences`, `NotifyTableAppend`) must not overlap queries —
-/// the service layer quiesces before applying them (see DESIGN.md
-/// "Service layer").
+/// the engine totals under a mutex. Mutating calls — `IngestRows`,
+/// `EvictBefore`, `AppendRawSequences`, `NotifyTableAppend`, and the
+/// background delta merge — serialize against queries through the engine's
+/// EpochGate (common/epoch.h): every execution holds the gate shared for
+/// its whole run and observes one consistent epoch, so writers no longer
+/// need the caller to quiesce (see DESIGN.md §11, docs/INGESTION.md).
 class SOlapEngine {
  public:
   SOlapEngine(const EventTable* table, const HierarchyRegistry* hierarchies,
               EngineOptions options = {});
+  /// Mutable-table overload: identical, but additionally enables the
+  /// streaming-ingestion write path (`IngestRows`, `EvictBefore`) on this
+  /// engine — the table must outlive it and must not be mutated behind the
+  /// engine's back.
+  SOlapEngine(EventTable* table, const HierarchyRegistry* hierarchies,
+              EngineOptions options = {});
   SOlapEngine(std::shared_ptr<SequenceGroupSet> raw_groups,
               const HierarchyRegistry* hierarchies,
               EngineOptions options = {});
+  ~SOlapEngine();
+
+  SOlapEngine(const SOlapEngine&) = delete;
+  SOlapEngine& operator=(const SOlapEngine&) = delete;
 
   // -- Query execution -----------------------------------------------------
 
@@ -198,6 +230,54 @@ class SOlapEngine {
   /// event table. Invalidates formed sequence groups, indices and cuboids
   /// (conservative correctness; see DESIGN.md).
   void NotifyTableAppend();
+
+  // -- Streaming ingestion (docs/INGESTION.md) -------------------------------
+
+  /// Appends a batch of event rows under the epoch gate and incrementally
+  /// maintains every cached structure: formations whose new rows only
+  /// introduce NEW cluster keys are extended in place (new sequences append
+  /// at the tail, cached complete indices grow delta segments, patchable
+  /// cached cuboids are delta-patched); a batch that touches an EXISTING
+  /// cluster key conservatively invalidates that formation and its
+  /// dependents. All-or-nothing: a validation failure rejects the whole
+  /// batch and the epoch does not advance (nor for an empty batch).
+  /// Requires the mutable-table constructor; InvalidArgument otherwise.
+  Status IngestRows(const std::vector<std::vector<Value>>& rows,
+                    TraceContext* trace = nullptr);
+
+  /// Applies a replicated dictionary tail to the backing table under the
+  /// write gate: codes [from, from+values.size()) must match the sender's.
+  /// The remote-append path (net/shard_routes.cc) uses this to keep a
+  /// replica's dictionaries code-identical to its coordinator slice before
+  /// the replicated rows are re-encoded. Not an observable mutation — no
+  /// row references the new codes yet — so the epoch does not advance.
+  Status SyncTableDictionary(int col, size_t from,
+                             const std::vector<std::string>& values);
+
+  /// Time-window retention: logically evicts every row whose int64 or
+  /// timestamp column `order_attr` is below `cutoff`. Formed groups,
+  /// indices and cuboids are invalidated (their governor charges refunded);
+  /// subsequent formations — fresh or incremental — apply the cutoff, so
+  /// rebuilds and extensions agree on the visible data. Monotone: a cutoff
+  /// below the current one is a no-op on the filter (epoch still advances).
+  Status EvictBefore(const std::string& order_attr, int64_t cutoff);
+
+  /// The engine epoch (EpochGate) — advances on every committed mutation,
+  /// even while a writer is inside its critical section.
+  uint64_t epoch() const { return gate_.epoch(); }
+
+  /// Foreground delta merge: folds every cached index's delta segment into
+  /// its base containers under the exclusive gate. Logical content is
+  /// unchanged, so the epoch does not advance. The background merger calls
+  /// this on its interval; tests call it for determinism.
+  Status MergeDeltasNow(TraceContext* trace = nullptr);
+
+  /// Live delta-segment footprint across all cached indices.
+  struct DeltaStats {
+    size_t segments = 0;  ///< cached indices currently holding a delta
+    size_t bytes = 0;     ///< summed DeltaByteSize of those indices
+  };
+  DeltaStats DeltaSnapshot() const;
 
   // -- Introspection ---------------------------------------------------------
 
@@ -260,6 +340,11 @@ class SOlapEngine {
       const CuboidSpec& spec, ExecStrategy strategy,
       const ExecControl& control, ScanStats* stats);
   Result<QueryContext> Prepare(const CuboidSpec& spec, SCuboid* cuboid);
+  /// Applies human-readable labels to every cell of `cuboid` (shared by the
+  /// query finalize step and the ingest-time cuboid patcher).
+  static Status LabelCells(SCuboid* cuboid, const SequenceGroupSet& set,
+                           const HierarchyRegistry* reg,
+                           const std::vector<PatternDim>& dims);
   Result<std::shared_ptr<SequenceGroupSet>> GetGroups(const SequenceSpec& s);
   Result<std::vector<size_t>> SelectGroups(const SequenceGroupSet& set,
                                            const CuboidSpec& spec) const;
@@ -305,6 +390,42 @@ class SOlapEngine {
 
   GroupIndexCache& CacheFor(const SequenceGroupSet& set, size_t group_idx);
 
+  // -- Streaming-ingestion internals (engine/ingest.cc) ----------------------
+
+  /// One group's appended-sid range within an extended formation.
+  struct GroupDelta {
+    size_t group_idx = 0;
+    Sid old_count = 0;  ///< sids >= old_count are the appended tail
+  };
+  using FormationDeltas =
+      std::unordered_map<const SequenceGroupSet*, std::vector<GroupDelta>>;
+
+  /// Attempts the pattern-invariant extension of one cached formation with
+  /// table rows [from_row, num_rows). Returns false when any new row maps
+  /// to an existing cluster key — the caller must invalidate instead. On
+  /// success records the touched groups' deltas and delta-extends their
+  /// cached complete indices.
+  Result<bool> TryExtendFormation(const SequenceSpec& spec,
+                                  const std::shared_ptr<SequenceGroupSet>& set,
+                                  RowId from_row, FormationDeltas* deltas,
+                                  ScanStats* stats);
+
+  /// Walks the cuboid repository after an append: delta-patches entries
+  /// whose spec is AppendPatchable and whose formation was extended,
+  /// invalidates the rest (counted in stats).
+  void PatchOrInvalidateCuboids(const FormationDeltas& deltas,
+                                ScanStats* stats);
+
+  /// Drops the per-group index caches keyed by `set`'s identity.
+  void DropIndexCachesFor(const SequenceGroupSet& set);
+
+  /// Lazily starts the background merger (no-op when auto_delta_merge is
+  /// off); kicks it when the delta byte threshold is exceeded.
+  void EnsureMerger();
+  void MaybeKickMerger();
+  void MergerLoop();
+  void StopMerger();
+
   /// The engine's lazily-created compute pool, or nullptr when
   /// options_.exec_threads resolves to a single thread. Thread-safe.
   ThreadPool* ComputePool();
@@ -320,9 +441,27 @@ class SOlapEngine {
   }
 
   const EventTable* table_ = nullptr;
+  /// Non-null only via the mutable-table constructor; gates IngestRows.
+  EventTable* mutable_table_ = nullptr;
   std::shared_ptr<SequenceGroupSet> raw_groups_;
   const HierarchyRegistry* hierarchies_;
   EngineOptions options_;
+
+  /// Serializes mutations (ingest, merge, eviction, admin calls) against
+  /// query executions; the source of the query-visible epoch.
+  EpochGate gate_;
+
+  /// Retention window installed by EvictBefore (read under the shared
+  /// gate by formation, written under the exclusive gate).
+  RowFilter retention_;
+
+  // Background delta merger (started lazily by the first ingest).
+  std::thread merger_;
+  std::condition_variable merge_cv_;
+  std::mutex merge_mu_;
+  bool merger_started_ = false;
+  bool merge_stop_ = false;
+  bool merge_kick_ = false;
 
   // Declared before every cache that charges it: caches refund their
   // charges on destruction, so the governor must be torn down last.

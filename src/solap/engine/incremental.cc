@@ -17,6 +17,11 @@ Status SOlapEngine::AppendRawSequences(
     return Status::OutOfRange("no sequence group " +
                               std::to_string(group_idx));
   }
+  EpochGate::WriteLock wl(gate_);
+  if (sequences.empty()) {
+    wl.Abandon();
+    return Status::OK();
+  }
   SequenceGroup& group = raw_groups_->groups()[group_idx];
   const Sid old_count = static_cast<Sid>(group.num_sequences());
   for (const std::vector<Code>& seq : sequences) {
@@ -26,7 +31,9 @@ Status SOlapEngine::AppendRawSequences(
   group.InvalidateViews();
 
   // Extend cached complete indices with the delta; join-derived filtered
-  // indices cannot be extended safely and are dropped.
+  // indices cannot be extended safely and are dropped. The new sids land in
+  // each index's delta segment (two-segment read path) so the background
+  // merger amortizes container re-packing across appends.
   GroupIndexCache& cache = CacheFor(*raw_groups_, group_idx);
   std::vector<std::shared_ptr<InvertedIndex>> keep;
   for (const auto& entry : cache.entries()) {
@@ -35,9 +42,9 @@ Status SOlapEngine::AppendRawSequences(
   cache.Clear();
   ScanStats local;
   for (auto& entry : keep) {
-    Status extended = AppendToIndex(entry.get(), &group, *raw_groups_,
-                                    hierarchies_, old_count, &local,
-                                    &governor_);
+    Status extended = AppendToIndexDelta(entry.get(), &group, *raw_groups_,
+                                         hierarchies_, old_count, &local,
+                                         &governor_);
     if (!extended.ok()) {
       MergeStats(local);
       return extended;
@@ -50,6 +57,8 @@ Status SOlapEngine::AppendRawSequences(
   MergeStats(local);
   // Every materialized cuboid over this data is stale.
   repository_.Clear();
+  EnsureMerger();
+  MaybeKickMerger();
   return Status::OK();
 }
 

@@ -16,6 +16,7 @@ Result<std::shared_ptr<const SCuboid>> SOlapEngine::ExecuteOnline(
     return Status::NotImplemented(
         "online aggregation over regex templates is not supported yet");
   }
+  EpochGate::ReadLock rl(gate_);
   auto cuboid = std::make_shared<SCuboid>(MakeDimDescriptors(spec), spec.agg);
   SOLAP_ASSIGN_OR_RETURN(QueryContext ctx, Prepare(spec, cuboid.get()));
   ScanStats local;
@@ -61,7 +62,7 @@ Result<std::shared_ptr<const SCuboid>> SOlapEngine::ExecuteOnline(
   }
   // Early-stopped (approximate) cuboids are returned but never cached.
   if (!stopped) {
-    repository_.Insert(spec.CanonicalString(), cuboid);
+    repository_.Insert(spec.CanonicalString(), cuboid, spec, gate_.epoch());
   }
   return std::shared_ptr<const SCuboid>(cuboid);
 }

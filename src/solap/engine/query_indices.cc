@@ -335,11 +335,14 @@ Result<std::shared_ptr<InvertedIndex>> SOlapEngine::ObtainIndex(
     size_t usable_entries = 0;
     {
       const size_t base_off = grow_right ? 0 : m - k;
-      for (const auto& [key2, list2] : current->lists()) {
-        if (WindowConsistent(tmpl, base_off, key2, bp.fixed_codes())) {
-          usable_entries += list2.size();
-        }
-      }
+      current->ForEachLogicalList(
+          [&](const PatternKey& key2, const SidList* l2b, const SidList* l2d) {
+            if (!WindowConsistent(tmpl, base_off, key2, bp.fixed_codes())) {
+              return;
+            }
+            if (l2b != nullptr) usable_entries += l2b->size();
+            if (l2d != nullptr) usable_entries += l2d->size();
+          });
     }
     const bool selective = usable_entries < group.num_sequences();
     if (selective && !l2_cached) {
@@ -390,19 +393,24 @@ Status SOlapEngine::CountFromIndex(QueryContext& ctx, SequenceGroup& group,
   // a list contains the pattern exactly "at least once".
   const bool fast = !bp.has_predicate() && ctx.spec->agg == AggKind::kCount &&
                     restriction != CellRestriction::kAllMatchedGo;
-  for (const auto& [key, list] : index.lists()) {
-    SOLAP_RETURN_NOT_OK(CheckStop(ctx.stop, "index counting"));
-    if (!WindowConsistent(tmpl, 0, key, bp.fixed_codes())) continue;
+  Status status = Status::OK();
+  index.ForEachLogicalList([&](const PatternKey& key, const SidList* blist,
+                               const SidList* dlist) {
+    if (!status.ok()) return;
+    status = CheckStop(ctx.stop, "index counting");
+    if (!status.ok()) return;
+    if (!WindowConsistent(tmpl, 0, key, bp.fixed_codes())) return;
     PatternKey dim_codes = tmpl.DimCodesOf(key);
     if (fast) {
       CellKey cell = group.key();
       cell.insert(cell.end(), dim_codes.begin(), dim_codes.end());
       CellValue v;
-      v.count = static_cast<int64_t>(list.size());
+      v.count = static_cast<int64_t>((blist != nullptr ? blist->size() : 0) +
+                                     (dlist != nullptr ? dlist->size() : 0));
       ctx.cuboid->MergeCell(cell, v);
-      continue;
+      return;
     }
-    list.ForEach([&](Sid s) {
+    auto count_sid = [&](Sid s) {
       ++ctx.stats->sequences_scanned;
       switch (restriction) {
         case CellRestriction::kLeftMaxMatchedGo:
@@ -425,9 +433,11 @@ Status SOlapEngine::CountFromIndex(QueryContext& ctx, SequenceGroup& group,
                                        });
           break;
       }
-    });
-  }
-  return Status::OK();
+    };
+    if (blist != nullptr) blist->ForEach(count_sid);
+    if (dlist != nullptr) dlist->ForEach(count_sid);
+  });
+  return status;
 }
 
 }  // namespace solap

@@ -66,8 +66,14 @@ Status SOlapEngine::RunRegex(QueryContext& ctx) {
             !seen.insert(dim_codes).second) {
           return true;  // left-maximality: first match per instantiation
         }
+        CellKey cell = group.key();
+        cell.insert(cell.end(), dim_codes.begin(), dim_codes.end());
+        if (ctx.measure_col < 0) {
+          ctx.cuboid->AddCountOnly(cell);
+          return true;
+        }
         double v = 0.0;
-        if (ctx.measure_col >= 0) {
+        {
           std::span<const RowId> rows = group.Rows(s);
           const bool whole =
               restriction == CellRestriction::kLeftMaxDataGo;
@@ -81,8 +87,6 @@ Status SOlapEngine::RunRegex(QueryContext& ctx) {
                            table_->Int64At(rows[i], ctx.measure_col));
           }
         }
-        CellKey cell = group.key();
-        cell.insert(cell.end(), dim_codes.begin(), dim_codes.end());
         ctx.cuboid->Add(cell, v);
         return true;
       });

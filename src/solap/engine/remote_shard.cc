@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <sstream>
 #include <thread>
 #include <utility>
 
@@ -79,6 +80,25 @@ Status MapApplicationError(const net::ClientResponse& resp) {
                                    std::to_string(resp.status));
   }
   return Status::Internal("shard answered " + std::to_string(resp.status));
+}
+
+/// Renders one row value for the /shard/append payload. Typed by JSON kind
+/// (string / integer / number / null), which the receiver's schema-driven
+/// ValidateRow accepts directly; doubles use the strict %.17g form so a
+/// finite value round-trips bit-exactly.
+Result<std::string> AppendWireValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return std::string("null");
+    case ValueType::kInt64:
+    case ValueType::kTimestamp:
+      return std::to_string(v.int64());
+    case ValueType::kDouble:
+      return net::JsonFiniteNumber(v.dbl());
+    case ValueType::kString:
+      return net::JsonString(v.str());
+  }
+  return Status::InvalidArgument("unencodable value type");
 }
 
 }  // namespace
@@ -297,6 +317,78 @@ Result<ShardPartial> RemoteShardClient::Execute(const CuboidSpec& spec,
     if (!IsTransportError(last)) return last;
   }
   return last;
+}
+
+Status RemoteShardClient::Append(const std::vector<std::vector<Value>>& rows,
+                                 const std::vector<DictUpdate>& dicts,
+                                 const StopToken* stop, TraceContext* trace) {
+  auto deadline = stop != nullptr
+                      ? stop->deadline()
+                      : std::chrono::steady_clock::time_point::max();
+  if (deadline == std::chrono::steady_clock::time_point::max() &&
+      options_.default_timeout.count() > 0) {
+    deadline = std::chrono::steady_clock::now() + options_.default_timeout;
+  }
+
+  std::ostringstream payload;
+  payload << "{\"dicts\":[";
+  for (size_t i = 0; i < dicts.size(); ++i) {
+    if (i != 0) payload << ",";
+    payload << "{\"col\":" << dicts[i].col << ",\"from\":" << dicts[i].from
+            << ",\"values\":[";
+    for (size_t j = 0; j < dicts[i].values.size(); ++j) {
+      if (j != 0) payload << ",";
+      payload << net::JsonString(dicts[i].values[j]);
+    }
+    payload << "]}";
+  }
+  payload << "],\"rows\":[";
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (r != 0) payload << ",";
+    payload << "[";
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      if (c != 0) payload << ",";
+      SOLAP_ASSIGN_OR_RETURN(std::string v, AppendWireValue(rows[r][c]));
+      payload << v;
+    }
+    payload << "]";
+  }
+  payload << "]}";
+  const std::string body = EncodeShardEnvelope(payload.str());
+
+  TraceSpan span(trace, "shard.rpc");
+  span.Note("rpc", "append");
+  span.Count("shard", shard_index_);
+  span.Count("rows", rows.size());
+  SOLAP_FAILPOINT("shard.rpc.send");
+  std::vector<std::pair<std::string, std::string>> headers = {
+      {"Content-Type", "application/json"}};
+  if (deadline != std::chrono::steady_clock::time_point::max()) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    headers.emplace_back("X-Solap-Deadline-Ms",
+                         std::to_string(std::max<int64_t>(left.count(), 1)));
+  }
+  auto resp =
+      net::HttpExchange(endpoint_.host, endpoint_.port, "POST",
+                        "/shard/append", body, headers, deadline, stop);
+  {
+    Status injected = SOLAP_FAILPOINT_CHECK("shard.rpc.recv");
+    if (!injected.ok()) {
+      span.Note("error", injected.ToString());
+      return injected;
+    }
+  }
+  if (!resp.ok()) {
+    span.Note("error", resp.status().ToString());
+    return resp.status();
+  }
+  if (resp->status != 200) {
+    Status mapped = MapApplicationError(*resp);
+    span.Note("error", mapped.ToString());
+    return mapped;
+  }
+  return Status::OK();
 }
 
 }  // namespace solap

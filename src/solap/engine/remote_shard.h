@@ -98,6 +98,25 @@ class RemoteShardClient {
                                const StopToken* stop, TraceContext* trace,
                                ScanStats* stats);
 
+  /// One dictionary tail the replica must adopt before re-encoding the
+  /// replicated rows: codes [from, from+values.size()) of column `col`.
+  struct DictUpdate {
+    int col = 0;
+    size_t from = 0;
+    std::vector<std::string> values;
+  };
+
+  /// Replicates an appended row batch (this shard's routed slice of it)
+  /// via POST /shard/append. Dictionary tails land first so the replica's
+  /// codes stay identical to the coordinator slice's — the precondition
+  /// for bit-identical /shard/exec partials. SINGLE attempt, no retry or
+  /// hedge: an append is not idempotent, and a retry whose predecessor
+  /// actually landed would silently double rows; on failure the caller
+  /// marks the shard degraded and the supervisor restores it.
+  Status Append(const std::vector<std::vector<Value>>& rows,
+                const std::vector<DictUpdate>& dicts, const StopToken* stop,
+                TraceContext* trace);
+
   /// GET /healthz with a private `timeout`. OK iff the server answered 200.
   Status Health(std::chrono::milliseconds timeout);
 

@@ -19,6 +19,16 @@ ShardedEngine::ShardedEngine(const EventTable* table,
   BuildShards();
 }
 
+ShardedEngine::ShardedEngine(EventTable* table,
+                             const HierarchyRegistry* hierarchies,
+                             EngineOptions options)
+    : table_(table),
+      mutable_table_(table),
+      hierarchies_(hierarchies),
+      options_(std::move(options)) {
+  BuildShards();
+}
+
 ShardedEngine::ShardedEngine(std::shared_ptr<SequenceGroupSet> raw_groups,
                              const HierarchyRegistry* hierarchies,
                              EngineOptions options)
@@ -48,11 +58,19 @@ void ShardedEngine::BuildShards() {
   EngineOptions shard_opts = options_;
   shard_opts.shards = 1;
   if (n == 1) {
-    shards_.push_back(
-        table_ != nullptr
-            ? std::make_unique<SOlapEngine>(table_, hierarchies_, shard_opts)
-            : std::make_unique<SOlapEngine>(raw_groups_, hierarchies_,
-                                            shard_opts));
+    if (mutable_table_ != nullptr) {
+      // Mutable overload: the single executor gets the writable table so
+      // its streaming write path works through plain delegation.
+      shards_.push_back(std::make_unique<SOlapEngine>(mutable_table_,
+                                                      hierarchies_,
+                                                      shard_opts));
+    } else {
+      shards_.push_back(
+          table_ != nullptr
+              ? std::make_unique<SOlapEngine>(table_, hierarchies_, shard_opts)
+              : std::make_unique<SOlapEngine>(raw_groups_, hierarchies_,
+                                              shard_opts));
+    }
     return;
   }
 
@@ -209,6 +227,11 @@ Result<std::shared_ptr<const SCuboid>> ShardedEngine::Execute(
   if (borrowed_ != nullptr) return borrowed_->Execute(spec, strategy, control);
   if (shards_.size() == 1) return shards_[0]->Execute(spec, strategy, control);
 
+  // Facade snapshot: multi-shard mutations (IngestRows, eviction,
+  // repartition) hold this gate exclusively, so a scattered execution sees
+  // every shard at one consistent facade epoch.
+  EpochGate::ReadLock rl(gate_);
+  if (control.epoch_out != nullptr) *control.epoch_out = rl.epoch();
   ScanStats local;
   auto run = [&]() -> Result<std::shared_ptr<const SCuboid>> {
     if (Shardable(spec)) {
@@ -221,6 +244,7 @@ Result<std::shared_ptr<const SCuboid>> ShardedEngine::Execute(
     }
     ExecControl sub = control;
     sub.stats_out = &local;
+    sub.epoch_out = nullptr;  // the facade epoch above is authoritative
     auto fallback = Monolith()->Execute(spec, strategy, sub);
     ++local.shard_fallbacks;
     return fallback;
@@ -470,17 +494,20 @@ Result<std::shared_ptr<InvertedIndex>> ShardedEngine::GatherCompleteIndex(
 
   auto gathered = std::make_shared<InvertedIndex>(shape, /*complete=*/true);
   ContainerOpCounts ops;
+  std::vector<SidList> scratches(shard_indices.size());
   for (const auto& index : shard_indices) {
-    for (const auto& [pattern, unused] : index->lists()) {
-      if (gathered->lists().count(pattern) != 0) continue;
+    index->ForEachLogicalList([&](const PatternKey& pattern, const SidList*,
+                                  const SidList*) {
+      if (gathered->lists().count(pattern) != 0) return;
       std::vector<const SidList*> lists;
       lists.reserve(shard_indices.size());
-      for (const auto& other : shard_indices) {
-        lists.push_back(other->Find(pattern));  // may be nullptr
+      for (size_t i = 0; i < shard_indices.size(); ++i) {
+        // LogicalList materializes base+delta per shard; may be nullptr.
+        lists.push_back(shard_indices[i]->LogicalList(pattern, &scratches[i]));
       }
       gathered->lists()[pattern] = GatherShardLists(
           std::span<const SidList* const>(lists), bases, &ops);
-    }
+    });
   }
   local.container_array_ops += ops.array_ops;
   local.container_bitmap_ops += ops.bitmap_ops;
@@ -500,16 +527,163 @@ Status ShardedEngine::AppendRawSequences(
   }
   // Contiguous blocks stay contiguous when the append lands in the last
   // shard; results never depend on which shard owns a sequence.
+  EpochGate::WriteLock wl(gate_);
   Status s = shards_.back()->AppendRawSequences(group_idx, sequences);
-  if (s.ok()) repository_->Clear();
+  if (s.ok()) {
+    repository_->Clear();
+  } else {
+    wl.Abandon();
+  }
   return s;
+}
+
+Status ShardedEngine::IngestRows(const std::vector<std::vector<Value>>& rows,
+                                 TraceContext* trace) {
+  if (borrowed_ != nullptr) return borrowed_->IngestRows(rows, trace);
+  if (mutable_table_ == nullptr) {
+    return Status::InvalidArgument(
+        "IngestRows requires the mutable-table constructor");
+  }
+  if (shards_.size() == 1) return shards_[0]->IngestRows(rows, trace);
+
+  TraceSpan span(trace, "ingest.append");
+  span.Note("scope", "facade");
+  EpochGate::WriteLock wl(gate_);
+  if (rows.empty()) {
+    wl.Abandon();
+    return Status::OK();
+  }
+  // Commit to the facade (source-of-truth) table first: validate-first
+  // Append keeps the batch all-or-nothing, and a later repartition rebuilds
+  // consistent slices from here.
+  const RowId from_row = static_cast<RowId>(mutable_table_->num_rows());
+  Status appended = mutable_table_->Append(rows);
+  if (!appended.ok()) {
+    wl.Abandon();
+    return appended;
+  }
+  ScanStats local;
+  local.ingested_events = rows.size();
+  const size_t n = shards_.size();
+  const size_t num_fields = mutable_table_->schema().num_fields();
+
+  auto fan_out = [&]() -> Status {
+    // New string values got fresh codes in the facade dictionaries; the
+    // shard replicas must assign the identical codes before any shard
+    // re-encodes the routed rows.
+    std::vector<std::vector<RemoteShardClient::DictUpdate>> dict_updates(n);
+    for (size_t c = 0; c < num_fields; ++c) {
+      const int col = static_cast<int>(c);
+      if (mutable_table_->dictionary(col) == nullptr) continue;
+      for (size_t s = 0; s < n; ++s) {
+        const size_t from = shard_tables_[s]->DictionarySize(col);
+        std::vector<std::string> tail =
+            mutable_table_->DictionaryTail(col, from);
+        if (tail.empty()) continue;
+        SOLAP_RETURN_NOT_OK(shard_tables_[s]->SyncDictionary(col, from, tail));
+        // Remote replicas start code-identical to the local slice, so the
+        // same tail keeps them that way.
+        dict_updates[s].push_back({col, from, std::move(tail)});
+      }
+    }
+    // Route each appended row to the shard owning its sequence.
+    std::vector<std::vector<std::vector<Value>>> batches(n);
+    const size_t end_row = mutable_table_->num_rows();
+    for (RowId r = from_row; r < end_row; ++r) {
+      const size_t s = ShardOfCode(mutable_table_->CodeAt(r, shard_col_), n);
+      std::vector<Value> row;
+      row.reserve(num_fields);
+      for (size_t c = 0; c < num_fields; ++c) {
+        row.push_back(mutable_table_->GetValue(r, static_cast<int>(c)));
+      }
+      batches[s].push_back(std::move(row));
+    }
+    for (size_t s = 0; s < n; ++s) {
+      if (batches[s].empty()) continue;
+      SOLAP_RETURN_NOT_OK(shards_[s]->IngestRows(batches[s], trace));
+      // Remote slices must track the local ones or scatters would answer
+      // from pre-append data. A failed replication marks the shard
+      // degraded: scatters then use the (up-to-date) local executor until
+      // the supervisor restores it.
+      if (remote_scatter() && s < remote_clients_.size()) {
+        Status replicated = remote_clients_[s]->Append(
+            batches[s], dict_updates[s], nullptr, trace);
+        if (!replicated.ok()) SetShardHealthy(s, false);
+      }
+    }
+    return Status::OK();
+  };
+  Status fanned = fan_out();
+  if (!fanned.ok()) {
+    // The facade table holds the batch but some slice does not — rebuild
+    // every slice from the source table so shards and facade agree again.
+    shards_.clear();
+    shard_tables_.clear();
+    BuildShards();
+    ++local.formation_invalidations;
+  }
+  // Merged cuboids span all shards; any append staleness invalidates them.
+  local.stale_cuboid_invalidations += repository_->size();
+  repository_->Clear();
+  {
+    std::lock_guard<std::mutex> lock(fallback_mu_);
+    if (fallback_) fallback_->NotifyTableAppend();
+  }
+  span.Count("events", rows.size());
+  span.Count("epoch", wl.committed_epoch());
+  MergeStats(local);
+  return fanned;
+}
+
+Status ShardedEngine::EvictBefore(const std::string& order_attr,
+                                  int64_t cutoff) {
+  if (borrowed_ != nullptr) return borrowed_->EvictBefore(order_attr, cutoff);
+  if (shards_.size() == 1) return shards_[0]->EvictBefore(order_attr, cutoff);
+  EpochGate::WriteLock wl(gate_);
+  for (auto& shard : shards_) {
+    SOLAP_RETURN_NOT_OK(shard->EvictBefore(order_attr, cutoff));
+  }
+  {
+    std::lock_guard<std::mutex> lock(fallback_mu_);
+    if (fallback_) {
+      SOLAP_RETURN_NOT_OK(fallback_->EvictBefore(order_attr, cutoff));
+    }
+  }
+  repository_->Clear();
+  return Status::OK();
+}
+
+uint64_t ShardedEngine::epoch() const {
+  if (borrowed_ != nullptr) return borrowed_->epoch();
+  if (shards_.size() == 1) return shards_[0]->epoch();
+  return gate_.epoch();
+}
+
+Status ShardedEngine::MergeDeltasNow(TraceContext* trace) {
+  if (borrowed_ != nullptr) return borrowed_->MergeDeltasNow(trace);
+  for (auto& shard : shards_) {
+    SOLAP_RETURN_NOT_OK(shard->MergeDeltasNow(trace));
+  }
+  return Status::OK();
+}
+
+SOlapEngine::DeltaStats ShardedEngine::DeltaSnapshot() const {
+  if (borrowed_ != nullptr) return borrowed_->DeltaSnapshot();
+  SOlapEngine::DeltaStats out;
+  for (const auto& shard : shards_) {
+    const SOlapEngine::DeltaStats s = shard->DeltaSnapshot();
+    out.segments += s.segments;
+    out.bytes += s.bytes;
+  }
+  return out;
 }
 
 void ShardedEngine::NotifyTableAppend() {
   if (borrowed_ != nullptr) return borrowed_->NotifyTableAppend();
   if (shards_.size() == 1) return shards_[0]->NotifyTableAppend();
-  // Repartition the (append-only) source table into fresh slices. Caller
-  // quiesces queries, as with SOlapEngine's own mutating admin calls.
+  // Repartition the (append-only) source table into fresh slices under the
+  // facade gate — scattered queries wait rather than racing the rebuild.
+  EpochGate::WriteLock wl(gate_);
   {
     std::lock_guard<std::mutex> lock(fallback_mu_);
     if (fallback_) fallback_->NotifyTableAppend();

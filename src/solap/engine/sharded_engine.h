@@ -43,6 +43,11 @@ class ShardedEngine {
   /// the base code of options.shard_by (default: first string column).
   ShardedEngine(const EventTable* table, const HierarchyRegistry* hierarchies,
                 EngineOptions options = {});
+  /// Mutable-table overload: identical, but additionally enables the
+  /// streaming-ingestion write path (`IngestRows`, `EvictBefore`) — appends
+  /// route to the owning shard via the shard-by column's placement hash.
+  ShardedEngine(EventTable* table, const HierarchyRegistry* hierarchies,
+                EngineOptions options = {});
   /// Raw-group-backed: splits every group of `raw_groups` into
   /// options.shards contiguous sid blocks.
   ShardedEngine(std::shared_ptr<SequenceGroupSet> raw_groups,
@@ -101,6 +106,35 @@ class ShardedEngine {
   /// Table mode: repartitions the (append-only) source table and rebuilds
   /// the shard slices, then invalidates all caches.
   void NotifyTableAppend();
+
+  // -- Streaming ingestion (docs/INGESTION.md) -------------------------------
+
+  /// Appends a batch of event rows, routing each to the shard that owns its
+  /// sequence (ShardOfCode over the shard-by column's base code) after
+  /// synchronizing the shard dictionaries with the facade table's. Each
+  /// owning shard then maintains its caches incrementally (delta segments,
+  /// cuboid patches) exactly as a monolithic engine would; the facade's
+  /// merged-cuboid repository is invalidated. With remote scatter enabled,
+  /// the batch is also replicated to the shard servers (POST /shard/append)
+  /// so remote slices stay in sync. Requires the mutable-table constructor.
+  Status IngestRows(const std::vector<std::vector<Value>>& rows,
+                    TraceContext* trace = nullptr);
+
+  /// Time-window retention, fanned out to every shard (facade caches are
+  /// invalidated too). See SOlapEngine::EvictBefore.
+  Status EvictBefore(const std::string& order_attr, int64_t cutoff);
+
+  /// The facade epoch: one gate serializes facade-level writers against
+  /// scattered query executions; delegate/1-shard modes report the inner
+  /// engine's epoch so callers see one coherent counter either way.
+  uint64_t epoch() const;
+
+  /// Foreground delta merge across every shard (and the inner engine in
+  /// delegate/1-shard modes).
+  Status MergeDeltasNow(TraceContext* trace = nullptr);
+
+  /// Delta-segment footprint summed over all shards.
+  SOlapEngine::DeltaStats DeltaSnapshot() const;
 
   // -- Introspection ---------------------------------------------------------
 
@@ -175,6 +209,12 @@ class ShardedEngine {
 
   // Construction inputs (table XOR raw_groups, as with SOlapEngine).
   const EventTable* table_ = nullptr;
+  /// Non-null only via the mutable-table constructor; gates IngestRows.
+  EventTable* mutable_table_ = nullptr;
+  /// Facade-level writer/reader gate (sharded mode; shard engines gate
+  /// their own slices, this one makes multi-shard mutations atomic with
+  /// respect to scattered executions).
+  EpochGate gate_;
   std::shared_ptr<SequenceGroupSet> raw_groups_;
   const HierarchyRegistry* hierarchies_ = nullptr;
   EngineOptions options_;

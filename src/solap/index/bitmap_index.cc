@@ -5,11 +5,14 @@ namespace solap {
 BitmapIndex BitmapIndex::FromInverted(const InvertedIndex& index,
                                       size_t num_sequences) {
   BitmapIndex out(index.shape(), num_sequences);
-  for (const auto& [key, list] : index.lists()) {
+  index.ForEachLogicalList([&](const PatternKey& key, const SidList* base,
+                               const SidList* delta) {
     Bitmap bm(num_sequences);
-    list.ForEach([&](Sid s) { bm.Set(s); });
+    auto set = [&](Sid s) { bm.Set(s); };
+    if (base != nullptr) base->ForEach(set);
+    if (delta != nullptr) delta->ForEach(set);
     out.lists_.emplace(key, std::move(bm));
-  }
+  });
   return out;
 }
 

@@ -36,6 +36,18 @@ Status AppendToIndex(InvertedIndex* index, SequenceGroup* group,
                      const HierarchyRegistry* hierarchies, Sid from_sid,
                      ScanStats* stats, MemoryGovernor* governor = nullptr);
 
+/// Same scan as AppendToIndex, but new sids land in the index's DELTA
+/// segment (inverted_index.h) instead of the base containers — the
+/// streaming-ingestion write path. Readers holding an epoch snapshot keep
+/// seeing base lists untouched; the new sids become visible through the
+/// two-segment read path once the writer commits, and the background merge
+/// later folds them into the base via MergeDeltaIntoBase.
+Status AppendToIndexDelta(InvertedIndex* index, SequenceGroup* group,
+                          const SequenceGroupSet& set,
+                          const HierarchyRegistry* hierarchies, Sid from_sid,
+                          ScanStats* stats,
+                          MemoryGovernor* governor = nullptr);
+
 }  // namespace solap
 
 #endif  // SOLAP_INDEX_BUILD_INDEX_H_

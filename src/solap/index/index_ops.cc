@@ -158,19 +158,28 @@ Result<std::shared_ptr<InvertedIndex>> JoinExtendImpl(
 
   // Base lists that survive the window pre-filter, in map order (the
   // serial processing order, which the merge phase reproduces), plus the
-  // total entry count feeding the work-size cutoff.
-  using BaseEntry = const std::pair<const PatternKey, SidList>;
-  std::vector<BaseEntry*> base_entries;
+  // total entry count feeding the work-size cutoff. An input carrying an
+  // unmerged delta segment (streaming ingestion) contributes its LOGICAL
+  // lists: base and delta pointers travel together and the intersection
+  // runs the two-segment path; without deltas the pointers are null and
+  // the hot path is byte-identical to the pre-ingestion code.
+  struct BaseEntry {
+    const PatternKey* key;
+    const SidList* base;   // may be null (delta-only key)
+    const SidList* delta;  // null when the key has no unmerged delta
+  };
+  std::vector<BaseEntry> base_entries;
   base_entries.reserve(base.num_lists());
   size_t total_base_work = 0;
-  for (const auto& entry : base.lists()) {
-    if (!WindowConsistent(tmpl, base_win_offset, entry.first,
-                          bp.fixed_codes())) {
-      continue;
+  base.ForEachLogicalList([&](const PatternKey& key, const SidList* blist,
+                              const SidList* dlist) {
+    if (!WindowConsistent(tmpl, base_win_offset, key, bp.fixed_codes())) {
+      return;
     }
-    base_entries.push_back(&entry);
-    total_base_work += entry.second.size();
-  }
+    base_entries.push_back(BaseEntry{&key, blist, dlist});
+    total_base_work += (blist != nullptr ? blist->size() : 0) +
+                       (dlist != nullptr ? dlist->size() : 0);
+  });
 
   // Bucket the L2 lists by the code on the shared position. Dense chunks
   // of a SidList are bitmap containers already — the one-time encoding the
@@ -178,17 +187,21 @@ Result<std::shared_ptr<InvertedIndex>> JoinExtendImpl(
   // An L2 list past the explicit `bitmap_threshold` is probed whole (§6).
   struct L2Entry {
     Code grown;
-    const SidList* list;
+    const SidList* list;   // may be null (delta-only key)
+    const SidList* delta;  // null when the key has no unmerged delta
     bool probe_forced = false;
   };
   std::unordered_map<Code, std::vector<L2Entry>> by_shared;
-  for (const auto& [key2, list2] : l2.lists()) {
+  l2.ForEachLogicalList([&](const PatternKey& key2, const SidList* list2,
+                            const SidList* dlist2) {
     Code shared = grow_right ? key2[0] : key2[1];
     Code grown = grow_right ? key2[1] : key2[0];
+    const size_t logical_size = (list2 != nullptr ? list2->size() : 0) +
+                                (dlist2 != nullptr ? dlist2->size() : 0);
     const bool probe_forced = exec.bitmap_threshold != 0 &&
-                              list2.size() > exec.bitmap_threshold;
-    by_shared[shared].push_back(L2Entry{grown, &list2, probe_forced});
-  }
+                              logical_size > exec.bitmap_threshold;
+    by_shared[shared].push_back(L2Entry{grown, list2, dlist2, probe_forced});
+  });
 
   auto out = std::make_shared<InvertedIndex>(out_shape, /*complete=*/false);
   const bool scalar_only = !exec.adaptive_kernels;
@@ -198,8 +211,9 @@ Result<std::shared_ptr<InvertedIndex>> JoinExtendImpl(
     PatternKey out_key(out_len);
     std::vector<Sid> candidates, verified;  // reused across pairs
     for (size_t i = begin; i < end; ++i) {
-      const PatternKey& key = base_entries[i]->first;
-      const SidList& list = base_entries[i]->second;
+      const PatternKey& key = *base_entries[i].key;
+      const SidList* blist = base_entries[i].base;
+      const SidList* bdelta = base_entries[i].delta;
       Code shared = grow_right ? key.back() : key.front();
       auto it = by_shared.find(shared);
       if (it == by_shared.end()) continue;
@@ -218,18 +232,30 @@ Result<std::shared_ptr<InvertedIndex>> JoinExtendImpl(
         // IntersectSidLists; the per-pair tally is folded into the legacy
         // linear/galloping/bitmap counters so EXPLAIN ANALYZE still
         // reports the per-join kernel mix.
-        if (scalar_only) {
-          IntersectSidListsScalar(list, *l2e.list, candidates);
+        if (bdelta != nullptr || l2e.delta != nullptr || blist == nullptr ||
+            l2e.list == nullptr) {
+          // Two-segment read path: either side has an unmerged delta, so
+          // all four base/delta cross terms participate (intersect.cc).
+          ContainerOpCounts delta_counts;
+          IntersectSegmented(blist, bdelta, l2e.list, l2e.delta, candidates,
+                             &delta_counts, scalar_only);
+          shard.stats.container_array_ops += delta_counts.array_ops;
+          shard.stats.container_bitmap_ops += delta_counts.bitmap_ops;
+          shard.stats.container_run_ops += delta_counts.run_ops;
+          shard.stats.container_gallop_ops += delta_counts.gallop_ops;
+          ++shard.stats.intersections_linear;
+        } else if (scalar_only) {
+          IntersectSidListsScalar(*blist, *l2e.list, candidates);
           ++shard.stats.intersections_linear;
         } else if (l2e.probe_forced) {
           candidates.clear();
-          list.ForEach([&](Sid s) {
+          blist->ForEach([&](Sid s) {
             if (l2e.list->Contains(s)) candidates.push_back(s);
           });
           ++shard.stats.intersections_bitmap;
         } else {
           ContainerOpCounts delta;
-          IntersectSidLists(list, *l2e.list, candidates, &delta);
+          IntersectSidLists(*blist, *l2e.list, candidates, &delta);
           shard.stats.container_array_ops += delta.array_ops;
           shard.stats.container_bitmap_ops += delta.bitmap_ops;
           shard.stats.container_run_ops += delta.run_ops;
@@ -353,12 +379,22 @@ Result<std::shared_ptr<InvertedIndex>> RollUpMerge(
   // embarrassingly parallel; targets are keyed serially in the fine map's
   // iteration order, so the output's insertion order matches a serial
   // merge exactly.
-  using FineEntry = const std::pair<const PatternKey, SidList>;
-  std::vector<FineEntry*> entries;
-  entries.reserve(fine.num_lists());
+  // A delta segment folds in naturally here: its lists enter the entry set
+  // as additional union sources (the k-way merge dedups), so a not-yet-
+  // compacted index rolls up to the same coarse lists a merged one would.
+  struct FineEntry {
+    const PatternKey* key;
+    const SidList* list;
+  };
+  std::vector<FineEntry> entries;
+  entries.reserve(fine.num_lists() + fine.delta().size());
   size_t total_work = 0;
   for (const auto& entry : fine.lists()) {
-    entries.push_back(&entry);
+    entries.push_back(FineEntry{&entry.first, &entry.second});
+    total_work += entry.second.size();
+  }
+  for (const auto& entry : fine.delta()) {
+    entries.push_back(FineEntry{&entry.first, &entry.second});
     total_work += entry.second.size();
   }
   const size_t n = entries.size();
@@ -372,7 +408,7 @@ Result<std::shared_ptr<InvertedIndex>> RollUpMerge(
   auto map_range = [&](size_t begin, size_t end) {
     try {
       for (size_t i = begin; i < end; ++i) {
-        const PatternKey& key = entries[i]->first;
+        const PatternKey& key = *entries[i].key;
         PatternKey& ck = coarse_keys[i];
         ck = key;
         for (size_t p = 0; p < key.size(); ++p) {
@@ -425,7 +461,7 @@ Result<std::shared_ptr<InvertedIndex>> RollUpMerge(
       targets.push_back(&out->lists()[coarse_keys[i]]);
       sources.emplace_back();
     }
-    sources[it->second].push_back(&entries[i]->second);
+    sources[it->second].push_back(entries[i].list);
   }
 
   // Phase 3 (parallel): k-way container union per target.
@@ -495,15 +531,17 @@ Result<std::shared_ptr<InvertedIndex>> DrillDownRefine(
   // exactly once — a sequence typically sits in several coarse lists.
   std::unordered_set<PatternKey, CodeVecHash> keep;
   std::vector<bool> marked(bp_fine.group().num_sequences(), false);
-  for (const auto& [coarse_key, list] : coarse.lists()) {
+  coarse.ForEachLogicalList([&](const PatternKey& coarse_key,
+                                const SidList* blist, const SidList* dlist) {
     if (coarse_fixed_codes != nullptr &&
         !WindowConsistent(bp_fine.tmpl(), 0, coarse_key,
                           *coarse_fixed_codes)) {
-      continue;  // the slice excludes this coarse cell entirely
+      return;  // the slice excludes this coarse cell entirely
     }
     keep.insert(coarse_key);
-    list.ForEach([&](Sid s) { marked[s] = true; });
-  }
+    if (blist != nullptr) blist->ForEach([&](Sid s) { marked[s] = true; });
+    if (dlist != nullptr) dlist->ForEach([&](Sid s) { marked[s] = true; });
+  });
   std::unordered_set<PatternKey, CodeVecHash> seen;  // per-sid dedup
   PatternKey fine_key(m), coarse_key(m);
   for (Sid s = 0; s < marked.size(); ++s) {
@@ -549,9 +587,13 @@ Result<std::shared_ptr<InvertedIndex>> ExtendByScan(
   const bool substring = tmpl.kind() == PatternKind::kSubstring;
   PatternKey out_key(out_len);
   std::unordered_set<PatternKey, CodeVecHash> seen;  // per-sid dedup
-  for (const auto& [key, list] : base.lists()) {
-    if (!WindowConsistent(tmpl, base_off, key, bp.fixed_codes())) continue;
-    list.ForEach([&](Sid s) {
+  // Base then delta per key: the watermark invariant (delta sids exceed
+  // base sids of the same index) keeps the per-out-key AddSid order
+  // ascending, which the SidList append builder requires.
+  base.ForEachLogicalList([&](const PatternKey& key, const SidList* blist,
+                              const SidList* dlist) {
+    if (!WindowConsistent(tmpl, base_off, key, bp.fixed_codes())) return;
+    auto scan_sid = [&](Sid s) {
       if (stats != nullptr) ++stats->sequences_scanned;
       seen.clear();
       const uint32_t len = bp.group().length(s);
@@ -593,8 +635,10 @@ Result<std::shared_ptr<InvertedIndex>> ExtendByScan(
         };
         rec(rec, 0, 0);
       }
-    });
-  }
+    };
+    if (blist != nullptr) blist->ForEach(scan_sid);
+    if (dlist != nullptr) dlist->ForEach(scan_sid);
+  });
   if (stats != nullptr) {
     stats->lists_built += out->num_lists();
     stats->index_bytes_built += out->ByteSize();

@@ -21,6 +21,7 @@
 
 #include "solap/common/types.h"
 #include "solap/index/bitmap.h"
+#include "solap/index/container.h"
 
 namespace solap {
 
@@ -126,6 +127,24 @@ inline void IntersectAdaptive(std::span<const Sid> a, std::span<const Sid> b,
 /// Runtime CPU feature checks backing the SIMD dispatch (false off x86).
 bool CpuHasSse42();
 bool CpuHasAvx2();
+
+// -- Two-segment (base ⋈ delta) intersection --------------------------------
+
+/// out = (a_base ∪ a_delta) ∩ (b_base ∪ b_delta), the streaming-ingestion
+/// read path (docs/INGESTION.md): an index whose delta segment has not yet
+/// been background-merged presents each logical list as base + delta. Any
+/// of the four pointers may be null (treated as the empty list). Within one
+/// index base and delta are disjoint (the watermark invariant), so the
+/// logical sets are plain unions — but the four pairwise intersections are
+/// ALL computed: across two indices of different vintages a sid can sit in
+/// one index's base and the other's delta. Base×base runs the adaptive
+/// container kernels (`counts` tallies them, as in IntersectSidLists);
+/// the delta cross terms are small and use the scalar merge. `scalar_only`
+/// mirrors the join's `adaptive_kernels = false` A/B baseline.
+void IntersectSegmented(const SidList* a_base, const SidList* a_delta,
+                        const SidList* b_base, const SidList* b_delta,
+                        std::vector<Sid>& out, ContainerOpCounts* counts,
+                        bool scalar_only);
 
 }  // namespace solap
 

@@ -7,6 +7,7 @@
 
 #include "solap/common/trace.h"
 #include "solap/net/json.h"
+#include "solap/net/shard_routes.h"
 #include "solap/parser/parser.h"
 
 namespace solap {
@@ -260,6 +261,56 @@ HttpResponse HandleQuery(QueryService* service, const HttpRequest& req) {
   return resp;
 }
 
+/// POST /ingest: {"rows":[[v,...],...]} appended through the service's
+/// epoch-gated write path. Values travel by JSON kind (null / string /
+/// integer / number) and are checked against the table schema by
+/// EventTable::ValidateRow — the whole batch is rejected on any mismatch.
+HttpResponse HandleIngest(QueryService* service, const HttpRequest& req) {
+  auto run = [&]() -> Result<HttpResponse> {
+    SOLAP_ASSIGN_OR_RETURN(JsonValue root, JsonParse(req.body));
+    if (!root.IsObject()) {
+      return Status::InvalidArgument("ingest body must be an object");
+    }
+    SOLAP_ASSIGN_OR_RETURN(const JsonValue* rows_v,
+                           root.Require("rows", JsonValue::Kind::kArray));
+    std::vector<std::vector<Value>> rows;
+    rows.reserve(rows_v->items.size());
+    for (const JsonValue& rv : rows_v->items) {
+      if (!rv.IsArray()) {
+        return Status::InvalidArgument("each row must be an array");
+      }
+      std::vector<Value> row;
+      row.reserve(rv.items.size());
+      for (const JsonValue& cv : rv.items) {
+        SOLAP_ASSIGN_OR_RETURN(Value value, RowValueFromJson(cv));
+        row.push_back(std::move(value));
+      }
+      rows.push_back(std::move(row));
+    }
+
+    TraceContext trace_ctx;
+    const bool traced = [&] {
+      const std::string* v = req.FindHeader("x-solap-trace");
+      return v != nullptr && *v == "1";
+    }();
+    QueryService::IngestResult result =
+        service->Ingest(rows, traced ? &trace_ctx : nullptr);
+    if (!result.status.ok()) return result.status;
+
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = "{\"status\":\"ok\",\"events\":" +
+                std::to_string(result.events) +
+                ",\"epoch\":" + std::to_string(result.epoch);
+    if (traced) resp.body += ",\"trace\":" + JsonString(trace_ctx.ToString());
+    resp.body += "}\n";
+    return resp;
+  };
+  auto resp = run();
+  if (!resp.ok()) return JsonErrorResponse(resp.status());
+  return *std::move(resp);
+}
+
 }  // namespace
 
 int HttpStatusForError(const Status& status) {
@@ -292,6 +343,9 @@ Router BuildSolapRouter(QueryService* service) {
   Router router;
   router.Handle("POST", "/query", [service](const HttpRequest& req) {
     return HandleQuery(service, req);
+  });
+  router.Handle("POST", "/ingest", [service](const HttpRequest& req) {
+    return HandleIngest(service, req);
   });
   router.Handle("GET", "/metrics", [service](const HttpRequest&) {
     service->RefreshResourceMetrics();

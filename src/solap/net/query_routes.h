@@ -15,6 +15,12 @@
 //                                                empty (re-run current)
 //                    X-Solap-Trace: 1            include the span tree in
 //                                                the JSON response
+//   POST /ingest   {"rows":[[v,...],...]} appended through the epoch-gated
+//                  write path (docs/INGESTION.md). Values travel by JSON
+//                  kind (null/string/integer/number) and are validated
+//                  against the table schema; the whole batch is rejected
+//                  on any mismatch. Answers {"status":"ok","events":N,
+//                  "epoch":E}. X-Solap-Trace: 1 includes the span tree.
 //   GET /metrics   Prometheus 0.0.4 text exposition of the service
 //                  registry (every series prefixed solap_).
 //   GET /healthz   Liveness probe ("ok"); the server answers 503 here

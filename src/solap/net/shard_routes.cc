@@ -83,12 +83,95 @@ HttpResponse HandleShardExec(SOlapEngine* engine, const HttpRequest& req) {
   return *std::move(resp);
 }
 
+HttpResponse HandleShardAppend(SOlapEngine* engine, const HttpRequest& req) {
+  auto run = [&]() -> Result<HttpResponse> {
+    SOLAP_ASSIGN_OR_RETURN(std::string_view body,
+                           DecodeShardEnvelope(req.body));
+    SOLAP_ASSIGN_OR_RETURN(JsonValue root, JsonParse(body));
+    if (!root.IsObject()) {
+      return Status::InvalidArgument("shard append payload must be an object");
+    }
+
+    // Dictionary tails first: the rows below re-encode through them, and
+    // the replica must assign the coordinator's codes, not invent its own.
+    SOLAP_ASSIGN_OR_RETURN(const JsonValue* dicts_v,
+                           root.Require("dicts", JsonValue::Kind::kArray));
+    for (const JsonValue& dv : dicts_v->items) {
+      if (!dv.IsObject()) {
+        return Status::InvalidArgument("dict update must be an object");
+      }
+      SOLAP_ASSIGN_OR_RETURN(int64_t col, dv.RequireInt("col"));
+      SOLAP_ASSIGN_OR_RETURN(int64_t from, dv.RequireInt("from"));
+      SOLAP_ASSIGN_OR_RETURN(const JsonValue* values_v,
+                             dv.Require("values", JsonValue::Kind::kArray));
+      std::vector<std::string> values;
+      values.reserve(values_v->items.size());
+      for (const JsonValue& s : values_v->items) {
+        if (!s.IsString()) {
+          return Status::InvalidArgument("dict values must be strings");
+        }
+        values.push_back(s.s);
+      }
+      if (col < 0 || from < 0) {
+        return Status::InvalidArgument("dict col/from must be non-negative");
+      }
+      SOLAP_RETURN_NOT_OK(engine->SyncTableDictionary(
+          static_cast<int>(col), static_cast<size_t>(from), values));
+    }
+
+    SOLAP_ASSIGN_OR_RETURN(const JsonValue* rows_v,
+                           root.Require("rows", JsonValue::Kind::kArray));
+    std::vector<std::vector<Value>> rows;
+    rows.reserve(rows_v->items.size());
+    for (const JsonValue& rv : rows_v->items) {
+      if (!rv.IsArray()) {
+        return Status::InvalidArgument("each row must be an array");
+      }
+      std::vector<Value> row;
+      row.reserve(rv.items.size());
+      for (const JsonValue& cv : rv.items) {
+        SOLAP_ASSIGN_OR_RETURN(Value value, RowValueFromJson(cv));
+        row.push_back(std::move(value));
+      }
+      rows.push_back(std::move(row));
+    }
+    SOLAP_RETURN_NOT_OK(engine->IngestRows(rows));
+
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = "{\"status\":\"ok\",\"epoch\":" +
+                std::to_string(engine->epoch()) + "}\n";
+    return resp;
+  };
+  auto resp = run();
+  if (!resp.ok()) return ShardErrorResponse(resp.status());
+  return *std::move(resp);
+}
+
 }  // namespace
+
+Result<Value> RowValueFromJson(const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull:
+      return Value::Null();
+    case JsonValue::Kind::kString:
+      return Value::String(v.s);
+    case JsonValue::Kind::kNumber:
+      return v.is_int ? Value::Int64(v.i) : Value::Double(v.d);
+    default:
+      return Status::InvalidArgument(
+          "row value must be null, string, or number");
+  }
+}
 
 void AddShardExecRoutes(Router* router, SOlapEngine* engine) {
   router->Handle("POST", "/shard/exec",
                  [engine](const HttpRequest& req) {
                    return HandleShardExec(engine, req);
+                 });
+  router->Handle("POST", "/shard/append",
+                 [engine](const HttpRequest& req) {
+                   return HandleShardAppend(engine, req);
                  });
   router->Handle("GET", "/healthz", [](const HttpRequest&) {
     return TextResponse(200, "ok\n");

@@ -7,19 +7,34 @@
 //                      the execution. Errors come back in the same JSON
 //                      error shape as /query, so the client can map the
 //                      shard's Status code faithfully.
+//   POST /shard/append CRC-tagged envelope holding {"dicts":[...],
+//                      "rows":[...]} — the coordinator replicating an
+//                      ingested batch's routed slice (docs/INGESTION.md).
+//                      Dictionary tails apply before the rows so the
+//                      replica's codes stay identical to the
+//                      coordinator's. Answers {"status":"ok","epoch":N}.
 //   GET  /healthz      Liveness probe for the supervisor
 //                      (service/shard_supervisor.h).
 #ifndef SOLAP_NET_SHARD_ROUTES_H_
 #define SOLAP_NET_SHARD_ROUTES_H_
 
 #include "solap/engine/engine.h"
+#include "solap/net/json.h"
 #include "solap/net/router.h"
 
 namespace solap {
 namespace net {
 
-/// Registers POST /shard/exec and GET /healthz on `router`, serving
-/// `engine` (the shard's slice executor; must outlive the server).
+/// Decodes one wire row value by JSON kind (null / string / integer /
+/// number). Schema-free on purpose: EventTable::ValidateRow's conversion
+/// rules accept exactly these kinds for their matching column types.
+/// Shared by /shard/append and the coordinator's /ingest.
+Result<Value> RowValueFromJson(const JsonValue& v);
+
+/// Registers POST /shard/exec, POST /shard/append and GET /healthz on
+/// `router`, serving `engine` (the shard's slice executor; must outlive
+/// the server). Append requires an engine built over a mutable table —
+/// shard_main's is — and answers InvalidArgument otherwise.
 void AddShardExecRoutes(Router* router, SOlapEngine* engine);
 
 /// A ready-made router holding only the shard routes.

@@ -7,7 +7,7 @@ std::shared_ptr<SequenceGroupSet> SequenceCache::Lookup(
   const std::string key = spec.CanonicalString();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
-  return it == map_.end() ? nullptr : it->second;
+  return it == map_.end() ? nullptr : it->second.set;
 }
 
 void SequenceCache::Insert(const SequenceSpec& spec,
@@ -28,7 +28,7 @@ void SequenceCache::Insert(const SequenceSpec& spec,
     charges_[key] = bytes;
     charged_bytes_ += bytes;
   }
-  map_[key] = std::move(set);
+  map_[key] = Entry{spec, std::move(set)};
 }
 
 std::shared_ptr<SequenceGroupSet> SequenceCache::InsertIfAbsent(
@@ -37,7 +37,7 @@ std::shared_ptr<SequenceGroupSet> SequenceCache::InsertIfAbsent(
   const size_t bytes = set->ApproxBytes();
   std::lock_guard<std::mutex> lock(mu_);
   auto existing = map_.find(key);
-  if (existing != map_.end()) return existing->second;
+  if (existing != map_.end()) return existing->second.set;
   // A rejected charge returns the freshly built set uncached: the query
   // proceeds on it, and the next identical formation rebuilds. Group-set
   // identity (which keys the per-group index caches) then differs between
@@ -50,8 +50,8 @@ std::shared_ptr<SequenceGroupSet> SequenceCache::InsertIfAbsent(
     charges_[key] = bytes;
     charged_bytes_ += bytes;
   }
-  auto [it, inserted] = map_.emplace(key, std::move(set));
-  return it->second;
+  auto [it, inserted] = map_.emplace(key, Entry{spec, std::move(set)});
+  return it->second.set;
 }
 
 void SequenceCache::Clear() {
@@ -60,6 +60,31 @@ void SequenceCache::Clear() {
   charged_bytes_ = 0;
   charges_.clear();
   map_.clear();
+}
+
+void SequenceCache::Erase(const SequenceSpec& spec) {
+  const std::string key = spec.CanonicalString();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (governor_ != nullptr) {
+    auto it = charges_.find(key);
+    if (it != charges_.end()) {
+      governor_->Release(it->second);
+      charged_bytes_ -= it->second;
+      charges_.erase(it);
+    }
+  }
+  map_.erase(key);
+}
+
+std::vector<std::pair<SequenceSpec, std::shared_ptr<SequenceGroupSet>>>
+SequenceCache::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<SequenceSpec, std::shared_ptr<SequenceGroupSet>>> out;
+  out.reserve(map_.size());
+  for (const auto& [key, entry] : map_) {
+    out.emplace_back(entry.spec, entry.set);
+  }
+  return out;
 }
 
 SequenceCache::~SequenceCache() {

@@ -11,6 +11,8 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "solap/common/mem_budget.h"
 #include "solap/seq/sequence_group.h"
@@ -38,6 +40,15 @@ class SequenceCache {
   /// invalidates previously formed sequences).
   void Clear();
 
+  /// Drops one formation (streaming ingestion's conservative invalidation
+  /// when an append touches a cluster key the formation already holds).
+  void Erase(const SequenceSpec& spec);
+
+  /// Snapshot of all cached formations with the specs that built them —
+  /// the enumeration the incremental-maintenance pass walks on ingest.
+  std::vector<std::pair<SequenceSpec, std::shared_ptr<SequenceGroupSet>>>
+  Entries() const;
+
   size_t size() const;
 
   /// Attaches the engine-wide byte-budget accountant: caching a set charges
@@ -49,10 +60,15 @@ class SequenceCache {
   ~SequenceCache();
 
  private:
+  struct Entry {
+    SequenceSpec spec;  // kept so ingestion can re-bind formation clauses
+    std::shared_ptr<SequenceGroupSet> set;
+  };
+
   mutable std::mutex mu_;
   MemoryGovernor* governor_ = nullptr;
   size_t charged_bytes_ = 0;
-  std::unordered_map<std::string, std::shared_ptr<SequenceGroupSet>> map_;
+  std::unordered_map<std::string, Entry> map_;
   // Governor charge per cached key (refunded on replace/Clear).
   std::unordered_map<std::string, size_t> charges_;
 };

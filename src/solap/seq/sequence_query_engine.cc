@@ -19,7 +19,8 @@ std::string SequenceSpec::CanonicalString() const {
 }
 
 Result<std::shared_ptr<SequenceGroupSet>> SequenceQueryEngine::Build(
-    const EventTable& table, const SequenceSpec& spec) {
+    const EventTable& table, const SequenceSpec& spec,
+    const RowFilter* filter) {
   if (spec.cluster_by.empty()) {
     return Status::InvalidArgument("CLUSTER BY must name at least one "
                                    "attribute");
@@ -57,6 +58,7 @@ Result<std::shared_ptr<SequenceGroupSet>> SequenceQueryEngine::Build(
   const size_t n = table.num_rows();
   CellKey ckey(cluster_bindings.size());
   for (RowId row = 0; row < n; ++row) {
+    if (filter != nullptr && !filter->Keep(table, row)) continue;
     if (spec.where != nullptr && !spec.where->EvalRow(table, row).AsBool()) {
       continue;
     }

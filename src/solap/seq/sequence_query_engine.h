@@ -30,6 +30,20 @@ struct SequenceSpec {
   std::string CanonicalString() const;
 };
 
+/// \brief Row-level retention window applied during step 1, in addition to
+/// the spec's WHERE: rows whose int64/timestamp column `col` is below
+/// `min_inclusive` are skipped. The engine's EvictBefore (docs/INGESTION.md)
+/// installs one so that both fresh formations and incremental extensions
+/// see the same logical table.
+struct RowFilter {
+  int col = -1;  ///< -1 = no filtering
+  int64_t min_inclusive = 0;
+
+  bool Keep(const EventTable& table, RowId row) const {
+    return col < 0 || table.Int64At(row, col) >= min_inclusive;
+  }
+};
+
 /// \brief Executes SequenceSpecs against an event table.
 ///
 /// The paper offloads these four steps to "an existing sequence database
@@ -39,9 +53,11 @@ class SequenceQueryEngine {
   explicit SequenceQueryEngine(const HierarchyRegistry* hierarchies)
       : hierarchies_(hierarchies) {}
 
-  /// Runs steps 1-4 and returns the grouped sequences.
-  Result<std::shared_ptr<SequenceGroupSet>> Build(const EventTable& table,
-                                                  const SequenceSpec& spec);
+  /// Runs steps 1-4 and returns the grouped sequences. `filter` (optional)
+  /// is the engine's retention window.
+  Result<std::shared_ptr<SequenceGroupSet>> Build(
+      const EventTable& table, const SequenceSpec& spec,
+      const RowFilter* filter = nullptr);
 
  private:
   const HierarchyRegistry* hierarchies_;

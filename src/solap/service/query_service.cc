@@ -51,10 +51,16 @@ QueryService::QueryService(ShardedEngine* engine, ServiceOptions options)
       shard_rpc_retries_(metrics_.counter("shard_rpc_retries")),
       shard_rpc_hedges_(metrics_.counter("shard_rpc_hedges")),
       partial_answers_(metrics_.counter("partial_answers")),
+      ingest_events_(metrics_.counter("ingest_events")),
+      delta_merges_(metrics_.counter("delta_merges")),
+      stale_cuboid_invalidations_(
+          metrics_.counter("stale_cuboid_invalidations")),
       mem_used_(metrics_.gauge("mem_used_bytes")),
       mem_budget_(metrics_.gauge("mem_budget_bytes")),
       mem_rejects_(metrics_.gauge("mem_budget_rejects")),
       io_retries_(metrics_.gauge("io_retries")),
+      epoch_gauge_(metrics_.gauge("epoch")),
+      delta_segments_(metrics_.gauge("delta_segments")),
       queue_depth_(metrics_.histogram("queue_depth")),
       wait_ms_(metrics_.histogram("queue_wait_ms")),
       exec_cb_(metrics_.histogram("exec_ms_cb")),
@@ -309,7 +315,45 @@ void QueryService::RefreshResourceMetrics() {
   mem_budget_->Set(engine_->MemBudget());
   mem_rejects_->Set(engine_->MemRejects());
   io_retries_->Set(SnapshotIoRetries());
+  epoch_gauge_->Set(engine_->epoch());
+  delta_segments_->Set(engine_->DeltaSnapshot().segments);
+  // The background merger and the ingest path advance engine totals off
+  // any service thread; publish the monotone diff since the last refresh.
+  const ScanStats totals = engine_->StatsSnapshot();
+  std::lock_guard<std::mutex> lock(ingest_metrics_mu_);
+  delta_merges_->Inc(totals.delta_merges - last_delta_merges_);
+  last_delta_merges_ = totals.delta_merges;
+  stale_cuboid_invalidations_->Inc(totals.stale_cuboid_invalidations -
+                                   last_stale_invalidations_);
+  last_stale_invalidations_ = totals.stale_cuboid_invalidations;
 }
+
+QueryService::IngestResult QueryService::Ingest(
+    const std::vector<std::vector<Value>>& rows, TraceContext* trace) {
+  IngestResult out;
+  if (shutdown_.load(std::memory_order_acquire)) {
+    out.status = Status::Unavailable("query service is shut down");
+    return out;
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    out.status = Status::Unavailable("query service is draining");
+    return out;
+  }
+  out.status = engine_->IngestRows(rows, trace);
+  if (out.status.ok()) {
+    out.events = rows.size();
+    out.epoch = engine_->epoch();
+    ingest_events_->Inc(rows.size());
+  }
+  return out;
+}
+
+Status QueryService::EvictBefore(const std::string& order_attr,
+                                 int64_t cutoff) {
+  return engine_->EvictBefore(order_attr, cutoff);
+}
+
+Status QueryService::MergeDeltasNow() { return engine_->MergeDeltasNow(); }
 
 void QueryService::BeginDrain() {
   draining_.store(true, std::memory_order_release);

@@ -111,6 +111,32 @@ class QueryService {
   /// Blocking convenience: Submit + wait.
   QueryResponse Run(const CuboidSpec& spec, SubmitOptions opts = {});
 
+  // -- Streaming ingestion ---------------------------------------------------
+
+  /// Outcome of one ingest batch.
+  struct IngestResult {
+    Status status = Status::OK();
+    size_t events = 0;   ///< rows appended (0 unless status.ok())
+    uint64_t epoch = 0;  ///< engine epoch after the commit
+  };
+
+  /// Appends one batch of event rows through the engine's epoch-gated
+  /// write path (docs/INGESTION.md). Runs on the CALLING thread — writers
+  /// serialize on the engine gate instead of competing with queries for
+  /// the pool — and is rejected with kUnavailable while draining or shut
+  /// down. All-or-nothing per batch, like SOlapEngine::IngestRows.
+  IngestResult Ingest(const std::vector<std::vector<Value>>& rows,
+                      TraceContext* trace = nullptr);
+
+  /// Time-window retention fan-in; see SOlapEngine::EvictBefore.
+  Status EvictBefore(const std::string& order_attr, int64_t cutoff);
+
+  /// Foreground delta merge across every shard (admin, tests).
+  Status MergeDeltasNow();
+
+  /// Engine epoch — what /metrics reports as the `epoch` gauge.
+  uint64_t epoch() const { return engine_->epoch(); }
+
   // -- Sessions --------------------------------------------------------------
 
   /// Opens an iterative session starting from `initial`.
@@ -228,10 +254,22 @@ class QueryService {
   Counter* shard_rpc_retries_;
   Counter* shard_rpc_hedges_;
   Counter* partial_answers_;
+  Counter* ingest_events_;
+  Counter* delta_merges_;
+  Counter* stale_cuboid_invalidations_;
   Gauge* mem_used_;
   Gauge* mem_budget_;
   Gauge* mem_rejects_;
   Gauge* io_retries_;
+  Gauge* epoch_gauge_;
+  Gauge* delta_segments_;
+
+  // Engine-total watermarks behind the monotone ingest counters: the
+  // background merger and the ingest path both advance engine totals, and
+  // RefreshResourceMetrics publishes the diff since the last refresh.
+  std::mutex ingest_metrics_mu_;
+  uint64_t last_delta_merges_ = 0;
+  uint64_t last_stale_invalidations_ = 0;
   Histogram* queue_depth_;
   Histogram* wait_ms_;
   Histogram* exec_cb_;

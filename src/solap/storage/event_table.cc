@@ -17,7 +17,7 @@ EventTable::EventTable(Schema schema) : schema_(std::move(schema)) {
   }
 }
 
-Status EventTable::AppendRow(const std::vector<Value>& values) {
+Status EventTable::ValidateRow(const std::vector<Value>& values) const {
   if (values.size() != schema_.num_fields()) {
     std::ostringstream os;
     os << "row arity " << values.size() << " != schema arity "
@@ -34,7 +34,6 @@ Status EventTable::AppendRow(const std::vector<Value>& values) {
                                          "' expects string, got " +
                                          ValueTypeName(v.type()));
         }
-        code_cols_[i].push_back(dicts_[i]->GetOrAdd(v.str()));
         break;
       case ValueType::kInt64:
       case ValueType::kTimestamp:
@@ -44,14 +43,9 @@ Status EventTable::AppendRow(const std::vector<Value>& values) {
                                          "' expects integer, got " +
                                          ValueTypeName(v.type()));
         }
-        int_cols_[i].push_back(v.int64());
         break;
       case ValueType::kDouble:
-        if (v.type() == ValueType::kDouble) {
-          dbl_cols_[i].push_back(v.dbl());
-        } else if (v.type() == ValueType::kInt64) {
-          dbl_cols_[i].push_back(static_cast<double>(v.int64()));
-        } else {
+        if (v.type() != ValueType::kDouble && v.type() != ValueType::kInt64) {
           return Status::InvalidArgument("column '" + f.name +
                                          "' expects double, got " +
                                          ValueTypeName(v.type()));
@@ -62,7 +56,95 @@ Status EventTable::AppendRow(const std::vector<Value>& values) {
                                        "' has null type");
     }
   }
+  return Status::OK();
+}
+
+Status EventTable::AppendRow(const std::vector<Value>& values) {
+  SOLAP_RETURN_NOT_OK(ValidateRow(values));
+  for (size_t i = 0; i < values.size(); ++i) {
+    const Value& v = values[i];
+    switch (schema_.field(i).type) {
+      case ValueType::kString:
+        code_cols_[i].push_back(dicts_[i]->GetOrAdd(v.str()));
+        break;
+      case ValueType::kInt64:
+      case ValueType::kTimestamp:
+        int_cols_[i].push_back(v.int64());
+        break;
+      case ValueType::kDouble:
+        dbl_cols_[i].push_back(v.type() == ValueType::kDouble
+                                   ? v.dbl()
+                                   : static_cast<double>(v.int64()));
+        break;
+      case ValueType::kNull:
+        break;
+    }
+  }
   ++num_rows_;
+  return Status::OK();
+}
+
+Status EventTable::Append(const std::vector<std::vector<Value>>& rows) {
+  if (rows.empty()) return Status::OK();  // no-op: the epoch does not move
+  // Validate-all-first: a bad row anywhere rejects the whole batch before
+  // any column (or dictionary) is touched, so the table never holds a
+  // partially applied batch.
+  for (const std::vector<Value>& row : rows) {
+    SOLAP_RETURN_NOT_OK(ValidateRow(row));
+  }
+  for (const std::vector<Value>& row : rows) {
+    Status s = AppendRow(row);
+    // Unreachable after validation, but never bump the epoch on a torn
+    // batch should AppendRow grow a new failure mode.
+    if (!s.ok()) return s;
+  }
+  ++epoch_;
+  return Status::OK();
+}
+
+std::vector<std::string> EventTable::DictionaryTail(int col,
+                                                    size_t from) const {
+  std::vector<std::string> tail;
+  if (!dicts_[col]) return tail;
+  const size_t n = dicts_[col]->size();
+  tail.reserve(n > from ? n - from : 0);
+  for (size_t c = from; c < n; ++c) {
+    tail.push_back(dicts_[col]->ValueOf(static_cast<Code>(c)));
+  }
+  return tail;
+}
+
+Status EventTable::SyncDictionary(int col, size_t from,
+                                  const std::vector<std::string>& values) {
+  if (!dicts_[col]) {
+    return Status::InvalidArgument("column " + std::to_string(col) +
+                                   " is not dictionary-encoded");
+  }
+  Dictionary& dict = *dicts_[col];
+  for (size_t i = 0; i < values.size(); ++i) {
+    const size_t want = from + i;
+    if (want < dict.size()) {
+      // Overlap with entries this replica already holds (idempotent
+      // retries): verify, don't re-insert.
+      if (dict.ValueOf(static_cast<Code>(want)) != values[i]) {
+        return Status::InvalidArgument(
+            "dictionary sync diverged at code " + std::to_string(want) +
+            ": have '" + dict.ValueOf(static_cast<Code>(want)) + "', got '" +
+            values[i] + "'");
+      }
+      continue;
+    }
+    if (want != dict.size()) {
+      return Status::InvalidArgument(
+          "dictionary sync gap: tail starts at code " + std::to_string(want) +
+          " but dictionary has " + std::to_string(dict.size()) + " entries");
+    }
+    if (dict.GetOrAdd(values[i]) != static_cast<Code>(want)) {
+      return Status::InvalidArgument("dictionary sync diverged: '" +
+                                     values[i] +
+                                     "' already coded differently");
+    }
+  }
   return Status::OK();
 }
 

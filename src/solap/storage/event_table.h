@@ -34,6 +34,40 @@ class EventTable {
   /// must match (or be losslessly convertible to) the column type.
   Status AppendRow(const std::vector<Value>& values);
 
+  /// Batch append (the streaming-ingestion entry point, docs/INGESTION.md):
+  /// validates EVERY row against the schema before touching any column, so
+  /// a bad row rejects the whole batch and the table is never left with a
+  /// half-applied batch. A non-empty committed batch advances the table
+  /// epoch by one; an empty batch is a no-op on the epoch. Not internally
+  /// synchronized — the engine's EpochGate serializes writers against
+  /// readers.
+  Status Append(const std::vector<std::vector<Value>>& rows);
+
+  /// Monotonic count of committed non-empty Append batches. Storage-level
+  /// bookkeeping only; the query-visible epoch is the engine gate's.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Number of entries in string column `col`'s dictionary (0 for
+  /// non-string columns). With `DictionaryTail`, the primitive of the
+  /// sharded append path's dictionary synchronization.
+  size_t DictionarySize(int col) const {
+    return dicts_[col] ? dicts_[col]->size() : 0;
+  }
+
+  /// Values [from, size) of string column `col`'s dictionary in code order
+  /// — the entries a replica whose dictionary has `from` entries must
+  /// append (in this order) to assign the same codes this table did.
+  std::vector<std::string> DictionaryTail(int col, size_t from) const;
+
+  /// Applies a dictionary tail: value `values[i]` must end up under code
+  /// `from + i` in string column `col`'s dictionary. Entries below the
+  /// current size are verified (idempotent retries re-send overlap);
+  /// entries at the boundary are appended. InvalidArgument on any
+  /// positional mismatch — divergent replicas must fail loudly, not
+  /// mis-merge codes.
+  Status SyncDictionary(int col, size_t from,
+                        const std::vector<std::string>& values);
+
   /// Value of column `col` at `row` (strings are decoded).
   Value GetValue(RowId row, int col) const;
 
@@ -65,8 +99,12 @@ class EventTable {
  private:
   friend class TableIo;  // binary persistence (storage/io.cc)
 
+  /// Schema check shared by AppendRow and Append's validate-first pass.
+  Status ValidateRow(const std::vector<Value>& values) const;
+
   Schema schema_;
   size_t num_rows_ = 0;
+  uint64_t epoch_ = 0;
   // Per-column storage; only the vector matching the column type is used.
   std::vector<std::vector<Code>> code_cols_;
   std::vector<std::vector<int64_t>> int_cols_;

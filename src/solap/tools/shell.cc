@@ -52,6 +52,11 @@ constexpr const char* kHelp = R"(commands:
   shards <n> [column]                scatter-gather shard count
                                      (rebuilds the engine; column picks
                                      the table's shard-by attribute)
+  ingest <v1,v2,...>[;<row2>...]     append event rows through the
+                                     epoch-gated write path (values by
+                                     schema order; ';' separates rows)
+  evict <attr> <cutoff>              retention: drop rows below cutoff
+  merge                              fold index delta segments now
   stats                              engine counters
   help | quit)";
 
@@ -137,6 +142,14 @@ Status ShellSession::Dispatch(const std::string& raw) {
   if (c == "strategy") return CmdStrategy(args);
   if (c == "shards") return CmdShards(args);
   if (c == "serve") return CmdServe(args);
+  if (c == "ingest") return CmdIngest(args);
+  if (c == "evict") return CmdEvict(args);
+  if (c == "merge") {
+    SOLAP_RETURN_NOT_OK(RequireEngine());
+    SOLAP_RETURN_NOT_OK(engine_->MergeDeltasNow());
+    out_ << "delta segments merged (epoch " << engine_->epoch() << ")\n";
+    return Status::OK();
+  }
   if (c == "metrics") {
     if (service_ == nullptr) {
       return Status::InvalidArgument(
@@ -359,6 +372,82 @@ Status ShellSession::CmdShards(const std::string& args) {
   out_ << "shards = " << engine_->num_shards();
   if (!shard_by_.empty()) out_ << " (by " << shard_by_ << ")";
   out_ << "\n";
+  return Status::OK();
+}
+
+Status ShellSession::CmdIngest(const std::string& args) {
+  SOLAP_RETURN_NOT_OK(RequireEngine());
+  if (table_ == nullptr) {
+    return Status::InvalidArgument(
+        "ingest applies to table-backed engines (load or generate first)");
+  }
+  const Schema& schema = table_->schema();
+  std::vector<std::vector<Value>> rows;
+  for (const std::string& row_text : Split(Trim(args), ';')) {
+    std::vector<std::string> parts = Split(Trim(row_text), ',');
+    if (parts.size() != schema.num_fields()) {
+      return Status::InvalidArgument(
+          "row has " + std::to_string(parts.size()) + " values; schema has " +
+          std::to_string(schema.num_fields()));
+    }
+    std::vector<Value> row;
+    row.reserve(parts.size());
+    for (size_t c = 0; c < parts.size(); ++c) {
+      const std::string text = Trim(parts[c]);
+      switch (schema.field(static_cast<int>(c)).type) {
+        case ValueType::kString:
+          row.push_back(Value::String(text));
+          break;
+        case ValueType::kInt64:
+        case ValueType::kTimestamp: {
+          char* end = nullptr;
+          const long long v = std::strtoll(text.c_str(), &end, 10);
+          if (end == text.c_str() || *end != '\0') {
+            return Status::InvalidArgument("bad int64 '" + text + "' for '" +
+                                           schema.field(static_cast<int>(c))
+                                               .name +
+                                           "'");
+          }
+          row.push_back(Value::Int64(v));
+          break;
+        }
+        case ValueType::kDouble: {
+          char* end = nullptr;
+          const double v = std::strtod(text.c_str(), &end);
+          if (end == text.c_str() || *end != '\0') {
+            return Status::InvalidArgument("bad double '" + text + "' for '" +
+                                           schema.field(static_cast<int>(c))
+                                               .name +
+                                           "'");
+          }
+          row.push_back(Value::Double(v));
+          break;
+        }
+        case ValueType::kNull:
+          row.push_back(Value::Null());
+          break;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  SOLAP_RETURN_NOT_OK(engine_->IngestRows(rows));
+  out_ << "ingested " << rows.size() << " events (epoch "
+       << engine_->epoch() << ")\n";
+  return Status::OK();
+}
+
+Status ShellSession::CmdEvict(const std::string& args) {
+  SOLAP_RETURN_NOT_OK(RequireEngine());
+  std::vector<std::string> w = Words(args);
+  if (w.size() != 2) return Status::InvalidArgument("evict <attr> <cutoff>");
+  char* end = nullptr;
+  const long long cutoff = std::strtoll(w[1].c_str(), &end, 10);
+  if (end == w[1].c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad cutoff '" + w[1] + "'");
+  }
+  SOLAP_RETURN_NOT_OK(engine_->EvictBefore(w[0], cutoff));
+  out_ << "retention: " << w[0] << " >= " << cutoff << " (epoch "
+       << engine_->epoch() << ")\n";
   return Status::OK();
 }
 

@@ -37,6 +37,8 @@ namespace solap {
 ///   rollup <sym> | drilldown <sym> | slice <sym> <label> | top [n]
 ///   parents | children                      S-cube lattice neighbors
 ///   shards <n> [column]                     scatter-gather shard count
+///   ingest <v1,v2,...>[;<row>...]           append rows (epoch-gated)
+///   evict <attr> <cutoff> | merge           retention / delta merge
 ///   serve start|stop|status                 concurrent query service
 ///     serve start [t [d]] --port <p>        + HTTP listener (0=ephemeral)
 ///   metrics                                 service counters/latencies
@@ -66,6 +68,8 @@ class ShellSession {
   Status CmdStrategy(const std::string& args);
   Status CmdShards(const std::string& args);
   Status CmdServe(const std::string& args);
+  Status CmdIngest(const std::string& args);
+  Status CmdEvict(const std::string& args);
   Status RunQuery(const std::string& text);
   Status RunOp(const std::string& op, const std::string& args);
   Status ShowLattice(bool parents);

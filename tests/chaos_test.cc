@@ -19,12 +19,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "solap/common/failpoint.h"
 #include "solap/common/retry.h"
+#include "solap/cube/partial_codec.h"
 #include "solap/engine/engine.h"
 #include "solap/engine/sharded_engine.h"
 #include "solap/gen/synthetic.h"
@@ -391,6 +393,156 @@ TEST(ChaosTest, SameSeedReproducesTheSameFireCounts) {
   uint64_t total_fires = 0;
   for (const auto& [name, counts] : a) total_fires += counts.second;
   EXPECT_GT(total_fires, 0u);
+}
+
+// ------------------------------------------- concurrent-writer chaos
+
+// Streaming ingestion under fault load (docs/INGESTION.md): two writer
+// threads appending fixed-size batches race two reader threads and a
+// merge kicker while ingest.append, ingest.merge, the formation-extension
+// scan and the memory governor all inject failures. Invariants:
+//   - a failed append rejects its batch atomically (ingest.append fires
+//     before any row lands; the epoch only advances on commit), so a
+//     reader observing epoch e saw exactly the first B + R * (e / 2) rows
+//     of the final table;
+//   - every answer is bit-identical to a fresh engine rebuilt over that
+//     row prefix with no faults armed;
+//   - failed merges and governor rejects cost only cached state, never
+//     correctness.
+TEST(ChaosTest, ConcurrentWritersUnderFaultLoadStayEpochConsistent) {
+  auto table = testing::Fig8Table();
+  auto reg = testing::Fig8Hierarchies();
+  EngineOptions opts;
+  opts.auto_delta_merge = false;  // the kicker thread drives merges
+  SOlapEngine engine(table.get(), reg.get(), opts);
+  const size_t base_rows = table->num_rows();
+  constexpr size_t kBatchRows = 2;
+  constexpr size_t kWriterThreads = 2;
+  constexpr size_t kBatchesPerWriter = 20;
+
+  CuboidSpec spec;
+  spec.seq.cluster_by = {{"card-id", "card-id"}};
+  spec.seq.sequence_by = "time";
+  spec.symbols = {"X"};
+  spec.dims = {PatternDim{"X", {"location", "station"}, {}, ""}};
+
+  auto arm = [](const char* name, StatusCode code, double p) {
+    FailpointConfig c;
+    c.action = FailpointConfig::Action::kReturnError;
+    c.code = code;
+    c.probability = p;
+    c.seed = 20260810 ^ std::hash<std::string>{}(name);
+    FailpointRegistry::Global().Arm(name, c);
+  };
+  arm("ingest.append", StatusCode::kUnavailable, 0.15);
+  arm("ingest.merge", StatusCode::kInternal, 0.25);
+  arm("index.extend_scan", StatusCode::kInternal, 0.10);
+  arm("mem.charge", StatusCode::kResourceExhausted, 0.02);
+
+  std::mutex journal_mu;
+  std::map<uint64_t, std::string> journal;  // epoch -> canonical answer
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> commits{0}, rejected_appends{0}, reader_sheds{0};
+
+  std::vector<std::thread> threads;
+  for (size_t rdr = 0; rdr < 2; ++rdr) {
+    threads.emplace_back([&] {
+      do {
+        const bool last = done.load();
+        uint64_t epoch = 0;
+        ExecControl ctl;
+        ctl.epoch_out = &epoch;
+        auto r = engine.Execute(spec, ExecStrategy::kAuto, ctl);
+        if (!r.ok()) {
+          // The only tolerated reader failure is a governor reject.
+          if (r.status().code() == StatusCode::kResourceExhausted) {
+            reader_sheds.fetch_add(1);
+          } else {
+            ADD_FAILURE() << "reader: " << r.status().ToString();
+            return;
+          }
+        } else {
+          EXPECT_EQ(epoch % 2, 0u);
+          const std::string canonical = EncodeShardPartial(**r, ScanStats{});
+          std::lock_guard<std::mutex> lock(journal_mu);
+          auto [it, inserted] = journal.emplace(epoch, canonical);
+          if (!inserted) {
+            EXPECT_EQ(it->second, canonical)
+                << "two readers disagreed at epoch " << epoch;
+          }
+        }
+        if (last) break;
+      } while (true);
+    });
+  }
+  threads.emplace_back([&] {  // merge kicker; injected failures tolerated
+    while (!done.load()) {
+      (void)engine.MergeDeltasNow();
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (size_t w = 0; w < kWriterThreads; ++w) {
+    writers.emplace_back([&, w] {
+      for (size_t b = 0; b < kBatchesPerWriter; ++b) {
+        const int64_t t = MakeTimestamp(2007, 12, 27, 0, 0, 0) +
+                          static_cast<int64_t>(w) * 100000 +
+                          static_cast<int64_t>(b) * 600;
+        const std::string card =
+            (b % 5 == 4) ? "688"
+                         : "c" + std::to_string(w) + "-" + std::to_string(b);
+        std::vector<std::vector<Value>> batch = {
+            {Value::Timestamp(t), Value::String(card),
+             Value::String("Pentagon"), Value::String("in"),
+             Value::Double(0.0)},
+            {Value::Timestamp(t + 60), Value::String(card),
+             Value::String("Wheaton"), Value::String("out"),
+             Value::Double(-2.0)}};
+        Status s = engine.IngestRows(batch);
+        if (s.ok()) {
+          commits.fetch_add(1);
+        } else if (s.code() == StatusCode::kUnavailable) {
+          rejected_appends.fetch_add(1);  // injected, batch atomically gone
+        } else {
+          ADD_FAILURE() << "writer " << w << ": " << s.ToString();
+        }
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  done.store(true);
+  for (std::thread& t : threads) t.join();
+  FailpointRegistry::Global().DisarmAll();
+
+  // Accounting: every batch either committed (advancing the epoch by 2 and
+  // the table by kBatchRows rows) or was rejected whole.
+  EXPECT_EQ(commits.load() + rejected_appends.load(),
+            kWriterThreads * kBatchesPerWriter);
+  EXPECT_GT(rejected_appends.load(), 0u) << "no append fault fired — p too low?";
+  EXPECT_EQ(engine.epoch(), 2 * commits.load());
+  EXPECT_EQ(table->num_rows(), base_rows + kBatchRows * commits.load());
+
+  // Every observed epoch must match a fault-free rebuild over its prefix.
+  for (const auto& [epoch, canonical] : journal) {
+    const size_t rows = base_rows + kBatchRows * (epoch / 2);
+    auto fresh_table = std::make_shared<EventTable>(table->schema());
+    const size_t cols = table->schema().num_fields();
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<Value> row;
+      row.reserve(cols);
+      for (size_t c = 0; c < cols; ++c) {
+        row.push_back(
+            table->GetValue(static_cast<RowId>(r), static_cast<int>(c)));
+      }
+      ASSERT_TRUE(fresh_table->AppendRow(row).ok());
+    }
+    SOlapEngine fresh(fresh_table.get(), reg.get(), opts);
+    auto want = fresh.Execute(spec, ExecStrategy::kAuto);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    EXPECT_EQ(EncodeShardPartial(**want, ScanStats{}), canonical)
+        << "epoch " << epoch << " (" << rows
+        << " rows) diverged from a fault-free rebuild";
+  }
 }
 
 // ------------------------------------------- distributed shard chaos

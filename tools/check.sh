@@ -1,17 +1,20 @@
 #!/usr/bin/env bash
 # Full verification: the tier-1 build + test pass, a doc-lint pass
-# (metric catalog in docs/OBSERVABILITY.md must match the registered
-# metric names), a perf smoke run of the II kernel harness against its
-# recorded baselines, then the same tests
-# under ASan/UBSan, then the service/engine/parallel-II tests under TSan
-# (the concurrency surface: engine thread-safety, thread pool, query
-# service, sessions, intra-query join/scan partitioning).
+# (metric AND span catalogs in docs/OBSERVABILITY.md must match the
+# names the code registers/emits), a perf smoke run of the II kernel
+# harness against its recorded baselines, then the same tests
+# under ASan/UBSan, then the service/engine/parallel-II/ingest tests
+# under TSan (the concurrency surface: engine thread-safety, thread
+# pool, query service, sessions, intra-query join/scan partitioning,
+# and the streaming write path — concurrent writers + readers + the
+# delta merger against the epoch gate).
 #
 # Distributed stage: distributed_shard_test spawns real shard_main
 # processes (supervisor + coordinator over loopback HTTP) and runs in
 # tier-1, the ASan full suite, and the TSan filter below; the
 # failpoints stages add chaos_test's shard-kill-under-armed-rpc-faults
-# scenario under both ASan and TSan.
+# and concurrent-writers-under-fault-load scenarios under both ASan
+# and TSan.
 #
 # Usage: tools/check.sh [--tier1-only]
 set -euo pipefail
@@ -61,7 +64,7 @@ run_ctest build-asan
 
 echo
 echo "== TSan: service + engine concurrency tests =="
-TSAN_FILTER="service_test|service_stress_test|engine_test|parallel_ii_test|sharded_engine_test|intersect_test|net_test|distributed_shard_test"
+TSAN_FILTER="service_test|service_stress_test|engine_test|parallel_ii_test|sharded_engine_test|intersect_test|net_test|distributed_shard_test|ingest_test|ingest_consistency_test"
 cmake -B build-tsan -S . -DSOLAP_SANITIZE=thread >/dev/null
 build_tests build-tsan "$TSAN_FILTER"
 run_ctest build-tsan "$TSAN_FILTER"

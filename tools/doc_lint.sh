@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Keeps docs/OBSERVABILITY.md's metric catalog in exact sync with the
-# metric names the code registers (MetricsRegistry::counter/gauge/
-# histogram calls under src/). Fails if a registered metric is missing
-# from the doc, or the doc names a metric the code no longer registers.
+# Keeps docs/OBSERVABILITY.md in exact sync with the code, both ways:
+#   - the §1 metric catalog vs every MetricsRegistry::counter/gauge/
+#     histogram registration under src/;
+#   - the §2 span catalog vs every TraceSpan construction and
+#     AddTimedSpan call under src/.
+# Fails if the code emits a name the doc omits, or the doc names one the
+# code no longer emits.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,5 +39,33 @@ if [[ -n "$stale_in_doc" ]]; then
   fail=1
 fi
 
+# Span emission sites look like:  TraceSpan span(trace, "ingest.append")
+# (possibly with more arguments) or retroactive recording via
+# trace->AddTimedSpan("service.queue_wait", ...).
+code_spans=$( (grep -rhoE 'TraceSpan [A-Za-z_]+\([^;"]*"[a-z._0-9]+"' src/ |
+    grep -oE '"[a-z._0-9]+"';
+  grep -rhoE 'AddTimedSpan\("[a-z._0-9]+"' src/ |
+    grep -oE '"[a-z._0-9]+"') |
+  tr -d '"' | sort -u)
+[[ -n "$code_spans" ]] || { echo "doc-lint: no span sites found under src/" >&2; exit 1; }
+
+# The §2 span catalog lists each span as a backticked table entry.
+doc_spans=$(sed -n '/^## 2\. Trace spans/,/^## 3\./p' "$DOC" |
+  grep -oE '^\| `[a-z._0-9]+` \|' |
+  sed -E 's/^\| `([a-z._0-9]+)` \|/\1/' | sort -u)
+
+spans_missing_in_doc=$(comm -23 <(echo "$code_spans") <(echo "$doc_spans"))
+if [[ -n "$spans_missing_in_doc" ]]; then
+  echo "doc-lint: spans emitted in src/ but undocumented in $DOC:" >&2
+  echo "$spans_missing_in_doc" | sed 's/^/  /' >&2
+  fail=1
+fi
+spans_stale_in_doc=$(comm -13 <(echo "$code_spans") <(echo "$doc_spans"))
+if [[ -n "$spans_stale_in_doc" ]]; then
+  echo "doc-lint: spans documented in $DOC but not emitted in src/:" >&2
+  echo "$spans_stale_in_doc" | sed 's/^/  /' >&2
+  fail=1
+fi
+
 if [[ "$fail" -ne 0 ]]; then exit 1; fi
-echo "ok: $(echo "$code_names" | wc -l) metric names in sync with $DOC"
+echo "ok: $(echo "$code_names" | wc -l) metric names and $(echo "$code_spans" | wc -l) span names in sync with $DOC"
